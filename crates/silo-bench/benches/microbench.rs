@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks for the engine's building blocks: TID
+//! generation, index operations, the commit protocol on small transactions,
+//! and log-record encoding/compression. These support the figure-level
+//! harness binaries (`src/bin/fig*.rs`), which regenerate the paper's
+//! experiments themselves.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use silo_core::{Database, SiloConfig};
+use silo_index::Tree;
+use silo_tid::{Tid, TidGenerator};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("silo");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    group
+}
+
+fn bench_tid_generation(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.bench_function("tid/decentralized_generate", |b| {
+        let mut generator = TidGenerator::new();
+        let mut epoch = 1u64;
+        b.iter(|| {
+            epoch += 1;
+            std::hint::black_box(generator.generate(Tid::new(epoch - 1, 3), epoch % 1000 + 1))
+        });
+    });
+    group.finish();
+}
+
+fn bench_index_ops(c: &mut Criterion) {
+    let mut group = quick(c);
+    let tree = Tree::new();
+    for i in 0..100_000u64 {
+        tree.insert_if_absent(&i.to_be_bytes(), i);
+    }
+    let mut next = 100_000u64;
+    group.bench_function("index/get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            std::hint::black_box(tree.get(&i.to_be_bytes()))
+        });
+    });
+    group.bench_function("index/insert_new", |b| {
+        b.iter(|| {
+            next += 1;
+            std::hint::black_box(tree.insert_if_absent(&next.to_be_bytes(), next));
+        });
+    });
+    group.bench_function("index/scan_100", |b| {
+        b.iter(|| std::hint::black_box(tree.scan(&500u64.to_be_bytes(), None, Some(100)).entries.len()));
+    });
+    group.finish();
+}
+
+fn bench_commit_protocol(c: &mut Criterion) {
+    let mut group = quick(c);
+    // Keep the epoch advancer running: commit TIDs carry a bounded per-epoch
+    // sequence number, so a frozen epoch would overflow it after ~2M commits
+    // on a single worker (the paper's epochs advance every 40 ms for the same
+    // reason it can "ignore wraparound").
+    let db = Database::open(SiloConfig::default());
+    let table = db.create_table("bench").unwrap();
+    let mut worker = db.register_worker();
+    {
+        let mut txn = worker.begin();
+        for i in 0..10_000u64 {
+            txn.write(table, &i.to_be_bytes(), &[0u8; 100]).unwrap();
+            if i % 512 == 0 {
+                txn.commit().unwrap();
+                txn = worker.begin();
+            }
+        }
+        txn.commit().unwrap();
+    }
+
+    group.bench_function("txn/read_only_1key", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4099) % 10_000;
+            let mut txn = worker.begin();
+            std::hint::black_box(txn.read(table, &i.to_be_bytes()).unwrap());
+            txn.commit().unwrap();
+        });
+    });
+    group.bench_function("txn/read_modify_write_1key", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4099) % 10_000;
+            let mut txn = worker.begin();
+            let v = txn.read(table, &i.to_be_bytes()).unwrap().unwrap();
+            txn.write(table, &i.to_be_bytes(), &v).unwrap();
+            txn.commit().unwrap();
+        });
+    });
+    group.bench_function("txn/write_10keys", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut txn = worker.begin();
+            for k in 0..10u64 {
+                i = (i + 613) % 10_000;
+                txn.write(table, &i.to_be_bytes(), &[k as u8; 100]).unwrap();
+            }
+            txn.commit().unwrap();
+        });
+    });
+    group.finish();
+    db.stop_epoch_advancer();
+    let _ = Arc::strong_count(&db);
+}
+
+fn bench_log_encoding(c: &mut Criterion) {
+    let mut group = quick(c);
+    let writes: Vec<(u32, &[u8], Option<&[u8]>)> = (0..10)
+        .map(|_| (1u32, b"some-order-line-key-0001".as_ref(), Some([7u8; 100].as_ref())))
+        .collect();
+    group.bench_function("log/encode_txn_10_writes", |b| {
+        let mut buf = Vec::with_capacity(4096);
+        b.iter(|| {
+            buf.clear();
+            silo_log::record::encode_txn(&mut buf, Tid::new(3, 9), &writes, false);
+            std::hint::black_box(buf.len())
+        });
+    });
+    group.bench_function("log/compress_4k_buffer", |b| {
+        let mut raw = Vec::new();
+        for _ in 0..16 {
+            silo_log::record::encode_txn(&mut raw, Tid::new(3, 9), &writes, false);
+        }
+        b.iter(|| std::hint::black_box(silo_log::compress::compress(&raw).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tid_generation,
+    bench_index_ops,
+    bench_commit_protocol,
+    bench_log_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10 (table): effectiveness of snapshot transactions. A 50% new-order
+//! / 50% stock-level mix on 8 warehouses with 16 workers, comparing stock-level
+//! executed on a recent snapshot (MemSilo) against stock-level executed as a
+//! regular read/write transaction (MemSilo+NoSS). The paper reports higher
+//! throughput and far fewer aborts for the snapshot configuration.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_wl::driver::run_workload;
+use silo_wl::tpcc::{load, TpccConfig, TpccMix, TpccWorkload};
+
+fn main() {
+    let warehouses = env_u64("SILO_BENCH_WAREHOUSES", 8) as u32;
+    let threads = env_u64("SILO_BENCH_FIG10_THREADS", (warehouses as u64) * 2) as usize;
+    let scale = bench_scale();
+    println!(
+        "# Figure 10 — 50% new-order / 50% stock-level, {warehouses} warehouses, {threads} workers, scale {scale}"
+    );
+    println!("# configuration        txns/sec     aborts/sec");
+
+    let run = |label: &str, on_snapshot: bool| {
+        let db = open_memsilo();
+        let cfg = TpccConfig {
+            mix: TpccMix::new_order_stock_level(),
+            stock_level_on_snapshot: on_snapshot,
+            ..TpccConfig::scaled(warehouses, scale)
+        };
+        let tables = load(&db, &cfg);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(threads),
+            None,
+        );
+        println!(
+            "{label:<20} {:>10.0} {:>14.0}",
+            result.throughput(),
+            result.abort_rate()
+        );
+        db.stop_epoch_advancer();
+    };
+
+    run("MemSilo", true);
+    run("MemSilo+NoSS", false);
+}

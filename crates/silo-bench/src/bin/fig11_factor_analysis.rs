@@ -1,0 +1,145 @@
+//! Figure 11: factor analysis. Cumulative configuration changes on the
+//! standard TPC-C mix.
+//!
+//! * Regular group: `Simple` (no per-worker allocator pool, every write
+//!   allocates a new record) → `+Allocator` → `+Overwrites` (= MemSilo) →
+//!   `+NoSnapshots` → `+NoGC`.
+//! * Persistence group: `MemSilo` (no logging) → `+SmallRecs` (8-byte log
+//!   records) → `+FullRecs` (= Silo) → `+Compress`.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_core::{Database, SiloConfig};
+use silo_log::{LogConfig, LogMode, SiloLogger};
+use silo_wl::driver::run_workload;
+use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
+
+fn tpcc_run(db: &Arc<Database>, warehouses: u32, threads: usize, logger: Option<Arc<SiloLogger>>) -> f64 {
+    let cfg = TpccConfig::scaled(warehouses, bench_scale());
+    let tables = load(db, &cfg);
+    let result = run_workload(
+        db,
+        Arc::new(TpccWorkload::new(cfg, tables)),
+        driver_config(threads),
+        logger,
+    );
+    result.throughput()
+}
+
+fn main() {
+    let threads = *bench_threads().last().unwrap_or(&2);
+    let warehouses = env_u64("SILO_BENCH_WAREHOUSES", threads as u64) as u32;
+    println!(
+        "# Figure 11 — factor analysis, TPC-C standard mix, {warehouses} warehouses, {threads} workers, scale {}",
+        bench_scale()
+    );
+    println!("# configuration       group           throughput    relative");
+
+    let base = memsilo_config();
+    let baseline = std::cell::Cell::new(None::<f64>);
+    let report = |name: &str, group: &str, throughput: f64| {
+        let baseline_value = baseline.get().unwrap_or_else(|| {
+            baseline.set(Some(throughput));
+            throughput
+        });
+        println!(
+            "{name:<20} {group:<12} {throughput:>14.0} txn/s {:>8.2}x",
+            throughput / baseline_value
+        );
+    };
+
+    // ----- Regular group (cumulative, left to right) -----
+    let simple = SiloConfig {
+        per_worker_pool: false,
+        overwrite_in_place: false,
+        ..base.clone()
+    };
+    let db = Database::open(simple.clone());
+    report("Simple", "Regular", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    let with_alloc = SiloConfig {
+        per_worker_pool: true,
+        ..simple
+    };
+    let db = Database::open(with_alloc.clone());
+    report("+Allocator", "Regular", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    let with_overwrites = SiloConfig {
+        overwrite_in_place: true,
+        ..with_alloc
+    };
+    let db = Database::open(with_overwrites.clone());
+    report("+Overwrites", "Regular", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    let no_snapshots = SiloConfig {
+        enable_snapshots: false,
+        ..with_overwrites
+    };
+    let db = Database::open(no_snapshots.clone());
+    report("+NoSnapshots", "Regular", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    let no_gc = SiloConfig {
+        enable_gc: false,
+        ..no_snapshots
+    };
+    let db = Database::open(no_gc);
+    report("+NoGC", "Regular", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    // ----- Persistence group (cumulative) -----
+    baseline.set(None);
+    let db = Database::open(base.clone());
+    report("MemSilo", "Persistence", tpcc_run(&db, warehouses, threads, None));
+    db.stop_epoch_advancer();
+
+    let log_dir = std::env::temp_dir().join(format!("silo-fig11-log-{}", std::process::id()));
+
+    let db = Database::open(base.clone());
+    let logger = SiloLogger::install(
+        LogConfig {
+            mode: LogMode::SmallRecords,
+            ..LogConfig::to_directory(&log_dir, 2)
+        },
+        &db,
+    );
+    report(
+        "+SmallRecs",
+        "Persistence",
+        tpcc_run(&db, warehouses, threads, Some(Arc::clone(&logger))),
+    );
+    logger.shutdown();
+    db.stop_epoch_advancer();
+
+    let db = Database::open(base.clone());
+    let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 2), &db);
+    report(
+        "+FullRecs",
+        "Persistence",
+        tpcc_run(&db, warehouses, threads, Some(Arc::clone(&logger))),
+    );
+    logger.shutdown();
+    db.stop_epoch_advancer();
+
+    let db = Database::open(base);
+    let logger = SiloLogger::install(
+        LogConfig {
+            compress: true,
+            ..LogConfig::to_directory(&log_dir, 2)
+        },
+        &db,
+    );
+    report(
+        "+Compress",
+        "Persistence",
+        tpcc_run(&db, warehouses, threads, Some(Arc::clone(&logger))),
+    );
+    logger.shutdown();
+    db.stop_epoch_advancer();
+
+    let _ = std::fs::remove_dir_all(&log_dir);
+}

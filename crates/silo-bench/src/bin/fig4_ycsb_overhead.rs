@@ -1,0 +1,63 @@
+//! Figure 4: overhead of MemSilo versus the bare Key-Value store on the
+//! paper's YCSB variant (80/20 read / read-modify-write, 100-byte records,
+//! uniform keys), plus the MemSilo+GlobalTID variant that demonstrates the
+//! scalability collapse of a centralized TID counter.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_wl::driver::run_workload;
+use silo_wl::keyvalue::KeyValueStore;
+use silo_wl::ycsb::{load_keyvalue, load_silo, YcsbConfig, YcsbKeyValue, YcsbSilo};
+
+fn main() {
+    let threads = bench_threads();
+    let keys = ycsb_keys();
+    let cfg = YcsbConfig {
+        keys,
+        ..Default::default()
+    };
+    println!("# Figure 4 — YCSB variant, {} keys, {}s per point", keys, bench_seconds().as_secs());
+    println!("# series                 threads     throughput        per-core      aborts");
+
+    for &t in &threads {
+        // Key-Value: the bare concurrent B+-tree.
+        let kv = KeyValueStore::shared();
+        load_keyvalue(&kv, &cfg);
+        let db = open_memsilo(); // only provides workers/epochs for the driver
+        let result = run_workload(
+            &db,
+            Arc::new(YcsbKeyValue::new(cfg.clone(), kv)),
+            driver_config(t),
+            None,
+        );
+        print_row("Key-Value", t, &result);
+        db.stop_epoch_advancer();
+    }
+
+    for &t in &threads {
+        let db = open_memsilo();
+        let table = load_silo(&db, &cfg);
+        let result = run_workload(
+            &db,
+            Arc::new(YcsbSilo::new(cfg.clone(), table)),
+            driver_config(t),
+            None,
+        );
+        print_row("MemSilo", t, &result);
+        db.stop_epoch_advancer();
+    }
+
+    for &t in &threads {
+        let db = silo_core::Database::open(memsilo_config().with_global_tid());
+        let table = load_silo(&db, &cfg);
+        let result = run_workload(
+            &db,
+            Arc::new(YcsbSilo::new(cfg.clone(), table)),
+            driver_config(t),
+            None,
+        );
+        print_row("MemSilo+GlobalTID", t, &result);
+        db.stop_epoch_advancer();
+    }
+}

@@ -1,0 +1,52 @@
+//! Figures 5 and 6: TPC-C throughput (total and per core) as worker threads
+//! increase, for MemSilo (no persistence) and Silo (logging enabled).
+//! Warehouses = workers, standard transaction mix.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_log::{LogConfig, SiloLogger};
+use silo_wl::driver::run_workload;
+use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
+
+fn main() {
+    let threads = bench_threads();
+    let scale = bench_scale();
+    println!(
+        "# Figures 5 & 6 — TPC-C standard mix, warehouses = workers, scale {scale}, {}s per point",
+        bench_seconds().as_secs()
+    );
+    println!("# series                 threads     throughput        per-core      aborts");
+
+    for &t in &threads {
+        let db = open_memsilo();
+        let cfg = TpccConfig::scaled(t as u32, scale);
+        let tables = load(&db, &cfg);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(t),
+            None,
+        );
+        print_row("MemSilo", t, &result);
+        db.stop_epoch_advancer();
+    }
+
+    let log_dir = std::env::temp_dir().join(format!("silo-fig5-log-{}", std::process::id()));
+    for &t in &threads {
+        let db = open_memsilo();
+        let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 4.min(t.max(1))), &db);
+        let cfg = TpccConfig::scaled(t as u32, scale);
+        let tables = load(&db, &cfg);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(t),
+            Some(Arc::clone(&logger)),
+        );
+        print_row("Silo (persistent)", t, &result);
+        logger.shutdown();
+        db.stop_epoch_advancer();
+    }
+    let _ = std::fs::remove_dir_all(&log_dir);
+}

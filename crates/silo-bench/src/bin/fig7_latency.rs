@@ -1,0 +1,59 @@
+//! Figure 7: TPC-C transaction latency (time until the transaction's epoch is
+//! durable) for Silo logging to real files versus Silo+tmpfs (an in-memory
+//! log sink), as worker threads increase.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_log::{LogConfig, SiloLogger};
+use silo_wl::driver::run_workload;
+use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
+
+fn main() {
+    let threads = bench_threads();
+    let scale = bench_scale();
+    println!(
+        "# Figure 7 — TPC-C durable latency, scale {scale}, {}s per point",
+        bench_seconds().as_secs()
+    );
+    println!("# series            threads   mean(ms)    p50(ms)    p99(ms)    max(ms)   throughput");
+
+    let run = |label: &str, make_log: &dyn Fn(usize) -> LogConfig| {
+        for &t in &threads {
+            let db = open_memsilo();
+            let logger = SiloLogger::install(make_log(t), &db);
+            let cfg = TpccConfig::scaled(t as u32, scale);
+            let tables = load(&db, &cfg);
+            let mut driver = driver_config(t);
+            driver.latency_sample_every = 32;
+            let result = run_workload(
+                &db,
+                Arc::new(TpccWorkload::new(cfg, tables)),
+                driver,
+                Some(Arc::clone(&logger)),
+            );
+            println!(
+                "{label:<18} {t:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>11.0} txn/s",
+                result.latency.mean_us / 1000.0,
+                result.latency.p50_us as f64 / 1000.0,
+                result.latency.p99_us as f64 / 1000.0,
+                result.latency.max_us as f64 / 1000.0,
+                result.throughput(),
+            );
+            logger.shutdown();
+            db.stop_epoch_advancer();
+        }
+    };
+
+    let log_dir = std::env::temp_dir().join(format!("silo-fig7-log-{}", std::process::id()));
+    {
+        let dir = log_dir.clone();
+        run("Silo", &move |t| {
+            let mut cfg = LogConfig::to_directory(&dir, 4.min(t.max(1)));
+            cfg.fsync = true;
+            cfg
+        });
+    }
+    run("Silo+tmpfs", &|t| LogConfig::in_memory(4.min(t.max(1))));
+    let _ = std::fs::remove_dir_all(&log_dir);
+}

@@ -1,0 +1,77 @@
+//! Figure 8: throughput of Partitioned-Store, MemSilo+Split and MemSilo on a
+//! 100% new-order workload as the fraction of cross-partition transactions
+//! grows (by sweeping the per-item remote-warehouse probability).
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_wl::driver::run_workload;
+use silo_wl::partitioned::PartitionedStore;
+use silo_wl::tpcc::{load, TableSplit, TpccConfig, TpccMix, TpccWorkload};
+
+fn main() {
+    let threads = *bench_threads().last().unwrap_or(&2);
+    let warehouses = env_u64("SILO_BENCH_WAREHOUSES", threads as u64) as u32;
+    let scale = bench_scale();
+    // Per-item remote probabilities; with 5–15 items per order the resulting
+    // per-transaction cross-partition probability spans roughly 0–60%+.
+    let remote_probs = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20];
+
+    println!(
+        "# Figure 8 — 100% new-order, {warehouses} warehouses, {threads} workers, scale {scale}"
+    );
+    println!("# series              remote_p   ~cross-txn%     throughput");
+
+    let base = |remote: f64, split: TableSplit| TpccConfig {
+        remote_item_probability: remote,
+        split,
+        mix: TpccMix::new_order_only(),
+        ..TpccConfig::scaled(warehouses, scale)
+    };
+
+    for &remote in &remote_probs {
+        // Probability that a transaction with ~10 items touches a remote
+        // warehouse at least once (what the paper plots on the x-axis).
+        let cross_pct = (1.0 - (1.0f64 - remote).powi(10)) * 100.0;
+
+        // Partitioned-Store.
+        let cfg = base(remote, TableSplit::Shared);
+        let store = PartitionedStore::load(&cfg);
+        let (committed, _cross, elapsed) = run_partitioned(&store, threads, bench_seconds());
+        println!(
+            "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
+            "Partitioned-Store",
+            remote,
+            cross_pct,
+            committed as f64 / elapsed.as_secs_f64()
+        );
+
+        // MemSilo+Split (per-warehouse trees, full OCC).
+        let db = open_memsilo();
+        let cfg = base(remote, TableSplit::PerWarehouse);
+        let tables = load(&db, &cfg);
+        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(threads), None);
+        println!(
+            "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
+            "MemSilo+Split",
+            remote,
+            cross_pct,
+            result.throughput()
+        );
+        db.stop_epoch_advancer();
+
+        // MemSilo (shared trees).
+        let db = open_memsilo();
+        let cfg = base(remote, TableSplit::Shared);
+        let tables = load(&db, &cfg);
+        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(threads), None);
+        println!(
+            "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
+            "MemSilo",
+            remote,
+            cross_pct,
+            result.throughput()
+        );
+        db.stop_epoch_advancer();
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 9: workload skew. A fixed-size database (4 warehouses by default)
+//! is driven by a growing number of workers running 100% new-order:
+//! Partitioned-Store serializes on the partition locks, MemSilo scales until
+//! the per-district counter conflicts dominate, and MemSilo+FastIds removes
+//! that contention by generating order ids in a separate transaction.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_wl::driver::run_workload;
+use silo_wl::partitioned::PartitionedStore;
+use silo_wl::tpcc::{load, TpccConfig, TpccMix, TpccWorkload};
+
+fn main() {
+    let warehouses = env_u64("SILO_BENCH_WAREHOUSES", 4) as u32;
+    let scale = bench_scale();
+    let threads = bench_threads();
+    println!(
+        "# Figure 9 — 100% new-order on a fixed {warehouses}-warehouse database, scale {scale}"
+    );
+    println!("# series                 threads     throughput        per-core      aborts");
+
+    let base = |fast_ids: bool| TpccConfig {
+        mix: TpccMix::new_order_only(),
+        fast_ids,
+        ..TpccConfig::scaled(warehouses, scale)
+    };
+
+    for &t in &threads {
+        let cfg = base(false);
+        let store = PartitionedStore::load(&cfg);
+        let (committed, _, elapsed) = run_partitioned(&store, t, bench_seconds());
+        println!(
+            "{:<24} {:>8} {:>14.0} txn/s",
+            "Partitioned-Store",
+            t,
+            committed as f64 / elapsed.as_secs_f64()
+        );
+    }
+
+    for &t in &threads {
+        let db = open_memsilo();
+        let cfg = base(false);
+        let tables = load(&db, &cfg);
+        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
+        print_row("MemSilo", t, &result);
+        db.stop_epoch_advancer();
+    }
+
+    for &t in &threads {
+        let db = open_memsilo();
+        let cfg = base(true);
+        let tables = load(&db, &cfg);
+        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
+        print_row("MemSilo+FastIds", t, &result);
+        db.stop_epoch_advancer();
+    }
+}

@@ -1,0 +1,63 @@
+//! §5.6: space overhead of snapshots. A 100% read-modify-write YCSB variant
+//! (every transaction very likely creates a new record version) runs for the
+//! measurement period; the report compares the live heap size after loading
+//! with the peak heap size during the run — the growth is the memory retained
+//! for snapshot versions awaiting garbage collection.
+
+use std::sync::Arc;
+
+use silo_bench::*;
+use silo_wl::driver::run_workload;
+use silo_wl::ycsb::{load_silo, YcsbConfig, YcsbRmwOnly};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let keys = ycsb_keys();
+    let threads = *bench_threads().last().unwrap_or(&2);
+    let cfg = YcsbConfig {
+        keys,
+        read_fraction: 0.0,
+        ..Default::default()
+    };
+    println!(
+        "# §5.6 — snapshot space overhead, 100% RMW YCSB, {} keys, {} workers, {}s",
+        keys,
+        threads,
+        bench_seconds().as_secs()
+    );
+
+    let db = open_memsilo();
+    let table = load_silo(&db, &cfg);
+    let baseline = CountingAllocator::allocated();
+    CountingAllocator::reset_peak();
+    println!("database size after load : {:>12.1} MiB", baseline as f64 / (1024.0 * 1024.0));
+
+    let result = run_workload(
+        &db,
+        Arc::new(YcsbRmwOnly::new(cfg, table)),
+        driver_config(threads),
+        None,
+    );
+
+    let peak = CountingAllocator::peak();
+    let growth = peak.saturating_sub(baseline);
+    println!("peak size during run     : {:>12.1} MiB", peak as f64 / (1024.0 * 1024.0));
+    println!(
+        "growth (snapshot versions): {:>11.1} MiB ({:.1}% of the loaded database)",
+        growth as f64 / (1024.0 * 1024.0),
+        growth as f64 / baseline.max(1) as f64 * 100.0
+    );
+    println!(
+        "throughput                : {:>12.0} txn/s ({} committed, {} aborted)",
+        result.throughput(),
+        result.committed,
+        result.aborted
+    );
+    println!(
+        "records reclaimed by GC   : {:>12}",
+        result.stats.records_reclaimed
+    );
+    db.stop_epoch_advancer();
+}

@@ -1,0 +1,192 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary reads its scale from environment variables so the same code
+//! can run a quick smoke pass on a laptop or a long paper-scale run:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `SILO_BENCH_SECONDS` | measured seconds per data point | 2 |
+//! | `SILO_BENCH_THREADS` | comma-separated worker counts to sweep | `1,2,4` |
+//! | `SILO_BENCH_SCALE` | TPC-C scale factor vs. the spec sizes | 0.05 |
+//! | `SILO_BENCH_YCSB_KEYS` | keys pre-loaded for YCSB experiments | 200000 |
+//!
+//! The paper's own parameters (60-second runs, 32 threads, 160 M keys,
+//! warehouses = workers at full spec scale) are reproduced by setting these
+//! variables accordingly on suitable hardware.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use silo_core::{Database, SiloConfig};
+use silo_wl::driver::{DriverConfig, RunResult};
+use silo_wl::partitioned::{PartitionedStats, PartitionedStore};
+
+/// A global allocator wrapper that tracks live and peak allocated bytes, used
+/// by the §5.6 space-overhead experiment.
+pub struct CountingAllocator;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to the system allocator; the bookkeeping is lock-free.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let now = ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+        // SAFETY: forwarded to the system allocator with the same layout.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        ALLOCATED.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: forwarded to the system allocator with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+impl CountingAllocator {
+    /// Currently allocated bytes.
+    pub fn allocated() -> u64 {
+        ALLOCATED.load(Ordering::Relaxed)
+    }
+
+    /// Peak allocated bytes since process start.
+    pub fn peak() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current allocation level.
+    pub fn reset_peak() {
+        PEAK.store(ALLOCATED.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Reads an environment variable as `u64`, with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads an environment variable as `f64`, with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The per-point measurement duration.
+pub fn bench_seconds() -> Duration {
+    Duration::from_secs(env_u64("SILO_BENCH_SECONDS", 2))
+}
+
+/// The thread counts to sweep.
+pub fn bench_threads() -> Vec<usize> {
+    std::env::var("SILO_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect()
+}
+
+/// The TPC-C scale factor relative to the spec sizes.
+pub fn bench_scale() -> f64 {
+    env_f64("SILO_BENCH_SCALE", 0.05)
+}
+
+/// Number of keys for YCSB-style experiments.
+pub fn ycsb_keys() -> u64 {
+    env_u64("SILO_BENCH_YCSB_KEYS", 200_000)
+}
+
+/// A MemSilo database configuration (logging disabled, paper defaults
+/// otherwise), with a faster epoch tick so short bench runs cross enough
+/// epoch and snapshot boundaries to be representative.
+pub fn memsilo_config() -> SiloConfig {
+    SiloConfig {
+        epoch: silo_core::EpochConfig {
+            epoch_interval: Duration::from_millis(10),
+            snapshot_interval_epochs: 25,
+        },
+        ..SiloConfig::default()
+    }
+}
+
+/// Opens a MemSilo database.
+pub fn open_memsilo() -> Arc<Database> {
+    Database::open(memsilo_config())
+}
+
+/// Prints a standard result row.
+pub fn print_row(series: &str, x: impl std::fmt::Display, result: &RunResult) {
+    println!(
+        "{series:<24} {x:>8} {:>14.0} txn/s {:>12.0} txn/s/core {:>10.0} aborts/s",
+        result.throughput(),
+        result.per_core_throughput(),
+        result.abort_rate()
+    );
+}
+
+/// Runs the partitioned-store new-order loop on `threads` threads for
+/// `duration` and returns `(committed, cross_partition, elapsed)`.
+pub fn run_partitioned(
+    store: &Arc<PartitionedStore>,
+    threads: usize,
+    duration: Duration,
+) -> (u64, u64, Duration) {
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicBool;
+    let stop = Arc::new(AtomicBool::new(false));
+    let warehouses = store.config().warehouses;
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(store);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(1000 + t as u64);
+            let mut stats = PartitionedStats::default();
+            let home = (t as u32 % warehouses) + 1;
+            while !stop.load(Ordering::Relaxed) {
+                store.new_order(&mut rng, home, &mut stats);
+            }
+            stats
+        }));
+    }
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut committed = 0;
+    let mut cross = 0;
+    for h in handles {
+        let s = h.join().expect("partitioned worker");
+        committed += s.committed;
+        cross += s.cross_partition;
+    }
+    (committed, cross, start.elapsed())
+}
+
+/// Builds a driver configuration with the harness defaults.
+pub fn driver_config(threads: usize) -> DriverConfig {
+    DriverConfig {
+        threads,
+        duration: bench_seconds(),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_u64("SILO_BENCH_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_f64("SILO_BENCH_DOES_NOT_EXIST", 0.5), 0.5);
+        assert!(!bench_threads().is_empty());
+    }
+
+    #[test]
+    fn memsilo_config_is_memsilo() {
+        let c = memsilo_config();
+        assert!(c.overwrite_in_place && c.enable_snapshots && c.enable_gc && !c.global_tid);
+    }
+}

@@ -1,0 +1,138 @@
+//! Engine configuration, including the factor-analysis knobs of paper §5.7.
+
+use silo_epoch::EpochConfig;
+
+/// Configuration of a [`crate::Database`].
+///
+/// The defaults correspond to "MemSilo" as evaluated in the paper: in-place
+/// overwrites, snapshots, garbage collection and decentralized TIDs all
+/// enabled. The individual knobs reproduce the configurations of the factor
+/// analysis (Figure 11) and the `MemSilo+GlobalTID` variant (Figure 4).
+#[derive(Debug, Clone)]
+pub struct SiloConfig {
+    /// Epoch subsystem configuration (epoch period, snapshot interval `k`).
+    pub epoch: EpochConfig,
+    /// Spawn the background epoch-advancer thread when the database opens.
+    /// Tests that want deterministic epochs advance manually instead.
+    pub spawn_epoch_advancer: bool,
+    /// `+Overwrites`: modify record data in place when the new value fits and
+    /// no snapshot needs the old version. Disabling this reproduces the
+    /// "Simple"/"+Allocator" bars of Figure 11, where every write allocates a
+    /// new record.
+    pub overwrite_in_place: bool,
+    /// `+NoSnapshots` (inverted): keep previous record versions so read-only
+    /// snapshot transactions can run (§4.9). Disabling also disables the
+    /// snapshot overwrite rule, so updates always overwrite when possible.
+    pub enable_snapshots: bool,
+    /// `+NoGC` (inverted): run the epoch-based garbage collector in workers
+    /// between transactions (§4.8). Disabling leaks superseded versions until
+    /// the database is dropped.
+    pub enable_gc: bool,
+    /// `MemSilo+GlobalTID`: draw commit TIDs from a single shared atomic
+    /// counter instead of the decentralized per-worker rule (§5.2).
+    pub global_tid: bool,
+    /// `+Allocator`: recycle record allocations through a per-worker,
+    /// size-classed pool refilled by that worker's garbage collector. This is
+    /// the laptop-scale stand-in for the paper's NUMA-aware superpage
+    /// allocator (see DESIGN.md §4).
+    pub per_worker_pool: bool,
+    /// How many times a read retries a record that is no longer the latest
+    /// version (because a concurrent writer superseded it) before the
+    /// transaction gives up and aborts.
+    pub read_retry_limit: usize,
+    /// Run garbage collection in a worker after this many transactions.
+    pub gc_interval_txns: u64,
+}
+
+impl Default for SiloConfig {
+    fn default() -> Self {
+        SiloConfig {
+            epoch: EpochConfig::default(),
+            spawn_epoch_advancer: true,
+            overwrite_in_place: true,
+            enable_snapshots: true,
+            enable_gc: true,
+            global_tid: false,
+            per_worker_pool: true,
+            read_retry_limit: 16,
+            gc_interval_txns: 64,
+        }
+    }
+}
+
+impl SiloConfig {
+    /// A configuration suited to unit tests: fast epochs, no background
+    /// advancer thread (tests advance epochs explicitly when needed).
+    pub fn for_testing() -> Self {
+        SiloConfig {
+            epoch: EpochConfig {
+                epoch_interval: std::time::Duration::from_millis(1),
+                snapshot_interval_epochs: 5,
+            },
+            spawn_epoch_advancer: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "Simple" configuration from the Figure 11 factor analysis:
+    /// no per-worker allocator pool and a new record allocation for every
+    /// write.
+    pub fn simple() -> Self {
+        SiloConfig {
+            overwrite_in_place: false,
+            per_worker_pool: false,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with snapshots disabled (`+NoSnapshots`).
+    pub fn without_snapshots(mut self) -> Self {
+        self.enable_snapshots = false;
+        self
+    }
+
+    /// Returns a copy with garbage collection disabled (`+NoGC`).
+    pub fn without_gc(mut self) -> Self {
+        self.enable_gc = false;
+        self
+    }
+
+    /// Returns a copy using the centralized TID counter (`MemSilo+GlobalTID`).
+    pub fn with_global_tid(mut self) -> Self {
+        self.global_tid = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_memsilo() {
+        let c = SiloConfig::default();
+        assert!(c.overwrite_in_place);
+        assert!(c.enable_snapshots);
+        assert!(c.enable_gc);
+        assert!(!c.global_tid);
+        assert!(c.per_worker_pool);
+    }
+
+    #[test]
+    fn builder_style_knobs() {
+        let c = SiloConfig::default()
+            .without_snapshots()
+            .without_gc()
+            .with_global_tid();
+        assert!(!c.enable_snapshots);
+        assert!(!c.enable_gc);
+        assert!(c.global_tid);
+    }
+
+    #[test]
+    fn simple_disables_allocator_and_overwrites() {
+        let c = SiloConfig::simple();
+        assert!(!c.overwrite_in_place);
+        assert!(!c.per_worker_pool);
+    }
+}

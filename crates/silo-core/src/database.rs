@@ -1,0 +1,308 @@
+//! The database catalog: tables, index trees, and engine-wide state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use silo_epoch::{EpochAdvancer, EpochManager};
+use silo_index::Tree;
+use silo_tid::{GlobalTidGenerator, Tid};
+
+use crate::config::SiloConfig;
+use crate::error::CatalogError;
+use crate::record::Record;
+use crate::worker::Worker;
+
+/// Identifier of a table within a database.
+pub type TableId = u32;
+
+/// A table: a name plus the primary index tree mapping keys to records.
+///
+/// Secondary indexes are, as in the paper (§4.7), simply additional tables
+/// whose records contain primary keys; the engine does not treat them
+/// specially.
+#[derive(Debug)]
+pub struct Table {
+    id: TableId,
+    name: String,
+    tree: Tree,
+}
+
+impl Table {
+    /// The table's id.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying index tree. Exposed for the engine and for
+    /// non-transactional baselines; transactional code goes through
+    /// [`crate::Txn`].
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Approximate number of keys (including logically absent records).
+    pub fn approximate_len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Frees every record reachable from the tree as the *latest* version.
+    ///
+    /// Previous-version chain members are *not* followed: every superseded
+    /// version was registered with some worker's garbage collector at the
+    /// moment it was superseded, so it is either already freed (its pointer
+    /// here would dangle) or owned by that worker's pending garbage list.
+    /// Walking the chain would double-free the former; skipping it at worst
+    /// leaks the latter (bounded by garbage pending at worker shutdown).
+    ///
+    /// # Safety
+    ///
+    /// Must only be called with exclusive access to the database (no workers,
+    /// no concurrent transactions), i.e. from `Database::drop`.
+    unsafe fn free_all_records(&self) {
+        let all = self.tree.scan(b"", None, None);
+        for (_, value) in all.entries {
+            let record = value as *mut Record;
+            if !record.is_null() {
+                // SAFETY: exclusive access per the caller's contract; head
+                // records are owned by the tree and freed exactly once here.
+                unsafe { Record::free(record) };
+            }
+        }
+    }
+}
+
+/// One record modification reported to a [`CommitHook`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommitWrite<'a> {
+    /// The table the write applies to.
+    pub table: TableId,
+    /// The record's key.
+    pub key: &'a [u8],
+    /// The new value, or `None` for a delete.
+    pub value: Option<&'a [u8]>,
+}
+
+/// Hook invoked by workers when a transaction commits, used by the durability
+/// subsystem (`silo-log`) to build redo log records without the engine
+/// depending on it.
+pub trait CommitHook: Send + Sync {
+    /// Called once per committed transaction, after Phase 3 released all
+    /// locks. `writes` lists every modified record.
+    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &[CommitWrite<'_>]);
+
+    /// Called when a worker finishes (used to flush partial buffers).
+    fn on_worker_finish(&self, _worker_id: usize) {}
+}
+
+/// The Silo database: configuration, epoch subsystem, and table catalog.
+///
+/// A `Database` is shared by reference ([`Arc`]) between worker threads; each
+/// worker registers itself with [`Database::register_worker`] and runs
+/// transactions through the returned [`Worker`].
+pub struct Database {
+    config: SiloConfig,
+    epochs: Arc<EpochManager>,
+    advancer: parking_lot::Mutex<Option<EpochAdvancer>>,
+    tables: RwLock<Vec<Arc<Table>>>,
+    by_name: RwLock<HashMap<String, TableId>>,
+    global_tid: GlobalTidGenerator,
+    commit_hook: OnceLock<Arc<dyn CommitHook>>,
+    next_worker_id: AtomicUsize,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.read().len())
+            .field("epoch", &self.epochs.global_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Database {
+    /// Opens a new, empty in-memory database with the given configuration.
+    pub fn open(config: SiloConfig) -> Arc<Database> {
+        let epochs = EpochManager::new(config.epoch.clone());
+        let advancer = if config.spawn_epoch_advancer {
+            Some(EpochAdvancer::spawn(Arc::clone(&epochs)))
+        } else {
+            None
+        };
+        Arc::new(Database {
+            config,
+            epochs,
+            advancer: parking_lot::Mutex::new(advancer),
+            tables: RwLock::new(Vec::new()),
+            by_name: RwLock::new(HashMap::new()),
+            global_tid: GlobalTidGenerator::new(),
+            commit_hook: OnceLock::new(),
+            next_worker_id: AtomicUsize::new(0),
+        })
+    }
+
+    /// Opens a database with the default ("MemSilo") configuration.
+    pub fn open_default() -> Arc<Database> {
+        Self::open(SiloConfig::default())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SiloConfig {
+        &self.config
+    }
+
+    /// The epoch subsystem.
+    pub fn epochs(&self) -> &Arc<EpochManager> {
+        &self.epochs
+    }
+
+    /// The shared TID counter used when `config.global_tid` is set.
+    pub(crate) fn global_tid_generator(&self) -> &GlobalTidGenerator {
+        &self.global_tid
+    }
+
+    /// Installs the commit hook (at most once, before workers start
+    /// committing). Returns `Err` with the hook if one is already installed.
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) -> Result<(), Arc<dyn CommitHook>> {
+        self.commit_hook.set(hook)
+    }
+
+    /// The installed commit hook, if any.
+    pub(crate) fn commit_hook(&self) -> Option<&Arc<dyn CommitHook>> {
+        self.commit_hook.get()
+    }
+
+    /// Creates a new table, returning its id.
+    pub fn create_table(&self, name: &str) -> Result<TableId, CatalogError> {
+        let mut by_name = self.by_name.write();
+        if by_name.contains_key(name) {
+            return Err(CatalogError::TableExists(name.to_string()));
+        }
+        let mut tables = self.tables.write();
+        let id = tables.len() as TableId;
+        tables.push(Arc::new(Table {
+            id,
+            name: name.to_string(),
+            tree: Tree::new(),
+        }));
+        by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: TableId) -> Arc<Table> {
+        Arc::clone(&self.tables.read()[id as usize])
+    }
+
+    /// Looks up a table by id, returning `None` for unknown ids.
+    pub fn try_table(&self, id: TableId) -> Option<Arc<Table>> {
+        self.tables.read().get(id as usize).cloned()
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, CatalogError> {
+        self.by_name
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_string()))
+    }
+
+    /// All table ids currently in the catalog.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        (0..self.tables.read().len() as TableId).collect()
+    }
+
+    /// Registers a new worker thread with the engine.
+    pub fn register_worker(self: &Arc<Self>) -> Worker {
+        let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+        Worker::new(Arc::clone(self), id)
+    }
+
+    /// Stops the background epoch advancer (if one is running). Called
+    /// automatically on drop; exposed so benchmarks can quiesce the system.
+    pub fn stop_epoch_advancer(&self) {
+        let mut guard = self.advancer.lock();
+        if let Some(adv) = guard.take() {
+            adv.stop();
+        }
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.stop_epoch_advancer();
+        // Free every record still referenced by the tables. Superseded
+        // versions that workers registered for reclamation but never freed
+        // are reachable through the latest versions' `prev` chains and are
+        // freed here too (workers hand orphaned garbage back on drop only if
+        // it is *not* reachable from the tree — see `Worker`).
+        let tables = self.tables.get_mut();
+        for table in tables.iter() {
+            // SAFETY: `&mut self` in Drop guarantees exclusive access; all
+            // workers hold an `Arc<Database>`, so none can still be alive.
+            unsafe { table.free_all_records() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let db = Database::open(SiloConfig::for_testing());
+        let a = db.create_table("alpha").unwrap();
+        let b = db.create_table("beta").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(db.table_id("alpha").unwrap(), a);
+        assert_eq!(db.table(b).name(), "beta");
+        assert_eq!(db.table_ids().len(), 2);
+        assert!(matches!(
+            db.create_table("alpha"),
+            Err(CatalogError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.table_id("gamma"),
+            Err(CatalogError::NoSuchTable(_))
+        ));
+        assert!(db.try_table(99).is_none());
+    }
+
+    #[test]
+    fn worker_registration_assigns_unique_ids() {
+        let db = Database::open(SiloConfig::for_testing());
+        let w1 = db.register_worker();
+        let w2 = db.register_worker();
+        assert_ne!(w1.id(), w2.id());
+    }
+
+    #[test]
+    fn commit_hook_can_only_be_set_once() {
+        struct NullHook;
+        impl CommitHook for NullHook {
+            fn on_commit(&self, _: usize, _: Tid, _: &[CommitWrite<'_>]) {}
+        }
+        let db = Database::open(SiloConfig::for_testing());
+        assert!(db.set_commit_hook(Arc::new(NullHook)).is_ok());
+        assert!(db.set_commit_hook(Arc::new(NullHook)).is_err());
+    }
+
+    #[test]
+    fn advancer_runs_when_configured() {
+        let mut cfg = SiloConfig::for_testing();
+        cfg.spawn_epoch_advancer = true;
+        let db = Database::open(cfg);
+        let e0 = db.epochs().global_epoch();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(db.epochs().global_epoch() > e0);
+        db.stop_epoch_advancer();
+    }
+}

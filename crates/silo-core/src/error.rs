@@ -1,0 +1,97 @@
+//! Abort reasons and error types.
+
+use std::fmt;
+
+/// Why a transaction aborted.
+///
+/// Silo transactions abort only at commit time (validation failure) or when a
+/// read cannot obtain a stable latest version after bounded retries; the
+/// reason is recorded for the abort statistics reported in §5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A read-set record's TID word changed, it is no longer the latest
+    /// version, or it is locked by another transaction (Phase 2).
+    ReadValidation,
+    /// A node-set entry's version changed: a key was inserted into or removed
+    /// from a scanned range or a looked-up-but-absent key's leaf (Phase 2).
+    NodeValidation,
+    /// An insert found the key already mapped to a non-absent record (§4.5).
+    DuplicateKey,
+    /// A read could not obtain the latest version of a record within the
+    /// configured retry limit.
+    UnstableRead,
+    /// The transaction's own insert split a node whose recorded node-set
+    /// version no longer matched (§4.6).
+    NodeSetFixup,
+    /// The application requested the abort explicitly.
+    UserRequested,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::ReadValidation => "read-set validation failed",
+            AbortReason::NodeValidation => "node-set validation failed",
+            AbortReason::DuplicateKey => "insert of an existing key",
+            AbortReason::UnstableRead => "could not read a stable latest version",
+            AbortReason::NodeSetFixup => "node-set fix-up after own insert failed",
+            AbortReason::UserRequested => "aborted by the application",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The error type returned by transaction operations and commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort(pub AbortReason);
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.0)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Errors raised by database catalog operations (not transaction aborts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name or id exists.
+    NoSuchTable(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            CatalogError::NoSuchTable(name) => write!(f, "no such table `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_are_informative() {
+        assert!(Abort(AbortReason::ReadValidation).to_string().contains("read-set"));
+        assert!(Abort(AbortReason::NodeValidation).to_string().contains("node-set"));
+        assert!(CatalogError::TableExists("t".into()).to_string().contains("t"));
+        assert!(CatalogError::NoSuchTable("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn abort_reasons_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(AbortReason::ReadValidation);
+        set.insert(AbortReason::ReadValidation);
+        set.insert(AbortReason::NodeValidation);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Read-only snapshot transactions (paper §4.9).
+//!
+//! A snapshot transaction runs against the most recent *snapshot epoch*: a
+//! consistent point in the serial order that lags the current epoch by `k`
+//! epochs (about one second with the paper's parameters). For every record it
+//! reads, the transaction walks the previous-version chain to the most recent
+//! version whose TID epoch is `≤ se_w`. Because the snapshot is consistent
+//! and never modified, snapshot transactions commit without validation and
+//! **never abort** — which is exactly why the stock-level experiment of
+//! Figure 10 benefits from them.
+
+use crate::database::TableId;
+use crate::record::Record;
+use crate::worker::Worker;
+
+/// A read-only transaction over a recent consistent snapshot. Created by
+/// [`Worker::begin_snapshot`].
+pub struct SnapshotTxn<'w> {
+    worker: &'w mut Worker,
+    snapshot_epoch: u64,
+    reads: u64,
+}
+
+impl<'w> std::fmt::Debug for SnapshotTxn<'w> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotTxn")
+            .field("snapshot_epoch", &self.snapshot_epoch)
+            .field("reads", &self.reads)
+            .finish()
+    }
+}
+
+impl<'w> SnapshotTxn<'w> {
+    pub(crate) fn new(worker: &'w mut Worker, snapshot_epoch: u64) -> Self {
+        SnapshotTxn {
+            worker,
+            snapshot_epoch,
+            reads: 0,
+        }
+    }
+
+    /// The snapshot epoch this transaction reads from (`se_w`).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch
+    }
+
+    /// Number of records read so far (diagnostics).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads `key` as of the snapshot, or `None` if the key did not exist at
+    /// that point in the serial order.
+    pub fn read(&mut self, table_id: TableId, key: &[u8]) -> Option<Vec<u8>> {
+        let table_ptr = self.worker.table_ptr(table_id);
+        // SAFETY: the worker's table cache keeps the table alive.
+        let table = unsafe { &*table_ptr };
+        let value = table.tree().get(key)?;
+        self.reads += 1;
+        let record = value as *const Record;
+        // SAFETY: records reachable from the index are only freed after a
+        // grace period; the worker's refreshed `se_w` pins every chain member
+        // relevant for this snapshot.
+        let rec = unsafe { &*record };
+        let version = rec.snapshot_version(self.snapshot_epoch)?;
+        let word = version.tid().read_stable();
+        if word.is_absent() {
+            return None;
+        }
+        let mut out = Vec::new();
+        version.read_data_unvalidated(&mut out);
+        Some(out)
+    }
+
+    /// Scans `[start, end)` as of the snapshot, returning at most `limit`
+    /// records that existed at the snapshot point.
+    pub fn scan(
+        &mut self,
+        table_id: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<usize>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let table_ptr = self.worker.table_ptr(table_id);
+        // SAFETY: the worker's table cache keeps the table alive.
+        let table = unsafe { &*table_ptr };
+        let result = table.tree().scan(start, end, None);
+        let limit = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for (key, value) in result.entries {
+            if out.len() >= limit {
+                break;
+            }
+            let record = value as *const Record;
+            // SAFETY: as in `read`.
+            let rec = unsafe { &*record };
+            let Some(version) = rec.snapshot_version(self.snapshot_epoch) else {
+                continue;
+            };
+            let word = version.tid().read_stable();
+            if word.is_absent() {
+                continue;
+            }
+            self.reads += 1;
+            let mut data = Vec::new();
+            version.read_data_unvalidated(&mut data);
+            out.push((key, data));
+        }
+        out
+    }
+
+    /// Completes the snapshot transaction. Snapshot transactions are
+    /// consistent by construction, so this never fails; it only updates the
+    /// worker's statistics. (Dropping the transaction has the same effect.)
+    pub fn finish(self) {
+        // Statistics are updated in Drop.
+    }
+}
+
+impl<'w> Drop for SnapshotTxn<'w> {
+    fn drop(&mut self) {
+        self.worker.stats.snapshot_commits += 1;
+    }
+}

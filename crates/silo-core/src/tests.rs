@@ -1,0 +1,873 @@
+//! Engine-level tests: single-threaded semantics, conflict behaviour,
+//! snapshots, garbage collection and multi-threaded serializability checks.
+
+use super::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn test_db() -> Arc<Database> {
+    Database::open(SiloConfig::for_testing())
+}
+
+/// Advances the global epoch by `n`, marking the given workers quiescent so
+/// the epoch invariant does not hold the advance back.
+fn advance_epochs(db: &Arc<Database>, workers: &[&Worker], n: u64) {
+    for w in workers {
+        w.quiesce();
+    }
+    db.epochs().advance_n(n);
+}
+
+#[test]
+fn write_then_read_back() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"k1", b"v1").unwrap();
+    txn.write(t, b"k2", b"v2").unwrap();
+    let tid = txn.commit().unwrap();
+    assert!(tid > Tid::ZERO);
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"k1").unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(txn.read(t, b"k2").unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(txn.read(t, b"k3").unwrap(), None);
+    txn.commit().unwrap();
+    assert_eq!(w.stats().commits, 2);
+}
+
+#[test]
+fn read_your_own_writes_and_deletes() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"a", b"1").unwrap();
+    assert_eq!(txn.read(t, b"a").unwrap(), Some(b"1".to_vec()));
+    txn.write(t, b"a", b"2").unwrap();
+    assert_eq!(txn.read(t, b"a").unwrap(), Some(b"2".to_vec()));
+    txn.delete(t, b"a").unwrap();
+    assert_eq!(txn.read(t, b"a").unwrap(), None);
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"a").unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn update_returns_existence() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    assert!(!txn.update(t, b"missing", b"x").unwrap());
+    txn.write(t, b"present", b"1").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert!(txn.update(t, b"present", b"2").unwrap());
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"present").unwrap(), Some(b"2".to_vec()));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn insert_duplicate_aborts() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.insert(t, b"k", b"v").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    let err = txn.insert(t, b"k", b"v2").unwrap_err();
+    assert_eq!(err.0, AbortReason::DuplicateKey);
+    assert!(txn.commit().is_err());
+    assert_eq!(w.stats().aborts, 1);
+    assert_eq!(w.stats().abort_reasons.duplicate_key, 1);
+
+    // The original value is untouched.
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"k").unwrap(), Some(b"v".to_vec()));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn insert_after_delete_reuses_key() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.insert(t, b"k", b"v1").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert!(txn.delete(t, b"k").unwrap());
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"k").unwrap(), None);
+    txn.insert(t, b"k", b"v2").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"k").unwrap(), Some(b"v2".to_vec()));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn delete_missing_key_is_noop() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    assert!(!txn.delete(t, b"ghost").unwrap());
+    txn.commit().unwrap();
+}
+
+#[test]
+fn scan_returns_sorted_committed_data() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    for i in 0..50u32 {
+        txn.write(t, format!("key{:03}", i).as_bytes(), format!("val{}", i).as_bytes())
+            .unwrap();
+    }
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    let rows = txn.scan(t, b"key010", Some(b"key020"), None).unwrap();
+    assert_eq!(rows.len(), 10);
+    assert_eq!(rows[0].0, b"key010".to_vec());
+    assert_eq!(rows[9].1, b"val19".to_vec());
+    let limited = txn.scan(t, b"key000", None, Some(5)).unwrap();
+    assert_eq!(limited.len(), 5);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn scan_skips_deleted_keys() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    for i in 0..10u32 {
+        txn.write(t, format!("k{}", i).as_bytes(), b"v").unwrap();
+    }
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    txn.delete(t, b"k3").unwrap();
+    txn.delete(t, b"k7").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    let rows = txn.scan(t, b"k", None, None).unwrap();
+    assert_eq!(rows.len(), 8);
+    assert!(!rows.iter().any(|(k, _)| k == b"k3" || k == b"k7"));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn scan_overlays_own_updates() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"a", b"old").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    txn.write(t, b"a", b"new").unwrap();
+    let rows = txn.scan(t, b"", None, None).unwrap();
+    assert_eq!(rows, vec![(b"a".to_vec(), b"new".to_vec())]);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn read_write_conflict_aborts_second_committer() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w1 = db.register_worker();
+    let mut w2 = db.register_worker();
+
+    {
+        let mut setup = w1.begin();
+        setup.write(t, b"x", b"0").unwrap();
+        setup.commit().unwrap();
+    }
+
+    // t1 reads x, then t2 overwrites x and commits, then t1 tries to commit a
+    // write based on its stale read: t1 must abort.
+    let mut t1 = w1.begin();
+    let x = t1.read(t, b"x").unwrap().unwrap();
+
+    let mut t2 = w2.begin();
+    t2.write(t, b"x", b"99").unwrap();
+    t2.commit().unwrap();
+
+    t1.write(t, b"y", &x).unwrap();
+    let result = t1.commit();
+    assert!(result.is_err());
+    assert_eq!(w1.stats().abort_reasons.read_validation, 1);
+}
+
+#[test]
+fn write_skew_is_prevented() {
+    // Figure 3 of the paper: x = y = 1 must not be reachable from x = y = 0.
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w1 = db.register_worker();
+    let mut w2 = db.register_worker();
+
+    {
+        let mut setup = w1.begin();
+        setup.write(t, b"x", b"0").unwrap();
+        setup.write(t, b"y", b"0").unwrap();
+        setup.commit().unwrap();
+    }
+
+    let mut t1 = w1.begin();
+    let x = t1.read(t, b"x").unwrap().unwrap();
+    let mut t2 = w2.begin();
+    let y = t2.read(t, b"y").unwrap().unwrap();
+    // Each writes the other record based on its read.
+    t1.write(t, b"y", &[x[0] + 1]).unwrap();
+    t2.write(t, b"x", &[y[0] + 1]).unwrap();
+    let r1 = t1.commit();
+    let r2 = t2.commit();
+    assert!(
+        !(r1.is_ok() && r2.is_ok()),
+        "both committing would be write skew (non-serializable)"
+    );
+}
+
+#[test]
+fn phantom_protection_on_scans() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w1 = db.register_worker();
+    let mut w2 = db.register_worker();
+
+    {
+        let mut setup = w1.begin();
+        for i in 0..20u32 {
+            setup.write(t, format!("k{:02}", i).as_bytes(), b"v").unwrap();
+        }
+        setup.commit().unwrap();
+    }
+
+    // t1 scans a range; t2 inserts a key into that range and commits; t1's
+    // commit must fail node-set validation.
+    let mut t1 = w1.begin();
+    let rows = t1.scan(t, b"k05", Some(b"k15"), None).unwrap();
+    assert_eq!(rows.len(), 10);
+
+    let mut t2 = w2.begin();
+    t2.insert(t, b"k07x", b"phantom").unwrap();
+    t2.commit().unwrap();
+
+    t1.write(t, b"summary", b"10-rows").unwrap();
+    assert!(t1.commit().is_err());
+    assert_eq!(w1.stats().abort_reasons.node_validation, 1);
+}
+
+#[test]
+fn phantom_protection_on_absent_reads() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w1 = db.register_worker();
+    let mut w2 = db.register_worker();
+
+    // t1 reads a missing key; t2 inserts it; t1 commits a dependent write.
+    let mut t1 = w1.begin();
+    assert_eq!(t1.read(t, b"missing").unwrap(), None);
+
+    let mut t2 = w2.begin();
+    t2.insert(t, b"missing", b"now-present").unwrap();
+    t2.commit().unwrap();
+
+    // The conflict may surface either at the dependent write (node-set fix-up
+    // against the leaf t2 just changed) or at commit-time validation; either
+    // way t1 must not commit.
+    let outcome = match t1.write(t, b"dependent", b"x") {
+        Ok(()) => t1.commit().map(|_| ()),
+        Err(e) => {
+            t1.abort();
+            Err(e)
+        }
+    };
+    assert!(outcome.is_err());
+    assert!(w1.stats().aborts >= 1);
+}
+
+#[test]
+fn own_insert_does_not_invalidate_own_scan() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut setup = w.begin();
+    for i in 0..10u32 {
+        setup.write(t, format!("k{:02}", i).as_bytes(), b"v").unwrap();
+    }
+    setup.commit().unwrap();
+
+    // A transaction that scans a range and then inserts into it must still
+    // commit (§4.6: its own structural changes are fixed up, not treated as
+    // conflicts).
+    let mut txn = w.begin();
+    let rows = txn.scan(t, b"k00", Some(b"k99"), None).unwrap();
+    assert_eq!(rows.len(), 10);
+    txn.insert(t, b"k05x", b"mine").unwrap();
+    txn.commit().unwrap();
+}
+
+#[test]
+fn aborted_insert_leaves_no_visible_key() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.insert(t, b"temp", b"value").unwrap();
+    txn.abort();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"temp").unwrap(), None);
+    // Re-inserting after the abort works (the placeholder is absent).
+    txn.insert(t, b"temp", b"second-try").unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"temp").unwrap(), Some(b"second-try".to_vec()));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn dropping_txn_without_commit_aborts() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    {
+        let mut txn = w.begin();
+        txn.write(t, b"k", b"v").unwrap();
+        // dropped here
+    }
+    assert_eq!(w.stats().aborts, 1);
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"k").unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn tids_are_monotonic_per_worker_and_epoch_tagged() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut prev = Tid::ZERO;
+    for i in 0..10u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("k{}", i).as_bytes(), b"v").unwrap();
+        let tid = txn.commit().unwrap();
+        assert!(tid > prev);
+        assert!(tid.epoch() >= 1);
+        prev = tid;
+    }
+    // Epoch advances are reflected in later TIDs.
+    advance_epochs(&db, &[&w], 3);
+    let mut txn = w.begin();
+    txn.write(t, b"late", b"v").unwrap();
+    let tid = txn.commit().unwrap();
+    assert!(tid.epoch() >= 4);
+}
+
+#[test]
+fn global_tid_configuration_commits_correctly() {
+    let db = Database::open(SiloConfig::for_testing().with_global_tid());
+    let t = db.create_table("t").unwrap();
+    let mut w1 = db.register_worker();
+    let mut w2 = db.register_worker();
+    for i in 0..20u32 {
+        let mut txn = if i % 2 == 0 { w1.begin() } else { w2.begin() };
+        txn.write(t, format!("k{}", i).as_bytes(), b"v").unwrap();
+        txn.commit().unwrap();
+    }
+    let mut txn = w1.begin();
+    assert_eq!(txn.scan(t, b"", None, None).unwrap().len(), 20);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn overwrite_stats_distinguish_inplace_from_new_versions() {
+    // Same-length overwrites within one snapshot interval stay in place.
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"k", b"12345678").unwrap();
+    txn.commit().unwrap();
+    for _ in 0..5 {
+        let mut txn = w.begin();
+        txn.write(t, b"k", b"87654321").unwrap();
+        txn.commit().unwrap();
+    }
+    assert!(w.stats().inplace_overwrites >= 5);
+
+    // With overwrites disabled every update allocates a new version.
+    let db2 = Database::open(SiloConfig {
+        overwrite_in_place: false,
+        ..SiloConfig::for_testing()
+    });
+    let t2 = db2.create_table("t").unwrap();
+    let mut w2 = db2.register_worker();
+    let mut txn = w2.begin();
+    txn.write(t2, b"k", b"12345678").unwrap();
+    txn.commit().unwrap();
+    for _ in 0..5 {
+        let mut txn = w2.begin();
+        txn.write(t2, b"k", b"87654321").unwrap();
+        txn.commit().unwrap();
+    }
+    assert_eq!(w2.stats().new_versions, 5);
+}
+
+#[test]
+fn snapshot_transactions_read_the_past_and_never_abort() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"row", b"old-value").unwrap();
+    txn.commit().unwrap();
+
+    // Advance far enough that the committed value is covered by a snapshot
+    // epoch (k = 5 in the test config).
+    advance_epochs(&db, &[&w], 12);
+
+    // Overwrite the row in the present.
+    let mut txn = w.begin();
+    txn.write(t, b"row", b"new-value").unwrap();
+    txn.commit().unwrap();
+
+    // A snapshot transaction still sees the old value; a regular transaction
+    // sees the new one.
+    let mut snap = w.begin_snapshot();
+    assert!(snap.snapshot_epoch() >= 1);
+    assert_eq!(snap.read(t, b"row"), Some(b"old-value".to_vec()));
+    snap.finish();
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"row").unwrap(), Some(b"new-value".to_vec()));
+    txn.commit().unwrap();
+    assert_eq!(w.stats().snapshot_commits, 1);
+}
+
+#[test]
+fn snapshot_scan_ignores_keys_inserted_after_snapshot() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    for i in 0..5u32 {
+        txn.write(t, format!("old{}", i).as_bytes(), b"v").unwrap();
+    }
+    txn.commit().unwrap();
+
+    advance_epochs(&db, &[&w], 12);
+
+    let mut txn = w.begin();
+    for i in 0..5u32 {
+        txn.write(t, format!("new{}", i).as_bytes(), b"v").unwrap();
+    }
+    txn.commit().unwrap();
+
+    let mut snap = w.begin_snapshot();
+    let rows = snap.scan(t, b"", None, None);
+    assert_eq!(rows.len(), 5, "snapshot must not see the new keys");
+    assert!(rows.iter().all(|(k, _)| k.starts_with(b"old")));
+    drop(snap);
+
+    let mut txn = w.begin();
+    assert_eq!(txn.scan(t, b"", None, None).unwrap().len(), 10);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn snapshot_sees_deleted_rows_that_existed_at_snapshot_time() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"doomed", b"still-here").unwrap();
+    txn.commit().unwrap();
+
+    advance_epochs(&db, &[&w], 12);
+
+    let mut txn = w.begin();
+    assert!(txn.delete(t, b"doomed").unwrap());
+    txn.commit().unwrap();
+
+    let mut snap = w.begin_snapshot();
+    assert_eq!(snap.read(t, b"doomed"), Some(b"still-here".to_vec()));
+    drop(snap);
+
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t, b"doomed").unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn garbage_collection_unhooks_deleted_keys() {
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    for i in 0..20u32 {
+        txn.write(t, format!("k{:02}", i).as_bytes(), b"v").unwrap();
+    }
+    txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    for i in 0..20u32 {
+        assert!(txn.delete(t, format!("k{:02}", i).as_bytes()).unwrap());
+    }
+    txn.commit().unwrap();
+
+    let table_len_before = db.table(t).approximate_len();
+    assert_eq!(table_len_before, 20, "absent records stay until GC");
+
+    // Let both the snapshot and tree reclamation epochs move past the delete.
+    for _ in 0..40 {
+        advance_epochs(&db, &[&w], 1);
+        // Keep the worker's epochs current so reclamation epochs advance.
+        let txn = w.begin();
+        txn.commit().unwrap();
+        w.collect_garbage();
+    }
+    assert!(
+        db.table(t).approximate_len() < 20,
+        "GC should have unhooked deleted keys (len = {})",
+        db.table(t).approximate_len()
+    );
+    assert!(w.stats().records_reclaimed > 0);
+}
+
+#[test]
+fn no_gc_configuration_leaves_absent_records_in_place() {
+    let db = Database::open(SiloConfig::for_testing().without_gc());
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"k", b"v").unwrap();
+    txn.commit().unwrap();
+    let mut txn = w.begin();
+    txn.delete(t, b"k").unwrap();
+    txn.commit().unwrap();
+    for _ in 0..40 {
+        advance_epochs(&db, &[&w], 1);
+        w.collect_garbage();
+    }
+    assert_eq!(db.table(t).approximate_len(), 1);
+    assert_eq!(w.pending_garbage(), 0);
+}
+
+#[test]
+fn commit_hook_receives_writes() {
+    use std::sync::Mutex;
+    #[derive(Default)]
+    struct Capture {
+        log: Mutex<Vec<(usize, Tid, Vec<(TableId, Vec<u8>, Option<Vec<u8>>)>)>>,
+    }
+    impl CommitHook for Capture {
+        fn on_commit(&self, worker: usize, tid: Tid, writes: &[CommitWrite<'_>]) {
+            self.log.lock().unwrap().push((
+                worker,
+                tid,
+                writes
+                    .iter()
+                    .map(|w| (w.table, w.key.to_vec(), w.value.map(|v| v.to_vec())))
+                    .collect(),
+            ));
+        }
+    }
+
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let capture = Arc::new(Capture::default());
+    db.set_commit_hook(capture.clone() as Arc<dyn CommitHook>)
+        .ok()
+        .unwrap();
+    let mut w = db.register_worker();
+
+    let mut txn = w.begin();
+    txn.write(t, b"a", b"1").unwrap();
+    txn.write(t, b"b", b"2").unwrap();
+    let tid = txn.commit().unwrap();
+
+    let mut txn = w.begin();
+    txn.delete(t, b"a").unwrap();
+    txn.commit().unwrap();
+
+    let log = capture.log.lock().unwrap();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].1, tid);
+    assert_eq!(log[0].2.len(), 2);
+    assert!(log[1].2[0].2.is_none(), "delete logged with value = None");
+}
+
+#[test]
+fn read_only_transactions_do_not_write_shared_memory() {
+    // A read-only transaction's commit must not change any record TID word.
+    let db = test_db();
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"k", b"v").unwrap();
+    txn.commit().unwrap();
+
+    let before = {
+        let (val, _, _) = db.table(t).tree().get_tracked(b"k");
+        let rec = val.unwrap() as *const record::Record;
+        // SAFETY: record is live (no GC ran).
+        unsafe { (*rec).tid().load().raw() }
+    };
+    for _ in 0..5 {
+        let mut txn = w.begin();
+        assert!(txn.read(t, b"k").unwrap().is_some());
+        txn.commit().unwrap();
+    }
+    let after = {
+        let (val, _, _) = db.table(t).tree().get_tracked(b"k");
+        let rec = val.unwrap() as *const record::Record;
+        // SAFETY: record is live.
+        unsafe { (*rec).tid().load().raw() }
+    };
+    assert_eq!(before, after);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded serializability checks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_bank_transfers_preserve_total_balance() {
+    let db = Database::open(SiloConfig {
+        spawn_epoch_advancer: true,
+        ..SiloConfig::for_testing()
+    });
+    let t = db.create_table("accounts").unwrap();
+    let accounts = 16u32;
+    let initial = 1000u64;
+    {
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        for a in 0..accounts {
+            txn.write(t, format!("acct{:02}", a).as_bytes(), &initial.to_be_bytes())
+                .unwrap();
+        }
+        txn.commit().unwrap();
+    }
+
+    let threads = 4;
+    let transfers_per_thread = 500;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut w = db.register_worker();
+            let mut committed = 0u64;
+            let mut state = 0x243F6A8885A308D3u64 ^ (tid as u64);
+            for _ in 0..transfers_per_thread {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let from = (state >> 33) as u32 % accounts;
+                let to = (state >> 13) as u32 % accounts;
+                if from == to {
+                    continue;
+                }
+                let mut txn = w.begin();
+                let run = (|| -> Result<(), Abort> {
+                    let fk = format!("acct{:02}", from);
+                    let tk = format!("acct{:02}", to);
+                    let fv = txn.read(t, fk.as_bytes())?.expect("account exists");
+                    let tv = txn.read(t, tk.as_bytes())?.expect("account exists");
+                    let fb = u64::from_be_bytes(fv.try_into().unwrap());
+                    let tb = u64::from_be_bytes(tv.try_into().unwrap());
+                    if fb == 0 {
+                        return Ok(());
+                    }
+                    txn.write(t, fk.as_bytes(), &(fb - 1).to_be_bytes())?;
+                    txn.write(t, tk.as_bytes(), &(tb + 1).to_be_bytes())?;
+                    Ok(())
+                })();
+                match run {
+                    Ok(()) => {
+                        if txn.commit().is_ok() {
+                            committed += 1;
+                        }
+                    }
+                    Err(_) => txn.abort(),
+                }
+            }
+            committed
+        }));
+    }
+    let total_committed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_committed > 0);
+
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    let mut sum = 0u64;
+    for a in 0..accounts {
+        let v = txn.read(t, format!("acct{:02}", a).as_bytes()).unwrap().unwrap();
+        sum += u64::from_be_bytes(v.try_into().unwrap());
+    }
+    txn.commit().unwrap();
+    assert_eq!(
+        sum,
+        accounts as u64 * initial,
+        "serializability violated: money created or destroyed"
+    );
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn concurrent_counter_increments_are_not_lost() {
+    let db = Database::open(SiloConfig {
+        spawn_epoch_advancer: true,
+        ..SiloConfig::for_testing()
+    });
+    let t = db.create_table("counters").unwrap();
+    {
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        txn.write(t, b"c", &0u64.to_be_bytes()).unwrap();
+        txn.commit().unwrap();
+    }
+    let threads = 4;
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut w = db.register_worker();
+            let mut committed = 0u64;
+            for _ in 0..300 {
+                let mut txn = w.begin();
+                let v = txn.read(t, b"c").unwrap().unwrap();
+                let n = u64::from_be_bytes(v.try_into().unwrap());
+                txn.write(t, b"c", &(n + 1).to_be_bytes()).unwrap();
+                if txn.commit().is_ok() {
+                    committed += 1;
+                }
+            }
+            committed
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    let v = txn.read(t, b"c").unwrap().unwrap();
+    txn.commit().unwrap();
+    assert_eq!(u64::from_be_bytes(v.try_into().unwrap()), total);
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn concurrent_inserts_of_same_key_commit_exactly_once() {
+    let db = Database::open(SiloConfig {
+        spawn_epoch_advancer: true,
+        ..SiloConfig::for_testing()
+    });
+    let t = db.create_table("t").unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let mut handles = Vec::new();
+    for tid in 0..4usize {
+        let db = Arc::clone(&db);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut w = db.register_worker();
+            barrier.wait();
+            let mut wins = 0;
+            for k in 0..100u32 {
+                let mut txn = w.begin();
+                let key = format!("contended{}", k);
+                match txn.insert(t, key.as_bytes(), format!("winner{}", tid).as_bytes()) {
+                    Ok(()) => {
+                        if txn.commit().is_ok() {
+                            wins += 1;
+                        }
+                    }
+                    Err(_) => txn.abort(),
+                }
+            }
+            wins
+        }));
+    }
+    let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total_wins, 100, "each key committed by exactly one inserter");
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn snapshot_reads_are_consistent_under_concurrent_updates() {
+    // Writers keep two keys equal; snapshot readers must never observe them
+    // differing (a regular read could, before commit-time validation).
+    let db = Database::open(SiloConfig {
+        spawn_epoch_advancer: true,
+        ..SiloConfig::for_testing()
+    });
+    let t = db.create_table("t").unwrap();
+    {
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        txn.write(t, b"left", &0u64.to_be_bytes()).unwrap();
+        txn.write(t, b"right", &0u64.to_be_bytes()).unwrap();
+        txn.commit().unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut w = db.register_worker();
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                n += 1;
+                let mut txn = w.begin();
+                txn.write(t, b"left", &n.to_be_bytes()).unwrap();
+                txn.write(t, b"right", &n.to_be_bytes()).unwrap();
+                let _ = txn.commit();
+            }
+        })
+    };
+    let mut w = db.register_worker();
+    for _ in 0..200 {
+        let mut snap = w.begin_snapshot();
+        let l = snap.read(t, b"left");
+        let r = snap.read(t, b"right");
+        assert_eq!(l, r, "snapshot saw a half-applied transaction");
+        drop(snap);
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    db.stop_epoch_advancer();
+}

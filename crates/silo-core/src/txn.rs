@@ -1,0 +1,860 @@
+//! Serializable read/write transactions and the Silo commit protocol
+//! (paper §4.4–§4.7, Figure 2).
+//!
+//! A transaction tracks, in thread-local storage:
+//!
+//! * a **read-set**: every record it read, with the TID word observed at the
+//!   time of the access;
+//! * a **write-set**: the new state of every record it modified (inserts,
+//!   updates and deletes);
+//! * a **node-set**: the index leaves whose *membership* the transaction
+//!   depends on — leaves examined by range scans and leaves that proved a key
+//!   absent — with the version observed at the time (§4.6, phantom
+//!   protection).
+//!
+//! Commit runs the three-phase protocol of Figure 2:
+//!
+//! 1. **Phase 1** — lock every write-set record (in a deterministic global
+//!    order: the record's address) by acquiring its TID-word lock bit, then
+//!    take a fenced snapshot of the global epoch. That snapshot is the
+//!    transaction's *serialization point*.
+//! 2. **Phase 2** — validate the read-set (TID unchanged, still the latest
+//!    version, not locked by another transaction) and the node-set (leaf
+//!    versions unchanged). On failure release the locks and abort. On success
+//!    choose the commit TID: the smallest TID that is larger than every TID
+//!    observed, larger than the worker's previous TID, and in the epoch taken
+//!    at the serialization point.
+//! 3. **Phase 3** — install the new record values (in place when allowed,
+//!    otherwise as freshly allocated versions linked for snapshot readers),
+//!    writing the new TID word and releasing each lock in a single atomic
+//!    store.
+
+use std::sync::atomic::{fence, Ordering};
+
+use silo_index::{InsertOutcome, NodeChange, NodeRef};
+use silo_tid::{Tid, TidWord};
+
+use crate::database::{CommitWrite, Table, TableId};
+use crate::error::{Abort, AbortReason};
+use crate::gc::Garbage;
+use crate::record::{Record, RecordPtr};
+use crate::worker::Worker;
+
+/// A read-set entry: a record and the TID word observed when it was read.
+#[derive(Debug, Clone, Copy)]
+struct ReadEntry {
+    record: *const Record,
+    observed: TidWord,
+}
+
+/// A write-set entry: the record to modify and its new state.
+#[derive(Debug)]
+struct WriteEntry {
+    table: TableId,
+    key: Vec<u8>,
+    record: *mut Record,
+    /// `Some(bytes)` for an insert/update, `None` for a delete.
+    new_value: Option<Vec<u8>>,
+    /// The record is an absent placeholder created by this transaction's own
+    /// insert (§4.5 "Inserts").
+    is_insert: bool,
+}
+
+/// A node-set entry: an index leaf and the version under which it was
+/// examined.
+#[derive(Debug, Clone, Copy)]
+struct NodeSetEntry {
+    table: TableId,
+    node: NodeRef,
+    version: u64,
+}
+
+/// A serializable read/write transaction. Created by [`Worker::begin`].
+///
+/// Transactions follow the one-shot model (§3): the application performs all
+/// of its reads and writes through the methods below and finally calls
+/// [`Txn::commit`] (or [`Txn::abort`]). Dropping an uncommitted transaction
+/// aborts it.
+pub struct Txn<'w> {
+    worker: &'w mut Worker,
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    node_set: Vec<NodeSetEntry>,
+    /// Absent placeholder records inserted by this transaction, kept so an
+    /// abort can schedule their cleanup.
+    placeholders: Vec<(TableId, Vec<u8>, RecordPtr)>,
+    poisoned: Option<AbortReason>,
+    /// Set once Phase 1 has acquired the write-set locks; tells the abort
+    /// path whether it owns (and must release) those lock bits.
+    locks_held: bool,
+    finished: bool,
+    scratch: Vec<u8>,
+}
+
+impl<'w> std::fmt::Debug for Txn<'w> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .field("nodes", &self.node_set.len())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl<'w> Txn<'w> {
+    pub(crate) fn new(worker: &'w mut Worker) -> Self {
+        Txn {
+            worker,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            node_set: Vec::new(),
+            placeholders: Vec::new(),
+            poisoned: None,
+            locks_held: false,
+            finished: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The worker executing this transaction.
+    pub fn worker_id(&self) -> usize {
+        self.worker.id()
+    }
+
+    /// Number of records in the read-set (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of records in the write-set (diagnostics).
+    pub fn write_set_len(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Number of leaves in the node-set (diagnostics).
+    pub fn node_set_len(&self) -> usize {
+        self.node_set.len()
+    }
+
+    fn table(&mut self, id: TableId) -> &'static Table {
+        let ptr = self.worker.table_ptr(id);
+        // SAFETY: the worker's table cache holds an `Arc<Table>` for the
+        // worker's lifetime, which outlives the transaction borrowing it; the
+        // 'static here is a private shorthand never exposed to callers.
+        unsafe { &*ptr }
+    }
+
+    fn poison(&mut self, reason: AbortReason) -> Abort {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(reason);
+        }
+        Abort(reason)
+    }
+
+    fn find_write(&self, table: TableId, key: &[u8]) -> Option<usize> {
+        self.write_set
+            .iter()
+            .position(|w| w.table == table && w.key == key)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Reads the value of `key` in `table`, or `None` if the key is absent.
+    ///
+    /// Reads observe the transaction's own earlier writes. Absent keys are
+    /// tracked through the node-set (missing from the index) or the read-set
+    /// (absent record present in the index), so a concurrent insert is
+    /// detected at commit time.
+    pub fn read(&mut self, table: TableId, key: &[u8]) -> Result<Option<Vec<u8>>, Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        // Read-your-own-writes.
+        if let Some(idx) = self.find_write(table, key) {
+            return Ok(self.write_set[idx].new_value.clone());
+        }
+        match self.read_internal(table, key)? {
+            ReadOutcome::Present(value) => Ok(Some(value)),
+            ReadOutcome::Absent | ReadOutcome::Missing => Ok(None),
+        }
+    }
+
+    /// Reads `key` and returns whether it exists, without copying the value.
+    pub fn exists(&mut self, table: TableId, key: &[u8]) -> Result<bool, Abort> {
+        Ok(self.read(table, key)?.is_some())
+    }
+
+    fn read_internal(&mut self, table_id: TableId, key: &[u8]) -> Result<ReadOutcome, Abort> {
+        let retry_limit = self.worker.config().read_retry_limit;
+        let table = self.table(table_id);
+        let mut attempts = 0;
+        loop {
+            let (value, node, version) = table.tree().get_tracked(key);
+            match value {
+                None => {
+                    self.node_set.push(NodeSetEntry {
+                        table: table_id,
+                        node,
+                        version,
+                    });
+                    return Ok(ReadOutcome::Missing);
+                }
+                Some(ptr) => {
+                    let record = ptr as *const Record;
+                    // SAFETY: records referenced from the index are only freed
+                    // after a grace period; our refreshed worker epoch pins them.
+                    let rec = unsafe { &*record };
+                    let mut buf = std::mem::take(&mut self.scratch);
+                    let word = rec.read_consistent(&mut buf);
+                    if !word.is_latest() {
+                        // Superseded between the index lookup and the data
+                        // read: retry through the index (paper §4.5).
+                        self.scratch = buf;
+                        attempts += 1;
+                        if attempts > retry_limit {
+                            return Err(self.poison(AbortReason::UnstableRead));
+                        }
+                        continue;
+                    }
+                    self.read_set.push(ReadEntry {
+                        record,
+                        observed: word,
+                    });
+                    if word.is_absent() {
+                        self.scratch = buf;
+                        return Ok(ReadOutcome::Absent);
+                    }
+                    let value = buf.clone();
+                    self.scratch = buf;
+                    return Ok(ReadOutcome::Present(value));
+                }
+            }
+        }
+    }
+
+    /// Scans `[start, end)` in `table` (ascending key order), returning at
+    /// most `limit` present records.
+    ///
+    /// Every index leaf examined is added to the node-set, which is what
+    /// protects the scanned range against phantoms (§4.6). The scan observes
+    /// committed state; values written earlier by this same transaction are
+    /// overlaid for keys the scan returns, but keys newly inserted by this
+    /// transaction are not merged into the result.
+    pub fn scan(
+        &mut self,
+        table_id: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<usize>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        let table = self.table(table_id);
+        let result = table.tree().scan(start, end, limit);
+        for (node, version) in &result.nodes {
+            self.node_set.push(NodeSetEntry {
+                table: table_id,
+                node: *node,
+                version: *version,
+            });
+        }
+        let mut out = Vec::with_capacity(result.entries.len());
+        for (key, ptr) in result.entries {
+            let record = ptr as *const Record;
+            // SAFETY: as in `read_internal`.
+            let rec = unsafe { &*record };
+            let mut buf = std::mem::take(&mut self.scratch);
+            let word = rec.read_consistent(&mut buf);
+            if !word.is_latest() {
+                // The record was superseded while scanning; the node-set (and
+                // read-set of the superseding writer) will catch any real
+                // conflict, so read the new version through the index.
+                self.scratch = buf;
+                match self.read_internal(table_id, &key)? {
+                    ReadOutcome::Present(value) => out.push((key, value)),
+                    ReadOutcome::Absent | ReadOutcome::Missing => {}
+                }
+                continue;
+            }
+            self.read_set.push(ReadEntry {
+                record,
+                observed: word,
+            });
+            if !word.is_absent() {
+                // Overlay this transaction's own pending update, if any.
+                if let Some(idx) = self.find_write(table_id, &key) {
+                    if let Some(v) = &self.write_set[idx].new_value {
+                        out.push((key, v.clone()));
+                    }
+                } else {
+                    out.push((key, buf.clone()));
+                }
+            }
+            self.scratch = buf;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Writes `value` for `key`, inserting the key if it does not exist
+    /// (upsert semantics).
+    pub fn write(&mut self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        // Merge with an existing write-set entry.
+        if let Some(idx) = self.find_write(table, key) {
+            self.write_set[idx].new_value = Some(value.to_vec());
+            return Ok(());
+        }
+        match self.read_internal(table, key)? {
+            ReadOutcome::Present(_) | ReadOutcome::Absent => {
+                // The read-set entry just pushed references the record.
+                let record = self.read_set.last().expect("read_internal pushed").record;
+                self.write_set.push(WriteEntry {
+                    table,
+                    key: key.to_vec(),
+                    record: record as *mut Record,
+                    new_value: Some(value.to_vec()),
+                    is_insert: false,
+                });
+                Ok(())
+            }
+            ReadOutcome::Missing => self.insert(table, key, value),
+        }
+    }
+
+    /// Updates an existing key, failing (without poisoning the transaction)
+    /// if the key does not exist. Returns whether the key existed.
+    pub fn update(&mut self, table: TableId, key: &[u8], value: &[u8]) -> Result<bool, Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        if let Some(idx) = self.find_write(table, key) {
+            if self.write_set[idx].new_value.is_none() {
+                return Ok(false);
+            }
+            self.write_set[idx].new_value = Some(value.to_vec());
+            return Ok(true);
+        }
+        match self.read_internal(table, key)? {
+            ReadOutcome::Present(_) => {
+                let record = self.read_set.last().expect("read_internal pushed").record;
+                self.write_set.push(WriteEntry {
+                    table,
+                    key: key.to_vec(),
+                    record: record as *mut Record,
+                    new_value: Some(value.to_vec()),
+                    is_insert: false,
+                });
+                Ok(true)
+            }
+            ReadOutcome::Absent | ReadOutcome::Missing => Ok(false),
+        }
+    }
+
+    /// Inserts `key → value`, aborting the transaction if the key already
+    /// maps to a non-absent record (§4.5).
+    pub fn insert(&mut self, table_id: TableId, key: &[u8], value: &[u8]) -> Result<(), Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        if let Some(idx) = self.find_write(table_id, key) {
+            // Key written earlier in this transaction: a previous delete makes
+            // this a plain re-insert; a previous value makes it a duplicate.
+            if self.write_set[idx].new_value.is_none() {
+                self.write_set[idx].new_value = Some(value.to_vec());
+                return Ok(());
+            }
+            return Err(self.poison(AbortReason::DuplicateKey));
+        }
+        let table = self.table(table_id);
+        // Construct the absent placeholder record before the commit protocol
+        // runs, so Phase 1 has something to lock (§4.5 "Inserts"). It is
+        // sized for the value so Phase 3 can normally overwrite it in place.
+        let placeholder_word = TidWord::new(Tid::ZERO, false, true, true);
+        let placeholder = self
+            .worker
+            .alloc_record_sized(&[], placeholder_word, value.len());
+
+        match table.tree().insert_if_absent(key, placeholder as u64) {
+            InsertOutcome::Exists {
+                value: existing, ..
+            } => {
+                // The placeholder was never published; reclaim it immediately.
+                // SAFETY: exclusively owned, never shared.
+                unsafe { Record::free(placeholder) };
+                let record = existing as *const Record;
+                // SAFETY: as in `read_internal`.
+                let rec = unsafe { &*record };
+                let mut buf = std::mem::take(&mut self.scratch);
+                let word = rec.read_consistent(&mut buf);
+                self.scratch = buf;
+                if word.is_latest() && word.is_absent() {
+                    // The key was deleted (or is another transaction's
+                    // placeholder): treat this as a write over the absent
+                    // record, validated through the read-set.
+                    self.read_set.push(ReadEntry {
+                        record,
+                        observed: word,
+                    });
+                    self.write_set.push(WriteEntry {
+                        table: table_id,
+                        key: key.to_vec(),
+                        record: record as *mut Record,
+                        new_value: Some(value.to_vec()),
+                        is_insert: false,
+                    });
+                    return Ok(());
+                }
+                return Err(self.poison(AbortReason::DuplicateKey));
+            }
+            InsertOutcome::Inserted { node_changes } => {
+                self.apply_node_set_fixup(table_id, &node_changes)?;
+                self.placeholders
+                    .push((table_id, key.to_vec(), RecordPtr(placeholder)));
+                self.read_set.push(ReadEntry {
+                    record: placeholder,
+                    observed: placeholder_word,
+                });
+                self.write_set.push(WriteEntry {
+                    table: table_id,
+                    key: key.to_vec(),
+                    record: placeholder,
+                    new_value: Some(value.to_vec()),
+                    is_insert: true,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes `key`, returning whether it existed. The record is marked
+    /// absent at commit and unhooked from the index later by the garbage
+    /// collector (§4.5 "Deletes", §4.9 "Deletions").
+    pub fn delete(&mut self, table_id: TableId, key: &[u8]) -> Result<bool, Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+        if let Some(idx) = self.find_write(table_id, key) {
+            let existed = self.write_set[idx].new_value.is_some();
+            if self.write_set[idx].is_insert {
+                // Deleting a key inserted by this same transaction: the
+                // placeholder will simply be committed as absent.
+                self.write_set[idx].new_value = None;
+            } else {
+                self.write_set[idx].new_value = None;
+            }
+            return Ok(existed);
+        }
+        match self.read_internal(table_id, key)? {
+            ReadOutcome::Present(_) => {
+                let record = self.read_set.last().expect("read_internal pushed").record;
+                self.write_set.push(WriteEntry {
+                    table: table_id,
+                    key: key.to_vec(),
+                    record: record as *mut Record,
+                    new_value: None,
+                    is_insert: false,
+                });
+                Ok(true)
+            }
+            ReadOutcome::Absent | ReadOutcome::Missing => Ok(false),
+        }
+    }
+
+    /// Applies the §4.6 node-set fix-up after an insert performed by this
+    /// transaction: version entries for nodes the insert modified are
+    /// advanced to the post-insert version; a mismatch means a concurrent
+    /// transaction also modified the node, so we abort. Nodes created by
+    /// splits inherit membership from the node they split from.
+    fn apply_node_set_fixup(
+        &mut self,
+        table_id: TableId,
+        changes: &[NodeChange],
+    ) -> Result<(), Abort> {
+        let mut new_entries: Vec<NodeSetEntry> = Vec::new();
+        for change in changes {
+            match change {
+                NodeChange::Updated {
+                    node,
+                    old_version,
+                    new_version,
+                } => {
+                    for entry in &mut self.node_set {
+                        if entry.table == table_id && entry.node == *node {
+                            if entry.version == *old_version {
+                                entry.version = *new_version;
+                            } else if entry.version != *new_version {
+                                return Err(self.poison(AbortReason::NodeSetFixup));
+                            }
+                        }
+                    }
+                }
+                NodeChange::Created {
+                    node,
+                    version,
+                    split_from,
+                } => {
+                    let inherits = self
+                        .node_set
+                        .iter()
+                        .any(|e| e.table == table_id && e.node == *split_from);
+                    if inherits {
+                        new_entries.push(NodeSetEntry {
+                            table: table_id,
+                            node: *node,
+                            version: *version,
+                        });
+                    }
+                }
+            }
+        }
+        self.node_set.extend(new_entries);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Runs the commit protocol (Figure 2). On success returns the commit
+    /// TID; on failure the transaction has aborted and released all locks.
+    pub fn commit(mut self) -> Result<Tid, Abort> {
+        match self.commit_inner() {
+            Ok(tid) => {
+                self.worker.stats.commits += 1;
+                self.finished = true;
+                Ok(tid)
+            }
+            Err(abort) => {
+                self.abort_inner(abort.0);
+                self.finished = true;
+                Err(abort)
+            }
+        }
+    }
+
+    /// Aborts the transaction explicitly.
+    pub fn abort(mut self) {
+        self.abort_inner(AbortReason::UserRequested);
+        self.finished = true;
+    }
+
+    fn commit_inner(&mut self) -> Result<Tid, Abort> {
+        if let Some(reason) = self.poisoned {
+            return Err(Abort(reason));
+        }
+
+        // ---------------- Phase 1 ----------------
+        // Lock the write-set in a deterministic global order (record
+        // addresses) to avoid deadlock among committing transactions.
+        self.write_set.sort_by_key(|w| w.record as usize);
+        debug_assert!(self
+            .write_set
+            .windows(2)
+            .all(|w| w[0].record != w[1].record));
+        for entry in &self.write_set {
+            // SAFETY: write-set records are pinned by our epoch.
+            unsafe { (*entry.record).tid().lock() };
+        }
+        self.locks_held = true;
+
+        // The fenced load of the global epoch is the serialization point.
+        // On TSO hardware these are compiler fences; `SeqCst` fences keep the
+        // implementation correct on weaker architectures too.
+        fence(Ordering::SeqCst);
+        let commit_epoch = self.worker.database().epochs().global_epoch();
+        fence(Ordering::SeqCst);
+
+        // ---------------- Phase 2 ----------------
+        let mut max_observed = Tid::ZERO;
+        for entry in &self.read_set {
+            // SAFETY: read-set records are pinned by our epoch.
+            let current = unsafe { (*entry.record).tid().load() };
+            let in_write_set = self
+                .write_set
+                .binary_search_by_key(&(entry.record as usize), |w| w.record as usize)
+                .is_ok();
+            if current.tid() != entry.observed.tid()
+                || !current.is_latest()
+                || (current.is_locked() && !in_write_set)
+            {
+                return Err(Abort(AbortReason::ReadValidation));
+            }
+            max_observed = max_observed.max(current.tid());
+        }
+        for entry in &self.write_set {
+            // SAFETY: we hold the lock on every write-set record.
+            let current = unsafe { (*entry.record).tid().load() };
+            if !entry.is_insert && !current.is_latest() {
+                // A blind write raced with a concurrent supersession.
+                return Err(Abort(AbortReason::ReadValidation));
+            }
+            max_observed = max_observed.max(current.tid());
+        }
+        for entry in &self.node_set {
+            let table_ptr = self.worker.table_ptr(entry.table);
+            // SAFETY: the worker's table cache keeps the table alive.
+            let table = unsafe { &*table_ptr };
+            if table.tree().node_version(entry.node) != entry.version {
+                return Err(Abort(AbortReason::NodeValidation));
+            }
+        }
+
+        let commit_tid = if self.worker.config().global_tid {
+            self.worker
+                .database()
+                .global_tid_generator()
+                .generate(max_observed, commit_epoch)
+        } else {
+            self.worker.tid_gen().generate(max_observed, commit_epoch)
+        };
+
+        // ---------------- Phase 3 ----------------
+        for i in 0..self.write_set.len() {
+            self.apply_write(i, commit_tid, commit_epoch);
+        }
+        // Every lock was released by `apply_write` (TID store + unlock are a
+        // single atomic store, §4.4 Phase 3).
+        self.locks_held = false;
+
+        // Report to the durability subsystem (if installed). The log record
+        // carries the TID and the table/key/value of every modification
+        // (§4.10); the hook copies what it needs into the worker-local log
+        // buffer.
+        if let Some(hook) = self.worker.database().commit_hook() {
+            let hook = std::sync::Arc::clone(hook);
+            let writes: Vec<CommitWrite<'_>> = self
+                .write_set
+                .iter()
+                .map(|w| CommitWrite {
+                    table: w.table,
+                    key: &w.key,
+                    value: w.new_value.as_deref(),
+                })
+                .collect();
+            hook.on_commit(self.worker.id(), commit_tid, &writes);
+        }
+
+        Ok(commit_tid)
+    }
+
+    /// Installs one write-set entry and releases its lock (Phase 3).
+    fn apply_write(&mut self, index: usize, commit_tid: Tid, commit_epoch: u64) {
+        let cfg_overwrite = self.worker.config().overwrite_in_place;
+        let cfg_snapshots = self.worker.config().enable_snapshots;
+        let snap_k = self.worker.config().epoch.snapshot_interval_epochs;
+
+        // Copy the entry's fields out so no borrow of `self.write_set` is
+        // held across the &mut self calls below.
+        let (table_id, key, record, new_value, is_insert) = {
+            let entry = &self.write_set[index];
+            (
+                entry.table,
+                entry.key.clone(),
+                entry.record,
+                entry.new_value.clone(),
+                entry.is_insert,
+            )
+        };
+        // SAFETY: we hold the record's lock; it is pinned by our epoch.
+        let rec = unsafe { &*record };
+        let old_word = rec.tid().load_relaxed();
+        let old_epoch = old_word.tid().epoch();
+        let same_snapshot =
+            silo_epoch::snap(old_epoch, snap_k) == silo_epoch::snap(commit_epoch, snap_k);
+        let snap_epoch = silo_epoch::snap(commit_epoch, snap_k);
+        let present_word = TidWord::new(commit_tid, false, true, false);
+        let absent_word = TidWord::new(commit_tid, false, true, true);
+
+        match new_value {
+            Some(value) => {
+                if is_insert {
+                    // Freshly inserted placeholder: give it its real value and
+                    // TID. The placeholder was sized for the value at insert
+                    // time; a later same-transaction overwrite may have grown
+                    // it past the capacity, in which case a new record is
+                    // installed instead.
+                    if rec.fits(&value) {
+                        // SAFETY: lock held, fits checked.
+                        unsafe { rec.overwrite(&value) };
+                        rec.tid().store_and_unlock(present_word);
+                        self.worker.stats.inplace_overwrites += 1;
+                    } else {
+                        self.install_new_version(
+                            table_id,
+                            &key,
+                            record,
+                            &value,
+                            present_word,
+                            old_word,
+                            false,
+                            commit_epoch,
+                        );
+                    }
+                    return;
+                }
+                let keep_old_for_snapshot = cfg_snapshots && !same_snapshot;
+                let can_overwrite = cfg_overwrite && rec.fits(&value) && !keep_old_for_snapshot;
+                if can_overwrite {
+                    // SAFETY: lock held, fits checked.
+                    unsafe { rec.overwrite(&value) };
+                    rec.tid().store_and_unlock(present_word);
+                    self.worker.stats.inplace_overwrites += 1;
+                } else {
+                    self.install_new_version(
+                        table_id,
+                        &key,
+                        record,
+                        &value,
+                        present_word,
+                        old_word,
+                        keep_old_for_snapshot,
+                        commit_epoch,
+                    );
+                }
+            }
+            None => {
+                // Delete: keep the old version reachable for snapshots when it
+                // crosses a snapshot boundary, then mark the key absent and
+                // schedule the two-stage cleanup (§4.5 "Deletes", §4.9
+                // "Deletions").
+                let keep_old_for_snapshot = cfg_snapshots && !same_snapshot && !is_insert;
+                if keep_old_for_snapshot {
+                    let new_head = self.install_new_version(
+                        table_id,
+                        &key,
+                        record,
+                        &[],
+                        absent_word,
+                        old_word,
+                        true,
+                        commit_epoch,
+                    );
+                    // `install_new_version` registered the superseded version;
+                    // additionally schedule the unhook of the new absent head.
+                    self.worker.defer_snapshot(
+                        snap_epoch,
+                        Garbage::Unhook {
+                            table: table_id,
+                            key,
+                            record: RecordPtr(new_head),
+                        },
+                    );
+                } else {
+                    rec.tid().store_and_unlock(absent_word);
+                    self.worker.defer_snapshot(
+                        snap_epoch,
+                        Garbage::Unhook {
+                            table: table_id,
+                            key,
+                            record: RecordPtr(record),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Installs a freshly allocated record as the new latest version for
+    /// `key`, marks the old record superseded, and schedules the old version
+    /// for reclamation (linked for snapshot readers when required). Returns
+    /// the new record.
+    #[allow(clippy::too_many_arguments)]
+    fn install_new_version(
+        &mut self,
+        table_id: TableId,
+        key: &[u8],
+        old_record: *mut Record,
+        value: &[u8],
+        new_word: TidWord,
+        old_word: TidWord,
+        keep_old_for_snapshot: bool,
+        commit_epoch: u64,
+    ) -> *mut Record {
+        let snap_k = self.worker.config().epoch.snapshot_interval_epochs;
+        let new_record = self.worker.alloc_record(value, new_word);
+        if keep_old_for_snapshot {
+            // SAFETY: freshly allocated, not yet published.
+            unsafe { (*new_record).set_prev(old_record) };
+        }
+        let table_ptr = self.worker.table_ptr(table_id);
+        // SAFETY: the worker's table cache keeps the table alive.
+        let table = unsafe { &*table_ptr };
+        let updated = table.tree().update_value(key, new_record as u64);
+        debug_assert!(updated, "write-set key vanished from the index");
+        // Mark the old version superseded and release the lock. Readers that
+        // observe the cleared latest bit retry through the index and find the
+        // new record.
+        // SAFETY: we hold the old record's lock.
+        unsafe {
+            (*old_record)
+                .tid()
+                .store_and_unlock(old_word.with_latest(false).with_locked(false));
+        }
+        if keep_old_for_snapshot {
+            let snap_epoch = silo_epoch::snap(commit_epoch, snap_k);
+            self.worker
+                .defer_snapshot(snap_epoch, Garbage::Record(RecordPtr(old_record)));
+        } else {
+            self.worker
+                .defer_tree(commit_epoch, Garbage::Record(RecordPtr(old_record)));
+        }
+        self.worker.stats.new_versions += 1;
+        new_record
+    }
+
+    fn abort_inner(&mut self, reason: AbortReason) {
+        // Release the write-set locks if (and only if) Phase 1 acquired them:
+        // a lock bit observed on these records in any other situation belongs
+        // to a different committing transaction and must not be touched.
+        if self.locks_held {
+            for entry in &self.write_set {
+                // SAFETY: write-set records are pinned by our epoch; Phase 1
+                // locked each of them and Phase 3 did not run.
+                unsafe { (*entry.record).tid().unlock() };
+            }
+            self.locks_held = false;
+        }
+        // Register this transaction's absent placeholders for cleanup (§4.5:
+        // "If the commit fails, the commit protocol registers the absent
+        // record for future garbage collection.").
+        let snap_epoch = {
+            let epochs = self.worker.database().epochs();
+            epochs.snapshot_of(epochs.global_epoch())
+        };
+        let placeholders = std::mem::take(&mut self.placeholders);
+        for (table, key, record) in placeholders {
+            self.worker
+                .defer_snapshot(snap_epoch, Garbage::Unhook { table, key, record });
+        }
+        self.worker.stats.aborts += 1;
+        self.worker.stats.abort_reasons.record(reason);
+    }
+}
+
+impl<'w> Drop for Txn<'w> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.abort_inner(self.poisoned.unwrap_or(AbortReason::UserRequested));
+        }
+    }
+}
+
+/// Internal classification of a record read.
+enum ReadOutcome {
+    /// A present record with its value.
+    Present(Vec<u8>),
+    /// The key maps to an absent record (deleted / placeholder).
+    Absent,
+    /// The key is not in the index at all.
+    Missing,
+}

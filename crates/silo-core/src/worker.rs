@@ -1,0 +1,353 @@
+//! Per-thread worker state: epochs, TID generation, garbage collection and
+//! the record allocation pool.
+
+use std::sync::Arc;
+
+use silo_epoch::WorkerEpochHandle;
+use silo_tid::{TidGenerator, TidWord};
+
+use crate::config::SiloConfig;
+use crate::database::{Database, Table, TableId};
+use crate::gc::{Garbage, GarbageList, RecordPool};
+use crate::record::{Record, RecordPtr};
+use crate::snapshot::SnapshotTxn;
+use crate::stats::WorkerStats;
+use crate::txn::Txn;
+
+/// A database worker. One worker is created per worker thread (paper §3:
+/// "we run one worker thread per physical core"); it owns the thread-local
+/// state the engine needs — the local epochs, the decentralized TID
+/// generator, the garbage lists and the record allocation pool — so running
+/// transactions requires no shared-memory writes beyond those of the commit
+/// protocol itself.
+pub struct Worker {
+    db: Arc<Database>,
+    id: usize,
+    epoch: WorkerEpochHandle,
+    tid_gen: TidGenerator,
+    pub(crate) pool: RecordPool,
+    pub(crate) snapshot_garbage: GarbageList,
+    pub(crate) tree_garbage: GarbageList,
+    pub(crate) stats: WorkerStats,
+    table_cache: Vec<Option<Arc<Table>>>,
+    txns_since_gc: u64,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("id", &self.id)
+            .field("commits", &self.stats.commits)
+            .field("aborts", &self.stats.aborts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Worker {
+    pub(crate) fn new(db: Arc<Database>, id: usize) -> Self {
+        let epoch = db.epochs().register_worker();
+        let pool = RecordPool::new(db.config().per_worker_pool);
+        Worker {
+            db,
+            id,
+            epoch,
+            tid_gen: TidGenerator::new(),
+            pool,
+            snapshot_garbage: GarbageList::default(),
+            tree_garbage: GarbageList::default(),
+            stats: WorkerStats::default(),
+            table_cache: Vec::new(),
+            txns_since_gc: 0,
+        }
+    }
+
+    /// The worker's id (unique within its database).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The database this worker belongs to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The engine configuration (convenience accessor).
+    pub fn config(&self) -> &SiloConfig {
+        self.db.config()
+    }
+
+    /// This worker's execution statistics.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    /// The worker's epoch handle (used by the commit protocol and tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn epoch(&self) -> &WorkerEpochHandle {
+        &self.epoch
+    }
+
+    /// The decentralized TID generator.
+    pub(crate) fn tid_gen(&mut self) -> &mut TidGenerator {
+        &mut self.tid_gen
+    }
+
+    /// Resolves a table id to a cached `Arc<Table>` reference, avoiding both
+    /// the catalog lock and an `Arc` refcount bump on the hot path.
+    pub(crate) fn table_ptr(&mut self, id: TableId) -> *const Table {
+        let idx = id as usize;
+        if idx >= self.table_cache.len() {
+            self.table_cache.resize(idx + 1, None);
+        }
+        if self.table_cache[idx].is_none() {
+            self.table_cache[idx] = Some(self.db.table(id));
+        }
+        Arc::as_ptr(self.table_cache[idx].as_ref().expect("just populated"))
+    }
+
+    /// Starts a new read/write transaction.
+    ///
+    /// Refreshes the worker's local epochs (`e_w ← E`, `se_w ← SE`) and —
+    /// every `gc_interval_txns` transactions — runs the garbage collector
+    /// "between requests" as the paper describes.
+    pub fn begin(&mut self) -> Txn<'_> {
+        self.on_txn_boundary();
+        self.epoch.refresh();
+        Txn::new(self)
+    }
+
+    /// Starts a read-only snapshot transaction on the most recent snapshot
+    /// epoch (§4.9). Snapshot transactions never abort.
+    pub fn begin_snapshot(&mut self) -> SnapshotTxn<'_> {
+        self.on_txn_boundary();
+        let (_, sew) = self.epoch.refresh();
+        let snapshot_epoch = if self.db.config().enable_snapshots {
+            sew
+        } else {
+            // Snapshots disabled: fall back to reading the latest committed
+            // versions (the chain head always qualifies).
+            u64::MAX
+        };
+        SnapshotTxn::new(self, snapshot_epoch)
+    }
+
+    /// Marks the worker quiescent (outside any transaction); it no longer
+    /// delays epoch advancement or garbage reclamation.
+    pub fn quiesce(&self) {
+        self.epoch.quiesce();
+    }
+
+    fn on_txn_boundary(&mut self) {
+        self.txns_since_gc += 1;
+        if self.db.config().enable_gc
+            && self.txns_since_gc >= self.db.config().gc_interval_txns
+        {
+            self.txns_since_gc = 0;
+            self.collect_garbage();
+        }
+    }
+
+    /// Allocates a record (through the pool when enabled).
+    pub(crate) fn alloc_record(&mut self, data: &[u8], word: TidWord) -> *mut Record {
+        self.alloc_record_sized(data, word, 0)
+    }
+
+    /// Allocates a record with a minimum data capacity (used for insert
+    /// placeholders that will receive their real value at commit time).
+    pub(crate) fn alloc_record_sized(
+        &mut self,
+        data: &[u8],
+        word: TidWord,
+        min_capacity: usize,
+    ) -> *mut Record {
+        let ptr = self.pool.allocate(data, word, min_capacity);
+        self.stats.pool_hits = self.pool.hits;
+        self.stats.pool_misses = self.pool.misses;
+        ptr
+    }
+
+    /// Registers garbage produced by a committed transaction.
+    pub(crate) fn defer_snapshot(&mut self, epoch: u64, garbage: Garbage) {
+        if self.db.config().enable_gc {
+            self.snapshot_garbage.push(epoch, garbage);
+        }
+    }
+
+    /// Registers garbage governed by the tree reclamation epoch.
+    pub(crate) fn defer_tree(&mut self, epoch: u64, garbage: Garbage) {
+        if self.db.config().enable_gc {
+            self.tree_garbage.push(epoch, garbage);
+        }
+    }
+
+    /// Number of garbage items currently awaiting reclamation (diagnostics).
+    pub fn pending_garbage(&self) -> usize {
+        self.snapshot_garbage.pending() + self.tree_garbage.pending()
+    }
+
+    /// Runs one round of epoch-based reclamation (paper §4.8, §4.9).
+    ///
+    /// * Items in the snapshot list whose epoch `≤` the snapshot reclamation
+    ///   epoch are processed: superseded record versions are freed (or
+    ///   recycled into the pool) and deleted keys are unhooked from their
+    ///   trees, with the unhooked memory deferred again to the tree list.
+    /// * Items in the tree list whose epoch `≤` the tree reclamation epoch
+    ///   are freed.
+    pub fn collect_garbage(&mut self) {
+        if !self.db.config().enable_gc {
+            return;
+        }
+        let snapshot_reclaim = self.db.epochs().snapshot_reclamation_epoch();
+        let tree_reclaim = self.db.epochs().tree_reclamation_epoch();
+        let current_epoch = self.db.epochs().global_epoch();
+
+        let ready = self.snapshot_garbage.take_ready(snapshot_reclaim);
+        for (_, garbage) in ready {
+            match garbage {
+                Garbage::Record(ptr) => {
+                    self.stats.records_reclaimed += 1;
+                    // SAFETY: the snapshot reclamation epoch passed, so no
+                    // snapshot transaction (or regular reader) can still reach
+                    // this superseded version.
+                    unsafe { self.pool.recycle(ptr) };
+                }
+                Garbage::TreeKey(entry) => drop(entry),
+                Garbage::Unhook { table, key, record } => {
+                    self.unhook_deleted_key(table, key, record, current_epoch);
+                }
+            }
+        }
+
+        let ready = self.tree_garbage.take_ready(tree_reclaim);
+        for (_, garbage) in ready {
+            match garbage {
+                Garbage::Record(ptr) => {
+                    self.stats.records_reclaimed += 1;
+                    // SAFETY: the tree reclamation epoch passed, so no worker
+                    // still inside a transaction from the registration epoch
+                    // can hold a pointer to this record.
+                    unsafe { self.pool.recycle(ptr) };
+                }
+                Garbage::TreeKey(entry) => drop(entry),
+                Garbage::Unhook { table, key, record } => {
+                    // Unhook items normally live in the snapshot list; handle
+                    // them here too for robustness.
+                    self.unhook_deleted_key(table, key, record, current_epoch);
+                }
+            }
+        }
+    }
+
+    /// Stage-two cleanup for a deleted key (§4.9): if the absent record is
+    /// still the latest version, remove the key from the index and defer the
+    /// record (and the removed leaf key buffer) to the tree reclamation
+    /// epoch. If it was superseded by a later insert, do nothing — the
+    /// inserting transaction reused the record.
+    ///
+    /// The check-and-unhook runs under the record's lock bit so that it
+    /// cannot interleave with a committing transaction that is reviving the
+    /// absent record (insert over a deleted key): either we lock first —
+    /// then we also clear the latest bit, so the reviver's Phase 2 aborts —
+    /// or the reviver locks first and we simply skip the cleanup this round.
+    fn unhook_deleted_key(
+        &mut self,
+        table_id: TableId,
+        key: Vec<u8>,
+        record: RecordPtr,
+        current_epoch: u64,
+    ) {
+        // SAFETY: the record is reachable from the tree (or was, before a
+        // superseding insert); either way it has not been freed.
+        let tid = unsafe { (*record.0).tid() };
+        if !tid.try_lock() {
+            // A committing transaction holds the record; try again at the
+            // next collection round.
+            self.snapshot_garbage
+                .push(current_epoch, Garbage::Unhook { table: table_id, key, record });
+            return;
+        }
+        let word = tid.load();
+        if !word.is_latest() || !word.is_absent() {
+            // Superseded by a later insert: the superseding transaction owns
+            // the record's reclamation now.
+            tid.unlock();
+            return;
+        }
+        // Make the record unrevivable before touching the index, so any
+        // transaction that still holds a pointer to it fails validation.
+        tid.store_and_unlock(word.with_latest(false).with_locked(false));
+
+        let table_ptr = self.table_ptr(table_id);
+        // SAFETY: the table cache keeps the Arc alive for the worker's
+        // lifetime.
+        let table = unsafe { &*table_ptr };
+        // Only remove the key if it still maps to this very record: a
+        // concurrent update may have installed a newer version.
+        if let (Some(value), _, _) = table.tree().get_tracked(&key) {
+            if value == record.0 as u64 {
+                if let Some(removed) = table.tree().remove(&key) {
+                    self.tree_garbage
+                        .push(current_epoch, Garbage::TreeKey(removed));
+                }
+            }
+        }
+        self.tree_garbage
+            .push(current_epoch, Garbage::Record(record));
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Tell the durability subsystem (if any) that this worker will not
+        // commit again, so it can flush the worker's partial log buffer and
+        // stop letting it hold back the durable epoch.
+        if let Some(hook) = self.db.commit_hook() {
+            hook.on_worker_finish(self.id);
+        }
+        // Do not free pending garbage here: superseded versions are still
+        // reachable through the live records' previous-version chains and
+        // absent records are still referenced by the index, so the Database's
+        // drop (which walks the trees) remains the single owner of anything
+        // still attached to the tree. Unattached items are leaked rather than
+        // risk a double free; in practice drivers run `collect_garbage` until
+        // quiescent before dropping workers.
+        self.quiesce();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiloConfig;
+
+    #[test]
+    fn worker_has_unique_ids_and_table_cache() {
+        let db = Database::open(SiloConfig::for_testing());
+        let t = db.create_table("t").unwrap();
+        let mut w = db.register_worker();
+        let p1 = w.table_ptr(t);
+        let p2 = w.table_ptr(t);
+        assert_eq!(p1, p2);
+        // SAFETY: cache keeps the table alive.
+        assert_eq!(unsafe { (*p1).name() }, "t");
+    }
+
+    #[test]
+    fn gc_disabled_ignores_registrations() {
+        let db = Database::open(SiloConfig::for_testing().without_gc());
+        let mut w = db.register_worker();
+        w.defer_tree(1, Garbage::Record(RecordPtr::null()));
+        assert_eq!(w.pending_garbage(), 0);
+        w.collect_garbage();
+    }
+
+    #[test]
+    fn quiesce_releases_epoch_pin() {
+        let db = Database::open(SiloConfig::for_testing());
+        let w = db.register_worker();
+        let _ = w.epoch().refresh();
+        assert_ne!(w.epoch().local_epoch(), silo_epoch::QUIESCENT);
+        w.quiesce();
+        assert_eq!(w.epoch().local_epoch(), silo_epoch::QUIESCENT);
+    }
+}

@@ -1,0 +1,497 @@
+//! The global epoch manager and per-worker epoch handles.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::snap;
+
+/// Sentinel value stored in a worker's local epoch while the worker is
+/// *quiescent* (not inside any transaction and holding no references to
+/// shared objects). Quiescent workers do not hold back reclamation or epoch
+/// advancement.
+pub const QUIESCENT: u64 = u64::MAX;
+
+/// Configuration for the epoch subsystem.
+#[derive(Debug, Clone)]
+pub struct EpochConfig {
+    /// Period between global-epoch advances. The paper uses 40 ms; tests and
+    /// benchmarks typically use 1 ms so that epoch-related behaviour shows up
+    /// quickly.
+    pub epoch_interval: Duration,
+    /// Number of epochs per snapshot epoch (`k` in the paper, default 25).
+    pub snapshot_interval_epochs: u64,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            epoch_interval: Duration::from_millis(40),
+            snapshot_interval_epochs: 25,
+        }
+    }
+}
+
+/// Per-worker epoch slot shared between the worker and the epoch manager.
+#[derive(Debug)]
+struct WorkerSlot {
+    /// Local epoch `e_w`, or [`QUIESCENT`].
+    local_epoch: CachePadded<AtomicU64>,
+    /// Local snapshot epoch `se_w`, or [`QUIESCENT`].
+    local_snapshot_epoch: CachePadded<AtomicU64>,
+    /// Whether the owning worker handle is still alive.
+    active: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn new() -> Self {
+        WorkerSlot {
+            local_epoch: CachePadded::new(AtomicU64::new(QUIESCENT)),
+            local_snapshot_epoch: CachePadded::new(AtomicU64::new(QUIESCENT)),
+            active: AtomicBool::new(true),
+        }
+    }
+}
+
+/// The global epoch state: `E`, `SE`, and all registered workers.
+///
+/// A single `EpochManager` is shared (via `Arc`) by every worker thread, the
+/// epoch-advancer thread, the garbage collector and the durability subsystem.
+#[derive(Debug)]
+pub struct EpochManager {
+    config: EpochConfig,
+    /// The global epoch `E`. Read by every committing transaction, written
+    /// only by the epoch advancer; padded to its own cache line so commits
+    /// never false-share with unrelated state.
+    global_epoch: CachePadded<AtomicU64>,
+    /// The global snapshot epoch `SE = snap(E - k)`.
+    global_snapshot_epoch: CachePadded<AtomicU64>,
+    /// Registered worker slots. Registration is rare (worker startup), so a
+    /// mutex-protected vector is fine; hot-path readers go through the
+    /// `Arc<WorkerSlot>` they hold directly.
+    workers: Mutex<Vec<Arc<WorkerSlot>>>,
+}
+
+impl EpochManager {
+    /// Creates a new epoch manager with the given configuration.
+    ///
+    /// The global epoch starts at 1 so that TID epoch 0 can be reserved for
+    /// "never committed" placeholder records.
+    pub fn new(config: EpochConfig) -> Arc<Self> {
+        Arc::new(EpochManager {
+            config,
+            global_epoch: CachePadded::new(AtomicU64::new(1)),
+            global_snapshot_epoch: CachePadded::new(AtomicU64::new(0)),
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates an epoch manager with the paper's default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(EpochConfig::default())
+    }
+
+    /// The configuration this manager was created with.
+    pub fn config(&self) -> &EpochConfig {
+        &self.config
+    }
+
+    /// Reads the global epoch `E`.
+    pub fn global_epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// Reads the global snapshot epoch `SE`.
+    pub fn global_snapshot_epoch(&self) -> u64 {
+        self.global_snapshot_epoch.load(Ordering::Acquire)
+    }
+
+    /// Registers a new worker and returns its epoch handle.
+    ///
+    /// The worker starts quiescent; it must call [`WorkerEpochHandle::refresh`]
+    /// at the start of each transaction (or batch of transactions).
+    pub fn register_worker(self: &Arc<Self>) -> WorkerEpochHandle {
+        let slot = Arc::new(WorkerSlot::new());
+        let mut workers = self.workers.lock();
+        let id = workers.len();
+        workers.push(Arc::clone(&slot));
+        drop(workers);
+        WorkerEpochHandle {
+            manager: Arc::clone(self),
+            slot,
+            id,
+        }
+    }
+
+    /// Number of registered workers (including quiescent but not dropped ones).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|w| w.active.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// The minimum local epoch over all active, non-quiescent workers, or
+    /// `None` if every worker is quiescent.
+    fn min_worker_epoch(&self) -> Option<u64> {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|w| w.active.load(Ordering::Acquire))
+            .map(|w| w.local_epoch.load(Ordering::Acquire))
+            .filter(|&e| e != QUIESCENT)
+            .min()
+    }
+
+    /// The minimum local snapshot epoch over all active, non-quiescent
+    /// workers, or `None` if every worker is quiescent.
+    fn min_worker_snapshot_epoch(&self) -> Option<u64> {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|w| w.active.load(Ordering::Acquire))
+            .map(|w| w.local_snapshot_epoch.load(Ordering::Acquire))
+            .filter(|&e| e != QUIESCENT)
+            .min()
+    }
+
+    /// Attempts to advance the global epoch by one, maintaining the invariant
+    /// `E − e_w ≤ 1` for every active worker (paper §4.1). If some worker is
+    /// still in epoch `E − 1`, the advance is deferred and the current epoch
+    /// is returned unchanged.
+    ///
+    /// Also refreshes the global snapshot epoch.
+    ///
+    /// Returns the (possibly unchanged) global epoch after the call.
+    pub fn try_advance(&self) -> u64 {
+        let e = self.global_epoch.load(Ordering::Acquire);
+        let may_advance = match self.min_worker_epoch() {
+            // Advancing to `e + 1` keeps `E − e_w ≤ 1` only if every active
+            // worker has already refreshed to the current epoch.
+            Some(min_ew) => min_ew >= e,
+            // No worker is inside a transaction; always safe.
+            None => true,
+        };
+        let new_e = if may_advance {
+            // Only the advancer thread calls this concurrently with readers,
+            // so a plain store (no CAS loop) is sufficient; `fetch_add` keeps
+            // it correct even if multiple advancers are ever used.
+            self.global_epoch.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            e
+        };
+        self.refresh_snapshot_epoch(new_e);
+        new_e
+    }
+
+    fn refresh_snapshot_epoch(&self, e: u64) {
+        let k = self.config.snapshot_interval_epochs;
+        let se = if e > k { snap(e - k, k) } else { 0 };
+        // Snapshot epochs only move forward.
+        let cur = self.global_snapshot_epoch.load(Ordering::Acquire);
+        if se > cur {
+            self.global_snapshot_epoch.store(se, Ordering::Release);
+        }
+    }
+
+    /// Advances the global epoch by (up to) `n` steps, used by tests and by
+    /// deterministic benchmarks that do not run an advancer thread.
+    pub fn advance_n(&self, n: u64) -> u64 {
+        let mut e = self.global_epoch();
+        for _ in 0..n {
+            e = self.try_advance();
+        }
+        e
+    }
+
+    /// The *tree reclamation epoch*: garbage (tree nodes, record memory)
+    /// registered with a reclamation epoch `≤` this value can be freed
+    /// (paper §4.8: `min e_w − 1`).
+    pub fn tree_reclamation_epoch(&self) -> u64 {
+        let floor = match self.min_worker_epoch() {
+            Some(min_ew) => min_ew,
+            None => self.global_epoch(),
+        };
+        floor.saturating_sub(1)
+    }
+
+    /// The *snapshot reclamation epoch*: old record versions registered with
+    /// a reclamation epoch `≤` this value can be freed (paper §4.9:
+    /// `min se_w − 1`).
+    pub fn snapshot_reclamation_epoch(&self) -> u64 {
+        let floor = match self.min_worker_snapshot_epoch() {
+            Some(min_sew) => min_sew,
+            None => self.global_snapshot_epoch(),
+        };
+        floor.saturating_sub(1)
+    }
+
+    /// Computes `snap(e)` with this manager's configured `k`.
+    pub fn snapshot_of(&self, epoch: u64) -> u64 {
+        snap(epoch, self.config.snapshot_interval_epochs)
+    }
+}
+
+/// A worker's handle onto the epoch subsystem.
+///
+/// The handle owns the worker's `e_w` / `se_w` slots. Dropping the handle
+/// marks the worker inactive so it no longer holds back epoch advancement or
+/// reclamation.
+#[derive(Debug)]
+pub struct WorkerEpochHandle {
+    manager: Arc<EpochManager>,
+    slot: Arc<WorkerSlot>,
+    id: usize,
+}
+
+impl WorkerEpochHandle {
+    /// The worker's registration index (diagnostics only).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The epoch manager this worker is registered with.
+    pub fn manager(&self) -> &Arc<EpochManager> {
+        &self.manager
+    }
+
+    /// Refreshes the worker's local epochs from the global values, as done at
+    /// the start of every transaction: `e_w ← E`, `se_w ← SE`.
+    ///
+    /// The publish-then-verify loop closes the race where the advancer reads
+    /// "no non-quiescent workers", advances `E`, and only then sees our stale
+    /// `e_w`: we re-check `E` after publishing and retry until the published
+    /// value matches, so from that moment on the `E − e_w ≤ 1` invariant is
+    /// enforced by the advancer's own check.
+    ///
+    /// Returns `(e_w, se_w)`.
+    pub fn refresh(&self) -> (u64, u64) {
+        loop {
+            let e = self.manager.global_epoch();
+            let se = self.manager.global_snapshot_epoch();
+            self.slot.local_epoch.store(e, Ordering::SeqCst);
+            self.slot.local_snapshot_epoch.store(se, Ordering::SeqCst);
+            if self.manager.global_epoch() == e {
+                return (e, se);
+            }
+        }
+    }
+
+    /// The worker's current local epoch `e_w` (or [`QUIESCENT`]).
+    pub fn local_epoch(&self) -> u64 {
+        self.slot.local_epoch.load(Ordering::Acquire)
+    }
+
+    /// The worker's current local snapshot epoch `se_w` (or [`QUIESCENT`]).
+    pub fn local_snapshot_epoch(&self) -> u64 {
+        self.slot.local_snapshot_epoch.load(Ordering::Acquire)
+    }
+
+    /// Marks the worker quiescent: it is outside any transaction and holds no
+    /// references to shared objects, so it neither delays epoch advancement
+    /// nor holds back reclamation.
+    pub fn quiesce(&self) {
+        self.slot.local_epoch.store(QUIESCENT, Ordering::Release);
+        self.slot
+            .local_snapshot_epoch
+            .store(QUIESCENT, Ordering::Release);
+    }
+}
+
+impl Drop for WorkerEpochHandle {
+    fn drop(&mut self) {
+        self.quiesce();
+        self.slot.active.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> Arc<EpochManager> {
+        EpochManager::new(EpochConfig {
+            epoch_interval: Duration::from_millis(1),
+            snapshot_interval_epochs: 5,
+        })
+    }
+
+    #[test]
+    fn starts_at_epoch_one() {
+        let m = mgr();
+        assert_eq!(m.global_epoch(), 1);
+        assert_eq!(m.global_snapshot_epoch(), 0);
+    }
+
+    #[test]
+    fn advance_with_no_workers_is_unbounded() {
+        let m = mgr();
+        assert_eq!(m.advance_n(10), 11);
+    }
+
+    #[test]
+    fn lagging_worker_blocks_advance() {
+        let m = mgr();
+        let w = m.register_worker();
+        w.refresh(); // e_w = 1
+        assert_eq!(m.try_advance(), 2); // E=2, e_w=1, E - e_w = 1: ok
+        assert_eq!(m.try_advance(), 2); // would make E - e_w = 2: blocked
+        assert_eq!(m.try_advance(), 2);
+        w.refresh(); // e_w = 2
+        assert_eq!(m.try_advance(), 3);
+    }
+
+    #[test]
+    fn quiescent_worker_does_not_block_advance() {
+        let m = mgr();
+        let w = m.register_worker();
+        w.refresh();
+        assert_eq!(m.try_advance(), 2);
+        w.quiesce();
+        assert_eq!(m.advance_n(5), 7);
+    }
+
+    #[test]
+    fn dropped_worker_does_not_block_advance() {
+        let m = mgr();
+        let w = m.register_worker();
+        w.refresh();
+        assert_eq!(m.try_advance(), 2);
+        assert_eq!(m.try_advance(), 2);
+        drop(w);
+        assert_eq!(m.try_advance(), 3);
+        assert_eq!(m.worker_count(), 0);
+    }
+
+    #[test]
+    fn invariant_holds_under_many_advances() {
+        let m = mgr();
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        for _ in 0..100 {
+            w1.refresh();
+            if m.global_epoch() % 3 == 0 {
+                w2.refresh();
+            }
+            let e = m.try_advance();
+            for w in [&w1, &w2] {
+                let ew = w.local_epoch();
+                if ew != QUIESCENT {
+                    assert!(e - ew <= 1, "invariant violated: E={e} e_w={ew}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_epoch_lags_by_k() {
+        let m = mgr(); // k = 5
+        m.advance_n(4); // E = 5
+        assert_eq!(m.global_snapshot_epoch(), 0);
+        m.advance_n(6); // E = 11 -> snap(11 - 5) = snap(6) = 5
+        assert_eq!(m.global_snapshot_epoch(), 5);
+        m.advance_n(10); // E = 21 -> snap(16) = 15
+        assert_eq!(m.global_snapshot_epoch(), 15);
+    }
+
+    #[test]
+    fn snapshot_epoch_is_monotone() {
+        let m = mgr();
+        let mut prev = m.global_snapshot_epoch();
+        for _ in 0..200 {
+            m.try_advance();
+            let se = m.global_snapshot_epoch();
+            assert!(se >= prev);
+            prev = se;
+        }
+    }
+
+    #[test]
+    fn reclamation_epochs_respect_active_workers() {
+        let m = mgr();
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        w1.refresh();
+        w2.refresh();
+        m.advance_n(1); // E = 2 (both at 1)
+        // min e_w = 1 -> tree reclamation epoch 0
+        assert_eq!(m.tree_reclamation_epoch(), 0);
+        w1.refresh();
+        w2.refresh(); // both at 2
+        assert_eq!(m.tree_reclamation_epoch(), 1);
+        // With all quiescent the global epoch bounds reclamation.
+        w1.quiesce();
+        w2.quiesce();
+        assert_eq!(m.tree_reclamation_epoch(), m.global_epoch() - 1);
+    }
+
+    #[test]
+    fn snapshot_reclamation_tracks_min_sew() {
+        let m = mgr(); // k = 5
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        m.advance_n(20); // both quiescent: E = 21, SE = snap(16) = 15
+        w1.refresh();
+        w2.refresh();
+        assert_eq!(w1.local_snapshot_epoch(), 15);
+        assert_eq!(m.snapshot_reclamation_epoch(), 14);
+        // Advance while both keep refreshing; snapshot epochs follow E - k.
+        for _ in 0..10 {
+            w1.refresh();
+            w2.refresh();
+            m.try_advance();
+        }
+        assert_eq!(m.global_epoch(), 31);
+        assert_eq!(m.global_snapshot_epoch(), 25);
+        w1.refresh();
+        assert_eq!(w1.local_snapshot_epoch(), 25);
+        // The reclamation epoch is governed by the slowest worker's se_w.
+        let min_sew = w1.local_snapshot_epoch().min(w2.local_snapshot_epoch());
+        assert_eq!(m.snapshot_reclamation_epoch(), min_sew - 1);
+    }
+
+    #[test]
+    fn refresh_returns_current_values() {
+        let m = mgr();
+        m.advance_n(30);
+        let w = m.register_worker();
+        let (e, se) = w.refresh();
+        assert_eq!(e, m.global_epoch());
+        assert_eq!(se, m.global_snapshot_epoch());
+        assert_eq!(w.local_epoch(), e);
+        assert_eq!(w.local_snapshot_epoch(), se);
+    }
+
+    #[test]
+    fn concurrent_refresh_and_advance_preserve_invariant() {
+        let m = mgr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let w = m.register_worker();
+                while !stop.load(Ordering::Relaxed) {
+                    let (ew, _) = w.refresh();
+                    let e = m.global_epoch();
+                    // E may have advanced at most once past our refresh.
+                    assert!(e >= ew && e - ew <= 1, "E={e} e_w={ew}");
+                    w.quiesce();
+                }
+            }));
+        }
+        for _ in 0..200 {
+            m.try_advance();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

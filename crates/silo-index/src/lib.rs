@@ -1,0 +1,724 @@
+//! A Masstree-inspired concurrent B+-tree for silo-rs (paper §3, §4.6).
+//!
+//! Silo stores every table (primary and secondary indexes alike) in an
+//! ordered key-value structure "based on Masstree": readers never write to
+//! shared memory and coordinate with writers purely through per-node version
+//! numbers and fences; writers use fine-grained per-node locks. This crate
+//! provides that substrate with the exact interface contract Silo's commit
+//! protocol relies on:
+//!
+//! * **Optimistic, write-free readers.** [`Tree::get`] and [`Tree::scan`]
+//!   never modify shared memory. They validate per-node versions after
+//!   reading and restart on interference.
+//! * **Version-tracked leaves for phantom protection.** Any change to a
+//!   leaf's key *membership* (insert, remove, split) increments the leaf's
+//!   version. [`Tree::get_tracked`] and [`Tree::scan`] return the
+//!   `(node, version)` pairs a transaction must put in its node-set; the
+//!   commit protocol re-checks them with [`Tree::node_version`].
+//! * **`insert-if-absent`.** [`Tree::insert_if_absent`] atomically inserts a
+//!   key (Silo uses this to install absent placeholder records before the
+//!   commit protocol runs) and reports the version changes of every affected
+//!   node so the transaction can fix up its own node-set (§4.6).
+//! * **Value slots are plain `u64`s** read and written atomically: Silo
+//!   stores a pointer to the record header there, and updates it only when a
+//!   record is superseded by a new version (not on in-place overwrites).
+//!
+//! Compared to Masstree the structure is a single-level B+-tree (no trie of
+//! trees) and interior nodes are never merged or freed; neither difference
+//! affects the concurrency-control behaviour the paper evaluates.
+
+#![warn(missing_docs)]
+
+use std::ops::Bound;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+mod node;
+
+pub use node::{KeyBuf, FANOUT, NODE_LEAF_BIT, NODE_LOCK_BIT, NODE_VERSION_INC};
+
+use node::{InnerNode, LeafNode, LeafSearch, NodeHeader};
+
+/// An opaque reference to a tree node, used as the identity of node-set
+/// entries. Valid for as long as the owning [`Tree`] is alive (nodes are
+/// never freed before the tree is dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(usize);
+
+impl NodeRef {
+    fn from_ptr(ptr: *const NodeHeader) -> Self {
+        NodeRef(ptr as usize)
+    }
+
+    /// The node's address, usable as a stable identity / sort key.
+    pub fn as_usize(self) -> usize {
+        self.0
+    }
+}
+
+/// A structural version change caused by an insert, reported so transactions
+/// can fix up their node-sets (paper §4.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeChange {
+    /// An existing node's version moved from `old_version` to `new_version`.
+    Updated {
+        /// The affected node.
+        node: NodeRef,
+        /// Its version before the insert locked it.
+        old_version: u64,
+        /// Its version after the insert's modifications.
+        new_version: u64,
+    },
+    /// A new node was created by a split.
+    Created {
+        /// The new node.
+        node: NodeRef,
+        /// Its version after creation.
+        version: u64,
+        /// The node it was split from.
+        split_from: NodeRef,
+    },
+}
+
+/// Result of [`Tree::insert_if_absent`].
+#[derive(Debug)]
+pub enum InsertOutcome {
+    /// The key was not present and has been inserted.
+    Inserted {
+        /// Version changes of every node affected by the insert.
+        node_changes: Vec<NodeChange>,
+    },
+    /// The key was already present; nothing was modified.
+    Exists {
+        /// The value currently associated with the key.
+        value: u64,
+        /// The leaf holding the key.
+        leaf: NodeRef,
+        /// The leaf's version at the time of the lookup.
+        version: u64,
+    },
+}
+
+/// An entry removed from the tree by [`Tree::remove`].
+///
+/// Owns the removed key buffer. Dropping it frees the buffer, so the caller
+/// **must defer the drop past a grace period** (e.g. via
+/// `silo_epoch::ReclamationQueue`) if concurrent readers may still hold the
+/// pointer; dropping immediately is only safe in single-threaded contexts.
+#[derive(Debug)]
+pub struct RemovedEntry {
+    /// The value that was associated with the removed key.
+    pub value: u64,
+    key: *mut KeyBuf,
+}
+
+// SAFETY: the owned key buffer is immutable heap data; transferring the
+// responsibility to free it to another thread is sound.
+unsafe impl Send for RemovedEntry {}
+
+impl Drop for RemovedEntry {
+    fn drop(&mut self) {
+        // SAFETY: `key` was removed from the tree and is exclusively owned by
+        // this entry; the caller is responsible for only dropping after a
+        // grace period (see type-level docs).
+        unsafe { KeyBuf::free(self.key) };
+    }
+}
+
+/// The result of a range scan: the matching entries plus the `(node,
+/// version)` pairs that must be added to the scanning transaction's node-set.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Matching `(key, value)` pairs in ascending key order.
+    pub entries: Vec<(Vec<u8>, u64)>,
+    /// Every leaf visited during the scan, with the version validated while
+    /// reading it.
+    pub nodes: Vec<(NodeRef, u64)>,
+}
+
+/// A concurrent ordered map from byte-string keys to `u64` values.
+pub struct Tree {
+    root: AtomicPtr<NodeHeader>,
+    len: AtomicUsize,
+}
+
+// SAFETY: all shared node state is accessed through atomics and the
+// version/lock protocol documented in `node.rs`; key buffers are immutable
+// and freed only with exclusive access or deferred by the caller.
+unsafe impl Send for Tree {}
+// SAFETY: see above.
+unsafe impl Sync for Tree {}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let root = LeafNode::allocate();
+        Tree {
+            root: AtomicPtr::new(root as *mut NodeHeader),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys currently in the tree (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the tree contains no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current stable version of `node` (used by commit-protocol Phase 2
+    /// to validate node-sets).
+    pub fn node_version(&self, node: NodeRef) -> u64 {
+        let ptr = node.0 as *const NodeHeader;
+        // SAFETY: nodes are never freed while the tree is alive, and NodeRefs
+        // are only handed out by this tree's own operations.
+        unsafe { (*ptr).stable_version() }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic read path
+    // ------------------------------------------------------------------
+
+    /// Optimistically descends to the leaf that covers `key`, returning the
+    /// leaf and a stable version observed on the way down. The caller must
+    /// re-validate the version after reading leaf contents.
+    fn find_leaf(&self, key: &[u8]) -> (*const LeafNode, u64) {
+        'restart: loop {
+            let root = self.root.load(Ordering::Acquire);
+            // SAFETY: the root pointer always refers to a live node.
+            let mut version = unsafe { (*root).stable_version() };
+            // Re-check the root pointer: if a root split completed between the
+            // load and the version read, this node only covers part of the key
+            // space and we must restart from the new root.
+            if self.root.load(Ordering::Acquire) != root {
+                continue 'restart;
+            }
+            let mut node = root as *const NodeHeader;
+            loop {
+                // SAFETY: `node` is a live node (never freed while tree alive).
+                let hdr = unsafe { &*node };
+                if version & NODE_LEAF_BIT != 0 {
+                    return (node as *const LeafNode, version);
+                }
+                let inner = node as *const InnerNode;
+                // SAFETY: the LEAF bit told us this is an interior node.
+                let inner_ref = unsafe { &*inner };
+                let Some(idx) = inner_ref.route(key) else {
+                    continue 'restart;
+                };
+                let child = inner_ref.child(idx);
+                // Validate the routing decision against the version we held.
+                if hdr.version_raw() != version || child.is_null() {
+                    continue 'restart;
+                }
+                // SAFETY: child pointers observed under a validated version
+                // refer to live nodes.
+                let child_version = unsafe { (*child).stable_version() };
+                // Hand-over-hand: re-validate the parent after capturing the
+                // child's version, so a concurrent split cannot slip between.
+                if hdr.version_raw() != version {
+                    continue 'restart;
+                }
+                node = child;
+                version = child_version;
+            }
+        }
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.get_tracked(key).0
+    }
+
+    /// Looks up `key`, additionally returning the leaf that covers the key
+    /// and the version under which the lookup was performed.
+    ///
+    /// For an absent key the `(leaf, version)` pair is exactly what Silo adds
+    /// to the transaction's node-set so that a concurrent insert of the key
+    /// is detected at commit time (§4.6).
+    pub fn get_tracked(&self, key: &[u8]) -> (Option<u64>, NodeRef, u64) {
+        loop {
+            let (leaf, version) = self.find_leaf(key);
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf_ref = unsafe { &*leaf };
+            let node_ref = NodeRef::from_ptr(leaf as *const NodeHeader);
+            let Some(search) = leaf_ref.search(key) else {
+                continue;
+            };
+            let value = match search {
+                LeafSearch::Found(idx) => Some(leaf_ref.value(idx)),
+                LeafSearch::NotFound(_) => None,
+            };
+            if leaf_ref.header.version_raw() != version {
+                continue;
+            }
+            return (value, node_ref, version);
+        }
+    }
+
+    /// Scans keys in `[start, end)` (or to the end of the tree when `end` is
+    /// `None`), returning at most `limit` entries if a limit is given.
+    ///
+    /// The result carries every visited leaf and its validated version; a
+    /// serializable transaction adds these to its node-set.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: Option<usize>) -> ScanResult {
+        let mut result = ScanResult::default();
+        let limit = limit.unwrap_or(usize::MAX);
+        if limit == 0 {
+            return result;
+        }
+        let (mut leaf_ptr, mut version) = self.find_leaf(start);
+        loop {
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*leaf_ptr };
+            let mut local: Vec<(Vec<u8>, u64)> = Vec::new();
+            let mut past_end = false;
+            let mut torn = false;
+            let n = leaf.header.nkeys().min(FANOUT);
+            for i in 0..n {
+                let kptr = leaf.key(i);
+                if kptr.is_null() {
+                    torn = true;
+                    break;
+                }
+                // SAFETY: non-null key pointers in a node are dereferenceable
+                // (immutable buffers, deferred reclamation).
+                let kb = unsafe { (*kptr).bytes() };
+                if kb < start {
+                    continue;
+                }
+                if let Some(end) = end {
+                    if kb >= end {
+                        past_end = true;
+                        break;
+                    }
+                }
+                local.push((kb.to_vec(), leaf.value(i)));
+            }
+            let next = leaf.next();
+            if torn || leaf.header.version_raw() != version {
+                // Interference: retry this leaf with a fresh version. Keys that
+                // moved right due to a split will be picked up via `next`.
+                version = leaf.header.stable_version();
+                continue;
+            }
+            result
+                .nodes
+                .push((NodeRef::from_ptr(leaf_ptr as *const NodeHeader), version));
+            for entry in local {
+                if result.entries.len() >= limit {
+                    return result;
+                }
+                result.entries.push(entry);
+            }
+            if past_end || next.is_null() || result.entries.len() >= limit {
+                return result;
+            }
+            leaf_ptr = next;
+            // SAFETY: B-link sibling pointers refer to live leaves.
+            version = unsafe { (*next).header.stable_version() };
+        }
+    }
+
+    /// Scans an arbitrary range expressed with `Bound`s; convenience wrapper
+    /// over [`Tree::scan`] (exclusive upper bounds only, matching what Silo's
+    /// range queries need).
+    pub fn scan_range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        limit: Option<usize>,
+    ) -> ScanResult {
+        let start_key: Vec<u8> = match start {
+            Bound::Unbounded => Vec::new(),
+            Bound::Included(k) => k.to_vec(),
+            Bound::Excluded(k) => {
+                // Smallest key strictly greater than k: append a zero byte.
+                let mut v = k.to_vec();
+                v.push(0);
+                v
+            }
+        };
+        match end {
+            Bound::Unbounded => self.scan(&start_key, None, limit),
+            Bound::Included(k) => {
+                let mut v = k.to_vec();
+                v.push(0);
+                self.scan(&start_key, Some(&v), limit)
+            }
+            Bound::Excluded(k) => self.scan(&start_key, Some(k), limit),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (lock crabbing)
+    // ------------------------------------------------------------------
+
+    /// Inserts `key → value` if the key is not already present.
+    ///
+    /// On success the returned [`NodeChange`] list describes the version
+    /// change of every node the insert touched (including nodes created by
+    /// splits), which the caller uses to update its node-set per §4.6.
+    pub fn insert_if_absent(&self, key: &[u8], value: u64) -> InsertOutcome {
+        'restart: loop {
+            // Chain of locked nodes: every node except the last is full; the
+            // first is either non-full or the root.
+            let mut chain: Vec<(*const NodeHeader, u64)> = Vec::new();
+            let unlock_chain = |chain: &[(*const NodeHeader, u64)]| {
+                for &(node, _) in chain.iter().rev() {
+                    // SAFETY: we locked these nodes below; they are live.
+                    unsafe { (*node).unlock() };
+                }
+            };
+
+            let root = self.root.load(Ordering::Acquire);
+            // SAFETY: the root pointer always refers to a live node.
+            unsafe { (*root).lock() };
+            if self.root.load(Ordering::Acquire) != root {
+                // SAFETY: we hold the lock we are releasing.
+                unsafe { (*root).unlock() };
+                continue 'restart;
+            }
+            // SAFETY: lock held; reading the version under the lock.
+            let root_version = unsafe { (*root).version_raw() } & !NODE_LOCK_BIT;
+            chain.push((root as *const NodeHeader, root_version));
+
+            let mut node = root as *const NodeHeader;
+            // SAFETY: `node` is live and locked by us.
+            while unsafe { !(*node).is_leaf() } {
+                let inner = node as *const InnerNode;
+                // SAFETY: interior node, lock held.
+                let inner_ref = unsafe { &*inner };
+                let idx = inner_ref
+                    .route(key)
+                    .expect("route cannot tear under the node lock");
+                let child = inner_ref.child(idx) as *const NodeHeader;
+                debug_assert!(!child.is_null());
+                // SAFETY: children of a live, locked interior node are live.
+                unsafe { (*child).lock() };
+                let child_version = unsafe { (*child).version_raw() } & !NODE_LOCK_BIT;
+                let child_full = unsafe {
+                    if (*child).is_leaf() {
+                        (*(child as *const LeafNode)).is_full()
+                    } else {
+                        (*(child as *const InnerNode)).is_full()
+                    }
+                };
+                if !child_full {
+                    // Child cannot split: release every ancestor.
+                    unlock_chain(&chain);
+                    chain.clear();
+                }
+                chain.push((child, child_version));
+                node = child;
+            }
+
+            let leaf = node as *const LeafNode;
+            // SAFETY: leaf node, lock held.
+            let leaf_ref = unsafe { &*leaf };
+            let search = leaf_ref
+                .search(key)
+                .expect("leaf search cannot tear under the leaf lock");
+
+            match search {
+                LeafSearch::Found(idx) => {
+                    let value = leaf_ref.value(idx);
+                    let version = chain.last().expect("chain contains the leaf").1;
+                    unlock_chain(&chain);
+                    return InsertOutcome::Exists {
+                        value,
+                        leaf: NodeRef::from_ptr(node),
+                        version,
+                    };
+                }
+                LeafSearch::NotFound(idx) => {
+                    let mut changes = Vec::new();
+                    if !leaf_ref.is_full() {
+                        let (_, old_version) = *chain.last().expect("chain contains the leaf");
+                        leaf_ref.insert_at(idx, KeyBuf::allocate(key), value);
+                        let new_version = leaf_ref.header.unlock_with_increment();
+                        changes.push(NodeChange::Updated {
+                            node: NodeRef::from_ptr(node),
+                            old_version,
+                            new_version,
+                        });
+                        // Everything above the leaf (if anything) was locked
+                        // only because the leaf was full — impossible here, so
+                        // the chain is exactly [leaf]. Defensive unlock anyway.
+                        debug_assert_eq!(chain.len(), 1);
+                        for &(anc, _) in chain.iter().rev().skip(1) {
+                            // SAFETY: we hold these locks.
+                            unsafe { (*anc).unlock() };
+                        }
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return InsertOutcome::Inserted {
+                            node_changes: changes,
+                        };
+                    }
+                    // Leaf is full: split and propagate up the locked chain.
+                    self.insert_with_splits(key, value, &chain, &mut changes);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return InsertOutcome::Inserted {
+                        node_changes: changes,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Splits the (full, locked) leaf at the end of `chain`, inserts the new
+    /// key, and propagates separators up through the locked ancestors,
+    /// splitting them as needed and growing a new root if the chain is
+    /// exhausted.
+    ///
+    /// All locks are released only at the very end, *after* a possible new
+    /// root has been published: a reader must never be able to observe an
+    /// already-split node with an unlocked (fresh) version while the pointer
+    /// that routes around it (parent separator or `Tree::root`) still points
+    /// at the pre-split state.
+    fn insert_with_splits(
+        &self,
+        key: &[u8],
+        value: u64,
+        chain: &[(*const NodeHeader, u64)],
+        changes: &mut Vec<NodeChange>,
+    ) {
+        // Nodes we modified and must unlock-with-increment at the end.
+        let mut updated: Vec<(*const NodeHeader, u64)> = Vec::new();
+        // Nodes created by splits (still locked) and the node they split from.
+        let mut created: Vec<(*const NodeHeader, *const NodeHeader)> = Vec::new();
+
+        let (leaf_hdr, leaf_old_version) = *chain.last().expect("chain is never empty");
+        let leaf = leaf_hdr as *const LeafNode;
+        // SAFETY: leaf at the end of the chain, lock held.
+        let leaf_ref = unsafe { &*leaf };
+        let (mut sep, right_leaf) = leaf_ref.split();
+        // SAFETY: split returns a live, locked right sibling.
+        let right_leaf_ref = unsafe { &*right_leaf };
+        // Insert the new key into whichever half now covers it.
+        // SAFETY: the separator buffer was just allocated by split().
+        let sep_bytes = unsafe { (*sep).bytes() };
+        let target: &LeafNode = if key < sep_bytes {
+            leaf_ref
+        } else {
+            right_leaf_ref
+        };
+        match target.search(key).expect("no tearing under lock") {
+            LeafSearch::NotFound(idx) => target.insert_at(idx, KeyBuf::allocate(key), value),
+            LeafSearch::Found(_) => unreachable!("key was absent under the leaf lock"),
+        }
+        updated.push((leaf_hdr, leaf_old_version));
+        created.push((right_leaf as *const NodeHeader, leaf_hdr));
+
+        // Propagate `sep` (with right sibling `right_node`) up the chain.
+        let mut right_node: *const NodeHeader = right_leaf as *const NodeHeader;
+        let mut level = chain.len() as isize - 2;
+        let mut new_root: *const NodeHeader = std::ptr::null();
+        loop {
+            if level < 0 {
+                // The chain is exhausted: its top was the (full) root, which
+                // we just split. Grow a new root and publish it before any
+                // lock is released.
+                let (old_top, _) = chain[0];
+                let root = InnerNode::allocate();
+                // SAFETY: freshly allocated root, exclusively owned until
+                // published via the store below.
+                unsafe {
+                    (*root).init_root(sep, old_top as *mut NodeHeader, right_node as *mut NodeHeader);
+                }
+                self.root.store(root as *mut NodeHeader, Ordering::Release);
+                new_root = root as *const NodeHeader;
+                break;
+            }
+            let (anc_hdr, anc_old_version) = chain[level as usize];
+            let anc = anc_hdr as *const InnerNode;
+            // SAFETY: interior ancestor in the locked chain.
+            let anc_ref = unsafe { &*anc };
+            if !anc_ref.is_full() {
+                // SAFETY: separator buffer allocated by a split below us.
+                let sep_bytes = unsafe { (*sep).bytes() };
+                let idx = anc_ref.route(sep_bytes).expect("no tearing under lock");
+                anc_ref.insert_separator(idx, sep, right_node as *mut NodeHeader);
+                updated.push((anc_hdr, anc_old_version));
+                // Any chain nodes above an unfilled ancestor were released
+                // during the descent; we are done propagating.
+                debug_assert_eq!(level, 0);
+                break;
+            }
+            // The ancestor is full too: split it, insert the separator into
+            // the correct half, and keep propagating the promoted key.
+            let (promoted, anc_right) = anc_ref.split();
+            // SAFETY: split returns a live, locked right sibling.
+            let anc_right_ref = unsafe { &*anc_right };
+            // SAFETY: promoted separator and `sep` are live key buffers.
+            let (sep_bytes, promoted_bytes) = unsafe { ((*sep).bytes(), (*promoted).bytes()) };
+            let target: &InnerNode = if sep_bytes < promoted_bytes {
+                anc_ref
+            } else {
+                anc_right_ref
+            };
+            let idx = target.route(sep_bytes).expect("no tearing under lock");
+            target.insert_separator(idx, sep, right_node as *mut NodeHeader);
+            updated.push((anc_hdr, anc_old_version));
+            created.push((anc_right as *const NodeHeader, anc_hdr));
+            sep = promoted;
+            right_node = anc_right as *const NodeHeader;
+            level -= 1;
+        }
+
+        // Release every lock (deepest first) and record the version changes.
+        for &(hdr, old_version) in &updated {
+            // SAFETY: we hold these locks; the nodes are live.
+            let new_version = unsafe { (*hdr).unlock_with_increment() };
+            changes.push(NodeChange::Updated {
+                node: NodeRef::from_ptr(hdr),
+                old_version,
+                new_version,
+            });
+        }
+        for &(hdr, split_from) in &created {
+            // SAFETY: split() returned these nodes locked; they are live.
+            let version = unsafe { (*hdr).unlock_with_increment() };
+            changes.push(NodeChange::Created {
+                node: NodeRef::from_ptr(hdr),
+                version,
+                split_from: NodeRef::from_ptr(split_from),
+            });
+        }
+        if !new_root.is_null() {
+            // SAFETY: allocated above; never locked, so its version is stable.
+            let version = unsafe { (*new_root).stable_version() };
+            changes.push(NodeChange::Created {
+                node: NodeRef::from_ptr(new_root),
+                version,
+                split_from: NodeRef::from_ptr(chain[0].0),
+            });
+        }
+    }
+
+    /// Atomically replaces the value associated with `key`, returning whether
+    /// the key was present.
+    ///
+    /// Does **not** change any node version: replacing a record pointer does
+    /// not alter key membership, so concurrent scans' node-sets stay valid
+    /// (record-level validation catches value conflicts instead).
+    pub fn update_value(&self, key: &[u8], value: u64) -> bool {
+        loop {
+            let (leaf_ptr, version) = self.find_leaf(key);
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*leaf_ptr };
+            let Some(search) = leaf.search(key) else {
+                continue;
+            };
+            match search {
+                LeafSearch::NotFound(_) => {
+                    if leaf.header.version_raw() != version {
+                        continue;
+                    }
+                    return false;
+                }
+                LeafSearch::Found(idx) => {
+                    if !leaf.header.try_upgrade_lock(version) {
+                        continue;
+                    }
+                    leaf.set_value(idx, value);
+                    leaf.header.unlock();
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Inserts or overwrites `key → value`, returning the previous value if
+    /// the key was present. Intended for loaders and for the non-transactional
+    /// Key-Value baseline (§5.2), not for the commit protocol.
+    pub fn upsert(&self, key: &[u8], value: u64) -> Option<u64> {
+        loop {
+            let (leaf_ptr, version) = self.find_leaf(key);
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*leaf_ptr };
+            let Some(search) = leaf.search(key) else {
+                continue;
+            };
+            if let LeafSearch::Found(idx) = search {
+                if !leaf.header.try_upgrade_lock(version) {
+                    continue;
+                }
+                let old = leaf.value(idx);
+                leaf.set_value(idx, value);
+                leaf.header.unlock();
+                return Some(old);
+            }
+            match self.insert_if_absent(key, value) {
+                InsertOutcome::Inserted { .. } => return None,
+                InsertOutcome::Exists { .. } => continue,
+            }
+        }
+    }
+
+    /// Removes `key`, returning the removed entry if it was present.
+    ///
+    /// The leaf's version is incremented (membership changed). See
+    /// [`RemovedEntry`] for the reclamation contract on the key buffer.
+    pub fn remove(&self, key: &[u8]) -> Option<RemovedEntry> {
+        loop {
+            let (leaf_ptr, version) = self.find_leaf(key);
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*leaf_ptr };
+            let Some(search) = leaf.search(key) else {
+                continue;
+            };
+            match search {
+                LeafSearch::NotFound(_) => {
+                    if leaf.header.version_raw() != version {
+                        continue;
+                    }
+                    return None;
+                }
+                LeafSearch::Found(idx) => {
+                    if !leaf.header.try_upgrade_lock(version) {
+                        continue;
+                    }
+                    let (kptr, value) = leaf.remove_at(idx);
+                    leaf.header.unlock_with_increment();
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(RemovedEntry { value, key: kptr });
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let root = *self.root.get_mut();
+        if root.is_null() {
+            return;
+        }
+        // SAFETY: `&mut self` guarantees exclusive access to the whole tree.
+        unsafe {
+            if (*root).is_leaf() {
+                LeafNode::free(root as *mut LeafNode);
+            } else {
+                InnerNode::free_subtree(root as *mut InnerNode);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tree").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

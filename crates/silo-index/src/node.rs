@@ -1,0 +1,661 @@
+//! Node structures and low-level node operations for the concurrent B+-tree.
+//!
+//! Every node starts with a [`NodeHeader`] containing a *version word*:
+//!
+//! ```text
+//!  63                                    2   1    0
+//! +----------------------------------------+----+----+
+//! |          version counter               |LEAF|LOCK|
+//! +----------------------------------------+----+----+
+//! ```
+//!
+//! * `LOCK` — held by a writer while it modifies the node.
+//! * `LEAF` — immutable node-kind flag (set for leaf nodes).
+//! * counter — incremented on every *structural* change: key inserted or
+//!   removed in a leaf, node split, separator installed in an interior node.
+//!
+//! Readers never write to nodes: they read the version, read the node
+//! contents, and re-check the version (the Masstree/OLFIT discipline, paper
+//! §3 and §4.6). The version counter is exactly what Silo's node-set
+//! validation records for phantom protection.
+//!
+//! Keys are stored as single atomic pointers to immutable, heap-allocated
+//! [`KeyBuf`]s, so a concurrent reader can always dereference whatever
+//! pointer it observes: key buffers removed from a node are handed back to
+//! the caller, which must defer their destruction through the epoch-based
+//! reclamation scheme (`silo-epoch`).
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum number of keys per node (leaf and interior).
+///
+/// The paper sizes nodes at roughly four cache lines; with pointer-sized
+/// slots 15–16 keys per node is in the same ballpark and keeps split code
+/// exercised even in small unit tests.
+pub const FANOUT: usize = 16;
+
+/// Lock bit of the node version word.
+pub const NODE_LOCK_BIT: u64 = 1;
+/// Leaf-flag bit of the node version word (immutable).
+pub const NODE_LEAF_BIT: u64 = 1 << 1;
+/// Increment applied to the version counter on each structural change.
+pub const NODE_VERSION_INC: u64 = 1 << 2;
+
+/// An immutable, heap-allocated key buffer.
+///
+/// `KeyBuf`s are never mutated after construction, so concurrent readers may
+/// dereference them freely; the only hazard is deallocation, which callers
+/// must defer via epoch-based reclamation.
+#[derive(Debug)]
+pub struct KeyBuf {
+    bytes: Box<[u8]>,
+}
+
+impl KeyBuf {
+    /// Allocates a new key buffer holding a copy of `key` and leaks it,
+    /// returning the raw pointer that node slots store.
+    pub fn allocate(key: &[u8]) -> *mut KeyBuf {
+        Box::into_raw(Box::new(KeyBuf {
+            bytes: key.to_vec().into_boxed_slice(),
+        }))
+    }
+
+    /// The key bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Frees a key buffer previously produced by [`KeyBuf::allocate`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been returned by [`KeyBuf::allocate`], must not have
+    /// been freed already, and no thread may dereference it afterwards (i.e.
+    /// the call must be deferred past a grace period if the buffer was ever
+    /// published in a node).
+    pub unsafe fn free(ptr: *mut KeyBuf) {
+        debug_assert!(!ptr.is_null());
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { drop(Box::from_raw(ptr)) };
+    }
+}
+
+/// Common header shared by leaf and interior nodes. `#[repr(C)]` with the
+/// header first lets us cast a `*mut NodeHeader` to the concrete node type
+/// once the LEAF bit has been inspected.
+#[repr(C)]
+#[derive(Debug)]
+pub struct NodeHeader {
+    version: AtomicU64,
+    nkeys: AtomicUsize,
+}
+
+impl NodeHeader {
+    fn new(is_leaf: bool) -> Self {
+        let v = if is_leaf { NODE_LEAF_BIT } else { 0 };
+        NodeHeader {
+            version: AtomicU64::new(v),
+            nkeys: AtomicUsize::new(0),
+        }
+    }
+
+    /// Loads the raw version word (may include the lock bit).
+    pub fn version_raw(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Spins until the lock bit is clear and returns the observed version
+    /// word (lock bit clear).
+    pub fn stable_version(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            if v & NODE_LOCK_BIT == 0 {
+                return v;
+            }
+            spins = spins.wrapping_add(1);
+            if spins % 128 == 0 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.version.load(Ordering::Relaxed) & NODE_LEAF_BIT != 0
+    }
+
+    /// Acquires the node's write lock (spinning).
+    pub fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            let v = self.version.load(Ordering::Relaxed);
+            if v & NODE_LOCK_BIT == 0
+                && self
+                    .version
+                    .compare_exchange_weak(
+                        v,
+                        v | NODE_LOCK_BIT,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return;
+            }
+            spins = spins.wrapping_add(1);
+            if spins % 128 == 0 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Attempts to atomically upgrade an optimistic read into the write lock:
+    /// succeeds only if the version word still equals `expected_version`
+    /// (which must not have the lock bit set). On success the caller holds
+    /// the lock and knows the node has not changed since it was read.
+    pub fn try_upgrade_lock(&self, expected_version: u64) -> bool {
+        debug_assert_eq!(expected_version & NODE_LOCK_BIT, 0);
+        self.version
+            .compare_exchange(
+                expected_version,
+                expected_version | NODE_LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Releases the write lock without changing the version counter (the node
+    /// was locked but not structurally modified).
+    pub fn unlock(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(v & NODE_LOCK_BIT != 0);
+        self.version.store(v & !NODE_LOCK_BIT, Ordering::Release);
+    }
+
+    /// Releases the write lock and increments the version counter (the node
+    /// was structurally modified: key inserted/removed, node split, separator
+    /// added). Returns the new (unlocked) version word.
+    pub fn unlock_with_increment(&self) -> u64 {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(v & NODE_LOCK_BIT != 0);
+        let new = (v & !NODE_LOCK_BIT) + NODE_VERSION_INC;
+        self.version.store(new, Ordering::Release);
+        new
+    }
+
+    /// Number of keys currently in the node.
+    pub fn nkeys(&self) -> usize {
+        self.nkeys.load(Ordering::Acquire)
+    }
+
+    fn set_nkeys(&self, n: usize) {
+        self.nkeys.store(n, Ordering::Release);
+    }
+}
+
+/// An interior (routing) node: `nkeys` separator keys and `nkeys + 1`
+/// children. `children[i]` covers keys `< keys[i]`; `children[nkeys]` covers
+/// keys `≥ keys[nkeys - 1]`.
+#[repr(C)]
+pub struct InnerNode {
+    pub header: NodeHeader,
+    keys: [AtomicPtr<KeyBuf>; FANOUT],
+    children: [AtomicPtr<NodeHeader>; FANOUT + 1],
+}
+
+/// A leaf node: `nkeys` sorted key/value entries plus a B-link pointer to the
+/// next (right) sibling leaf.
+#[repr(C)]
+pub struct LeafNode {
+    pub header: NodeHeader,
+    keys: [AtomicPtr<KeyBuf>; FANOUT],
+    values: [AtomicU64; FANOUT],
+    next: AtomicPtr<LeafNode>,
+}
+
+impl InnerNode {
+    /// Allocates a new empty interior node and leaks it.
+    pub fn allocate() -> *mut InnerNode {
+        Box::into_raw(Box::new(InnerNode {
+            header: NodeHeader::new(false),
+            keys: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT],
+            children: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT + 1],
+        }))
+    }
+
+    /// The child pointer stored at `idx`.
+    pub fn child(&self, idx: usize) -> *mut NodeHeader {
+        self.children[idx].load(Ordering::Acquire)
+    }
+
+    /// Finds the index of the child that covers `key`.
+    ///
+    /// Works both under the node lock and optimistically (in the latter case
+    /// the result is only meaningful if the version validates afterwards).
+    /// Returns `None` if a torn read is detected (null key pointer), telling
+    /// the optimistic reader to restart.
+    pub fn route(&self, key: &[u8]) -> Option<usize> {
+        let n = self.header.nkeys().min(FANOUT);
+        let mut idx = 0;
+        while idx < n {
+            let kptr = self.keys[idx].load(Ordering::Acquire);
+            if kptr.is_null() {
+                return None;
+            }
+            // SAFETY: key buffers are immutable and only freed after a grace
+            // period, so any non-null pointer observed here is dereferenceable.
+            let kb = unsafe { &*kptr };
+            if key < kb.bytes() {
+                break;
+            }
+            idx += 1;
+        }
+        Some(idx)
+    }
+
+    /// Inserts separator `key_ptr` with right child `right` at position
+    /// `idx`, shifting subsequent entries. Caller must hold the node lock and
+    /// guarantee the node is not full.
+    pub fn insert_separator(&self, idx: usize, key_ptr: *mut KeyBuf, right: *mut NodeHeader) {
+        let n = self.header.nkeys();
+        debug_assert!(n < FANOUT);
+        debug_assert!(idx <= n);
+        // Shift keys [idx, n) right by one and children [idx+1, n+1) right by
+        // one, from the top down so concurrent optimistic readers always see
+        // initialized slots.
+        let mut i = n;
+        while i > idx {
+            let k = self.keys[i - 1].load(Ordering::Relaxed);
+            self.keys[i].store(k, Ordering::Release);
+            let c = self.children[i].load(Ordering::Relaxed);
+            self.children[i + 1].store(c, Ordering::Release);
+            i -= 1;
+        }
+        self.keys[idx].store(key_ptr, Ordering::Release);
+        self.children[idx + 1].store(right, Ordering::Release);
+        self.header.set_nkeys(n + 1);
+    }
+
+    /// Initializes a fresh root with a single separator and two children.
+    /// Caller owns the node exclusively.
+    pub fn init_root(&self, key_ptr: *mut KeyBuf, left: *mut NodeHeader, right: *mut NodeHeader) {
+        self.keys[0].store(key_ptr, Ordering::Release);
+        self.children[0].store(left, Ordering::Release);
+        self.children[1].store(right, Ordering::Release);
+        self.header.set_nkeys(1);
+    }
+
+    /// Whether inserting one more separator would overflow the node.
+    pub fn is_full(&self) -> bool {
+        self.header.nkeys() >= FANOUT
+    }
+
+    /// Splits this (full, locked) node: the upper half of the separators and
+    /// children move to a freshly allocated right sibling, and the middle
+    /// separator is *promoted* (returned) for insertion into the parent.
+    ///
+    /// Returns `(promoted_separator, right_sibling)`. The caller must hold
+    /// this node's lock; the right sibling is returned locked so the caller
+    /// can publish it before any other writer touches it.
+    pub fn split(&self) -> (*mut KeyBuf, *mut InnerNode) {
+        let n = self.header.nkeys();
+        debug_assert_eq!(n, FANOUT);
+        let mid = n / 2;
+        let right = InnerNode::allocate();
+        // SAFETY: freshly allocated, exclusively owned until published.
+        let right_ref = unsafe { &*right };
+        right_ref.header.lock();
+        let promoted = self.keys[mid].load(Ordering::Relaxed);
+        let mut j = 0;
+        for i in (mid + 1)..n {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            right_ref.keys[j].store(k, Ordering::Release);
+            let c = self.children[i].load(Ordering::Relaxed);
+            right_ref.children[j].store(c, Ordering::Release);
+            j += 1;
+        }
+        let last_child = self.children[n].load(Ordering::Relaxed);
+        right_ref.children[j].store(last_child, Ordering::Release);
+        right_ref.header.set_nkeys(j);
+        self.header.set_nkeys(mid);
+        (promoted, right)
+    }
+
+    /// Frees this node and (recursively) its subtree, including key buffers.
+    ///
+    /// # Safety
+    ///
+    /// Requires exclusive access to the whole subtree (no concurrent readers
+    /// or writers), e.g. during `Tree::drop`.
+    pub unsafe fn free_subtree(ptr: *mut InnerNode) {
+        // SAFETY: exclusive access per the caller's contract.
+        let node = unsafe { Box::from_raw(ptr) };
+        let n = node.header.nkeys();
+        for i in 0..n {
+            let k = node.keys[i].load(Ordering::Relaxed);
+            if !k.is_null() {
+                // SAFETY: separators in [0, nkeys) are owned by this node.
+                unsafe { KeyBuf::free(k) };
+            }
+        }
+        for i in 0..=n {
+            let c = node.children[i].load(Ordering::Relaxed);
+            if c.is_null() {
+                continue;
+            }
+            // SAFETY: children in [0, nkeys] are owned by this node.
+            unsafe {
+                if (*c).is_leaf() {
+                    LeafNode::free(c as *mut LeafNode);
+                } else {
+                    InnerNode::free_subtree(c as *mut InnerNode);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of searching a leaf for a key under the leaf lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafSearch {
+    /// Key present at the given slot.
+    Found(usize),
+    /// Key absent; it would belong at the given slot.
+    NotFound(usize),
+}
+
+impl LeafNode {
+    /// Allocates a new empty leaf and leaks it.
+    pub fn allocate() -> *mut LeafNode {
+        Box::into_raw(Box::new(LeafNode {
+            header: NodeHeader::new(true),
+            keys: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT],
+            values: [const { AtomicU64::new(0) }; FANOUT],
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    /// The key stored at `idx` (may be null under optimistic reads of stale
+    /// slots).
+    pub fn key(&self, idx: usize) -> *mut KeyBuf {
+        self.keys[idx].load(Ordering::Acquire)
+    }
+
+    /// The value stored at `idx`.
+    pub fn value(&self, idx: usize) -> u64 {
+        self.values[idx].load(Ordering::Acquire)
+    }
+
+    /// Atomically overwrites the value at `idx`. Caller must hold the leaf
+    /// lock so the slot cannot move underneath it.
+    pub fn set_value(&self, idx: usize, value: u64) {
+        self.values[idx].store(value, Ordering::Release);
+    }
+
+    /// The right sibling leaf (B-link pointer).
+    pub fn next(&self) -> *mut LeafNode {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Binary-searches the (sorted) leaf for `key`.
+    ///
+    /// Under the leaf lock the result is exact. Optimistic readers must
+    /// validate the leaf version afterwards; a torn read (null key pointer)
+    /// is reported as `None` so they can restart.
+    pub fn search(&self, key: &[u8]) -> Option<LeafSearch> {
+        let n = self.header.nkeys().min(FANOUT);
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let kptr = self.keys[mid].load(Ordering::Acquire);
+            if kptr.is_null() {
+                return None;
+            }
+            // SAFETY: non-null key pointers observed in a node are
+            // dereferenceable (immutable buffers, deferred reclamation).
+            let kb = unsafe { &*kptr };
+            match kb.bytes().cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(LeafSearch::Found(mid)),
+            }
+        }
+        Some(LeafSearch::NotFound(lo))
+    }
+
+    /// Inserts `(key_ptr, value)` at slot `idx`, shifting subsequent entries
+    /// right. Caller must hold the leaf lock and guarantee the leaf is not
+    /// full.
+    pub fn insert_at(&self, idx: usize, key_ptr: *mut KeyBuf, value: u64) {
+        let n = self.header.nkeys();
+        debug_assert!(n < FANOUT);
+        debug_assert!(idx <= n);
+        let mut i = n;
+        while i > idx {
+            let k = self.keys[i - 1].load(Ordering::Relaxed);
+            let v = self.values[i - 1].load(Ordering::Relaxed);
+            self.keys[i].store(k, Ordering::Release);
+            self.values[i].store(v, Ordering::Release);
+            i -= 1;
+        }
+        self.keys[idx].store(key_ptr, Ordering::Release);
+        self.values[idx].store(value, Ordering::Release);
+        self.header.set_nkeys(n + 1);
+    }
+
+    /// Removes the entry at slot `idx`, shifting subsequent entries left.
+    /// Returns the removed key buffer (ownership passes to the caller, which
+    /// must defer its destruction) and the removed value. Caller must hold
+    /// the leaf lock.
+    pub fn remove_at(&self, idx: usize) -> (*mut KeyBuf, u64) {
+        let n = self.header.nkeys();
+        debug_assert!(idx < n);
+        let key = self.keys[idx].load(Ordering::Relaxed);
+        let value = self.values[idx].load(Ordering::Relaxed);
+        for i in idx..n - 1 {
+            let k = self.keys[i + 1].load(Ordering::Relaxed);
+            let v = self.values[i + 1].load(Ordering::Relaxed);
+            self.keys[i].store(k, Ordering::Release);
+            self.values[i].store(v, Ordering::Release);
+        }
+        self.header.set_nkeys(n - 1);
+        (key, value)
+    }
+
+    /// Whether inserting one more entry would overflow the leaf.
+    pub fn is_full(&self) -> bool {
+        self.header.nkeys() >= FANOUT
+    }
+
+    /// Splits this (full, locked) leaf: the upper half of the entries move to
+    /// a freshly allocated right sibling which is linked into the B-link
+    /// chain. Returns `(separator_key_copy, right_sibling)`; the separator is
+    /// a *new* key buffer equal to the right sibling's first key (interior
+    /// nodes own their separators independently). The right sibling is
+    /// returned locked.
+    pub fn split(&self) -> (*mut KeyBuf, *mut LeafNode) {
+        let n = self.header.nkeys();
+        debug_assert_eq!(n, FANOUT);
+        let mid = n / 2;
+        let right = LeafNode::allocate();
+        // SAFETY: freshly allocated, exclusively owned until published.
+        let right_ref = unsafe { &*right };
+        right_ref.header.lock();
+        let mut j = 0;
+        for i in mid..n {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            let v = self.values[i].load(Ordering::Relaxed);
+            right_ref.keys[j].store(k, Ordering::Release);
+            right_ref.values[j].store(v, Ordering::Release);
+            j += 1;
+        }
+        right_ref.header.set_nkeys(j);
+        right_ref
+            .next
+            .store(self.next.load(Ordering::Relaxed), Ordering::Release);
+        self.next.store(right, Ordering::Release);
+        self.header.set_nkeys(mid);
+        // SAFETY: slot 0 of the right sibling was just initialized above.
+        let sep_src = unsafe { &*right_ref.keys[0].load(Ordering::Relaxed) };
+        let sep = KeyBuf::allocate(sep_src.bytes());
+        (sep, right)
+    }
+
+    /// Frees this leaf and the key buffers it owns.
+    ///
+    /// # Safety
+    ///
+    /// Requires exclusive access (no concurrent readers or writers).
+    pub unsafe fn free(ptr: *mut LeafNode) {
+        // SAFETY: exclusive access per the caller's contract.
+        let node = unsafe { Box::from_raw(ptr) };
+        let n = node.header.nkeys();
+        for i in 0..n {
+            let k = node.keys[i].load(Ordering::Relaxed);
+            if !k.is_null() {
+                // SAFETY: entries in [0, nkeys) own their key buffers.
+                unsafe { KeyBuf::free(k) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lock_and_version_increment() {
+        let h = NodeHeader::new(true);
+        let v0 = h.stable_version();
+        assert!(v0 & NODE_LEAF_BIT != 0);
+        h.lock();
+        assert!(h.version_raw() & NODE_LOCK_BIT != 0);
+        let v1 = h.unlock_with_increment();
+        assert_eq!(v1, v0 + NODE_VERSION_INC);
+        h.lock();
+        h.unlock();
+        assert_eq!(h.stable_version(), v1);
+    }
+
+    #[test]
+    fn leaf_insert_search_remove() {
+        let leaf_ptr = LeafNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let leaf = unsafe { &*leaf_ptr };
+        for (i, k) in [b"bb".as_ref(), b"dd", b"ff"].iter().enumerate() {
+            let pos = match leaf.search(k).unwrap() {
+                LeafSearch::NotFound(p) => p,
+                LeafSearch::Found(_) => panic!("unexpected"),
+            };
+            leaf.insert_at(pos, KeyBuf::allocate(k), i as u64 + 10);
+        }
+        assert_eq!(leaf.header.nkeys(), 3);
+        assert_eq!(leaf.search(b"dd").unwrap(), LeafSearch::Found(1));
+        assert_eq!(leaf.value(1), 11);
+        assert_eq!(leaf.search(b"cc").unwrap(), LeafSearch::NotFound(1));
+        let (kptr, v) = leaf.remove_at(1);
+        assert_eq!(v, 11);
+        // SAFETY: the buffer was never shared beyond this test.
+        unsafe { KeyBuf::free(kptr) };
+        assert_eq!(leaf.search(b"dd").unwrap(), LeafSearch::NotFound(1));
+        assert_eq!(leaf.header.nkeys(), 2);
+        // SAFETY: exclusive access.
+        unsafe { LeafNode::free(leaf_ptr) };
+    }
+
+    #[test]
+    fn leaf_split_moves_upper_half_and_links_sibling() {
+        let leaf_ptr = LeafNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let leaf = unsafe { &*leaf_ptr };
+        for i in 0..FANOUT {
+            let key = format!("key{:03}", i);
+            leaf.insert_at(i, KeyBuf::allocate(key.as_bytes()), i as u64);
+        }
+        assert!(leaf.is_full());
+        leaf.header.lock();
+        let (sep, right_ptr) = leaf.split();
+        // SAFETY: right sibling freshly created by split.
+        let right = unsafe { &*right_ptr };
+        assert_eq!(leaf.header.nkeys(), FANOUT / 2);
+        assert_eq!(right.header.nkeys(), FANOUT - FANOUT / 2);
+        // SAFETY: separator allocated by split.
+        let sep_bytes = unsafe { (*sep).bytes().to_vec() };
+        assert_eq!(sep_bytes, format!("key{:03}", FANOUT / 2).into_bytes());
+        assert_eq!(leaf.next(), right_ptr);
+        leaf.header.unlock_with_increment();
+        right.header.unlock_with_increment();
+        // SAFETY: exclusive access; separator not installed anywhere.
+        unsafe {
+            KeyBuf::free(sep);
+            LeafNode::free(leaf_ptr);
+            LeafNode::free(right_ptr);
+        }
+    }
+
+    #[test]
+    fn inner_route_and_insert_separator() {
+        let inner_ptr = InnerNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let inner = unsafe { &*inner_ptr };
+        let left = LeafNode::allocate();
+        let right = LeafNode::allocate();
+        inner.init_root(
+            KeyBuf::allocate(b"mm"),
+            left as *mut NodeHeader,
+            right as *mut NodeHeader,
+        );
+        assert_eq!(inner.route(b"aa"), Some(0));
+        assert_eq!(inner.route(b"mm"), Some(1));
+        assert_eq!(inner.route(b"zz"), Some(1));
+        let far_right = LeafNode::allocate();
+        inner.insert_separator(1, KeyBuf::allocate(b"tt"), far_right as *mut NodeHeader);
+        assert_eq!(inner.header.nkeys(), 2);
+        assert_eq!(inner.route(b"zz"), Some(2));
+        assert_eq!(inner.route(b"nn"), Some(1));
+        assert_eq!(inner.child(2), far_right as *mut NodeHeader);
+        // SAFETY: exclusive access; frees the whole two-level structure.
+        unsafe { InnerNode::free_subtree(inner_ptr) };
+    }
+
+    #[test]
+    fn inner_split_promotes_middle_separator() {
+        let inner_ptr = InnerNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let inner = unsafe { &*inner_ptr };
+        // Build a full inner node with FANOUT separators and FANOUT+1 leaf children.
+        let first_child = LeafNode::allocate();
+        inner.children[0].store(first_child as *mut NodeHeader, Ordering::Release);
+        for i in 0..FANOUT {
+            let key = format!("sep{:03}", i);
+            let child = LeafNode::allocate();
+            inner.insert_separator(i, KeyBuf::allocate(key.as_bytes()), child as *mut NodeHeader);
+        }
+        assert!(inner.is_full());
+        inner.header.lock();
+        let (promoted, right_ptr) = inner.split();
+        // SAFETY: promoted separator allocated earlier in this test.
+        let promoted_bytes = unsafe { (*promoted).bytes().to_vec() };
+        assert_eq!(promoted_bytes, format!("sep{:03}", FANOUT / 2).into_bytes());
+        // SAFETY: right sibling freshly created by split.
+        let right = unsafe { &*right_ptr };
+        assert_eq!(inner.header.nkeys(), FANOUT / 2);
+        assert_eq!(right.header.nkeys(), FANOUT - FANOUT / 2 - 1);
+        inner.header.unlock_with_increment();
+        right.header.unlock_with_increment();
+        // SAFETY: exclusive teardown of both halves plus the promoted key.
+        unsafe {
+            KeyBuf::free(promoted);
+            InnerNode::free_subtree(inner_ptr);
+            InnerNode::free_subtree(right_ptr);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Unit, stress, and property-based tests for the concurrent B+-tree.
+
+use super::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering as AO};
+use std::sync::Arc;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key{:08}", i).into_bytes()
+}
+
+#[test]
+fn empty_tree_lookups() {
+    let t = Tree::new();
+    assert!(t.is_empty());
+    assert_eq!(t.get(b"missing"), None);
+    let (v, leaf, version) = t.get_tracked(b"missing");
+    assert_eq!(v, None);
+    assert_eq!(t.node_version(leaf), version);
+}
+
+#[test]
+fn insert_and_get_single() {
+    let t = Tree::new();
+    match t.insert_if_absent(b"hello", 42) {
+        InsertOutcome::Inserted { node_changes } => {
+            assert_eq!(node_changes.len(), 1);
+        }
+        InsertOutcome::Exists { .. } => panic!("key was absent"),
+    }
+    assert_eq!(t.get(b"hello"), Some(42));
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn insert_if_absent_reports_existing() {
+    let t = Tree::new();
+    assert!(matches!(
+        t.insert_if_absent(b"k", 1),
+        InsertOutcome::Inserted { .. }
+    ));
+    match t.insert_if_absent(b"k", 2) {
+        InsertOutcome::Exists { value, .. } => assert_eq!(value, 1),
+        InsertOutcome::Inserted { .. } => panic!("key already present"),
+    }
+    assert_eq!(t.get(b"k"), Some(1));
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn many_inserts_cause_splits_and_remain_retrievable() {
+    let t = Tree::new();
+    let n = 10_000u64;
+    for i in 0..n {
+        assert!(matches!(
+            t.insert_if_absent(&key(i), i),
+            InsertOutcome::Inserted { .. }
+        ));
+    }
+    assert_eq!(t.len(), n as usize);
+    for i in 0..n {
+        assert_eq!(t.get(&key(i)), Some(i), "key {i} lost");
+    }
+    assert_eq!(t.get(&key(n)), None);
+}
+
+#[test]
+fn inserts_in_reverse_and_random_order() {
+    let t = Tree::new();
+    let mut order: Vec<u64> = (0..5000).collect();
+    // Deterministic shuffle.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..order.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    for &i in &order {
+        t.insert_if_absent(&key(i), i);
+    }
+    for i in 0..5000 {
+        assert_eq!(t.get(&key(i)), Some(i));
+    }
+}
+
+#[test]
+fn leaf_version_changes_when_membership_changes() {
+    let t = Tree::new();
+    let (_, leaf, v0) = t.get_tracked(b"absent-key");
+    // Inserting an unrelated key into the same (only) leaf changes its version.
+    t.insert_if_absent(b"other", 1);
+    assert_ne!(t.node_version(leaf), v0);
+}
+
+#[test]
+fn leaf_version_stable_when_nothing_changes() {
+    let t = Tree::new();
+    t.insert_if_absent(b"a", 1);
+    let (_, leaf, v0) = t.get_tracked(b"zzz");
+    assert_eq!(t.get(b"a"), Some(1));
+    assert_eq!(t.node_version(leaf), v0);
+}
+
+#[test]
+fn update_value_does_not_change_leaf_version() {
+    let t = Tree::new();
+    t.insert_if_absent(b"a", 1);
+    let (_, leaf, v0) = t.get_tracked(b"a");
+    assert!(t.update_value(b"a", 99));
+    assert_eq!(t.get(b"a"), Some(99));
+    assert_eq!(
+        t.node_version(leaf),
+        v0,
+        "value updates must not look like structural changes"
+    );
+    assert!(!t.update_value(b"missing", 1));
+}
+
+#[test]
+fn remove_changes_version_and_deletes_key() {
+    let t = Tree::new();
+    t.insert_if_absent(b"a", 1);
+    t.insert_if_absent(b"b", 2);
+    let (_, leaf, v0) = t.get_tracked(b"a");
+    let removed = t.remove(b"a").expect("present");
+    assert_eq!(removed.value, 1);
+    assert_eq!(t.get(b"a"), None);
+    assert_eq!(t.get(b"b"), Some(2));
+    assert_ne!(t.node_version(leaf), v0);
+    assert_eq!(t.len(), 1);
+    assert!(t.remove(b"a").is_none());
+}
+
+#[test]
+fn upsert_inserts_then_overwrites() {
+    let t = Tree::new();
+    assert_eq!(t.upsert(b"x", 1), None);
+    assert_eq!(t.upsert(b"x", 2), Some(1));
+    assert_eq!(t.get(b"x"), Some(2));
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn insert_node_changes_cover_splits() {
+    let t = Tree::new();
+    // Fill one leaf exactly.
+    for i in 0..FANOUT as u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    // The next insert must split: expect at least the updated left leaf, the
+    // created right leaf and a created root.
+    match t.insert_if_absent(&key(FANOUT as u64), 0) {
+        InsertOutcome::Inserted { node_changes } => {
+            let updated = node_changes
+                .iter()
+                .filter(|c| matches!(c, NodeChange::Updated { .. }))
+                .count();
+            let created = node_changes
+                .iter()
+                .filter(|c| matches!(c, NodeChange::Created { .. }))
+                .count();
+            assert!(updated >= 1, "expected an updated leaf: {node_changes:?}");
+            assert!(created >= 2, "expected new leaf + new root: {node_changes:?}");
+            // Reported new versions must match the live tree.
+            for change in &node_changes {
+                match change {
+                    NodeChange::Updated {
+                        node, new_version, ..
+                    } => assert_eq!(t.node_version(*node), *new_version),
+                    NodeChange::Created { node, version, .. } => {
+                        assert_eq!(t.node_version(*node), *version)
+                    }
+                }
+            }
+        }
+        InsertOutcome::Exists { .. } => panic!("key was absent"),
+    }
+}
+
+#[test]
+fn scan_full_tree_is_sorted_and_complete() {
+    let t = Tree::new();
+    for i in 0..2000u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    let result = t.scan(b"", None, None);
+    assert_eq!(result.entries.len(), 2000);
+    for (i, (k, v)) in result.entries.iter().enumerate() {
+        assert_eq!(k, &key(i as u64));
+        assert_eq!(*v, i as u64);
+    }
+    assert!(!result.nodes.is_empty());
+    // Every reported node version must still validate (nothing changed).
+    for (node, version) in &result.nodes {
+        assert_eq!(t.node_version(*node), *version);
+    }
+}
+
+#[test]
+fn scan_respects_bounds_and_limit() {
+    let t = Tree::new();
+    for i in 0..500u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    let r = t.scan(&key(100), Some(&key(200)), None);
+    assert_eq!(r.entries.len(), 100);
+    assert_eq!(r.entries.first().unwrap().0, key(100));
+    assert_eq!(r.entries.last().unwrap().0, key(199));
+
+    let r = t.scan(&key(100), Some(&key(200)), Some(10));
+    assert_eq!(r.entries.len(), 10);
+    assert_eq!(r.entries.last().unwrap().0, key(109));
+
+    let r = t.scan(&key(490), None, None);
+    assert_eq!(r.entries.len(), 10);
+
+    let r = t.scan(&key(1000), None, None);
+    assert!(r.entries.is_empty());
+    assert!(!r.nodes.is_empty(), "even an empty scan registers a leaf");
+}
+
+#[test]
+fn scan_range_bounds() {
+    let t = Tree::new();
+    for i in 0..100u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    use std::ops::Bound::*;
+    let r = t.scan_range(Included(&key(10)[..]), Excluded(&key(20)[..]), None);
+    assert_eq!(r.entries.len(), 10);
+    let r = t.scan_range(Excluded(&key(10)[..]), Included(&key(20)[..]), None);
+    assert_eq!(r.entries.len(), 10);
+    assert_eq!(r.entries.first().unwrap().0, key(11));
+    assert_eq!(r.entries.last().unwrap().0, key(20));
+    let r = t.scan_range(Unbounded, Excluded(&key(5)[..]), None);
+    assert_eq!(r.entries.len(), 5);
+}
+
+#[test]
+fn scan_detects_membership_changes_via_node_versions() {
+    let t = Tree::new();
+    for i in 0..100u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    let r = t.scan(&key(10), Some(&key(30)), None);
+    // Concurrent (here: subsequent) insert into the scanned range must change
+    // at least one registered node's version — this is exactly the phantom
+    // check Silo's Phase 2 performs.
+    t.insert_if_absent(b"key00000015x", 999);
+    let invalidated = r
+        .nodes
+        .iter()
+        .any(|(node, version)| t.node_version(*node) != *version);
+    assert!(invalidated, "phantom insert must be detectable");
+}
+
+#[test]
+fn variable_length_and_binary_keys() {
+    let t = Tree::new();
+    let keys: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"\x00".to_vec(),
+        b"\x00\x00".to_vec(),
+        b"\xff".to_vec(),
+        b"\xff\xff\xff".to_vec(),
+        b"a".to_vec(),
+        b"ab".to_vec(),
+        b"abc".to_vec(),
+        vec![0u8; 100],
+        vec![0xab; 300],
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        assert!(matches!(
+            t.insert_if_absent(k, i as u64),
+            InsertOutcome::Inserted { .. }
+        ));
+    }
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.get(k), Some(i as u64));
+    }
+    // Scan returns them in byte order.
+    let r = t.scan(b"", None, None);
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        r.entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+        sorted
+    );
+}
+
+#[test]
+fn concurrent_disjoint_inserts() {
+    let t = Arc::new(Tree::new());
+    let threads = 4;
+    let per_thread = 3000u64;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let k = key(tid * per_thread + i);
+                assert!(matches!(
+                    t.insert_if_absent(&k, tid * per_thread + i),
+                    InsertOutcome::Inserted { .. }
+                ));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(t.len(), (threads * per_thread) as usize);
+    for i in 0..threads * per_thread {
+        assert_eq!(t.get(&key(i)), Some(i));
+    }
+    let r = t.scan(b"", None, None);
+    assert_eq!(r.entries.len(), (threads * per_thread) as usize);
+}
+
+#[test]
+fn concurrent_inserts_of_same_keys_keep_first_value() {
+    let t = Arc::new(Tree::new());
+    let threads = 4;
+    let keys = 2000u64;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            let mut wins = 0u64;
+            for i in 0..keys {
+                if matches!(
+                    t.insert_if_absent(&key(i), tid),
+                    InsertOutcome::Inserted { .. }
+                ) {
+                    wins += 1;
+                }
+            }
+            wins
+        }));
+    }
+    let total_wins: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total_wins, keys, "each key must be inserted exactly once");
+    assert_eq!(t.len(), keys as usize);
+    for i in 0..keys {
+        let v = t.get(&key(i)).unwrap();
+        assert!(v < threads, "value must come from one of the writers");
+    }
+}
+
+#[test]
+fn concurrent_readers_during_inserts_see_only_valid_values() {
+    let t = Arc::new(Tree::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let n = 5000u64;
+
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut observed = 0u64;
+            while !stop.load(AO::Relaxed) {
+                for i in (0..n).step_by(97) {
+                    match t.get(&key(i)) {
+                        // Values are always key index + 1000.
+                        Some(v) => {
+                            assert_eq!(v, i + 1000);
+                            observed += 1;
+                        }
+                        None => {}
+                    }
+                }
+            }
+            observed
+        }));
+    }
+    let scanner = {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(AO::Relaxed) {
+                let r = t.scan(&key(100), Some(&key(4000)), Some(200));
+                let mut prev: Option<Vec<u8>> = None;
+                for (k, v) in &r.entries {
+                    if let Some(p) = &prev {
+                        assert!(k > p, "scan results must be sorted");
+                    }
+                    let idx: u64 = String::from_utf8_lossy(&k[3..]).parse().unwrap();
+                    assert_eq!(*v, idx + 1000);
+                    prev = Some(k.clone());
+                }
+            }
+        })
+    };
+
+    for i in 0..n {
+        t.insert_if_absent(&key(i), i + 1000);
+    }
+    stop.store(true, AO::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    scanner.join().unwrap();
+    for i in 0..n {
+        assert_eq!(t.get(&key(i)), Some(i + 1000));
+    }
+}
+
+#[test]
+fn concurrent_updates_and_reads() {
+    let t = Arc::new(Tree::new());
+    for i in 0..200u64 {
+        t.insert_if_absent(&key(i), 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for w in 0..2 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(AO::Relaxed) {
+                for i in 0..200u64 {
+                    t.update_value(&key(i), (w + 1) * 1000 + round);
+                }
+                round += 1;
+            }
+        }));
+    }
+    for _ in 0..50 {
+        for i in 0..200u64 {
+            let v = t.get(&key(i)).unwrap();
+            assert!(v == 1 || v >= 1000, "unexpected value {v}");
+        }
+    }
+    stop.store(true, AO::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based model tests
+// ---------------------------------------------------------------------------
+
+mod proptests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>, u64),
+        Upsert(Vec<u8>, u64),
+        Remove(Vec<u8>),
+        Get(Vec<u8>),
+        Scan(Vec<u8>, Option<Vec<u8>>, Option<usize>),
+    }
+
+    fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+        // Small alphabet and lengths to force collisions and splits.
+        vec(prop::num::u8::ANY, 0..6)
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+            arb_key().prop_map(Op::Remove),
+            arb_key().prop_map(Op::Get),
+            (arb_key(), proptest::option::of(arb_key()), proptest::option::of(0usize..50))
+                .prop_map(|(s, e, l)| Op::Scan(s, e, l)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_tree_matches_btreemap_model(ops in vec(arb_op(), 1..400)) {
+            let tree = Tree::new();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let outcome = tree.insert_if_absent(&k, v);
+                        match model.entry(k) {
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                let inserted = matches!(outcome, InsertOutcome::Inserted { .. });
+                                prop_assert!(inserted, "expected insertion of a new key");
+                                e.insert(v);
+                            }
+                            std::collections::btree_map::Entry::Occupied(e) => {
+                                match outcome {
+                                    InsertOutcome::Exists { value, .. } => {
+                                        prop_assert_eq!(value, *e.get());
+                                    }
+                                    InsertOutcome::Inserted { .. } => {
+                                        return Err(TestCaseError::fail("inserted over existing key"));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::Upsert(k, v) => {
+                        let old = tree.upsert(&k, v);
+                        let model_old = model.insert(k, v);
+                        prop_assert_eq!(old, model_old);
+                    }
+                    Op::Remove(k) => {
+                        let removed = tree.remove(&k);
+                        let model_removed = model.remove(&k);
+                        prop_assert_eq!(removed.map(|r| r.value), model_removed);
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(tree.get(&k), model.get(&k).copied());
+                    }
+                    Op::Scan(start, end, limit) => {
+                        if let Some(e) = &end {
+                            if e < &start {
+                                continue;
+                            }
+                        }
+                        let r = tree.scan(&start, end.as_deref(), limit);
+                        let expected: Vec<(Vec<u8>, u64)> = model
+                            .range(start.clone()..)
+                            .filter(|(k, _)| end.as_ref().map_or(true, |e| *k < e))
+                            .take(limit.unwrap_or(usize::MAX))
+                            .map(|(k, v)| (k.clone(), *v))
+                            .collect();
+                        prop_assert_eq!(r.entries, expected);
+                    }
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            // Final full-scan equivalence.
+            let r = tree.scan(b"", None, None);
+            let expected: Vec<(Vec<u8>, u64)> =
+                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(r.entries, expected);
+        }
+
+        #[test]
+        fn prop_sequential_inserts_always_retrievable(keys in vec(arb_key(), 1..200)) {
+            let tree = Tree::new();
+            let mut model = BTreeMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                tree.insert_if_absent(k, i as u64);
+                model.entry(k.clone()).or_insert(i as u64);
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(tree.get(k), Some(*v));
+            }
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! # silo-log — epoch-based durability for silo-rs (paper §4.10)
+//!
+//! Silo makes transactions durable with record-level redo logging, organized
+//! around epochs so that a consistent *prefix* of the serial order can be
+//! recovered:
+//!
+//! * every **worker** serializes its committed transactions into a local
+//!   memory buffer and publishes the buffer (plus its last committed TID
+//!   `ctid_w`) to its **logger** when the buffer fills or a new epoch begins;
+//! * a small number of **logger threads**, each responsible for a disjoint
+//!   subset of the workers, append the buffers to their log file, compute a
+//!   local durable epoch `d_l = epoch(min ctid_w) − 1`, persist it, and
+//!   publish it;
+//! * the global **durable epoch** `D = min d_l`. Transactions with epochs
+//!   `≤ D` are durable, and results are released to clients only then —
+//!   epoch-granularity group commit.
+//!
+//! Recovery ([`recover_into`]) reads the log files, finds `D`, and replays
+//! exactly the transactions with `epoch(tid) ≤ D`, applying log records for
+//! the same key in TID order. Nothing newer is replayed: the serial order
+//! within an epoch is not recoverable, so replaying a partial epoch could
+//! produce an inconsistent state.
+//!
+//! The crate also implements the persistence-side knobs of the paper's factor
+//! analysis (Figure 11): `SmallRecs` (8-byte log records), `FullRecs`
+//! (default) and `Compress` (LZ77-style compression of log buffers), plus an
+//! in-memory sink that stands in for the paper's `Silo+tmpfs` configuration.
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod record;
+mod recovery;
+mod sink;
+
+pub use recovery::{
+    apply_recovered, recover_into, scan_directory, scan_streams, RecoveredState, RecoveryError,
+};
+pub use sink::{FileSink, LogSink, MemorySink};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use silo_core::{CommitHook, CommitWrite, Database, Tid};
+
+use record::{encode_compressed, encode_epoch_marker, encode_txn};
+
+/// Maximum number of workers the logging subsystem supports.
+pub const MAX_WORKERS: usize = 256;
+
+/// What the workers put into their log buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// Full redo records: TID + table/key/value for every write (default).
+    FullRecords,
+    /// Only the 8-byte TID (`+SmallRecs`): an upper bound on logging
+    /// performance (Figure 11).
+    SmallRecords,
+}
+
+/// Where log bytes go.
+#[derive(Debug, Clone)]
+pub enum LogDestination {
+    /// One file per logger under this directory (`silo-log-<i>.bin`).
+    Directory(PathBuf),
+    /// Keep log bytes in memory — the stand-in for the paper's `Silo+tmpfs`
+    /// configuration, isolating logging-subsystem overhead from device
+    /// overhead.
+    Memory,
+}
+
+/// Durability configuration.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Where to write the log.
+    pub destination: LogDestination,
+    /// Number of logger threads (the paper uses 4).
+    pub num_loggers: usize,
+    /// Record contents ([`LogMode`]).
+    pub mode: LogMode,
+    /// Compress each record before buffering it (`+Compress`).
+    pub compress: bool,
+    /// Call `fsync` after each logger write batch.
+    pub fsync: bool,
+    /// Worker buffer size that triggers a publish to the logger.
+    pub buffer_capacity: usize,
+    /// How often logger threads poll for new buffers and recompute `d_l`.
+    pub poll_interval: Duration,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            destination: LogDestination::Memory,
+            num_loggers: 1,
+            mode: LogMode::FullRecords,
+            compress: false,
+            fsync: false,
+            buffer_capacity: 64 * 1024,
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+impl LogConfig {
+    /// Logs to files under `dir` with the given number of loggers.
+    pub fn to_directory(dir: impl Into<PathBuf>, num_loggers: usize) -> Self {
+        LogConfig {
+            destination: LogDestination::Directory(dir.into()),
+            num_loggers: num_loggers.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Logs to memory (the `Silo+tmpfs` stand-in).
+    pub fn in_memory(num_loggers: usize) -> Self {
+        LogConfig {
+            destination: LogDestination::Memory,
+            num_loggers: num_loggers.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-worker logging state.
+struct WorkerLogState {
+    /// Serialized, not yet published log records.
+    buffer: Mutex<Vec<u8>>,
+    /// Last committed TID (`ctid_w`), raw representation. Zero means "no
+    /// commit yet".
+    ctid: CachePadded<AtomicU64>,
+    /// Epoch of the first record in the current buffer (for epoch-boundary
+    /// publishing).
+    buffer_epoch: AtomicU64,
+    /// The worker has finished: its buffer was flushed and it will not commit
+    /// again, so it no longer holds the durable epoch back.
+    finished: AtomicBool,
+}
+
+impl WorkerLogState {
+    fn new() -> Self {
+        WorkerLogState {
+            buffer: Mutex::new(Vec::new()),
+            ctid: CachePadded::new(AtomicU64::new(0)),
+            buffer_epoch: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A buffer published by a worker to its logger.
+struct PublishedBuffer {
+    bytes: Vec<u8>,
+}
+
+/// State shared between the commit hook (worker side) and the logger threads.
+struct LoggerShared {
+    config: LogConfig,
+    workers: Vec<WorkerLogState>,
+    senders: Vec<crossbeam::channel::Sender<PublishedBuffer>>,
+    bytes_published: AtomicU64,
+}
+
+impl LoggerShared {
+    /// Flushes a worker's buffer to its logger.
+    fn publish(&self, worker_id: usize, buffer: &mut Vec<u8>) {
+        if buffer.is_empty() {
+            return;
+        }
+        let bytes = std::mem::take(buffer);
+        self.bytes_published
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let logger_idx = worker_id % self.senders.len();
+        // The logger thread may already have exited during shutdown; dropping
+        // the buffer in that case is fine (it was not yet durable).
+        let _ = self.senders[logger_idx].send(PublishedBuffer { bytes });
+    }
+}
+
+/// The durability subsystem: implements [`CommitHook`] and owns the logger
+/// threads.
+///
+/// Install it with [`SiloLogger::install`]; query [`SiloLogger::durable_epoch`]
+/// to learn which transactions may be released to clients (those whose TID
+/// epoch is `≤ D`).
+pub struct SiloLogger {
+    shared: Arc<LoggerShared>,
+    durable_epochs: Vec<Arc<CachePadded<AtomicU64>>>,
+    stop: Arc<AtomicBool>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Memory sinks (one per logger) when the destination is `Memory`.
+    memory_sinks: Vec<Arc<Mutex<Vec<u8>>>>,
+}
+
+impl std::fmt::Debug for SiloLogger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiloLogger")
+            .field("num_loggers", &self.shared.config.num_loggers)
+            .field("durable_epoch", &self.durable_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SiloLogger {
+    /// Creates the logging subsystem and spawns its logger threads.
+    pub fn new(config: LogConfig, epochs: Arc<silo_core::EpochManager>) -> Arc<SiloLogger> {
+        let num_loggers = config.num_loggers.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..num_loggers {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let durable_epochs: Vec<Arc<CachePadded<AtomicU64>>> = (0..num_loggers)
+            .map(|_| Arc::new(CachePadded::new(AtomicU64::new(0))))
+            .collect();
+
+        // Build the per-logger sinks before spawning threads.
+        let mut memory_sinks = Vec::new();
+        let mut sinks: Vec<Box<dyn LogSink + Send>> = Vec::new();
+        for i in 0..num_loggers {
+            match &config.destination {
+                LogDestination::Directory(dir) => {
+                    std::fs::create_dir_all(dir).expect("create log directory");
+                    sinks.push(Box::new(FileSink::create(
+                        dir.join(format!("silo-log-{i}.bin")),
+                        config.fsync,
+                    )));
+                }
+                LogDestination::Memory => {
+                    let buf = Arc::new(Mutex::new(Vec::new()));
+                    memory_sinks.push(Arc::clone(&buf));
+                    sinks.push(Box::new(MemorySink::new(buf)));
+                }
+            }
+        }
+
+        let shared = Arc::new(LoggerShared {
+            config: config.clone(),
+            workers: (0..MAX_WORKERS).map(|_| WorkerLogState::new()).collect(),
+            senders,
+            bytes_published: AtomicU64::new(0),
+        });
+
+        let mut handles = Vec::new();
+        for (i, (rx, mut sink)) in receivers.into_iter().zip(sinks).enumerate() {
+            let stop = Arc::clone(&stop);
+            let my_durable = Arc::clone(&durable_epochs[i]);
+            let shared = Arc::clone(&shared);
+            let epochs = Arc::clone(&epochs);
+            let poll = config.poll_interval;
+            let handle = std::thread::Builder::new()
+                .name(format!("silo-logger-{i}"))
+                .spawn(move || {
+                    logger_thread(i, shared, rx, sink.as_mut(), my_durable, stop, epochs, poll);
+                })
+                .expect("spawn logger thread");
+            handles.push(handle);
+        }
+
+        Arc::new(SiloLogger {
+            shared,
+            durable_epochs,
+            stop,
+            handles: Mutex::new(handles),
+            memory_sinks,
+        })
+    }
+
+    /// Convenience constructor: creates the logger and installs it as the
+    /// database's commit hook.
+    pub fn install(config: LogConfig, db: &Arc<Database>) -> Arc<SiloLogger> {
+        let logger = SiloLogger::new(config, Arc::clone(db.epochs()));
+        db.set_commit_hook(Arc::clone(&logger) as Arc<dyn CommitHook>)
+            .ok()
+            .expect("a commit hook was already installed");
+        logger
+    }
+
+    /// The logging configuration.
+    pub fn config(&self) -> &LogConfig {
+        &self.shared.config
+    }
+
+    /// The global durable epoch `D = min d_l`: every transaction whose TID
+    /// epoch is `≤ D` is durably logged.
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable_epochs
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Blocks until the durable epoch reaches `epoch` (with a timeout).
+    /// Returns whether the epoch became durable.
+    pub fn wait_for_durable(&self, epoch: u64, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while self.durable_epoch() < epoch {
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Whether the transaction with this TID is durable.
+    pub fn is_durable(&self, tid: Tid) -> bool {
+        tid.epoch() <= self.durable_epoch()
+    }
+
+    /// Total bytes published to logger threads so far.
+    pub fn bytes_published(&self) -> u64 {
+        self.shared.bytes_published.load(Ordering::Relaxed)
+    }
+
+    /// The in-memory log contents (only for [`LogDestination::Memory`]); one
+    /// buffer per logger. Used by tests and recovery-from-memory.
+    pub fn memory_logs(&self) -> Vec<Vec<u8>> {
+        self.memory_sinks.iter().map(|s| s.lock().clone()).collect()
+    }
+
+    /// Stops the logger threads after they drain already-published buffers.
+    /// Worker buffers not yet published are lost (they were not durable).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// The last committed TID of every worker that committed at least once
+    /// (diagnostics).
+    pub fn worker_ctids(&self) -> Vec<Tid> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| Tid::from_raw(w.ctid.load(Ordering::Acquire)))
+            .filter(|t| *t != Tid::ZERO)
+            .collect()
+    }
+}
+
+impl CommitHook for SiloLogger {
+    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &[CommitWrite<'_>]) {
+        assert!(worker_id < MAX_WORKERS, "worker id exceeds MAX_WORKERS");
+        let shared = &self.shared;
+        let state = &shared.workers[worker_id];
+        let mut buffer = state.buffer.lock();
+
+        // A new epoch begins: publish the previous buffer first so that the
+        // logger can advance the durable epoch without waiting for this
+        // buffer to fill (§4.10).
+        let buffer_epoch = state.buffer_epoch.load(Ordering::Relaxed);
+        if !buffer.is_empty() && buffer_epoch != tid.epoch() {
+            shared.publish(worker_id, &mut buffer);
+        }
+        if buffer.is_empty() {
+            state.buffer_epoch.store(tid.epoch(), Ordering::Relaxed);
+        }
+
+        let borrowed: Vec<(silo_core::TableId, &[u8], Option<&[u8]>)> =
+            writes.iter().map(|w| (w.table, w.key, w.value)).collect();
+        let small = matches!(shared.config.mode, LogMode::SmallRecords);
+        if shared.config.compress {
+            let mut raw = Vec::new();
+            encode_txn(&mut raw, tid, &borrowed, small);
+            encode_compressed(&mut buffer, &raw);
+        } else {
+            encode_txn(&mut buffer, tid, &borrowed, small);
+        }
+
+        if buffer.len() >= shared.config.buffer_capacity {
+            shared.publish(worker_id, &mut buffer);
+        }
+        drop(buffer);
+        // Publish ctid_w after the buffer (paper ordering): the logger only
+        // treats epochs ≤ epoch(min ctid_w) − 1 as complete.
+        state.ctid.store(tid.raw(), Ordering::Release);
+    }
+
+    fn on_worker_finish(&self, worker_id: usize) {
+        if worker_id >= MAX_WORKERS {
+            return;
+        }
+        let state = &self.shared.workers[worker_id];
+        let mut buffer = state.buffer.lock();
+        self.shared.publish(worker_id, &mut buffer);
+        drop(buffer);
+        state.finished.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for SiloLogger {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Body of each logger thread (§4.10).
+#[allow(clippy::too_many_arguments)]
+fn logger_thread(
+    logger_index: usize,
+    shared: Arc<LoggerShared>,
+    rx: crossbeam::channel::Receiver<PublishedBuffer>,
+    sink: &mut dyn LogSink,
+    my_durable: Arc<CachePadded<AtomicU64>>,
+    stop: Arc<AtomicBool>,
+    epochs: Arc<silo_core::EpochManager>,
+    poll: Duration,
+) {
+    let num_loggers = shared.senders.len();
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+
+        // Compute t = min ctid_w over this logger's *active* workers (those
+        // that have committed at least once and have not finished), then
+        // d = epoch(t) − 1. Finished workers flushed all their buffers, so
+        // everything they committed is already on its way to the sink and
+        // they no longer bound the durable epoch.
+        let mut min_active_ctid: Option<u64> = None;
+        let mut max_finished_ctid: u64 = 0;
+        for (wid, state) in shared.workers.iter().enumerate() {
+            if wid % num_loggers != logger_index {
+                continue;
+            }
+            let raw = state.ctid.load(Ordering::Acquire);
+            if raw == 0 {
+                continue;
+            }
+            if state.finished.load(Ordering::Acquire) {
+                max_finished_ctid = max_finished_ctid.max(raw);
+            } else {
+                min_active_ctid = Some(match min_active_ctid {
+                    Some(m) => m.min(raw),
+                    None => raw,
+                });
+            }
+        }
+        let local_durable = match min_active_ctid {
+            Some(raw) => Tid::from_raw(raw).epoch().saturating_sub(1),
+            // No active worker: every committed transaction routed to this
+            // logger has been published, so every epoch up to (one before)
+            // the current global epoch is complete from its point of view.
+            // A worker that registers later can only commit in the current
+            // or a later epoch, so this never declares an unlogged
+            // transaction durable. The same bound applies when nothing was
+            // ever committed through this logger, so an idle logger does not
+            // hold the durable epoch at zero forever.
+            None => epochs
+                .global_epoch()
+                .saturating_sub(1)
+                .max(Tid::from_raw(max_finished_ctid).epoch()),
+        };
+
+        // Drain published buffers and append them to the log.
+        let mut wrote = false;
+        while let Ok(buf) = rx.try_recv() {
+            sink.append(&buf.bytes);
+            wrote = true;
+        }
+        // Append the durable-epoch marker and make everything stable.
+        let prev = my_durable.load(Ordering::Acquire);
+        if wrote || local_durable > prev {
+            let mut marker = Vec::with_capacity(16);
+            encode_epoch_marker(&mut marker, local_durable);
+            sink.append(&marker);
+            sink.sync();
+            if local_durable > prev {
+                my_durable.store(local_durable, Ordering::Release);
+            }
+        }
+
+        if stopping {
+            // One final drain so already-published buffers hit the sink.
+            while let Ok(buf) = rx.try_recv() {
+                sink.append(&buf.bytes);
+            }
+            sink.sync();
+            return;
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests;

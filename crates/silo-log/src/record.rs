@@ -1,0 +1,371 @@
+//! Redo-log record framing (paper §4.10).
+//!
+//! Silo uses record-level redo logging exclusively: a log record consists of
+//! the committing transaction's TID and the table/key/value of every record
+//! it modified. Deletes are logged with a "no value" marker so recovery can
+//! reproduce them.
+//!
+//! The on-disk stream is a sequence of *blocks*:
+//!
+//! ```text
+//! +------+---------------------------------------------------------+
+//! | 0x01 | transaction block: tid u64 | count u32 | writes...      |
+//! | 0x02 | durable-epoch marker: epoch u64                         |
+//! | 0x03 | compressed block: raw_len u32 | comp_len u32 | bytes    |
+//! +------+---------------------------------------------------------+
+//! ```
+//!
+//! each write being `table u32 | key_len u32 | key | tag u8 | [val_len u32 |
+//! value]` with `tag = 1` for a value and `tag = 0` for a delete.
+//!
+//! The `SmallRecs` mode of the Figure 11 persistence analysis logs only the
+//! 8-byte TID (count = 0), giving an upper bound for any logging scheme.
+
+use silo_core::TableId;
+use silo_tid::Tid;
+
+/// Block tag for a transaction record.
+pub const BLOCK_TXN: u8 = 0x01;
+/// Block tag for a durable-epoch marker.
+pub const BLOCK_EPOCH_MARKER: u8 = 0x02;
+/// Block tag for a compressed region containing inner blocks.
+pub const BLOCK_COMPRESSED: u8 = 0x03;
+
+/// One logged write, owned (as read back by recovery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedWrite {
+    /// Table the write applies to.
+    pub table: TableId,
+    /// Record key.
+    pub key: Vec<u8>,
+    /// New value, or `None` for a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// One logged transaction, as read back by recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedTxn {
+    /// The transaction's commit TID.
+    pub tid: Tid,
+    /// The writes it performed (empty in `SmallRecs` mode).
+    pub writes: Vec<LoggedWrite>,
+}
+
+/// Appends a transaction block to `out`.
+///
+/// When `small_records` is set, only the TID is logged (write count 0).
+pub fn encode_txn(
+    out: &mut Vec<u8>,
+    tid: Tid,
+    writes: &[(TableId, &[u8], Option<&[u8]>)],
+    small_records: bool,
+) {
+    out.push(BLOCK_TXN);
+    out.extend_from_slice(&tid.raw().to_le_bytes());
+    if small_records {
+        out.extend_from_slice(&0u32.to_le_bytes());
+        return;
+    }
+    out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+    for (table, key, value) in writes {
+        out.extend_from_slice(&table.to_le_bytes());
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key);
+        match value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Appends a durable-epoch marker block to `out`.
+pub fn encode_epoch_marker(out: &mut Vec<u8>, epoch: u64) {
+    out.push(BLOCK_EPOCH_MARKER);
+    out.extend_from_slice(&epoch.to_le_bytes());
+}
+
+/// Appends a compressed block wrapping `raw` (already-encoded inner blocks).
+pub fn encode_compressed(out: &mut Vec<u8>, raw: &[u8]) {
+    let compressed = crate::compress::compress(raw);
+    out.push(BLOCK_COMPRESSED);
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+    out.extend_from_slice(&compressed);
+}
+
+/// A parsed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// A transaction record.
+    Txn(LoggedTxn),
+    /// A durable-epoch marker.
+    EpochMarker(u64),
+}
+
+/// Errors produced while decoding a log stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended in the middle of a block. Recovery treats this as the
+    /// end of the usable log (a torn final write).
+    Truncated,
+    /// An unknown block tag was encountered.
+    BadTag(u8),
+    /// A compressed block failed to decompress.
+    BadCompression,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "log stream truncated mid-block"),
+            DecodeError::BadTag(t) => write!(f, "unknown log block tag {t:#x}"),
+            DecodeError::BadCompression => write!(f, "corrupt compressed log block"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn decode_txn(cur: &mut Cursor<'_>) -> Result<LoggedTxn, DecodeError> {
+    let tid = Tid::from_raw(cur.u64()?);
+    let count = cur.u32()? as usize;
+    let mut writes = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let table = cur.u32()?;
+        let key_len = cur.u32()? as usize;
+        let key = cur.take(key_len)?.to_vec();
+        let tag = cur.u8()?;
+        let value = if tag == 1 {
+            let val_len = cur.u32()? as usize;
+            Some(cur.take(val_len)?.to_vec())
+        } else {
+            None
+        };
+        writes.push(LoggedWrite { table, key, value });
+    }
+    Ok(LoggedTxn { tid, writes })
+}
+
+/// Decodes a complete log stream into blocks.
+///
+/// A truncated *final* block is tolerated (the bytes after the last complete
+/// block are ignored), mirroring how a crash can tear the last file write;
+/// any other malformation is an error.
+pub fn decode_stream(data: &[u8]) -> Result<Vec<Block>, DecodeError> {
+    let mut blocks = Vec::new();
+    let mut cur = Cursor { data, pos: 0 };
+    while cur.remaining() > 0 {
+        let start = cur.pos;
+        let tag = cur.u8()?;
+        let result: Result<(), DecodeError> = (|| {
+            match tag {
+                BLOCK_TXN => {
+                    let txn = decode_txn(&mut cur)?;
+                    blocks.push(Block::Txn(txn));
+                }
+                BLOCK_EPOCH_MARKER => {
+                    let epoch = cur.u64()?;
+                    blocks.push(Block::EpochMarker(epoch));
+                }
+                BLOCK_COMPRESSED => {
+                    let raw_len = cur.u32()? as usize;
+                    let comp_len = cur.u32()? as usize;
+                    let payload = cur.take(comp_len)?;
+                    let raw = crate::compress::decompress(payload)
+                        .map_err(|_| DecodeError::BadCompression)?;
+                    if raw.len() != raw_len {
+                        return Err(DecodeError::BadCompression);
+                    }
+                    let inner = decode_stream(&raw)?;
+                    blocks.extend(inner);
+                }
+                other => return Err(DecodeError::BadTag(other)),
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {}
+            Err(DecodeError::Truncated) => {
+                // Tolerate a torn tail: pretend the stream ended cleanly at
+                // the previous block boundary (bytes from `start` on are
+                // ignored).
+                let _ = start;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_roundtrip_full_records() {
+        let mut buf = Vec::new();
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![
+            (0, b"key-a", Some(b"value-a".as_ref())),
+            (3, b"key-b", None),
+            (7, b"", Some(b"".as_ref())),
+        ];
+        encode_txn(&mut buf, Tid::new(5, 42), &writes, false);
+        encode_epoch_marker(&mut buf, 4);
+        let blocks = decode_stream(&buf).unwrap();
+        assert_eq!(blocks.len(), 2);
+        match &blocks[0] {
+            Block::Txn(t) => {
+                assert_eq!(t.tid, Tid::new(5, 42));
+                assert_eq!(t.writes.len(), 3);
+                assert_eq!(t.writes[0].key, b"key-a");
+                assert_eq!(t.writes[0].value.as_deref(), Some(b"value-a".as_ref()));
+                assert_eq!(t.writes[1].value, None);
+                assert_eq!(t.writes[2].key, b"");
+            }
+            other => panic!("unexpected block {other:?}"),
+        }
+        assert_eq!(blocks[1], Block::EpochMarker(4));
+    }
+
+    #[test]
+    fn small_records_log_only_the_tid() {
+        let mut buf = Vec::new();
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> =
+            vec![(0, b"key", Some(b"a-large-value".as_ref()))];
+        encode_txn(&mut buf, Tid::new(1, 1), &writes, true);
+        assert_eq!(buf.len(), 1 + 8 + 4);
+        let blocks = decode_stream(&buf).unwrap();
+        match &blocks[0] {
+            Block::Txn(t) => assert!(t.writes.is_empty()),
+            other => panic!("unexpected block {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_block_roundtrip() {
+        let mut inner = Vec::new();
+        for i in 0..50u64 {
+            let key = format!("key{:04}", i);
+            let value = vec![b'x'; 100];
+            let writes: Vec<(TableId, &[u8], Option<&[u8]>)> =
+                vec![(1, key.as_bytes(), Some(&value))];
+            encode_txn(&mut inner, Tid::new(2, i), &writes, false);
+        }
+        let mut outer = Vec::new();
+        encode_compressed(&mut outer, &inner);
+        assert!(outer.len() < inner.len(), "repetitive data should compress");
+        let blocks = decode_stream(&outer).unwrap();
+        assert_eq!(blocks.len(), 50);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let mut buf = Vec::new();
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![(0, b"k", Some(b"v".as_ref()))];
+        encode_txn(&mut buf, Tid::new(1, 1), &writes, false);
+        let good_len = buf.len();
+        encode_txn(&mut buf, Tid::new(1, 2), &writes, false);
+        // Chop the second record in half.
+        buf.truncate(good_len + 7);
+        let blocks = decode_stream(&buf).unwrap();
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn bad_tag_is_an_error() {
+        let buf = vec![0x7f, 0, 0, 0];
+        assert_eq!(decode_stream(&buf), Err(DecodeError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_nothing() {
+        assert_eq!(decode_stream(&[]).unwrap(), Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn arb_write() -> impl Strategy<Value = LoggedWrite> {
+        (
+            0u32..16,
+            vec(any::<u8>(), 0..40),
+            proptest::option::of(vec(any::<u8>(), 0..120)),
+        )
+            .prop_map(|(table, key, value)| LoggedWrite { table, key, value })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_txn_roundtrip(
+            epoch in 1u64..10_000,
+            seq in 0u64..100_000,
+            writes in vec(arb_write(), 0..20),
+            compress: bool,
+        ) {
+            let tid = Tid::new(epoch, seq);
+            let borrowed: Vec<(TableId, &[u8], Option<&[u8]>)> = writes
+                .iter()
+                .map(|w| (w.table, w.key.as_slice(), w.value.as_deref()))
+                .collect();
+            let mut inner = Vec::new();
+            encode_txn(&mut inner, tid, &borrowed, false);
+            let stream = if compress {
+                let mut outer = Vec::new();
+                encode_compressed(&mut outer, &inner);
+                outer
+            } else {
+                inner
+            };
+            let blocks = decode_stream(&stream).unwrap();
+            prop_assert_eq!(blocks.len(), 1);
+            match &blocks[0] {
+                Block::Txn(t) => {
+                    prop_assert_eq!(t.tid, tid);
+                    prop_assert_eq!(&t.writes, &writes);
+                }
+                other => return Err(TestCaseError::fail(format!("unexpected block {other:?}"))),
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Crash recovery: reconstruct a database state from the redo logs
+//! (paper §4.10 "To recover, Silo would read the most recent `d_l` for each
+//! logger, compute `D = min d_l`, and then replay the logs, ignoring entries
+//! for transactions whose TIDs are from epochs after `D`.").
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use silo_core::{Database, TableId, Tid};
+
+use crate::record::{decode_stream, Block, DecodeError};
+
+/// The state reconstructed from a set of log streams before it is applied.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// The recovery horizon: transactions with epochs `≤ durable_epoch` were
+    /// replayed.
+    pub durable_epoch: u64,
+    /// Number of logged transactions that fell inside the horizon.
+    pub replayed_txns: u64,
+    /// Number of logged transactions ignored because their epoch was after
+    /// the horizon.
+    pub skipped_txns: u64,
+    /// The latest surviving write per (table, key): value (or `None` for a
+    /// delete) together with the TID that produced it.
+    pub latest: HashMap<(TableId, Vec<u8>), (Tid, Option<Vec<u8>>)>,
+}
+
+/// Errors produced during recovery.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A log stream could not be decoded.
+    Decode(DecodeError),
+    /// A log file could not be read.
+    Io(std::io::Error),
+    /// Applying the recovered state to the database failed (e.g. the schema
+    /// was not recreated before recovery).
+    Apply(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Decode(e) => write!(f, "log decode error: {e}"),
+            RecoveryError::Io(e) => write!(f, "log read error: {e}"),
+            RecoveryError::Apply(e) => write!(f, "recovery apply error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<DecodeError> for RecoveryError {
+    fn from(e: DecodeError) -> Self {
+        RecoveryError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Scans the log streams and builds the recovered state without applying it.
+///
+/// `streams` holds the raw contents of each logger's file. The durable epoch
+/// is the minimum over the streams of each stream's most recent durable-epoch
+/// marker; transactions from later epochs are ignored, and log records for
+/// the same key are resolved in TID order.
+pub fn scan_streams(streams: &[Vec<u8>]) -> Result<RecoveredState, RecoveryError> {
+    let mut per_stream_durable = Vec::new();
+    let mut decoded = Vec::new();
+    for stream in streams {
+        let blocks = decode_stream(stream)?;
+        let durable = blocks
+            .iter()
+            .filter_map(|b| match b {
+                Block::EpochMarker(e) => Some(*e),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        per_stream_durable.push(durable);
+        decoded.push(blocks);
+    }
+    let durable_epoch = per_stream_durable.iter().copied().min().unwrap_or(0);
+
+    let mut state = RecoveredState {
+        durable_epoch,
+        ..Default::default()
+    };
+    for blocks in decoded {
+        for block in blocks {
+            let Block::Txn(txn) = block else { continue };
+            if txn.tid.epoch() > durable_epoch {
+                state.skipped_txns += 1;
+                continue;
+            }
+            state.replayed_txns += 1;
+            for write in txn.writes {
+                let entry = state
+                    .latest
+                    .entry((write.table, write.key))
+                    .or_insert((Tid::ZERO, None));
+                // Log records for the same record must be applied in TID
+                // order; scanning applies only the one with the largest TID.
+                if txn.tid >= entry.0 {
+                    *entry = (txn.tid, write.value);
+                }
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Reads the log files under `dir` (as written by
+/// [`crate::LogDestination::Directory`]) and builds the recovered state.
+pub fn scan_directory(dir: &Path) -> Result<RecoveredState, RecoveryError> {
+    let mut streams = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("silo-log-"))
+                .unwrap_or(false)
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        streams.push(std::fs::read(path)?);
+    }
+    Ok(scan_streams(&streams)?)
+}
+
+/// Applies a recovered state to a freshly opened database whose tables have
+/// already been recreated (with the same [`TableId`]s as before the crash).
+///
+/// Returns the number of keys installed. Deletes in the recovered state are
+/// simply not installed (the database starts empty).
+pub fn apply_recovered(db: &Arc<Database>, state: &RecoveredState) -> Result<u64, RecoveryError> {
+    let mut worker = db.register_worker();
+    let mut installed = 0u64;
+    let mut batch = 0usize;
+    let mut txn = worker.begin();
+    for ((table, key), (_tid, value)) in &state.latest {
+        let Some(value) = value else { continue };
+        if db.try_table(*table).is_none() {
+            return Err(RecoveryError::Apply(format!(
+                "table id {table} does not exist; recreate the schema before recovery"
+            )));
+        }
+        txn.write(*table, key, value)
+            .map_err(|e| RecoveryError::Apply(e.to_string()))?;
+        installed += 1;
+        batch += 1;
+        if batch >= 512 {
+            txn.commit()
+                .map_err(|e| RecoveryError::Apply(e.to_string()))?;
+            txn = worker.begin();
+            batch = 0;
+        }
+    }
+    txn.commit()
+        .map_err(|e| RecoveryError::Apply(e.to_string()))?;
+    Ok(installed)
+}
+
+/// One-call recovery: scan `streams` and apply the surviving writes to `db`.
+pub fn recover_into(db: &Arc<Database>, streams: &[Vec<u8>]) -> Result<RecoveredState, RecoveryError> {
+    let state = scan_streams(streams)?;
+    apply_recovered(db, &state)?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{encode_epoch_marker, encode_txn};
+    use silo_core::SiloConfig;
+
+    fn txn_block(tid: Tid, table: TableId, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_txn(&mut buf, tid, &[(table, key, value)], false);
+        buf
+    }
+
+    #[test]
+    fn durable_epoch_is_min_across_streams() {
+        let mut s1 = Vec::new();
+        encode_epoch_marker(&mut s1, 5);
+        encode_epoch_marker(&mut s1, 9);
+        let mut s2 = Vec::new();
+        encode_epoch_marker(&mut s2, 7);
+        let state = scan_streams(&[s1, s2]).unwrap();
+        assert_eq!(state.durable_epoch, 7);
+    }
+
+    #[test]
+    fn transactions_after_horizon_are_skipped() {
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(3, 1), 0, b"a", Some(b"old")));
+        s.extend(txn_block(Tid::new(9, 1), 0, b"a", Some(b"too-new")));
+        encode_epoch_marker(&mut s, 5);
+        let state = scan_streams(&[s]).unwrap();
+        assert_eq!(state.durable_epoch, 5);
+        assert_eq!(state.replayed_txns, 1);
+        assert_eq!(state.skipped_txns, 1);
+        assert_eq!(
+            state.latest.get(&(0, b"a".to_vec())).unwrap().1.as_deref(),
+            Some(b"old".as_ref())
+        );
+    }
+
+    #[test]
+    fn same_key_resolves_to_largest_tid() {
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(2, 7), 1, b"k", Some(b"v2")));
+        s.extend(txn_block(Tid::new(2, 3), 1, b"k", Some(b"v1")));
+        s.extend(txn_block(Tid::new(3, 1), 1, b"k", None));
+        encode_epoch_marker(&mut s, 10);
+        let state = scan_streams(&[s]).unwrap();
+        let (tid, value) = state.latest.get(&(1, b"k".to_vec())).unwrap();
+        assert_eq!(*tid, Tid::new(3, 1));
+        assert_eq!(*value, None, "the delete is the newest action");
+    }
+
+    #[test]
+    fn empty_streams_recover_nothing() {
+        let state = scan_streams(&[]).unwrap();
+        assert_eq!(state.durable_epoch, 0);
+        assert!(state.latest.is_empty());
+        let state = scan_streams(&[Vec::new()]).unwrap();
+        assert_eq!(state.durable_epoch, 0);
+    }
+
+    #[test]
+    fn apply_restores_keys_into_database() {
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(1, 1), 0, b"alpha", Some(b"1")));
+        s.extend(txn_block(Tid::new(1, 2), 0, b"beta", Some(b"2")));
+        s.extend(txn_block(Tid::new(2, 1), 0, b"alpha", Some(b"updated")));
+        s.extend(txn_block(Tid::new(2, 2), 0, b"gone", Some(b"x")));
+        s.extend(txn_block(Tid::new(2, 3), 0, b"gone", None));
+        encode_epoch_marker(&mut s, 4);
+
+        let db = Database::open(SiloConfig::for_testing());
+        db.create_table("t").unwrap();
+        let state = recover_into(&db, &[s]).unwrap();
+        assert_eq!(state.durable_epoch, 4);
+
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        assert_eq!(txn.read(0, b"alpha").unwrap(), Some(b"updated".to_vec()));
+        assert_eq!(txn.read(0, b"beta").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(txn.read(0, b"gone").unwrap(), None);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn apply_fails_without_schema() {
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(1, 1), 5, b"k", Some(b"v")));
+        encode_epoch_marker(&mut s, 2);
+        let db = Database::open(SiloConfig::for_testing());
+        assert!(matches!(
+            recover_into(&db, &[s]),
+            Err(RecoveryError::Apply(_))
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Log output sinks: real files and in-memory buffers.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Destination for log bytes. Each logger thread owns one sink.
+pub trait LogSink {
+    /// Appends `data` to the log.
+    fn append(&mut self, data: &[u8]);
+    /// Makes previously appended data stable (fsync for files).
+    fn sync(&mut self);
+    /// Bytes written so far.
+    fn bytes_written(&self) -> u64;
+}
+
+/// A sink writing to a file, optionally fsyncing on [`LogSink::sync`].
+pub struct FileSink {
+    file: File,
+    path: PathBuf,
+    fsync: bool,
+    written: u64,
+}
+
+impl FileSink {
+    /// Creates (truncates) the log file at `path`.
+    pub fn create(path: PathBuf, fsync: bool) -> Self {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot create log file {}: {e}", path.display()));
+        FileSink {
+            file,
+            path,
+            fsync,
+            written: 0,
+        }
+    }
+
+    /// The path of the log file.
+    #[allow(dead_code)]
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl LogSink for FileSink {
+    fn append(&mut self, data: &[u8]) {
+        self.file
+            .write_all(data)
+            .unwrap_or_else(|e| panic!("log write to {} failed: {e}", self.path.display()));
+        self.written += data.len() as u64;
+    }
+
+    fn sync(&mut self) {
+        self.file
+            .flush()
+            .unwrap_or_else(|e| panic!("log flush failed: {e}"));
+        if self.fsync {
+            self.file
+                .sync_data()
+                .unwrap_or_else(|e| panic!("log fsync failed: {e}"));
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written
+    }
+}
+
+/// A sink appending to a shared in-memory buffer (the `Silo+tmpfs` stand-in).
+pub struct MemorySink {
+    buffer: Arc<Mutex<Vec<u8>>>,
+    written: u64,
+}
+
+impl MemorySink {
+    /// Creates a sink appending to `buffer`.
+    pub fn new(buffer: Arc<Mutex<Vec<u8>>>) -> Self {
+        MemorySink { buffer, written: 0 }
+    }
+}
+
+impl LogSink for MemorySink {
+    fn append(&mut self, data: &[u8]) {
+        self.buffer.lock().extend_from_slice(data);
+        self.written += data.len() as u64;
+    }
+
+    fn sync(&mut self) {}
+
+    fn bytes_written(&self) -> u64 {
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_appends() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut sink = MemorySink::new(Arc::clone(&buf));
+        sink.append(b"hello ");
+        sink.append(b"world");
+        sink.sync();
+        assert_eq!(&*buf.lock(), b"hello world");
+        assert_eq!(sink.bytes_written(), 11);
+    }
+
+    #[test]
+    fn file_sink_writes_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("silo-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink-test.bin");
+        {
+            let mut sink = FileSink::create(path.clone(), false);
+            sink.append(b"0123456789");
+            sink.sync();
+            assert_eq!(sink.bytes_written(), 10);
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+        {
+            let mut sink = FileSink::create(path.clone(), true);
+            sink.append(b"xy");
+            sink.sync();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"xy");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

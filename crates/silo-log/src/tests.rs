@@ -1,0 +1,277 @@
+//! End-to-end durability tests: commit → log → durable epoch → recovery.
+
+use super::*;
+use silo_core::SiloConfig;
+use std::sync::Arc;
+
+fn logged_db(log_config: LogConfig) -> (Arc<Database>, Arc<SiloLogger>) {
+    let db = Database::open(SiloConfig {
+        spawn_epoch_advancer: true,
+        epoch: silo_core::EpochConfig {
+            epoch_interval: Duration::from_millis(2),
+            snapshot_interval_epochs: 5,
+        },
+        ..SiloConfig::for_testing()
+    });
+    let logger = SiloLogger::install(log_config, &db);
+    (db, logger)
+}
+
+#[test]
+fn committed_transactions_become_durable() {
+    let (db, logger) = logged_db(LogConfig::in_memory(2));
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+
+    let mut last_tid = silo_core::Tid::ZERO;
+    for i in 0..50u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("key{i}").as_bytes(), b"value").unwrap();
+        last_tid = txn.commit().unwrap();
+    }
+    // The worker is done; dropping it flushes its buffer and stops it from
+    // holding back the durable epoch.
+    drop(w);
+    // The group-commit property: once the durable epoch passes the commit
+    // epoch, the transaction is recoverable.
+    assert!(
+        logger.wait_for_durable(last_tid.epoch(), Duration::from_secs(5)),
+        "durable epoch never reached {} (currently {})",
+        last_tid.epoch(),
+        logger.durable_epoch()
+    );
+    assert!(logger.is_durable(last_tid));
+    assert!(logger.bytes_published() > 0);
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn durable_epoch_lags_commits_until_logged() {
+    let (db, logger) = logged_db(LogConfig::in_memory(1));
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"k", b"v").unwrap();
+    let tid = txn.commit().unwrap();
+    // Group commit means durability is deferred to an epoch boundary: the
+    // commit's epoch cannot already be durable at the instant commit returns,
+    // because the epoch it belongs to is still open.
+    assert!(logger.durable_epoch() <= tid.epoch());
+    drop(w);
+    assert!(logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)));
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn recovery_restores_exactly_the_durable_prefix() {
+    let (db, logger) = logged_db(LogConfig::in_memory(2));
+    let t = db.create_table("accounts").unwrap();
+    let mut w = db.register_worker();
+
+    for i in 0..100u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("acct{i:03}").as_bytes(), &i.to_be_bytes())
+            .unwrap();
+        txn.commit().unwrap();
+    }
+    let mut txn = w.begin();
+    txn.delete(t, b"acct007").unwrap();
+    let delete_tid = txn.commit().unwrap();
+    drop(w);
+    assert!(logger.wait_for_durable(delete_tid.epoch(), Duration::from_secs(5)));
+    logger.shutdown();
+    let logs = logger.memory_logs();
+    db.stop_epoch_advancer();
+
+    // "Crash": open a fresh database, recreate the schema, replay the logs.
+    let db2 = Database::open(SiloConfig::for_testing());
+    let t2 = db2.create_table("accounts").unwrap();
+    assert_eq!(t2, t, "schema must be recreated with the same table ids");
+    let state = recover_into(&db2, &logs).unwrap();
+    assert!(state.durable_epoch >= delete_tid.epoch());
+    assert!(state.replayed_txns >= 100);
+
+    let mut w2 = db2.register_worker();
+    let mut txn = w2.begin();
+    for i in 0..100u32 {
+        let key = format!("acct{i:03}");
+        let expected = if i == 7 { None } else { Some(i.to_be_bytes().to_vec()) };
+        assert_eq!(txn.read(t2, key.as_bytes()).unwrap(), expected, "acct{i:03}");
+    }
+    txn.commit().unwrap();
+}
+
+#[test]
+fn recovery_ignores_epochs_after_the_durable_horizon() {
+    // Hand-build two logger streams where one logger is behind: the recovered
+    // prefix must respect the *minimum* durable epoch.
+    use record::{encode_epoch_marker, encode_txn};
+    let mut fast = Vec::new();
+    encode_txn(&mut fast, silo_core::Tid::new(2, 1), &[(0, b"a".as_ref(), Some(b"1".as_ref()))], false);
+    encode_txn(&mut fast, silo_core::Tid::new(6, 1), &[(0, b"b".as_ref(), Some(b"2".as_ref()))], false);
+    encode_epoch_marker(&mut fast, 6);
+    let mut slow = Vec::new();
+    encode_txn(&mut slow, silo_core::Tid::new(3, 1), &[(0, b"c".as_ref(), Some(b"3".as_ref()))], false);
+    encode_epoch_marker(&mut slow, 3);
+
+    let db = Database::open(SiloConfig::for_testing());
+    db.create_table("t").unwrap();
+    let state = recover_into(&db, &[fast, slow]).unwrap();
+    assert_eq!(state.durable_epoch, 3);
+
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    assert_eq!(txn.read(0, b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(txn.read(0, b"c").unwrap(), Some(b"3".to_vec()));
+    assert_eq!(
+        txn.read(0, b"b").unwrap(),
+        None,
+        "epoch-6 transaction is beyond the durable horizon and must not be recovered"
+    );
+    txn.commit().unwrap();
+}
+
+#[test]
+fn file_destination_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("silo-log-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let (db, logger) = logged_db(LogConfig::to_directory(&dir, 2));
+        let t = db.create_table("t").unwrap();
+        let mut w = db.register_worker();
+        let mut last = silo_core::Tid::ZERO;
+        for i in 0..40u32 {
+            let mut txn = w.begin();
+            txn.write(t, format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+            last = txn.commit().unwrap();
+        }
+        drop(w);
+        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+        logger.shutdown();
+        db.stop_epoch_advancer();
+    }
+    let state = recovery::scan_directory(&dir).unwrap();
+    assert_eq!(state.latest.len(), 40);
+    let db2 = Database::open(SiloConfig::for_testing());
+    let t2 = db2.create_table("t").unwrap();
+    recovery::apply_recovered(&db2, &state).unwrap();
+    let mut w = db2.register_worker();
+    let mut txn = w.begin();
+    assert_eq!(txn.read(t2, b"k39").unwrap(), Some(b"v39".to_vec()));
+    txn.commit().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn small_records_mode_logs_less_but_recovers_nothing_useful() {
+    let (db, logger) = logged_db(LogConfig {
+        mode: LogMode::SmallRecords,
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut last = silo_core::Tid::ZERO;
+    for i in 0..50u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("key-with-a-long-name-{i}").as_bytes(), &[0u8; 100])
+            .unwrap();
+        last = txn.commit().unwrap();
+    }
+    drop(w);
+    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    logger.shutdown();
+    let small_bytes = logger.bytes_published();
+    db.stop_epoch_advancer();
+
+    let (db_full, logger_full) = logged_db(LogConfig::in_memory(1));
+    let tf = db_full.create_table("t").unwrap();
+    let mut wf = db_full.register_worker();
+    let mut last = silo_core::Tid::ZERO;
+    for i in 0..50u32 {
+        let mut txn = wf.begin();
+        txn.write(tf, format!("key-with-a-long-name-{i}").as_bytes(), &[0u8; 100])
+            .unwrap();
+        last = txn.commit().unwrap();
+    }
+    drop(wf);
+    assert!(logger_full.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    logger_full.shutdown();
+    let full_bytes = logger_full.bytes_published();
+    db_full.stop_epoch_advancer();
+
+    assert!(
+        small_bytes * 4 < full_bytes,
+        "SmallRecords ({small_bytes} B) should be much smaller than FullRecords ({full_bytes} B)"
+    );
+    // And the small-records log carries no key/value data.
+    let state = recovery::scan_streams(&logger.memory_logs()).unwrap();
+    assert!(state.latest.is_empty());
+}
+
+#[test]
+fn compressed_logs_shrink_and_recover_identically() {
+    let make = |compress: bool| {
+        let (db, logger) = logged_db(LogConfig {
+            compress,
+            ..LogConfig::in_memory(1)
+        });
+        let t = db.create_table("t").unwrap();
+        let mut w = db.register_worker();
+        let mut last = silo_core::Tid::ZERO;
+        for i in 0..80u32 {
+            let mut txn = w.begin();
+            // Highly repetitive values, as OLTP records tend to be.
+            let value = format!("warehouse-{:04}-district-{:02}-padding-{}", i % 4, i % 10, "x".repeat(60));
+            txn.write(t, format!("key{i:04}").as_bytes(), value.as_bytes())
+                .unwrap();
+            last = txn.commit().unwrap();
+        }
+        drop(w);
+        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+        logger.shutdown();
+        db.stop_epoch_advancer();
+        let logs = logger.memory_logs();
+        let bytes: usize = logs.iter().map(Vec::len).sum();
+        (logs, bytes)
+    };
+    let (plain_logs, plain_bytes) = make(false);
+    let (comp_logs, comp_bytes) = make(true);
+    assert!(
+        comp_bytes < plain_bytes,
+        "compressed log ({comp_bytes}) should be smaller than plain ({plain_bytes})"
+    );
+
+    let restore = |logs: &[Vec<u8>]| {
+        let db = Database::open(SiloConfig::for_testing());
+        let t = db.create_table("t").unwrap();
+        recover_into(&db, logs).unwrap();
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        let rows = txn.scan(t, b"", None, None).unwrap();
+        txn.commit().unwrap();
+        rows
+    };
+    assert_eq!(restore(&plain_logs), restore(&comp_logs));
+}
+
+#[test]
+fn worker_finish_flushes_partial_buffers() {
+    let (db, logger) = logged_db(LogConfig {
+        buffer_capacity: 1024 * 1024, // never fills by size
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"solo", b"value").unwrap();
+    let tid = txn.commit().unwrap();
+    // Nothing forces the buffer out except the epoch boundary / finish call.
+    use silo_core::CommitHook;
+    logger.on_worker_finish(w.id());
+    assert!(logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)));
+    logger.shutdown();
+    let state = recovery::scan_streams(&logger.memory_logs()).unwrap();
+    assert!(state.latest.contains_key(&(t, b"solo".to_vec())));
+    db.stop_epoch_advancer();
+}

@@ -1,0 +1,270 @@
+//! The multi-threaded benchmark driver (paper §5.1).
+//!
+//! "Each thread combines a database worker with a workload generator. These
+//! threads run within the same process, and share Silo trees in the same
+//! address space. We run each experiment for 60 seconds."
+//!
+//! The driver spawns one thread per requested worker, each of which registers
+//! a [`Worker`] with the database, repeatedly asks the [`Workload`] for one
+//! transaction, and counts commits and aborts. When a [`SiloLogger`] is
+//! supplied, a sample of transactions additionally measures *durable latency*
+//! — the time from the start of the transaction until its epoch becomes
+//! durable — which is what Figure 7 plots.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use silo_core::{Database, Worker, WorkerStats};
+use silo_log::SiloLogger;
+
+/// A workload: produces one transaction per call against the given worker.
+///
+/// Implementations decide the transaction type (e.g. the TPC-C mix) using the
+/// supplied RNG and report whether the transaction committed.
+pub trait Workload: Send + Sync {
+    /// Runs exactly one transaction attempt. Returns `true` on commit,
+    /// `false` on abort.
+    fn run_one(&self, worker: &mut Worker, rng: &mut SmallRng, thread_index: usize) -> bool;
+
+    /// Called once per thread before the measurement loop starts.
+    fn setup_thread(&self, _worker: &mut Worker, _thread_index: usize) {}
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Measured run duration.
+    pub duration: Duration,
+    /// Random seed base (thread `i` uses `seed + i`).
+    pub seed: u64,
+    /// Sample 1-in-N committed transactions for durable-latency measurement
+    /// (0 disables sampling even when a logger is present).
+    pub latency_sample_every: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            threads: 1,
+            duration: Duration::from_secs(1),
+            seed: 0xC0FFEE,
+            latency_sample_every: 64,
+        }
+    }
+}
+
+/// Latency statistics over the sampled transactions, in microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub samples: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: u64,
+    /// Maximum observed latency (µs).
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let sum: u64 = samples.iter().sum();
+        LatencySummary {
+            samples: n as u64,
+            mean_us: sum as f64 / n as f64,
+            p50_us: samples[n / 2],
+            p99_us: samples[((n * 99) / 100).min(n - 1)],
+            max_us: samples[n - 1],
+        }
+    }
+}
+
+/// Result of a driver run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Committed transactions across all threads.
+    pub committed: u64,
+    /// Aborted transaction attempts across all threads.
+    pub aborted: u64,
+    /// Wall-clock duration of the measured run.
+    pub duration: Duration,
+    /// Aggregated engine statistics.
+    pub stats: WorkerStats,
+    /// Durable-latency summary (empty when no logger / sampling disabled).
+    pub latency: LatencySummary,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl RunResult {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.committed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Committed transactions per second per worker thread.
+    pub fn per_core_throughput(&self) -> f64 {
+        self.throughput() / self.threads.max(1) as f64
+    }
+
+    /// Aborts per second.
+    pub fn abort_rate(&self) -> f64 {
+        self.aborted as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// Runs `workload` against `db` with the given configuration.
+///
+/// `logger` enables durable-latency sampling (Figure 7); pass `None` for
+/// MemSilo-style runs.
+pub fn run_workload(
+    db: &Arc<Database>,
+    workload: Arc<dyn Workload>,
+    config: DriverConfig,
+    logger: Option<Arc<SiloLogger>>,
+) -> RunResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start_barrier = Arc::new(std::sync::Barrier::new(config.threads + 1));
+    let mut handles = Vec::new();
+
+    for thread_index in 0..config.threads {
+        let db = Arc::clone(db);
+        let workload = Arc::clone(&workload);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&start_barrier);
+        let logger = logger.clone();
+        let sample_every = config.latency_sample_every;
+        let seed = config.seed + thread_index as u64;
+        handles.push(std::thread::spawn(move || {
+            let mut worker = db.register_worker();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            workload.setup_thread(&mut worker, thread_index);
+            barrier.wait();
+            let mut committed = 0u64;
+            let mut aborted = 0u64;
+            let mut latencies = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let sample = logger.is_some()
+                    && sample_every > 0
+                    && (committed + aborted) % sample_every == 0;
+                let begin = if sample { Some(Instant::now()) } else { None };
+                let ok = workload.run_one(&mut worker, &mut rng, thread_index);
+                if ok {
+                    committed += 1;
+                    if let (Some(begin), Some(logger)) = (begin, logger.as_ref()) {
+                        // Durable (group-commit) latency: wait until the
+                        // transaction's epoch is durable. The commit epoch is
+                        // at most the current global epoch, so waiting for the
+                        // epoch observed right after commit is conservative.
+                        let epoch = db.epochs().global_epoch();
+                        if logger.wait_for_durable(epoch, Duration::from_secs(10)) {
+                            latencies.push(begin.elapsed().as_micros() as u64);
+                        }
+                    }
+                } else {
+                    aborted += 1;
+                }
+            }
+            worker.quiesce();
+            let stats = worker.stats().clone();
+            drop(worker);
+            (committed, aborted, stats, latencies)
+        }));
+    }
+
+    start_barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut committed = 0;
+    let mut aborted = 0;
+    let mut stats = WorkerStats::default();
+    let mut all_latencies = Vec::new();
+    for handle in handles {
+        let (c, a, s, lat) = handle.join().expect("worker thread panicked");
+        committed += c;
+        aborted += a;
+        stats.merge(&s);
+        all_latencies.extend(lat);
+    }
+    let duration = started.elapsed();
+
+    RunResult {
+        committed,
+        aborted,
+        duration,
+        stats,
+        latency: LatencySummary::from_samples(all_latencies),
+        threads: config.threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_core::SiloConfig;
+
+    struct TrivialWorkload {
+        table: silo_core::TableId,
+    }
+
+    impl Workload for TrivialWorkload {
+        fn run_one(&self, worker: &mut Worker, rng: &mut SmallRng, thread: usize) -> bool {
+            use rand::Rng;
+            let key = format!("t{}k{}", thread, rng.gen_range(0..100u32));
+            let mut txn = worker.begin();
+            if txn.write(self.table, key.as_bytes(), b"value").is_err() {
+                txn.abort();
+                return false;
+            }
+            txn.commit().is_ok()
+        }
+    }
+
+    #[test]
+    fn driver_runs_and_counts_commits() {
+        let db = Database::open(SiloConfig {
+            spawn_epoch_advancer: true,
+            ..SiloConfig::for_testing()
+        });
+        let table = db.create_table("t").unwrap();
+        let result = run_workload(
+            &db,
+            Arc::new(TrivialWorkload { table }),
+            DriverConfig {
+                threads: 2,
+                duration: Duration::from_millis(100),
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(result.committed > 0);
+        assert!(result.throughput() > 0.0);
+        assert!(result.per_core_throughput() <= result.throughput());
+        db.stop_epoch_advancer();
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_samples(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.samples, 10);
+        assert_eq!(s.p50_us, 60);
+        assert_eq!(s.max_us, 100);
+        assert!(s.mean_us > 10.0 && s.mean_us < 100.0);
+        let empty = LatencySummary::from_samples(vec![]);
+        assert_eq!(empty.samples, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The **Key-Value** baseline of §5.2: "simply the concurrent B+-tree
+//! underneath Silo", providing single-key gets and puts with no transaction
+//! bookkeeping at all. Figure 4 compares MemSilo against this baseline to
+//! show that the read/write-set tracking of the commit protocol costs almost
+//! nothing.
+
+use std::sync::Arc;
+
+use silo_index::Tree;
+
+/// A non-transactional key-value store over the same concurrent B+-tree used
+/// by the engine. Values are stored out-of-line as leaked byte buffers
+/// reachable from the tree, mirroring how Silo stores records, so that a get
+/// touches the same number of cache lines as an engine read.
+pub struct KeyValueStore {
+    tree: Tree,
+}
+
+impl Default for KeyValueStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct ValueBox {
+    data: Vec<u8>,
+}
+
+impl KeyValueStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KeyValueStore { tree: Tree::new() }
+    }
+
+    /// Creates a store wrapped in an [`Arc`] for sharing across threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Single-key get: copies the current value, if any.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let ptr = self.tree.get(key)?;
+        // SAFETY: values are leaked `ValueBox`es that are never freed while
+        // the store is alive (puts replace the pointer but old boxes are
+        // intentionally retained until drop, exactly so lock-free readers
+        // cannot observe freed memory).
+        let value = unsafe { &*(ptr as *const ValueBox) };
+        Some(value.data.clone())
+    }
+
+    /// Single-key put: inserts or replaces the value.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        let boxed = Box::into_raw(Box::new(ValueBox {
+            data: value.to_vec(),
+        })) as u64;
+        self.tree.upsert(key, boxed);
+    }
+
+    /// Read-modify-write of a single key (the YCSB "update" op in the
+    /// paper's variant): reads the value, applies `f`, writes the result.
+    /// Not atomic — this is the non-transactional baseline.
+    pub fn read_modify_write(&self, key: &[u8], f: impl FnOnce(&mut Vec<u8>)) -> bool {
+        match self.get(key) {
+            Some(mut value) => {
+                f(&mut value);
+                self.put(key, &value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Range scan (ascending), at most `limit` entries.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: Option<usize>) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.tree
+            .scan(start, end, limit)
+            .entries
+            .into_iter()
+            .map(|(k, ptr)| {
+                // SAFETY: as in `get`.
+                let value = unsafe { &*(ptr as *const ValueBox) };
+                (k, value.data.clone())
+            })
+            .collect()
+    }
+}
+
+impl Drop for KeyValueStore {
+    fn drop(&mut self) {
+        // Free the latest value boxes. Superseded boxes from puts over
+        // existing keys are intentionally leaked (the baseline has no epoch
+        // reclamation); benchmark processes are short-lived.
+        for (_, ptr) in self.tree.scan(b"", None, None).entries {
+            // SAFETY: exclusive access in drop; each latest pointer is freed
+            // exactly once.
+            unsafe { drop(Box::from_raw(ptr as *mut ValueBox)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let kv = KeyValueStore::new();
+        assert!(kv.is_empty());
+        kv.put(b"a", b"1");
+        kv.put(b"b", b"2");
+        assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(kv.get(b"b"), Some(b"2".to_vec()));
+        assert_eq!(kv.get(b"c"), None);
+        kv.put(b"a", b"updated");
+        assert_eq!(kv.get(b"a"), Some(b"updated".to_vec()));
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn read_modify_write_applies_closure() {
+        let kv = KeyValueStore::new();
+        kv.put(b"counter", &0u64.to_be_bytes());
+        for _ in 0..10 {
+            kv.read_modify_write(b"counter", |v| {
+                let n = u64::from_be_bytes(v.as_slice().try_into().unwrap());
+                *v = (n + 1).to_be_bytes().to_vec();
+            });
+        }
+        assert_eq!(kv.get(b"counter"), Some(10u64.to_be_bytes().to_vec()));
+        assert!(!kv.read_modify_write(b"missing", |_| {}));
+    }
+
+    #[test]
+    fn scan_is_ordered() {
+        let kv = KeyValueStore::new();
+        for i in (0..50u32).rev() {
+            kv.put(format!("k{:02}", i).as_bytes(), &i.to_be_bytes());
+        }
+        let rows = kv.scan(b"k10", Some(b"k20"), None);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].0, b"k10".to_vec());
+        let limited = kv.scan(b"", None, Some(7));
+        assert_eq!(limited.len(), 7);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        let kv = KeyValueStore::shared();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let kv = Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let key = format!("t{}k{}", t, i);
+                    kv.put(key.as_bytes(), &i.to_be_bytes());
+                    assert_eq!(kv.get(key.as_bytes()), Some(i.to_be_bytes().to_vec()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 2000);
+    }
+}

@@ -1,0 +1,27 @@
+//! # silo-wl — workloads, baselines and the benchmark driver for silo-rs
+//!
+//! Implements everything the paper's evaluation (§5) runs on top of the
+//! engine:
+//!
+//! * [`driver`] — the multi-threaded benchmark driver: per-thread workers,
+//!   fixed-duration runs, throughput / abort / latency accounting (§5.1).
+//! * [`ycsb`] — the paper's YCSB-A variant: 80/20 read / read-modify-write,
+//!   100-byte records, uniform keys (§5.2, §5.6).
+//! * [`keyvalue`] — the Key-Value baseline: the bare concurrent B+-tree with
+//!   no transaction bookkeeping (§5.2).
+//! * [`tpcc`] — a full TPC-C implementation: schema, loaders, all five
+//!   transactions, the standard mix, remote-warehouse and FastIds knobs, and
+//!   an optional per-warehouse physical split (§5.3–§5.5, §5.7).
+//! * [`partitioned`] — the H-Store/VoltDB-style Partitioned-Store baseline:
+//!   per-warehouse partitions protected by whole-partition locks acquired in
+//!   sorted order, no record-level concurrency control (§5.4).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod keyvalue;
+pub mod partitioned;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use driver::{run_workload, DriverConfig, RunResult, Workload};

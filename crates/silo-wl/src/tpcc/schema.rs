@@ -1,0 +1,638 @@
+//! TPC-C schema: key encodings and row (record value) encodings.
+//!
+//! Keys are big-endian compositions of the table's primary-key columns so the
+//! B+-tree's byte order matches the logical order (the property the range
+//! transactions — delivery, order-status, stock-level — rely on). Rows are
+//! fixed-layout binary encodings with length-prefixed strings.
+
+/// The nine TPC-C base tables plus the two secondary indexes Silo maintains
+/// explicitly (§4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpccTable {
+    /// WAREHOUSE
+    Warehouse,
+    /// DISTRICT
+    District,
+    /// CUSTOMER
+    Customer,
+    /// Secondary index: (w, d, last name, c_id) → c_id
+    CustomerNameIndex,
+    /// HISTORY
+    History,
+    /// NEW-ORDER
+    NewOrder,
+    /// ORDER
+    Order,
+    /// Secondary index: (w, d, c_id, o_id) → o_id
+    OrderCustomerIndex,
+    /// ORDER-LINE
+    OrderLine,
+    /// ITEM
+    Item,
+    /// STOCK
+    Stock,
+}
+
+/// All TPC-C tables in declaration order.
+pub const ALL_TABLES: [TpccTable; 11] = [
+    TpccTable::Warehouse,
+    TpccTable::District,
+    TpccTable::Customer,
+    TpccTable::CustomerNameIndex,
+    TpccTable::History,
+    TpccTable::NewOrder,
+    TpccTable::Order,
+    TpccTable::OrderCustomerIndex,
+    TpccTable::OrderLine,
+    TpccTable::Item,
+    TpccTable::Stock,
+];
+
+impl TpccTable {
+    /// Stable name used for catalog table names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TpccTable::Warehouse => "warehouse",
+            TpccTable::District => "district",
+            TpccTable::Customer => "customer",
+            TpccTable::CustomerNameIndex => "customer_name_idx",
+            TpccTable::History => "history",
+            TpccTable::NewOrder => "new_order",
+            TpccTable::Order => "oorder",
+            TpccTable::OrderCustomerIndex => "order_customer_idx",
+            TpccTable::OrderLine => "order_line",
+            TpccTable::Item => "item",
+            TpccTable::Stock => "stock",
+        }
+    }
+
+    /// Index of this table within [`ALL_TABLES`].
+    pub fn index(&self) -> usize {
+        ALL_TABLES.iter().position(|t| t == self).expect("in table list")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key encodings
+// ---------------------------------------------------------------------------
+
+/// WAREHOUSE primary key.
+pub fn warehouse_key(w_id: u32) -> Vec<u8> {
+    w_id.to_be_bytes().to_vec()
+}
+
+/// DISTRICT primary key.
+pub fn district_key(w_id: u32, d_id: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(8);
+    k.extend_from_slice(&w_id.to_be_bytes());
+    k.extend_from_slice(&d_id.to_be_bytes());
+    k
+}
+
+/// CUSTOMER primary key.
+pub fn customer_key(w_id: u32, d_id: u32, c_id: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(12);
+    k.extend_from_slice(&w_id.to_be_bytes());
+    k.extend_from_slice(&d_id.to_be_bytes());
+    k.extend_from_slice(&c_id.to_be_bytes());
+    k
+}
+
+/// CUSTOMER last-name secondary index key.
+pub fn customer_name_key(w_id: u32, d_id: u32, last: &[u8], c_id: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(12 + 16);
+    k.extend_from_slice(&w_id.to_be_bytes());
+    k.extend_from_slice(&d_id.to_be_bytes());
+    let mut padded = [0u8; 16];
+    let n = last.len().min(16);
+    padded[..n].copy_from_slice(&last[..n]);
+    k.extend_from_slice(&padded);
+    k.extend_from_slice(&c_id.to_be_bytes());
+    k
+}
+
+/// Prefix of the CUSTOMER last-name index for a given name.
+pub fn customer_name_prefix(w_id: u32, d_id: u32, last: &[u8]) -> Vec<u8> {
+    let mut k = customer_name_key(w_id, d_id, last, 0);
+    k.truncate(8 + 16);
+    k
+}
+
+/// HISTORY primary key (TPC-C history has no key; a per-insert unique
+/// sequence keeps entries distinct).
+pub fn history_key(w_id: u32, d_id: u32, c_id: u32, seq: u64) -> Vec<u8> {
+    let mut k = customer_key(w_id, d_id, c_id);
+    k.extend_from_slice(&seq.to_be_bytes());
+    k
+}
+
+/// NEW-ORDER primary key.
+pub fn new_order_key(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(12);
+    k.extend_from_slice(&w_id.to_be_bytes());
+    k.extend_from_slice(&d_id.to_be_bytes());
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k
+}
+
+/// Prefix covering every NEW-ORDER row of a district.
+pub fn new_order_district_prefix(w_id: u32, d_id: u32) -> Vec<u8> {
+    district_key(w_id, d_id)
+}
+
+/// ORDER primary key.
+pub fn order_key(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+    new_order_key(w_id, d_id, o_id)
+}
+
+/// ORDER-by-customer secondary index key.
+pub fn order_customer_key(w_id: u32, d_id: u32, c_id: u32, o_id: u32) -> Vec<u8> {
+    let mut k = customer_key(w_id, d_id, c_id);
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k
+}
+
+/// Prefix covering a customer's orders in the secondary index.
+pub fn order_customer_prefix(w_id: u32, d_id: u32, c_id: u32) -> Vec<u8> {
+    customer_key(w_id, d_id, c_id)
+}
+
+/// ORDER-LINE primary key.
+pub fn order_line_key(w_id: u32, d_id: u32, o_id: u32, ol_number: u32) -> Vec<u8> {
+    let mut k = order_key(w_id, d_id, o_id);
+    k.extend_from_slice(&ol_number.to_be_bytes());
+    k
+}
+
+/// Prefix covering every order line of one order.
+pub fn order_line_prefix(w_id: u32, d_id: u32, o_id: u32) -> Vec<u8> {
+    order_key(w_id, d_id, o_id)
+}
+
+/// ITEM primary key.
+pub fn item_key(i_id: u32) -> Vec<u8> {
+    i_id.to_be_bytes().to_vec()
+}
+
+/// STOCK primary key.
+pub fn stock_key(w_id: u32, i_id: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(8);
+    k.extend_from_slice(&w_id.to_be_bytes());
+    k.extend_from_slice(&i_id.to_be_bytes());
+    k
+}
+
+// ---------------------------------------------------------------------------
+// Row encodings
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+    fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.bytes(2).try_into().expect("2 bytes"))
+    }
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.bytes(4).try_into().expect("4 bytes"))
+    }
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.bytes(8).try_into().expect("8 bytes"))
+    }
+    fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.bytes(8).try_into().expect("8 bytes"))
+    }
+    fn string(&mut self) -> String {
+        let len = self.u16() as usize;
+        String::from_utf8_lossy(self.bytes(len)).into_owned()
+    }
+}
+
+macro_rules! row_common {
+    ($name:ident) => {
+        impl $name {
+            /// Decodes a row previously produced by [`Self::encode`].
+            pub fn decode(data: &[u8]) -> Self {
+                Self::read(&mut Reader::new(data))
+            }
+        }
+    };
+}
+
+/// WAREHOUSE row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarehouseRow {
+    /// Warehouse name.
+    pub name: String,
+    /// Sales tax in basis points (e.g. 1250 = 12.5%).
+    pub tax_bp: u32,
+    /// Year-to-date payments in cents.
+    pub ytd_cents: u64,
+}
+
+row_common!(WarehouseRow);
+impl WarehouseRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.tax_bp.to_le_bytes());
+        out.extend_from_slice(&self.ytd_cents.to_le_bytes());
+        put_str(&mut out, &self.name);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        WarehouseRow {
+            tax_bp: r.u32(),
+            ytd_cents: r.u64(),
+            name: r.string(),
+        }
+    }
+}
+
+/// DISTRICT row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrictRow {
+    /// District name.
+    pub name: String,
+    /// Sales tax in basis points.
+    pub tax_bp: u32,
+    /// Year-to-date payments in cents.
+    pub ytd_cents: u64,
+    /// Next order id to assign (`D_NEXT_O_ID`).
+    pub next_o_id: u32,
+}
+
+row_common!(DistrictRow);
+impl DistrictRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.tax_bp.to_le_bytes());
+        out.extend_from_slice(&self.ytd_cents.to_le_bytes());
+        out.extend_from_slice(&self.next_o_id.to_le_bytes());
+        put_str(&mut out, &self.name);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        DistrictRow {
+            tax_bp: r.u32(),
+            ytd_cents: r.u64(),
+            next_o_id: r.u32(),
+            name: r.string(),
+        }
+    }
+}
+
+/// CUSTOMER row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomerRow {
+    /// First name.
+    pub first: String,
+    /// Last name (also indexed by [`customer_name_key`]).
+    pub last: String,
+    /// Balance in cents (may go negative).
+    pub balance_cents: i64,
+    /// Year-to-date payment in cents.
+    pub ytd_payment_cents: u64,
+    /// Number of payments.
+    pub payment_cnt: u32,
+    /// Number of deliveries.
+    pub delivery_cnt: u32,
+    /// Discount in basis points.
+    pub discount_bp: u32,
+    /// Credit flag ("GC" / "BC").
+    pub credit: [u8; 2],
+    /// Miscellaneous data (grown by bad-credit payments).
+    pub data: String,
+}
+
+row_common!(CustomerRow);
+impl CustomerRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(&self.balance_cents.to_le_bytes());
+        out.extend_from_slice(&self.ytd_payment_cents.to_le_bytes());
+        out.extend_from_slice(&self.payment_cnt.to_le_bytes());
+        out.extend_from_slice(&self.delivery_cnt.to_le_bytes());
+        out.extend_from_slice(&self.discount_bp.to_le_bytes());
+        out.extend_from_slice(&self.credit);
+        put_str(&mut out, &self.first);
+        put_str(&mut out, &self.last);
+        put_str(&mut out, &self.data);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        CustomerRow {
+            balance_cents: r.i64(),
+            ytd_payment_cents: r.u64(),
+            payment_cnt: r.u32(),
+            delivery_cnt: r.u32(),
+            discount_bp: r.u32(),
+            credit: r.bytes(2).try_into().expect("2 bytes"),
+            first: r.string(),
+            last: r.string(),
+            data: r.string(),
+        }
+    }
+}
+
+/// HISTORY row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryRow {
+    /// Payment amount in cents.
+    pub amount_cents: u64,
+    /// Event timestamp (microseconds since an arbitrary origin).
+    pub date: u64,
+    /// Free-form data.
+    pub data: String,
+}
+
+row_common!(HistoryRow);
+impl HistoryRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.amount_cents.to_le_bytes());
+        out.extend_from_slice(&self.date.to_le_bytes());
+        put_str(&mut out, &self.data);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        HistoryRow {
+            amount_cents: r.u64(),
+            date: r.u64(),
+            data: r.string(),
+        }
+    }
+}
+
+/// ORDER row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRow {
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Entry timestamp.
+    pub entry_d: u64,
+    /// Carrier id, 0 while undelivered.
+    pub carrier_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+    /// Whether every line is supplied by the home warehouse.
+    pub all_local: bool,
+}
+
+row_common!(OrderRow);
+impl OrderRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.c_id.to_le_bytes());
+        out.extend_from_slice(&self.entry_d.to_le_bytes());
+        out.extend_from_slice(&self.carrier_id.to_le_bytes());
+        out.extend_from_slice(&self.ol_cnt.to_le_bytes());
+        out.push(self.all_local as u8);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        OrderRow {
+            c_id: r.u32(),
+            entry_d: r.u64(),
+            carrier_id: r.u32(),
+            ol_cnt: r.u32(),
+            all_local: r.bytes(1)[0] != 0,
+        }
+    }
+}
+
+/// ORDER-LINE row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderLineRow {
+    /// Item ordered.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w_id: u32,
+    /// Delivery timestamp, 0 while undelivered.
+    pub delivery_d: u64,
+    /// Quantity ordered.
+    pub quantity: u32,
+    /// Line amount in cents.
+    pub amount_cents: u64,
+    /// District information copied from STOCK.
+    pub dist_info: [u8; 24],
+}
+
+row_common!(OrderLineRow);
+impl OrderLineRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(56);
+        out.extend_from_slice(&self.i_id.to_le_bytes());
+        out.extend_from_slice(&self.supply_w_id.to_le_bytes());
+        out.extend_from_slice(&self.delivery_d.to_le_bytes());
+        out.extend_from_slice(&self.quantity.to_le_bytes());
+        out.extend_from_slice(&self.amount_cents.to_le_bytes());
+        out.extend_from_slice(&self.dist_info);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        OrderLineRow {
+            i_id: r.u32(),
+            supply_w_id: r.u32(),
+            delivery_d: r.u64(),
+            quantity: r.u32(),
+            amount_cents: r.u64(),
+            dist_info: r.bytes(24).try_into().expect("24 bytes"),
+        }
+    }
+}
+
+/// ITEM row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemRow {
+    /// Item name.
+    pub name: String,
+    /// Price in cents.
+    pub price_cents: u64,
+    /// Free-form data; contains "ORIGINAL" for some items.
+    pub data: String,
+}
+
+row_common!(ItemRow);
+impl ItemRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.price_cents.to_le_bytes());
+        put_str(&mut out, &self.name);
+        put_str(&mut out, &self.data);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        ItemRow {
+            price_cents: r.u64(),
+            name: r.string(),
+            data: r.string(),
+        }
+    }
+}
+
+/// STOCK row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StockRow {
+    /// Quantity on hand (can dip low; replenished by +91 per TPC-C rules).
+    pub quantity: i32,
+    /// Year-to-date quantity sold.
+    pub ytd: u64,
+    /// Number of orders that touched this stock entry.
+    pub order_cnt: u32,
+    /// Number of remote orders that touched this stock entry.
+    pub remote_cnt: u32,
+    /// District information string.
+    pub dist_info: [u8; 24],
+    /// Free-form data.
+    pub data: String,
+}
+
+row_common!(StockRow);
+impl StockRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(80);
+        out.extend_from_slice(&self.quantity.to_le_bytes());
+        out.extend_from_slice(&self.ytd.to_le_bytes());
+        out.extend_from_slice(&self.order_cnt.to_le_bytes());
+        out.extend_from_slice(&self.remote_cnt.to_le_bytes());
+        out.extend_from_slice(&self.dist_info);
+        put_str(&mut out, &self.data);
+        out
+    }
+    fn read(r: &mut Reader<'_>) -> Self {
+        StockRow {
+            quantity: i32::from_le_bytes(r.bytes(4).try_into().expect("4 bytes")),
+            ytd: r.u64(),
+            order_cnt: r.u32(),
+            remote_cnt: r.u32(),
+            dist_info: r.bytes(24).try_into().expect("24 bytes"),
+            data: r.string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_preserve_component_order() {
+        assert!(district_key(1, 2) < district_key(1, 3));
+        assert!(district_key(1, 10) < district_key(2, 1));
+        assert!(order_line_key(1, 1, 5, 3) < order_line_key(1, 1, 5, 4));
+        assert!(order_line_key(1, 1, 5, 15) < order_line_key(1, 1, 6, 1));
+        assert!(new_order_key(3, 4, 100).starts_with(&new_order_district_prefix(3, 4)));
+        assert!(order_customer_key(1, 2, 3, 9).starts_with(&order_customer_prefix(1, 2, 3)));
+        assert!(customer_name_key(1, 1, b"BARBAR", 7).starts_with(&customer_name_prefix(1, 1, b"BARBAR")));
+        assert!(customer_name_prefix(1, 1, b"BARBAR") < customer_name_prefix(1, 1, b"BARES"));
+    }
+
+    #[test]
+    fn row_roundtrips() {
+        let w = WarehouseRow {
+            name: "W-One".into(),
+            tax_bp: 1850,
+            ytd_cents: 300_000_00,
+        };
+        assert_eq!(WarehouseRow::decode(&w.encode()), w);
+
+        let d = DistrictRow {
+            name: "D-Five".into(),
+            tax_bp: 975,
+            ytd_cents: 30_000_00,
+            next_o_id: 3001,
+        };
+        assert_eq!(DistrictRow::decode(&d.encode()), d);
+
+        let c = CustomerRow {
+            first: "ALICE".into(),
+            last: "BARBARBAR".into(),
+            balance_cents: -1000,
+            ytd_payment_cents: 10_00,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            discount_bp: 500,
+            credit: *b"GC",
+            data: "x".repeat(100),
+        };
+        assert_eq!(CustomerRow::decode(&c.encode()), c);
+
+        let o = OrderRow {
+            c_id: 7,
+            entry_d: 123456,
+            carrier_id: 0,
+            ol_cnt: 11,
+            all_local: true,
+        };
+        assert_eq!(OrderRow::decode(&o.encode()), o);
+
+        let ol = OrderLineRow {
+            i_id: 42,
+            supply_w_id: 3,
+            delivery_d: 0,
+            quantity: 5,
+            amount_cents: 123_45,
+            dist_info: [7u8; 24],
+        };
+        assert_eq!(OrderLineRow::decode(&ol.encode()), ol);
+
+        let item = ItemRow {
+            name: "widget".into(),
+            price_cents: 99_99,
+            data: "ORIGINAL".into(),
+        };
+        assert_eq!(ItemRow::decode(&item.encode()), item);
+
+        let s = StockRow {
+            quantity: 85,
+            ytd: 10,
+            order_cnt: 3,
+            remote_cnt: 1,
+            dist_info: [9u8; 24],
+            data: "stock data".into(),
+        };
+        assert_eq!(StockRow::decode(&s.encode()), s);
+
+        let h = HistoryRow {
+            amount_cents: 4242,
+            date: 999,
+            data: "hist".into(),
+        };
+        assert_eq!(HistoryRow::decode(&h.encode()), h);
+    }
+
+    #[test]
+    fn table_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = ALL_TABLES.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), ALL_TABLES.len());
+        for (i, t) in ALL_TABLES.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # silo — a Rust reproduction of *Speedy Transactions in Multicore
+//! In-Memory Databases* (Silo, SOSP 2013)
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] (`silo-core`) — the engine: records, the epoch-based OCC
+//!   commit protocol, tables, snapshots, garbage collection.
+//! * [`index`] (`silo-index`) — the Masstree-inspired concurrent B+-tree.
+//! * [`epoch`] (`silo-epoch`) — epochs and epoch-based reclamation.
+//! * [`tid`] (`silo-tid`) — transaction ID words.
+//! * [`log`] (`silo-log`) — durability: redo logging, group commit, recovery.
+//! * [`wl`] (`silo-wl`) — workloads (YCSB, TPC-C), baselines and the driver.
+//!
+//! The most commonly used types are re-exported at the crate root.
+//!
+//! ```
+//! use silo::{Database, SiloConfig};
+//!
+//! let db = Database::open(SiloConfig::for_testing());
+//! let table = db.create_table("kv").unwrap();
+//! let mut worker = db.register_worker();
+//! let mut txn = worker.begin();
+//! txn.write(table, b"hello", b"world").unwrap();
+//! txn.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use silo_core as core;
+pub use silo_epoch as epoch;
+pub use silo_index as index;
+pub use silo_log as log;
+pub use silo_tid as tid;
+pub use silo_wl as wl;
+
+pub use silo_core::{
+    Abort, AbortReason, CommitHook, CommitWrite, Database, EpochConfig, SiloConfig, SnapshotTxn,
+    Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
+};
+pub use silo_log::{LogConfig, LogDestination, LogMode, SiloLogger};
