@@ -1,0 +1,189 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API that `benches/microbench.rs`
+//! uses: `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), `bench_function` with a
+//! [`Bencher::iter`] closure, and the `criterion_group!`/`criterion_main!`
+//! macros. It measures wall-clock time with `std::time::Instant` and prints
+//! a mean-per-iteration line per benchmark. There is no statistical
+//! analysis, plotting, or baseline comparison — the goal is that the bench
+//! target compiles and produces useful ballpark numbers offline.
+//!
+//! Runtime is deliberately bounded (a fraction of the configured
+//! measurement time, with an iteration cap) so the target also finishes
+//! quickly when `cargo test` executes it.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement types (wall-clock only in this shim).
+
+    /// Wall-clock time measurement marker.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            _criterion: PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Measures `f` and prints the mean time per iteration.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.measurement_time / 4,
+            warm_up: self.warm_up_time / 4,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!(
+            "{}/{:<40} {:>12.1} ns/iter ({} iters)",
+            self.name, id, mean_ns, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly under a wall-clock budget, recording total time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const MAX_ITERS: u64 = 100_000;
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline && warm_iters < MAX_ITERS {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let start = Instant::now();
+        let deadline = start + self.budget;
+        let mut iters = 0u64;
+        while Instant::now() < deadline && iters < MAX_ITERS {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        // Always run at least once so setup mistakes surface.
+        if iters == 0 {
+            std::hint::black_box(f());
+            iters = 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Prevents the optimizer from discarding `value` (re-export of the std hint).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(4));
+        let mut calls = 0u64;
+        group.bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

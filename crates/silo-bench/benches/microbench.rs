@@ -4,6 +4,8 @@
 //! harness binaries (`src/bin/fig*.rs`), which regenerate the paper's
 //! experiments themselves.
 
+#![allow(clippy::type_complexity)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -46,6 +46,9 @@
 //! in `silo-epoch`, TIDs in `silo-tid`, and durability in `silo-log`.
 
 #![warn(missing_docs)]
+// Raw key/value byte tuples are part of this crate's vocabulary; aliasing
+// them away would obscure more than it clarifies.
+#![allow(clippy::type_complexity)]
 
 pub mod config;
 pub mod database;

@@ -221,7 +221,7 @@ impl Drop for Record {
             // SAFETY: `buf` was allocated in `allocate` as a boxed slice of
             // length `cap` and is owned by this record.
             unsafe {
-                drop(Box::from_raw(std::slice::from_raw_parts_mut(
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
                     self.buf, self.cap,
                 )));
             }

@@ -414,7 +414,7 @@ impl<'w> Txn<'w> {
                     });
                     return Ok(());
                 }
-                return Err(self.poison(AbortReason::DuplicateKey));
+                Err(self.poison(AbortReason::DuplicateKey))
             }
             InsertOutcome::Inserted { node_changes } => {
                 self.apply_node_set_fixup(table_id, &node_changes)?;

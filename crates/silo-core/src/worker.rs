@@ -197,6 +197,12 @@ impl Worker {
         if !self.db.config().enable_gc {
             return;
         }
+        // Pin the current epoch for the duration of the collection: the
+        // unhook path reads tree state and record words, which is only safe
+        // while this worker is non-quiescent (otherwise another worker's
+        // reclamation could free them mid-inspection). `begin` refreshes
+        // again afterwards, so the pin never lingers past the boundary.
+        self.epoch.refresh();
         let snapshot_reclaim = self.db.epochs().snapshot_reclamation_epoch();
         let tree_reclaim = self.db.epochs().tree_reclamation_epoch();
         let current_epoch = self.db.epochs().global_epoch();
@@ -244,11 +250,18 @@ impl Worker {
     /// epoch. If it was superseded by a later insert, do nothing — the
     /// inserting transaction reused the record.
     ///
-    /// The check-and-unhook runs under the record's lock bit so that it
-    /// cannot interleave with a committing transaction that is reviving the
-    /// absent record (insert over a deleted key): either we lock first —
-    /// then we also clear the latest bit, so the reviver's Phase 2 aborts —
-    /// or the reviver locks first and we simply skip the cleanup this round.
+    /// The record pointer carried by an `Unhook` entry must **not** be
+    /// dereferenced before it is validated through the index: a concurrent
+    /// insert may have revived the absent record and a later update may have
+    /// superseded it, in which case the superseding transaction owns its
+    /// reclamation and may already have freed (or recycled) the memory. So
+    /// the check order is: (1) the index still maps `key` to this exact
+    /// record — our non-quiescent epoch pin then guarantees the record is
+    /// alive, because any supersession after the lookup defers reclamation
+    /// past our pin; (2) the record's lock bit is acquired; (3) the word is
+    /// still latest + absent. Only then is the key unhooked. Either we lock
+    /// first — then we also clear the latest bit, so a reviver's Phase 2
+    /// aborts — or the reviver locks first and we skip this round.
     fn unhook_deleted_key(
         &mut self,
         table_id: TableId,
@@ -256,8 +269,20 @@ impl Worker {
         record: RecordPtr,
         current_epoch: u64,
     ) {
-        // SAFETY: the record is reachable from the tree (or was, before a
-        // superseding insert); either way it has not been freed.
+        let table_ptr = self.table_ptr(table_id);
+        // SAFETY: the table cache keeps the Arc alive for the worker's
+        // lifetime.
+        let table = unsafe { &*table_ptr };
+        let (value, _, _) = table.tree().get_tracked(&key);
+        if value != Some(record.0 as u64) {
+            // The key no longer maps to this record (or is gone entirely): a
+            // later insert superseded it, and that transaction's garbage
+            // registration owns the record now. The pointer may dangle —
+            // do not touch it.
+            return;
+        }
+        // SAFETY: the index maps `key` to this record and our epoch pin is
+        // non-quiescent, so the record cannot have been reclaimed.
         let tid = unsafe { (*record.0).tid() };
         if !tid.try_lock() {
             // A committing transaction holds the record; try again at the
@@ -268,8 +293,8 @@ impl Worker {
         }
         let word = tid.load();
         if !word.is_latest() || !word.is_absent() {
-            // Superseded by a later insert: the superseding transaction owns
-            // the record's reclamation now.
+            // Revived by a later insert (still the index head, so it is the
+            // live record): nothing to clean up.
             tid.unlock();
             return;
         }
@@ -277,19 +302,12 @@ impl Worker {
         // transaction that still holds a pointer to it fails validation.
         tid.store_and_unlock(word.with_latest(false).with_locked(false));
 
-        let table_ptr = self.table_ptr(table_id);
-        // SAFETY: the table cache keeps the Arc alive for the worker's
-        // lifetime.
-        let table = unsafe { &*table_ptr };
-        // Only remove the key if it still maps to this very record: a
-        // concurrent update may have installed a newer version.
-        if let (Some(value), _, _) = table.tree().get_tracked(&key) {
-            if value == record.0 as u64 {
-                if let Some(removed) = table.tree().remove(&key) {
-                    self.tree_garbage
-                        .push(current_epoch, Garbage::TreeKey(removed));
-                }
-            }
+        // Holding the record's lock (and having cleared `latest`) excludes
+        // every path that replaces the index value (`install_new_version`
+        // runs under the old record's lock), so the mapping is still ours.
+        if let Some(removed) = table.tree().remove(&key) {
+            self.tree_garbage
+                .push(current_epoch, Garbage::TreeKey(removed));
         }
         self.tree_garbage
             .push(current_epoch, Garbage::Record(record));

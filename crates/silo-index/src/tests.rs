@@ -361,13 +361,10 @@ fn concurrent_readers_during_inserts_see_only_valid_values() {
             let mut observed = 0u64;
             while !stop.load(AO::Relaxed) {
                 for i in (0..n).step_by(97) {
-                    match t.get(&key(i)) {
-                        // Values are always key index + 1000.
-                        Some(v) => {
-                            assert_eq!(v, i + 1000);
-                            observed += 1;
-                        }
-                        None => {}
+                    // Values are always key index + 1000.
+                    if let Some(v) = t.get(&key(i)) {
+                        assert_eq!(v, i + 1000);
+                        observed += 1;
                     }
                 }
             }

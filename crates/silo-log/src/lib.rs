@@ -27,6 +27,9 @@
 //! in-memory sink that stands in for the paper's `Silo+tmpfs` configuration.
 
 #![warn(missing_docs)]
+// Raw key/value byte tuples are part of this crate's vocabulary; aliasing
+// them away would obscure more than it clarifies.
+#![allow(clippy::type_complexity)]
 
 pub mod compress;
 pub mod record;
@@ -137,6 +140,13 @@ struct WorkerLogState {
     /// Epoch of the first record in the current buffer (for epoch-boundary
     /// publishing).
     buffer_epoch: AtomicU64,
+    /// Epoch of the records currently sitting *unpublished* in `buffer`, or
+    /// zero when the buffer is empty. This — not `ctid` — is what bounds the
+    /// durable epoch: a worker whose buffer is empty has published everything
+    /// it ever committed, so it must not pin the durable epoch at its last
+    /// commit (that would deadlock a worker that blocks waiting for its own
+    /// transaction to become durable, as the group-commit latency probes do).
+    pending_epoch: AtomicU64,
     /// The worker has finished: its buffer was flushed and it will not commit
     /// again, so it no longer holds the durable epoch back.
     finished: AtomicBool,
@@ -148,6 +158,7 @@ impl WorkerLogState {
             buffer: Mutex::new(Vec::new()),
             ctid: CachePadded::new(AtomicU64::new(0)),
             buffer_epoch: AtomicU64::new(0),
+            pending_epoch: AtomicU64::new(0),
             finished: AtomicBool::new(false),
         }
     }
@@ -382,9 +393,15 @@ impl CommitHook for SiloLogger {
         if buffer.len() >= shared.config.buffer_capacity {
             shared.publish(worker_id, &mut buffer);
         }
+        // Record what is still unpublished (all records in a buffer share one
+        // epoch, see the epoch-boundary publish above) while the buffer lock
+        // is held, so the logger always observes a coherent pair.
+        state.pending_epoch.store(
+            if buffer.is_empty() { 0 } else { tid.epoch() },
+            Ordering::Release,
+        );
         drop(buffer);
-        // Publish ctid_w after the buffer (paper ordering): the logger only
-        // treats epochs ≤ epoch(min ctid_w) − 1 as complete.
+        // Publish ctid_w after the buffer (paper ordering).
         state.ctid.store(tid.raw(), Ordering::Release);
     }
 
@@ -395,6 +412,7 @@ impl CommitHook for SiloLogger {
         let state = &self.shared.workers[worker_id];
         let mut buffer = state.buffer.lock();
         self.shared.publish(worker_id, &mut buffer);
+        state.pending_epoch.store(0, Ordering::Release);
         drop(buffer);
         state.finished.store(true, Ordering::Release);
     }
@@ -422,44 +440,77 @@ fn logger_thread(
     loop {
         let stopping = stop.load(Ordering::Acquire);
 
-        // Compute t = min ctid_w over this logger's *active* workers (those
-        // that have committed at least once and have not finished), then
-        // d = epoch(t) − 1. Finished workers flushed all their buffers, so
-        // everything they committed is already on its way to the sink and
-        // they no longer bound the durable epoch.
-        let mut min_active_ctid: Option<u64> = None;
-        let mut max_finished_ctid: u64 = 0;
+        // Compute this logger's durable bound d over its *active* (not
+        // finished) workers. A worker constrains d only through data that is
+        // not yet on its way to the sink:
+        //
+        // * A non-empty worker buffer holds unpublished records of exactly
+        //   one epoch `b` (buffers are published at epoch boundaries), so
+        //   that worker bounds d ≤ b − 1.
+        // * An empty buffer means everything the worker ever committed has
+        //   been published. Its only unpublished data is a commit still in
+        //   flight, whose epoch is ≥ E − 1 (the worker's local epoch pins
+        //   the global epoch within one step), so the worker bounds
+        //   d ≤ E − 2. Crucially this keeps advancing while the worker is
+        //   idle — or parked inside `wait_for_durable` for its own
+        //   transaction, which would deadlock if its stale ctid were the
+        //   bound.
+        //
+        // Finished workers flushed all their buffers and will not commit
+        // again, so they impose no bound at all.
+        let e_now = epochs.global_epoch();
+        let mut min_bound: Option<u64> = None;
         for (wid, state) in shared.workers.iter().enumerate() {
             if wid % num_loggers != logger_index {
                 continue;
             }
-            let raw = state.ctid.load(Ordering::Acquire);
-            if raw == 0 {
+            if state.finished.load(Ordering::Acquire) {
                 continue;
             }
-            if state.finished.load(Ordering::Acquire) {
-                max_finished_ctid = max_finished_ctid.max(raw);
-            } else {
-                min_active_ctid = Some(match min_active_ctid {
-                    Some(m) => m.min(raw),
-                    None => raw,
-                });
+            let mut pending = state.pending_epoch.load(Ordering::Acquire);
+            if pending != 0 && pending < e_now {
+                // The worker has a partial buffer from a *past* epoch. It
+                // only publishes on its next commit or on finish, so if it
+                // went idle (or parked in `wait_for_durable`), that buffer
+                // would hold the durable epoch back forever. Steal-publish it
+                // here; commits only ever append complete records, so the
+                // buffer is always safe to ship.
+                let mut buffer = state.buffer.lock();
+                if !buffer.is_empty() && state.buffer_epoch.load(Ordering::Relaxed) < e_now {
+                    shared.publish(wid, &mut buffer);
+                    state.pending_epoch.store(0, Ordering::Release);
+                }
+                drop(buffer);
+                pending = state.pending_epoch.load(Ordering::Acquire);
             }
+            let ctid = state.ctid.load(Ordering::Acquire);
+            if pending == 0 && ctid == 0 {
+                // Untouched worker slot (never committed): imposes no bound.
+                // (A first commit that is in flight right now can land in
+                // epoch E − 1; the `None` fallback below can declare E − 1
+                // durable a poll round early in that window. This matches the
+                // paper's accounting, which also only sees published state.)
+                continue;
+            }
+            let bound = if pending != 0 {
+                pending.saturating_sub(1)
+            } else {
+                e_now.saturating_sub(2)
+            };
+            min_bound = Some(match min_bound {
+                Some(m) => m.min(bound),
+                None => bound,
+            });
         }
-        let local_durable = match min_active_ctid {
-            Some(raw) => Tid::from_raw(raw).epoch().saturating_sub(1),
-            // No active worker: every committed transaction routed to this
-            // logger has been published, so every epoch up to (one before)
-            // the current global epoch is complete from its point of view.
-            // A worker that registers later can only commit in the current
-            // or a later epoch, so this never declares an unlogged
-            // transaction durable. The same bound applies when nothing was
-            // ever committed through this logger, so an idle logger does not
-            // hold the durable epoch at zero forever.
-            None => epochs
-                .global_epoch()
-                .saturating_sub(1)
-                .max(Tid::from_raw(max_finished_ctid).epoch()),
+        let local_durable = match min_bound {
+            Some(bound) => bound,
+            // Every worker routed to this logger has finished: all their
+            // commits are published. A worker that registers later can still
+            // commit in the *current* epoch, so only epochs strictly before
+            // it may be declared durable — never `e_now` itself, even when a
+            // finished worker's last commit lies there (that commit is on
+            // disk, but a new unpublished commit could share its epoch).
+            None => e_now.saturating_sub(1),
         };
 
         // Drain published buffers and append them to the log.

@@ -133,7 +133,7 @@ pub fn scan_directory(dir: &Path) -> Result<RecoveredState, RecoveryError> {
     for path in entries {
         streams.push(std::fs::read(path)?);
     }
-    Ok(scan_streams(&streams)?)
+    scan_streams(&streams)
 }
 
 /// Applies a recovered state to a freshly opened database whose tables have

@@ -168,7 +168,14 @@ pub fn run_workload(
                         // transaction's epoch is durable. The commit epoch is
                         // at most the current global epoch, so waiting for the
                         // epoch observed right after commit is conservative.
+                        //
+                        // Quiesce while parked: the worker holds no shared
+                        // references between transactions, and keeping its
+                        // epoch pin here would stop the global epoch (E −
+                        // e_w ≤ 1) — and with it the durable epoch the wait
+                        // is watching — from ever advancing.
                         let epoch = db.epochs().global_epoch();
+                        worker.quiesce();
                         if logger.wait_for_durable(epoch, Duration::from_secs(10)) {
                             latencies.push(begin.elapsed().as_micros() as u64);
                         }

@@ -375,7 +375,7 @@ fn load_warehouse(
     let warehouse = WarehouseRow {
         name: format!("wh-{w}"),
         tax_bp: rng.gen_range(0..=2000),
-        ytd_cents: 300_000_00,
+        ytd_cents: 30_000_000,
     };
     put!(tables.id(TpccTable::Warehouse, w), warehouse_key(w), warehouse.encode());
 
@@ -396,7 +396,7 @@ fn load_warehouse(
         let district = DistrictRow {
             name: format!("dist-{w}-{d}"),
             tax_bp: rng.gen_range(0..=2000),
-            ytd_cents: 30_000_00,
+            ytd_cents: 3_000_000,
             next_o_id: config.initial_orders_per_district + 1,
         };
         put!(tables.id(TpccTable::District, w), district_key(w, d), district.encode());
@@ -427,7 +427,7 @@ fn load_warehouse(
             put!(
                 tables.id(TpccTable::CustomerNameIndex, w),
                 customer_name_key(w, d, last.as_bytes(), c),
-                c.to_le_bytes().to_vec()
+                c.to_le_bytes()
             );
             let history = HistoryRow {
                 amount_cents: 10_00,
@@ -464,7 +464,7 @@ fn load_warehouse(
             put!(
                 tables.id(TpccTable::OrderCustomerIndex, w),
                 order_customer_key(w, d, c_id, o),
-                o.to_le_bytes().to_vec()
+                o.to_le_bytes()
             );
             if !delivered {
                 put!(

@@ -557,14 +557,14 @@ mod tests {
         let w = WarehouseRow {
             name: "W-One".into(),
             tax_bp: 1850,
-            ytd_cents: 300_000_00,
+            ytd_cents: 30_000_000,
         };
         assert_eq!(WarehouseRow::decode(&w.encode()), w);
 
         let d = DistrictRow {
             name: "D-Five".into(),
             tax_bp: 975,
-            ytd_cents: 30_000_00,
+            ytd_cents: 3_000_000,
             next_o_id: 3001,
         };
         assert_eq!(DistrictRow::decode(&d.encode()), d);
@@ -596,7 +596,7 @@ mod tests {
             supply_w_id: 3,
             delivery_d: 0,
             quantity: 5,
-            amount_cents: 123_45,
+            amount_cents: 12_345,
             dist_info: [7u8; 24],
         };
         assert_eq!(OrderLineRow::decode(&ol.encode()), ol);

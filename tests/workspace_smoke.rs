@@ -1,0 +1,118 @@
+//! Workspace smoke test: opens a `Database` through the facade crate, runs a
+//! multi-worker commit loop, and checks that `WorkerStats` abort accounting
+//! is internally consistent. This is the first test a fresh checkout should
+//! run — it exercises every layer (epochs, index, engine, stats) without
+//! depending on workload crates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use silo::{Database, EpochConfig, SiloConfig, WorkerStats};
+
+#[test]
+fn multi_worker_commit_loop_with_consistent_stats() {
+    let db = Database::open(SiloConfig {
+        epoch: EpochConfig {
+            epoch_interval: Duration::from_millis(2),
+            snapshot_interval_epochs: 4,
+        },
+        ..SiloConfig::default()
+    });
+    let table = db.create_table("smoke").unwrap();
+
+    const THREADS: usize = 4;
+    const TXNS_PER_THREAD: u64 = 500;
+    // All threads hammer a small shared key space plus one private key each,
+    // so the run produces both contended (abort-prone) and uncontended
+    // commits.
+    let total_committed = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let db = Arc::clone(&db);
+        let total_committed = Arc::clone(&total_committed);
+        handles.push(std::thread::spawn(move || -> WorkerStats {
+            let mut worker = db.register_worker();
+            let mut committed = 0u64;
+            let mut aborted = 0u64;
+            for i in 0..TXNS_PER_THREAD {
+                let mut txn = worker.begin();
+                let shared_key = format!("shared-{}", i % 8);
+                let private_key = format!("private-{t}");
+                let result = (|| {
+                    let prev = txn.read(table, shared_key.as_bytes())?;
+                    let counter = prev
+                        .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                        .unwrap_or(0);
+                    txn.write(table, shared_key.as_bytes(), &(counter + 1).to_le_bytes())?;
+                    txn.write(table, private_key.as_bytes(), &i.to_le_bytes())?;
+                    Ok::<(), silo::Abort>(())
+                })();
+                let outcome = match result {
+                    Ok(()) => txn.commit().map(|_| ()),
+                    Err(e) => {
+                        txn.abort();
+                        Err(e)
+                    }
+                };
+                match outcome {
+                    Ok(()) => committed += 1,
+                    Err(_) => aborted += 1,
+                }
+            }
+            total_committed.fetch_add(committed, Ordering::Relaxed);
+            let stats = worker.stats().clone();
+
+            // Per-worker accounting must match what this thread observed.
+            assert_eq!(stats.commits, committed, "commit counter mismatch");
+            assert_eq!(stats.aborts, aborted, "abort counter mismatch");
+            // Every abort must be attributed to exactly one reason.
+            assert_eq!(
+                stats.abort_reasons.total(),
+                stats.aborts,
+                "abort breakdown must sum to the abort count: {:?}",
+                stats.abort_reasons
+            );
+            stats
+        }));
+    }
+
+    let mut merged = WorkerStats::default();
+    for handle in handles {
+        merged.merge(&handle.join().expect("worker thread panicked"));
+    }
+    db.stop_epoch_advancer();
+
+    // Aggregate accounting: merge must be additive and match the cross-thread
+    // commit total.
+    assert_eq!(merged.commits, total_committed.load(Ordering::Relaxed));
+    assert_eq!(merged.commits + merged.aborts, (THREADS as u64) * TXNS_PER_THREAD);
+    assert_eq!(merged.abort_reasons.total(), merged.aborts);
+
+    // The committed state must reflect exactly `commits` successful
+    // read-modify-write increments over the shared keys plus one private key
+    // per thread.
+    let mut worker = db.register_worker();
+    let mut txn = worker.begin();
+    let mut shared_sum = 0u64;
+    for i in 0..8 {
+        let key = format!("shared-{i}");
+        if let Some(v) = txn.read(table, key.as_bytes()).unwrap() {
+            shared_sum += u64::from_le_bytes(v.try_into().unwrap());
+        }
+    }
+    let shared_writes = merged.commits;
+    assert_eq!(
+        shared_sum, shared_writes,
+        "each committed transaction increments exactly one shared counter"
+    );
+    for t in 0..THREADS {
+        let key = format!("private-{t}");
+        assert!(
+            txn.read(table, key.as_bytes()).unwrap().is_some(),
+            "every thread committed at least once"
+        );
+    }
+    txn.commit().unwrap();
+}
