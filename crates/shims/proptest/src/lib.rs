@@ -414,7 +414,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality assertion counterpart of [`prop_assert!`].
+/// Equality assertion counterpart of [`prop_assert!`]. Accepts an optional
+/// trailing format message, as the real crate does.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -426,9 +427,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right, format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
-/// Inequality assertion counterpart of [`prop_assert!`].
+/// Inequality assertion counterpart of [`prop_assert!`]. Accepts an optional
+/// trailing format message, as the real crate does.
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
@@ -437,6 +448,15 @@ macro_rules! prop_assert_ne {
             return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{:?}` == `{:?}`",
                 left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right, format!($($fmt)+)
             )));
         }
     }};

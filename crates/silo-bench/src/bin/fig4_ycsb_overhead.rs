@@ -18,7 +18,7 @@ fn main() {
         ..Default::default()
     };
     println!("# Figure 4 — YCSB variant, {} keys, {}s per point", keys, bench_seconds().as_secs());
-    println!("# series                 threads     throughput        per-core      aborts");
+    println!("# series                 threads     throughput        per-core      aborts      allocs/txn aborts/txn");
 
     for &t in &threads {
         // Key-Value: the bare concurrent B+-tree.

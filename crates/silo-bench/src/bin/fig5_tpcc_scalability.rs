@@ -16,7 +16,7 @@ fn main() {
         "# Figures 5 & 6 — TPC-C standard mix, warehouses = workers, scale {scale}, {}s per point",
         bench_seconds().as_secs()
     );
-    println!("# series                 threads     throughput        per-core      aborts");
+    println!("# series                 threads     throughput        per-core      aborts      allocs/txn aborts/txn");
 
     for &t in &threads {
         let db = open_memsilo();

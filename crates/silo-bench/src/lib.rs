@@ -23,18 +23,29 @@ use silo_core::{Database, SiloConfig};
 use silo_wl::driver::{DriverConfig, RunResult};
 use silo_wl::partitioned::{PartitionedStats, PartitionedStore};
 
-/// A global allocator wrapper that tracks live and peak allocated bytes, used
-/// by the §5.6 space-overhead experiment.
+/// A global allocator wrapper that tracks live and peak allocated bytes
+/// (used by the §5.6 space-overhead experiment) plus a per-thread allocation
+/// *count* (used by the zero-allocation hot-path test: counting only the
+/// current thread isolates the measured worker from background threads).
 pub struct CountingAllocator;
 
 static ALLOCATED: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Const-initialized so reading it from inside the allocator never
+    // recursively allocates.
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 // SAFETY: delegates to the system allocator; the bookkeeping is lock-free.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let now = ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
         PEAK.fetch_max(now, Ordering::Relaxed);
+        // `with` may fail during thread teardown; allocation counting is
+        // best-effort there.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
         // SAFETY: forwarded to the system allocator with the same layout.
         unsafe { System.alloc(layout) }
     }
@@ -60,6 +71,12 @@ impl CountingAllocator {
     /// Resets the peak to the current allocation level.
     pub fn reset_peak() {
         PEAK.store(ALLOCATED.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of heap allocations made by the *calling* thread since it
+    /// started (only counted while this is the `#[global_allocator]`).
+    pub fn thread_allocs() -> u64 {
+        THREAD_ALLOCS.with(|c| c.get())
     }
 }
 
@@ -116,13 +133,17 @@ pub fn open_memsilo() -> Arc<Database> {
     Database::open(memsilo_config())
 }
 
-/// Prints a standard result row.
+/// Prints a standard result row, including the engine's allocator discipline
+/// (global-allocator hits per committed transaction — 0 once pools and
+/// arenas are warm) and the abort ratio.
 pub fn print_row(series: &str, x: impl std::fmt::Display, result: &RunResult) {
     println!(
-        "{series:<24} {x:>8} {:>14.0} txn/s {:>12.0} txn/s/core {:>10.0} aborts/s",
+        "{series:<24} {x:>8} {:>14.0} txn/s {:>12.0} txn/s/core {:>10.0} aborts/s {:>9.4} allocs/txn {:>9.5} aborts/txn",
         result.throughput(),
         result.per_core_throughput(),
-        result.abort_rate()
+        result.abort_rate(),
+        result.stats.allocs_per_txn(),
+        result.stats.aborts_per_txn(),
     );
 }
 

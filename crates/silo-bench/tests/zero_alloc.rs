@@ -1,0 +1,117 @@
+//! The allocation-free hot path, enforced: a warmed-up worker must commit
+//! YCSB-style read/write transactions with **zero** heap allocations.
+//!
+//! The whole test binary runs under [`CountingAllocator`], which counts
+//! per-thread allocations; the measured section asserts the count does not
+//! move. This is the guard rail for the reusable `TxnContext`, the write-set
+//! arena, the record pool and the in-place overwrite path — a regression in
+//! any of them (a stray `to_vec`, a stable sort, a fresh `Vec` per begin)
+//! fails this test rather than only showing up as a throughput dip.
+
+use std::time::Duration;
+
+use silo_bench::CountingAllocator;
+use silo_core::{Database, EpochConfig, SiloConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Number of keys the workload cycles through.
+const KEYS: u64 = 64;
+/// YCSB record payload size (paper: 100 bytes).
+const RECORD_SIZE: usize = 100;
+
+fn key(i: u64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(b"usertbl:");
+    k[8..].copy_from_slice(&(i % KEYS).to_be_bytes());
+    k
+}
+
+#[test]
+fn warmed_worker_commits_without_heap_allocation() {
+    let db = Database::open(SiloConfig {
+        epoch: EpochConfig {
+            epoch_interval: Duration::from_millis(1),
+            snapshot_interval_epochs: 5,
+        },
+        // Deterministic epochs: advanced manually during warm-up only, so
+        // every measured write lands in the same snapshot interval and takes
+        // the in-place overwrite path.
+        spawn_epoch_advancer: false,
+        // GC runs only when invoked explicitly below; the measured section
+        // must not depend on how much garbage happens to be ready.
+        gc_interval_txns: u64::MAX,
+        ..SiloConfig::default()
+    });
+    let table = db.create_table("ycsb").unwrap();
+    let mut worker = db.register_worker();
+
+    // ---- Warm-up ----------------------------------------------------
+    // Load the keys, then churn: updates feed superseded versions through
+    // epoch advances + GC into the worker's record pool, and size every
+    // reusable buffer (context vectors, arena chunk, scratch, value buffer).
+    let mut value = vec![0u8; RECORD_SIZE];
+    for i in 0..KEYS {
+        let mut txn = worker.begin();
+        value.fill(i as u8);
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+    for round in 0..8u64 {
+        for i in 0..KEYS {
+            let mut txn = worker.begin();
+            txn.read_into(table, &key(i + 1), &mut value).unwrap();
+            value.fill(round as u8);
+            txn.write(table, &key(i), &value).unwrap();
+            txn.commit().unwrap();
+        }
+        worker.quiesce();
+        db.epochs().advance_n(2);
+        worker.collect_garbage();
+    }
+    // A final pass *after* the last epoch advance so every record's TID is
+    // in the current snapshot interval (measured writes overwrite in place).
+    for i in 0..KEYS {
+        let mut txn = worker.begin();
+        value.fill(0xAB);
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+
+    // Guard against a vacuous pass: warm-up must have been counted (loading
+    // the table allocates records), or the allocator is not actually wired.
+    assert!(
+        CountingAllocator::thread_allocs() > 0,
+        "counting allocator saw no warm-up allocations — not installed?"
+    );
+
+    // ---- Measure ----------------------------------------------------
+    // YCSB-style transactions: one read plus one read-modify-write per txn.
+    let mut read_buf = vec![0u8; RECORD_SIZE];
+    let before = CountingAllocator::thread_allocs();
+    for i in 0..200u64 {
+        let mut txn = worker.begin();
+        let found = txn.read_into(table, &key(i + 7), &mut read_buf).unwrap();
+        assert!(found, "warm key must be present");
+        txn.read_into(table, &key(i), &mut value).unwrap();
+        for b in value.iter_mut() {
+            *b = b.wrapping_add(1);
+        }
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+    let allocs = CountingAllocator::thread_allocs() - before;
+
+    assert_eq!(
+        allocs, 0,
+        "a warmed worker must commit read/write transactions without touching \
+         the heap; {allocs} allocation(s) leaked into the hot path"
+    );
+
+    // The engine's own accounting should agree that the measured section
+    // allocated nothing: pool misses and arena chunks all date from warm-up.
+    let stats = worker.stats();
+    assert!(stats.commits >= KEYS * 10);
+    assert_eq!(stats.aborts, 0);
+}

@@ -1,0 +1,241 @@
+//! Per-worker bump arena for transaction-lifetime byte data.
+//!
+//! Silo's hot path must not touch the global allocator (paper §4.8: workers
+//! run on per-core memory pools; Larson et al. make the same point for
+//! main-memory engines generally). The write-set needs a copy of every key
+//! and value the transaction writes — those copies live here. An [`Arena`]
+//! bump-allocates out of a small set of fixed-size chunks; the chunks are
+//! retained across transactions, so once a worker has seen its largest
+//! transaction the arena never allocates again: `reset` just rewinds the
+//! bump cursor.
+//!
+//! Chunks are individually boxed and never reallocated or moved while in
+//! use, so an [`ArenaSlice`] handed out by [`Arena::alloc`] stays valid until
+//! the next [`Arena::reset`] — which the transaction layer only calls after
+//! commit or abort has finished with every slice.
+
+/// Default chunk size. Large enough that a typical OLTP transaction (TPC-C
+/// new-order writes ~1 KiB of keys + values) fits in one chunk.
+const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Retained-capacity budget. After an unusually large transaction, `reset`
+/// frees chunks beyond this total so one outlier does not pin memory forever.
+const RETAIN_LIMIT: usize = 4 * 1024 * 1024;
+
+/// A slice of bytes owned by an [`Arena`].
+///
+/// `Copy`, pointer-sized, and intentionally *not* a `&[u8]`: the borrow
+/// checker cannot see the arena discipline, so dereferencing goes through
+/// [`ArenaSlice::as_slice`], whose safety contract is "the owning arena has
+/// not been reset since `alloc` returned this slice".
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArenaSlice {
+    ptr: *const u8,
+    len: usize,
+}
+
+impl ArenaSlice {
+    /// The canonical empty slice (valid forever; dangling but never read).
+    pub(crate) fn empty() -> Self {
+        ArenaSlice {
+            ptr: std::ptr::NonNull::dangling().as_ptr(),
+            len: 0,
+        }
+    }
+
+    /// Length in bytes.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Reborrows the bytes.
+    ///
+    /// # Safety
+    ///
+    /// The arena this slice was allocated from must not have been reset (or
+    /// dropped) since, and must not be reset while the returned borrow is
+    /// live. The transaction layer guarantees this by resetting only after
+    /// commit/abort has finished with the write-set.
+    pub(crate) unsafe fn as_slice<'a>(&self) -> &'a [u8] {
+        // SAFETY: per the caller's contract the backing chunk is alive and
+        // the bytes were initialized by `Arena::alloc`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// A chunked bump allocator. See the module docs for the retention story.
+#[derive(Debug)]
+pub(crate) struct Arena {
+    /// Fixed-size chunks; each is a stable heap allocation that never moves.
+    chunks: Vec<Box<[u8]>>,
+    /// Index of the chunk currently being bumped.
+    current: usize,
+    /// Bump offset within the current chunk.
+    offset: usize,
+    /// Number of chunk allocations ever made (global-allocator hits).
+    pub(crate) chunk_allocs: u64,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl Arena {
+    /// Creates an empty arena. Allocates nothing until first use.
+    pub(crate) fn new() -> Self {
+        Arena {
+            chunks: Vec::new(),
+            current: 0,
+            offset: 0,
+            chunk_allocs: 0,
+        }
+    }
+
+    /// Copies `data` into the arena and returns a stable slice for it.
+    pub(crate) fn alloc(&mut self, data: &[u8]) -> ArenaSlice {
+        if data.is_empty() {
+            return ArenaSlice::empty();
+        }
+        if self.chunks.is_empty() || self.offset + data.len() > self.chunks[self.current].len() {
+            self.advance(data.len());
+        }
+        let chunk = &mut self.chunks[self.current];
+        let dst = &mut chunk[self.offset..self.offset + data.len()];
+        dst.copy_from_slice(data);
+        self.offset += data.len();
+        ArenaSlice {
+            ptr: dst.as_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// Moves to the next chunk that can hold `need` bytes, allocating one
+    /// (of at least [`CHUNK_SIZE`]) only when no retained chunk fits.
+    fn advance(&mut self, need: usize) {
+        loop {
+            if !self.chunks.is_empty() {
+                self.current += 1;
+            }
+            if self.current >= self.chunks.len() {
+                self.chunks
+                    .push(vec![0u8; CHUNK_SIZE.max(need)].into_boxed_slice());
+                self.chunk_allocs += 1;
+            }
+            self.offset = 0;
+            // A retained chunk can be smaller than an oversized request;
+            // skip it (it is wasted for this transaction only).
+            if self.chunks[self.current].len() >= need {
+                return;
+            }
+        }
+    }
+
+    /// Rewinds the bump cursor, invalidating every outstanding slice. Chunks
+    /// are retained up to [`RETAIN_LIMIT`] bytes so steady state allocates
+    /// nothing.
+    pub(crate) fn reset(&mut self) {
+        self.current = 0;
+        self.offset = 0;
+        if self.retained_bytes() > RETAIN_LIMIT {
+            // Keep every chunk that still fits the budget; only the counted
+            // size of *kept* chunks accumulates, so one oversized outlier
+            // does not evict the regular chunks behind it.
+            let mut kept = 0;
+            self.chunks.retain(|c| {
+                if kept + c.len() <= RETAIN_LIMIT {
+                    kept += c.len();
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+
+    /// Total bytes of retained chunk capacity.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_roundtrip_and_reset() {
+        let mut a = Arena::new();
+        let s1 = a.alloc(b"hello");
+        let s2 = a.alloc(b"world!");
+        // SAFETY: arena not reset since alloc.
+        unsafe {
+            assert_eq!(s1.as_slice(), b"hello");
+            assert_eq!(s2.as_slice(), b"world!");
+        }
+        assert_eq!(s2.len(), 6);
+        assert_eq!(a.chunk_allocs, 1);
+        a.reset();
+        let s3 = a.alloc(b"again");
+        // SAFETY: arena not reset since alloc of s3.
+        unsafe { assert_eq!(s3.as_slice(), b"again") };
+        assert_eq!(a.chunk_allocs, 1, "reset must reuse the retained chunk");
+    }
+
+    #[test]
+    fn empty_slices_never_touch_chunks() {
+        let mut a = Arena::new();
+        let s = a.alloc(b"");
+        assert_eq!(s.len(), 0);
+        // SAFETY: empty slices are always valid.
+        unsafe { assert_eq!(s.as_slice(), b"") };
+        assert_eq!(a.retained_bytes(), 0);
+        assert_eq!(a.chunk_allocs, 0);
+    }
+
+    #[test]
+    fn grows_across_chunks_and_reaches_steady_state() {
+        let mut a = Arena::new();
+        let big = vec![7u8; CHUNK_SIZE / 2 + 1];
+        // Three half-chunk allocations force a second chunk.
+        let slices: Vec<_> = (0..3).map(|_| a.alloc(&big)).collect();
+        for s in &slices {
+            // SAFETY: arena not reset since alloc.
+            unsafe { assert_eq!(s.as_slice(), &big[..]) };
+        }
+        assert_eq!(a.chunk_allocs, 3);
+        // The same pattern after reset allocates nothing new.
+        a.reset();
+        for _ in 0..3 {
+            let _ = a.alloc(&big);
+        }
+        assert_eq!(a.chunk_allocs, 3);
+    }
+
+    #[test]
+    fn oversized_allocations_get_dedicated_chunks() {
+        let mut a = Arena::new();
+        let huge = vec![9u8; CHUNK_SIZE * 2];
+        let s = a.alloc(&huge);
+        // SAFETY: arena not reset since alloc.
+        unsafe { assert_eq!(s.as_slice(), &huge[..]) };
+        assert!(a.retained_bytes() >= CHUNK_SIZE * 2);
+    }
+
+    #[test]
+    fn reset_trims_past_the_retain_limit() {
+        let mut a = Arena::new();
+        let huge = vec![1u8; RETAIN_LIMIT];
+        let _ = a.alloc(&huge);
+        let _ = a.alloc(&huge);
+        assert!(a.retained_bytes() > RETAIN_LIMIT);
+        a.reset();
+        assert!(a.retained_bytes() <= RETAIN_LIMIT);
+        // Still usable after trimming.
+        let s = a.alloc(b"ok");
+        // SAFETY: arena not reset since alloc.
+        unsafe { assert_eq!(s.as_slice(), b"ok") };
+    }
+}

@@ -89,13 +89,41 @@ pub struct CommitWrite<'a> {
     pub value: Option<&'a [u8]>,
 }
 
+/// A borrowed, allocation-free view of a committed transaction's writes,
+/// passed to [`CommitHook::on_commit`].
+///
+/// The engine hands the hook a view over its (arena-backed) write-set rather
+/// than a materialized slice, so the durability layer can serialize each
+/// write straight into its log buffer without the engine cloning keys or
+/// values first — the zero-copy commit→log handoff of §4.10.
+pub trait CommitWrites {
+    /// Number of writes in the transaction.
+    fn count(&self) -> usize;
+
+    /// Invokes `f` once per write, in write-set (lock) order.
+    fn for_each(&self, f: &mut dyn FnMut(CommitWrite<'_>));
+}
+
+impl CommitWrites for [CommitWrite<'_>] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(CommitWrite<'_>)) {
+        for w in self {
+            f(*w);
+        }
+    }
+}
+
 /// Hook invoked by workers when a transaction commits, used by the durability
 /// subsystem (`silo-log`) to build redo log records without the engine
 /// depending on it.
 pub trait CommitHook: Send + Sync {
     /// Called once per committed transaction, after Phase 3 released all
-    /// locks. `writes` lists every modified record.
-    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &[CommitWrite<'_>]);
+    /// locks. `writes` exposes every modified record; the borrowed keys and
+    /// values are only valid for the duration of the call.
+    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &dyn CommitWrites);
 
     /// Called when a worker finishes (used to flush partial buffers).
     fn on_worker_finish(&self, _worker_id: usize) {}
@@ -288,7 +316,7 @@ mod tests {
     fn commit_hook_can_only_be_set_once() {
         struct NullHook;
         impl CommitHook for NullHook {
-            fn on_commit(&self, _: usize, _: Tid, _: &[CommitWrite<'_>]) {}
+            fn on_commit(&self, _: usize, _: Tid, _: &dyn CommitWrites) {}
         }
         let db = Database::open(SiloConfig::for_testing());
         assert!(db.set_commit_hook(Arc::new(NullHook)).is_ok());

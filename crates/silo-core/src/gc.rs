@@ -59,15 +59,19 @@ impl GarbageList {
         self.items.push((epoch, garbage));
     }
 
-    /// Removes and returns every item whose epoch is `≤ up_to`.
-    pub(crate) fn take_ready(&mut self, up_to: u64) -> Vec<(u64, Garbage)> {
-        if self.items.is_empty() {
-            return Vec::new();
+    /// Moves every item whose epoch is `≤ up_to` into `out` (which the caller
+    /// reuses across GC rounds, keeping reclamation allocation-free). Items
+    /// are extracted with `swap_remove`, so relative order is not preserved —
+    /// reclamation order within a round is immaterial.
+    pub(crate) fn take_ready_into(&mut self, up_to: u64, out: &mut Vec<(u64, Garbage)>) {
+        let mut i = 0;
+        while i < self.items.len() {
+            if self.items[i].0 <= up_to {
+                out.push(self.items.swap_remove(i));
+            } else {
+                i += 1;
+            }
         }
-        let (ready, pending): (Vec<_>, Vec<_>) =
-            self.items.drain(..).partition(|(epoch, _)| *epoch <= up_to);
-        self.items = pending;
-        ready
     }
 
     /// Removes and returns all items regardless of epoch (shutdown).
@@ -193,9 +197,15 @@ mod tests {
         list.push(5, Garbage::Record(RecordPtr::null()));
         list.push(1, Garbage::Record(RecordPtr::null()));
         assert_eq!(list.pending(), 3);
-        let ready = list.take_ready(3);
+        let mut ready = Vec::new();
+        list.take_ready_into(3, &mut ready);
         assert_eq!(ready.len(), 2);
+        assert!(ready.iter().all(|(epoch, _)| *epoch <= 3));
         assert_eq!(list.pending(), 1);
+        // A second round with the same bound finds nothing new.
+        ready.clear();
+        list.take_ready_into(3, &mut ready);
+        assert!(ready.is_empty());
         let rest = list.take_all();
         assert_eq!(rest.len(), 1);
         assert_eq!(list.pending(), 0);

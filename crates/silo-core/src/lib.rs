@@ -50,6 +50,7 @@
 // them away would obscure more than it clarifies.
 #![allow(clippy::type_complexity)]
 
+mod arena;
 pub mod config;
 pub mod database;
 pub mod error;
@@ -61,7 +62,7 @@ pub mod txn;
 pub mod worker;
 
 pub use config::SiloConfig;
-pub use database::{CommitHook, CommitWrite, Database, Table, TableId};
+pub use database::{CommitHook, CommitWrite, CommitWrites, Database, Table, TableId};
 pub use error::{Abort, AbortReason, CatalogError};
 pub use silo_epoch::{EpochConfig, EpochManager};
 pub use silo_tid::{Tid, TidWord};

@@ -22,6 +22,9 @@ pub struct WorkerStats {
     pub pool_hits: u64,
     /// Record allocations that went to the global allocator.
     pub pool_misses: u64,
+    /// Arena chunks the worker's transaction context allocated (each is one
+    /// global-allocator hit; steady state stops adding to this).
+    pub arena_chunk_allocs: u64,
     /// Number of in-place record overwrites performed in Phase 3.
     pub inplace_overwrites: u64,
     /// Number of new record versions installed in Phase 3.
@@ -78,6 +81,7 @@ impl WorkerStats {
         self.records_reclaimed += other.records_reclaimed;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.arena_chunk_allocs += other.arena_chunk_allocs;
         self.inplace_overwrites += other.inplace_overwrites;
         self.new_versions += other.new_versions;
         self.abort_reasons.read_validation += other.abort_reasons.read_validation;
@@ -95,6 +99,26 @@ impl WorkerStats {
             0.0
         } else {
             self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Global-allocator hits per committed transaction: record allocations
+    /// that missed the per-worker pool plus arena chunk allocations. Zero in
+    /// steady state once pools and arenas are warm.
+    pub fn allocs_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            (self.pool_misses + self.arena_chunk_allocs) as f64 / self.commits as f64
+        }
+    }
+
+    /// Aborted attempts per committed transaction.
+    pub fn aborts_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
         }
     }
 }

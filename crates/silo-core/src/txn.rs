@@ -1,7 +1,7 @@
 //! Serializable read/write transactions and the Silo commit protocol
 //! (paper §4.4–§4.7, Figure 2).
 //!
-//! A transaction tracks, in thread-local storage:
+//! A transaction tracks, in worker-local storage:
 //!
 //! * a **read-set**: every record it read, with the TID word observed at the
 //!   time of the access;
@@ -11,6 +11,14 @@
 //!   depends on — leaves examined by range scans and leaves that proved a key
 //!   absent — with the version observed at the time (§4.6, phantom
 //!   protection).
+//!
+//! All of that state lives in a [`TxnContext`] owned by the [`Worker`] and
+//! *reused* across transactions: `begin` hands the context to the new
+//! transaction, commit/abort clear it (retaining capacity) and hand it back.
+//! Write-set keys and values are copied into the context's bump [`Arena`]
+//! rather than individually heap-allocated. Together with the worker's record
+//! pool this makes the steady-state hot path allocation-free, which is the
+//! point of the paper's per-core memory pools (§4.8).
 //!
 //! Commit runs the three-phase protocol of Figure 2:
 //!
@@ -27,14 +35,17 @@
 //! 3. **Phase 3** — install the new record values (in place when allowed,
 //!    otherwise as freshly allocated versions linked for snapshot readers),
 //!    writing the new TID word and releasing each lock in a single atomic
-//!    store.
+//!    store. The durability hook then serializes the write-set straight from
+//!    the arena-backed entries into the worker's log buffer — no intermediate
+//!    clone of keys or values.
 
 use std::sync::atomic::{fence, Ordering};
 
 use silo_index::{InsertOutcome, NodeChange, NodeRef};
 use silo_tid::{Tid, TidWord};
 
-use crate::database::{CommitWrite, Table, TableId};
+use crate::arena::{Arena, ArenaSlice};
+use crate::database::{CommitWrite, CommitWrites, Table, TableId};
 use crate::error::{Abort, AbortReason};
 use crate::gc::Garbage;
 use crate::record::{Record, RecordPtr};
@@ -47,14 +58,16 @@ struct ReadEntry {
     observed: TidWord,
 }
 
-/// A write-set entry: the record to modify and its new state.
-#[derive(Debug)]
+/// A write-set entry: the record to modify and its new state. Key and value
+/// bytes live in the transaction's arena, so the entry is plain-old-data and
+/// cheap to copy out during Phase 3.
+#[derive(Debug, Clone, Copy)]
 struct WriteEntry {
     table: TableId,
-    key: Vec<u8>,
+    key: ArenaSlice,
     record: *mut Record,
     /// `Some(bytes)` for an insert/update, `None` for a delete.
-    new_value: Option<Vec<u8>>,
+    new_value: Option<ArenaSlice>,
     /// The record is an absent placeholder created by this transaction's own
     /// insert (§4.5 "Inserts").
     is_insert: bool,
@@ -69,34 +82,88 @@ struct NodeSetEntry {
     version: u64,
 }
 
+/// The reusable per-worker transaction state: read/write/node sets, insert
+/// placeholders, a scratch buffer for consistent record reads, and the bump
+/// arena backing write-set keys and values.
+///
+/// A worker owns exactly one context. [`Worker::begin`] moves it into the new
+/// [`Txn`]; the transaction's drop clears every set (retaining capacity),
+/// rewinds the arena, and moves it back — so after warm-up, beginning and
+/// finishing transactions performs no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct TxnContext {
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    node_set: Vec<NodeSetEntry>,
+    /// Absent placeholder records inserted by this transaction, kept so an
+    /// abort can schedule their cleanup.
+    placeholders: Vec<(TableId, ArenaSlice, RecordPtr)>,
+    scratch: Vec<u8>,
+    arena: Arena,
+}
+
+// SAFETY: between transactions every set is empty and the arena holds only
+// plain bytes, so moving the context (with its owning Worker) to another
+// thread is sound. While a transaction is live the context is pinned by the
+// transaction's exclusive borrow of the worker and cannot move at all.
+unsafe impl Send for TxnContext {}
+
+impl TxnContext {
+    /// Clears all transaction state, retaining allocated capacity, and
+    /// rewinds the arena.
+    fn reset(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.node_set.clear();
+        self.placeholders.clear();
+        self.scratch.clear();
+        self.arena.reset();
+    }
+
+    /// Cumulative global-allocator hits made by the arena (stats).
+    pub(crate) fn arena_chunk_allocs(&self) -> u64 {
+        self.arena.chunk_allocs
+    }
+}
+
 /// A serializable read/write transaction. Created by [`Worker::begin`].
 ///
 /// Transactions follow the one-shot model (§3): the application performs all
 /// of its reads and writes through the methods below and finally calls
 /// [`Txn::commit`] (or [`Txn::abort`]). Dropping an uncommitted transaction
 /// aborts it.
+///
+/// A live transaction is pinned to the thread that began it (it holds raw
+/// record and arena pointers), so `Txn` is `!Send`:
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>(_: T) {}
+/// let db = silo_core::Database::open(silo_core::SiloConfig::for_testing());
+/// let mut w = db.register_worker();
+/// let txn = w.begin();
+/// assert_send(txn); // must not compile
+/// ```
 pub struct Txn<'w> {
     worker: &'w mut Worker,
-    read_set: Vec<ReadEntry>,
-    write_set: Vec<WriteEntry>,
-    node_set: Vec<NodeSetEntry>,
-    /// Absent placeholder records inserted by this transaction, kept so an
-    /// abort can schedule their cleanup.
-    placeholders: Vec<(TableId, Vec<u8>, RecordPtr)>,
+    ctx: TxnContext,
     poisoned: Option<AbortReason>,
     /// Set once Phase 1 has acquired the write-set locks; tells the abort
     /// path whether it owns (and must release) those lock bits.
     locks_held: bool,
     finished: bool,
-    scratch: Vec<u8>,
+    /// Keeps `Txn` `!Send`, as it was when the raw-pointer sets lived inline:
+    /// a live transaction holds record and arena pointers and must stay on
+    /// the thread that began it (`TxnContext`'s `Send` impl is only argued
+    /// for the empty, between-transactions state).
+    _not_send: std::marker::PhantomData<*mut ()>,
 }
 
 impl<'w> std::fmt::Debug for Txn<'w> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Txn")
-            .field("reads", &self.read_set.len())
-            .field("writes", &self.write_set.len())
-            .field("nodes", &self.node_set.len())
+            .field("reads", &self.ctx.read_set.len())
+            .field("writes", &self.ctx.write_set.len())
+            .field("nodes", &self.ctx.node_set.len())
             .field("poisoned", &self.poisoned)
             .finish()
     }
@@ -104,16 +171,14 @@ impl<'w> std::fmt::Debug for Txn<'w> {
 
 impl<'w> Txn<'w> {
     pub(crate) fn new(worker: &'w mut Worker) -> Self {
+        let ctx = std::mem::take(&mut worker.ctx);
         Txn {
             worker,
-            read_set: Vec::new(),
-            write_set: Vec::new(),
-            node_set: Vec::new(),
-            placeholders: Vec::new(),
+            ctx,
             poisoned: None,
             locks_held: false,
             finished: false,
-            scratch: Vec::new(),
+            _not_send: std::marker::PhantomData,
         }
     }
 
@@ -124,17 +189,23 @@ impl<'w> Txn<'w> {
 
     /// Number of records in the read-set (diagnostics).
     pub fn read_set_len(&self) -> usize {
-        self.read_set.len()
+        self.ctx.read_set.len()
     }
 
     /// Number of records in the write-set (diagnostics).
     pub fn write_set_len(&self) -> usize {
-        self.write_set.len()
+        self.ctx.write_set.len()
     }
 
     /// Number of leaves in the node-set (diagnostics).
     pub fn node_set_len(&self) -> usize {
-        self.node_set.len()
+        self.ctx.node_set.len()
+    }
+
+    /// Number of insert placeholders created by this transaction
+    /// (diagnostics).
+    pub fn placeholder_len(&self) -> usize {
+        self.ctx.placeholders.len()
     }
 
     fn table(&mut self, id: TableId) -> &'static Table {
@@ -153,9 +224,11 @@ impl<'w> Txn<'w> {
     }
 
     fn find_write(&self, table: TableId, key: &[u8]) -> Option<usize> {
-        self.write_set
-            .iter()
-            .position(|w| w.table == table && w.key == key)
+        self.ctx.write_set.iter().position(|w| {
+            // SAFETY: write-set keys live in this transaction's arena, which
+            // is only reset after the transaction finishes.
+            w.table == table && unsafe { w.key.as_slice() } == key
+        })
     }
 
     // ------------------------------------------------------------------
@@ -168,26 +241,67 @@ impl<'w> Txn<'w> {
     /// tracked through the node-set (missing from the index) or the read-set
     /// (absent record present in the index), so a concurrent insert is
     /// detected at commit time.
+    ///
+    /// Allocates a fresh `Vec` for the returned value; hot paths that reuse a
+    /// buffer should prefer [`Txn::read_into`].
     pub fn read(&mut self, table: TableId, key: &[u8]) -> Result<Option<Vec<u8>>, Abort> {
+        let mut out = Vec::new();
+        Ok(self.read_into(table, key, &mut out)?.then_some(out))
+    }
+
+    /// Reads the value of `key` in `table` into `out`, returning whether the
+    /// key was present. `out` is cleared first; on `Ok(false)` it is left
+    /// empty. This is the allocation-free read path: a warmed caller buffer
+    /// makes the whole read touch no allocator.
+    pub fn read_into(
+        &mut self,
+        table: TableId,
+        key: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<bool, Abort> {
         if let Some(reason) = self.poisoned {
             return Err(Abort(reason));
         }
+        out.clear();
         // Read-your-own-writes.
         if let Some(idx) = self.find_write(table, key) {
-            return Ok(self.write_set[idx].new_value.clone());
+            return Ok(match self.ctx.write_set[idx].new_value {
+                Some(value) => {
+                    // SAFETY: arena slice valid until the txn finishes.
+                    out.extend_from_slice(unsafe { value.as_slice() });
+                    true
+                }
+                None => false,
+            });
         }
-        match self.read_internal(table, key)? {
-            ReadOutcome::Present(value) => Ok(Some(value)),
-            ReadOutcome::Absent | ReadOutcome::Missing => Ok(None),
+        match self.read_internal(table, key, out)? {
+            ReadOutcome::Present => Ok(true),
+            ReadOutcome::Absent | ReadOutcome::Missing => {
+                out.clear();
+                Ok(false)
+            }
         }
     }
 
-    /// Reads `key` and returns whether it exists, without copying the value.
+    /// Reads `key` and returns whether it exists, without copying the value
+    /// out of the transaction.
     pub fn exists(&mut self, table: TableId, key: &[u8]) -> Result<bool, Abort> {
-        Ok(self.read(table, key)?.is_some())
+        let mut buf = std::mem::take(&mut self.ctx.scratch);
+        let result = self.read_into(table, key, &mut buf);
+        self.ctx.scratch = buf;
+        result
     }
 
-    fn read_internal(&mut self, table_id: TableId, key: &[u8]) -> Result<ReadOutcome, Abort> {
+    /// The §4.5 record-read protocol against the index. On
+    /// [`ReadOutcome::Present`] the value bytes are in `buf`; in every case
+    /// the read has been registered in the read-set or node-set as required
+    /// for commit-time validation.
+    fn read_internal(
+        &mut self,
+        table_id: TableId,
+        key: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadOutcome, Abort> {
         let retry_limit = self.worker.config().read_retry_limit;
         let table = self.table(table_id);
         let mut attempts = 0;
@@ -195,7 +309,7 @@ impl<'w> Txn<'w> {
             let (value, node, version) = table.tree().get_tracked(key);
             match value {
                 None => {
-                    self.node_set.push(NodeSetEntry {
+                    self.ctx.node_set.push(NodeSetEntry {
                         table: table_id,
                         node,
                         version,
@@ -207,29 +321,24 @@ impl<'w> Txn<'w> {
                     // SAFETY: records referenced from the index are only freed
                     // after a grace period; our refreshed worker epoch pins them.
                     let rec = unsafe { &*record };
-                    let mut buf = std::mem::take(&mut self.scratch);
-                    let word = rec.read_consistent(&mut buf);
+                    let word = rec.read_consistent(buf);
                     if !word.is_latest() {
                         // Superseded between the index lookup and the data
                         // read: retry through the index (paper §4.5).
-                        self.scratch = buf;
                         attempts += 1;
                         if attempts > retry_limit {
                             return Err(self.poison(AbortReason::UnstableRead));
                         }
                         continue;
                     }
-                    self.read_set.push(ReadEntry {
+                    self.ctx.read_set.push(ReadEntry {
                         record,
                         observed: word,
                     });
                     if word.is_absent() {
-                        self.scratch = buf;
                         return Ok(ReadOutcome::Absent);
                     }
-                    let value = buf.clone();
-                    self.scratch = buf;
-                    return Ok(ReadOutcome::Present(value));
+                    return Ok(ReadOutcome::Present);
                 }
             }
         }
@@ -256,46 +365,50 @@ impl<'w> Txn<'w> {
         let table = self.table(table_id);
         let result = table.tree().scan(start, end, limit);
         for (node, version) in &result.nodes {
-            self.node_set.push(NodeSetEntry {
+            self.ctx.node_set.push(NodeSetEntry {
                 table: table_id,
                 node: *node,
                 version: *version,
             });
         }
         let mut out = Vec::with_capacity(result.entries.len());
+        let mut buf = std::mem::take(&mut self.ctx.scratch);
         for (key, ptr) in result.entries {
             let record = ptr as *const Record;
             // SAFETY: as in `read_internal`.
             let rec = unsafe { &*record };
-            let mut buf = std::mem::take(&mut self.scratch);
             let word = rec.read_consistent(&mut buf);
             if !word.is_latest() {
                 // The record was superseded while scanning; the node-set (and
                 // read-set of the superseding writer) will catch any real
                 // conflict, so read the new version through the index.
-                self.scratch = buf;
-                match self.read_internal(table_id, &key)? {
-                    ReadOutcome::Present(value) => out.push((key, value)),
-                    ReadOutcome::Absent | ReadOutcome::Missing => {}
+                match self.read_internal(table_id, &key, &mut buf) {
+                    Ok(ReadOutcome::Present) => out.push((key, buf.clone())),
+                    Ok(ReadOutcome::Absent | ReadOutcome::Missing) => {}
+                    Err(abort) => {
+                        self.ctx.scratch = buf;
+                        return Err(abort);
+                    }
                 }
                 continue;
             }
-            self.read_set.push(ReadEntry {
+            self.ctx.read_set.push(ReadEntry {
                 record,
                 observed: word,
             });
             if !word.is_absent() {
                 // Overlay this transaction's own pending update, if any.
                 if let Some(idx) = self.find_write(table_id, &key) {
-                    if let Some(v) = &self.write_set[idx].new_value {
-                        out.push((key, v.clone()));
+                    if let Some(v) = self.ctx.write_set[idx].new_value {
+                        // SAFETY: arena slice valid until the txn finishes.
+                        out.push((key, unsafe { v.as_slice() }.to_vec()));
                     }
                 } else {
                     out.push((key, buf.clone()));
                 }
             }
-            self.scratch = buf;
         }
+        self.ctx.scratch = buf;
         Ok(out)
     }
 
@@ -311,20 +424,29 @@ impl<'w> Txn<'w> {
         }
         // Merge with an existing write-set entry.
         if let Some(idx) = self.find_write(table, key) {
-            self.write_set[idx].new_value = Some(value.to_vec());
+            self.ctx.write_set[idx].new_value = Some(self.ctx.arena.alloc(value));
             return Ok(());
         }
-        match self.read_internal(table, key)? {
-            ReadOutcome::Present(_) | ReadOutcome::Absent => {
+        let mut buf = std::mem::take(&mut self.ctx.scratch);
+        let outcome = self.read_internal(table, key, &mut buf);
+        self.ctx.scratch = buf;
+        match outcome? {
+            ReadOutcome::Present | ReadOutcome::Absent => {
                 // The read-set entry just pushed references the record.
-                let record = self.read_set.last().expect("read_internal pushed").record;
-                self.write_set.push(WriteEntry {
+                let record = self
+                    .ctx
+                    .read_set
+                    .last()
+                    .expect("read_internal pushed")
+                    .record;
+                let entry = WriteEntry {
                     table,
-                    key: key.to_vec(),
+                    key: self.ctx.arena.alloc(key),
                     record: record as *mut Record,
-                    new_value: Some(value.to_vec()),
+                    new_value: Some(self.ctx.arena.alloc(value)),
                     is_insert: false,
-                });
+                };
+                self.ctx.write_set.push(entry);
                 Ok(())
             }
             ReadOutcome::Missing => self.insert(table, key, value),
@@ -338,22 +460,31 @@ impl<'w> Txn<'w> {
             return Err(Abort(reason));
         }
         if let Some(idx) = self.find_write(table, key) {
-            if self.write_set[idx].new_value.is_none() {
+            if self.ctx.write_set[idx].new_value.is_none() {
                 return Ok(false);
             }
-            self.write_set[idx].new_value = Some(value.to_vec());
+            self.ctx.write_set[idx].new_value = Some(self.ctx.arena.alloc(value));
             return Ok(true);
         }
-        match self.read_internal(table, key)? {
-            ReadOutcome::Present(_) => {
-                let record = self.read_set.last().expect("read_internal pushed").record;
-                self.write_set.push(WriteEntry {
+        let mut buf = std::mem::take(&mut self.ctx.scratch);
+        let outcome = self.read_internal(table, key, &mut buf);
+        self.ctx.scratch = buf;
+        match outcome? {
+            ReadOutcome::Present => {
+                let record = self
+                    .ctx
+                    .read_set
+                    .last()
+                    .expect("read_internal pushed")
+                    .record;
+                let entry = WriteEntry {
                     table,
-                    key: key.to_vec(),
+                    key: self.ctx.arena.alloc(key),
                     record: record as *mut Record,
-                    new_value: Some(value.to_vec()),
+                    new_value: Some(self.ctx.arena.alloc(value)),
                     is_insert: false,
-                });
+                };
+                self.ctx.write_set.push(entry);
                 Ok(true)
             }
             ReadOutcome::Absent | ReadOutcome::Missing => Ok(false),
@@ -369,8 +500,8 @@ impl<'w> Txn<'w> {
         if let Some(idx) = self.find_write(table_id, key) {
             // Key written earlier in this transaction: a previous delete makes
             // this a plain re-insert; a previous value makes it a duplicate.
-            if self.write_set[idx].new_value.is_none() {
-                self.write_set[idx].new_value = Some(value.to_vec());
+            if self.ctx.write_set[idx].new_value.is_none() {
+                self.ctx.write_set[idx].new_value = Some(self.ctx.arena.alloc(value));
                 return Ok(());
             }
             return Err(self.poison(AbortReason::DuplicateKey));
@@ -388,49 +519,54 @@ impl<'w> Txn<'w> {
             InsertOutcome::Exists {
                 value: existing, ..
             } => {
-                // The placeholder was never published; reclaim it immediately.
+                // The placeholder was never published; hand it straight back
+                // to the worker's pool.
                 // SAFETY: exclusively owned, never shared.
-                unsafe { Record::free(placeholder) };
+                unsafe { self.worker.pool.recycle(RecordPtr(placeholder)) };
                 let record = existing as *const Record;
                 // SAFETY: as in `read_internal`.
                 let rec = unsafe { &*record };
-                let mut buf = std::mem::take(&mut self.scratch);
+                let mut buf = std::mem::take(&mut self.ctx.scratch);
                 let word = rec.read_consistent(&mut buf);
-                self.scratch = buf;
+                self.ctx.scratch = buf;
                 if word.is_latest() && word.is_absent() {
                     // The key was deleted (or is another transaction's
                     // placeholder): treat this as a write over the absent
                     // record, validated through the read-set.
-                    self.read_set.push(ReadEntry {
+                    self.ctx.read_set.push(ReadEntry {
                         record,
                         observed: word,
                     });
-                    self.write_set.push(WriteEntry {
+                    let entry = WriteEntry {
                         table: table_id,
-                        key: key.to_vec(),
+                        key: self.ctx.arena.alloc(key),
                         record: record as *mut Record,
-                        new_value: Some(value.to_vec()),
+                        new_value: Some(self.ctx.arena.alloc(value)),
                         is_insert: false,
-                    });
+                    };
+                    self.ctx.write_set.push(entry);
                     return Ok(());
                 }
                 Err(self.poison(AbortReason::DuplicateKey))
             }
             InsertOutcome::Inserted { node_changes } => {
                 self.apply_node_set_fixup(table_id, &node_changes)?;
-                self.placeholders
-                    .push((table_id, key.to_vec(), RecordPtr(placeholder)));
-                self.read_set.push(ReadEntry {
+                let key_slice = self.ctx.arena.alloc(key);
+                self.ctx
+                    .placeholders
+                    .push((table_id, key_slice, RecordPtr(placeholder)));
+                self.ctx.read_set.push(ReadEntry {
                     record: placeholder,
                     observed: placeholder_word,
                 });
-                self.write_set.push(WriteEntry {
+                let entry = WriteEntry {
                     table: table_id,
-                    key: key.to_vec(),
+                    key: key_slice,
                     record: placeholder,
-                    new_value: Some(value.to_vec()),
+                    new_value: Some(self.ctx.arena.alloc(value)),
                     is_insert: true,
-                });
+                };
+                self.ctx.write_set.push(entry);
                 Ok(())
             }
         }
@@ -444,26 +580,32 @@ impl<'w> Txn<'w> {
             return Err(Abort(reason));
         }
         if let Some(idx) = self.find_write(table_id, key) {
-            let existed = self.write_set[idx].new_value.is_some();
-            if self.write_set[idx].is_insert {
-                // Deleting a key inserted by this same transaction: the
-                // placeholder will simply be committed as absent.
-                self.write_set[idx].new_value = None;
-            } else {
-                self.write_set[idx].new_value = None;
-            }
+            let existed = self.ctx.write_set[idx].new_value.is_some();
+            // Whether the key came from an earlier insert or write in this
+            // same transaction, committing the entry as valueless marks the
+            // record absent.
+            self.ctx.write_set[idx].new_value = None;
             return Ok(existed);
         }
-        match self.read_internal(table_id, key)? {
-            ReadOutcome::Present(_) => {
-                let record = self.read_set.last().expect("read_internal pushed").record;
-                self.write_set.push(WriteEntry {
+        let mut buf = std::mem::take(&mut self.ctx.scratch);
+        let outcome = self.read_internal(table_id, key, &mut buf);
+        self.ctx.scratch = buf;
+        match outcome? {
+            ReadOutcome::Present => {
+                let record = self
+                    .ctx
+                    .read_set
+                    .last()
+                    .expect("read_internal pushed")
+                    .record;
+                let entry = WriteEntry {
                     table: table_id,
-                    key: key.to_vec(),
+                    key: self.ctx.arena.alloc(key),
                     record: record as *mut Record,
                     new_value: None,
                     is_insert: false,
-                });
+                };
+                self.ctx.write_set.push(entry);
                 Ok(true)
             }
             ReadOutcome::Absent | ReadOutcome::Missing => Ok(false),
@@ -488,7 +630,7 @@ impl<'w> Txn<'w> {
                     old_version,
                     new_version,
                 } => {
-                    for entry in &mut self.node_set {
+                    for entry in &mut self.ctx.node_set {
                         if entry.table == table_id && entry.node == *node {
                             if entry.version == *old_version {
                                 entry.version = *new_version;
@@ -504,6 +646,7 @@ impl<'w> Txn<'w> {
                     split_from,
                 } => {
                     let inherits = self
+                        .ctx
                         .node_set
                         .iter()
                         .any(|e| e.table == table_id && e.node == *split_from);
@@ -517,7 +660,7 @@ impl<'w> Txn<'w> {
                 }
             }
         }
-        self.node_set.extend(new_entries);
+        self.ctx.node_set.extend(new_entries);
         Ok(())
     }
 
@@ -555,13 +698,17 @@ impl<'w> Txn<'w> {
 
         // ---------------- Phase 1 ----------------
         // Lock the write-set in a deterministic global order (record
-        // addresses) to avoid deadlock among committing transactions.
-        self.write_set.sort_by_key(|w| w.record as usize);
+        // addresses) to avoid deadlock among committing transactions. The
+        // unstable sort never allocates (a stable sort's merge buffer would).
+        self.ctx
+            .write_set
+            .sort_unstable_by_key(|w| w.record as usize);
         debug_assert!(self
+            .ctx
             .write_set
             .windows(2)
             .all(|w| w[0].record != w[1].record));
-        for entry in &self.write_set {
+        for entry in &self.ctx.write_set {
             // SAFETY: write-set records are pinned by our epoch.
             unsafe { (*entry.record).tid().lock() };
         }
@@ -576,10 +723,11 @@ impl<'w> Txn<'w> {
 
         // ---------------- Phase 2 ----------------
         let mut max_observed = Tid::ZERO;
-        for entry in &self.read_set {
+        for entry in &self.ctx.read_set {
             // SAFETY: read-set records are pinned by our epoch.
             let current = unsafe { (*entry.record).tid().load() };
             let in_write_set = self
+                .ctx
                 .write_set
                 .binary_search_by_key(&(entry.record as usize), |w| w.record as usize)
                 .is_ok();
@@ -591,7 +739,7 @@ impl<'w> Txn<'w> {
             }
             max_observed = max_observed.max(current.tid());
         }
-        for entry in &self.write_set {
+        for entry in &self.ctx.write_set {
             // SAFETY: we hold the lock on every write-set record.
             let current = unsafe { (*entry.record).tid().load() };
             if !entry.is_insert && !current.is_latest() {
@@ -600,7 +748,7 @@ impl<'w> Txn<'w> {
             }
             max_observed = max_observed.max(current.tid());
         }
-        for entry in &self.node_set {
+        for entry in &self.ctx.node_set {
             let table_ptr = self.worker.table_ptr(entry.table);
             // SAFETY: the worker's table cache keeps the table alive.
             let table = unsafe { &*table_ptr };
@@ -619,7 +767,7 @@ impl<'w> Txn<'w> {
         };
 
         // ---------------- Phase 3 ----------------
-        for i in 0..self.write_set.len() {
+        for i in 0..self.ctx.write_set.len() {
             self.apply_write(i, commit_tid, commit_epoch);
         }
         // Every lock was released by `apply_write` (TID store + unlock are a
@@ -628,20 +776,14 @@ impl<'w> Txn<'w> {
 
         // Report to the durability subsystem (if installed). The log record
         // carries the TID and the table/key/value of every modification
-        // (§4.10); the hook copies what it needs into the worker-local log
-        // buffer.
+        // (§4.10); the hook serializes directly from the arena-backed
+        // write-set into the worker's log buffer — nothing is cloned here.
         if let Some(hook) = self.worker.database().commit_hook() {
-            let hook = std::sync::Arc::clone(hook);
-            let writes: Vec<CommitWrite<'_>> = self
-                .write_set
-                .iter()
-                .map(|w| CommitWrite {
-                    table: w.table,
-                    key: &w.key,
-                    value: w.new_value.as_deref(),
-                })
-                .collect();
-            hook.on_commit(self.worker.id(), commit_tid, &writes);
+            hook.on_commit(
+                self.worker.id(),
+                commit_tid,
+                &WriteSetView(&self.ctx.write_set),
+            );
         }
 
         Ok(commit_tid)
@@ -653,18 +795,17 @@ impl<'w> Txn<'w> {
         let cfg_snapshots = self.worker.config().enable_snapshots;
         let snap_k = self.worker.config().epoch.snapshot_interval_epochs;
 
-        // Copy the entry's fields out so no borrow of `self.write_set` is
-        // held across the &mut self calls below.
-        let (table_id, key, record, new_value, is_insert) = {
-            let entry = &self.write_set[index];
-            (
-                entry.table,
-                entry.key.clone(),
-                entry.record,
-                entry.new_value.clone(),
-                entry.is_insert,
-            )
-        };
+        // The entry is plain-old-data (key/value are arena slices): copy it
+        // out so no borrow of the write-set is held across the &mut self
+        // calls below. The arena is not touched again until the transaction
+        // finishes, so the slices stay valid throughout.
+        let WriteEntry {
+            table: table_id,
+            key,
+            record,
+            new_value,
+            is_insert,
+        } = self.ctx.write_set[index];
         // SAFETY: we hold the record's lock; it is pinned by our epoch.
         let rec = unsafe { &*record };
         let old_word = rec.tid().load_relaxed();
@@ -677,23 +818,27 @@ impl<'w> Txn<'w> {
 
         match new_value {
             Some(value) => {
+                // SAFETY: arena slices are valid until the txn finishes.
+                let value = unsafe { value.as_slice() };
+                // SAFETY: as above.
+                let key = unsafe { key.as_slice() };
                 if is_insert {
                     // Freshly inserted placeholder: give it its real value and
                     // TID. The placeholder was sized for the value at insert
                     // time; a later same-transaction overwrite may have grown
                     // it past the capacity, in which case a new record is
                     // installed instead.
-                    if rec.fits(&value) {
+                    if rec.fits(value) {
                         // SAFETY: lock held, fits checked.
-                        unsafe { rec.overwrite(&value) };
+                        unsafe { rec.overwrite(value) };
                         rec.tid().store_and_unlock(present_word);
                         self.worker.stats.inplace_overwrites += 1;
                     } else {
                         self.install_new_version(
                             table_id,
-                            &key,
+                            key,
                             record,
-                            &value,
+                            value,
                             present_word,
                             old_word,
                             false,
@@ -703,18 +848,18 @@ impl<'w> Txn<'w> {
                     return;
                 }
                 let keep_old_for_snapshot = cfg_snapshots && !same_snapshot;
-                let can_overwrite = cfg_overwrite && rec.fits(&value) && !keep_old_for_snapshot;
+                let can_overwrite = cfg_overwrite && rec.fits(value) && !keep_old_for_snapshot;
                 if can_overwrite {
                     // SAFETY: lock held, fits checked.
-                    unsafe { rec.overwrite(&value) };
+                    unsafe { rec.overwrite(value) };
                     rec.tid().store_and_unlock(present_word);
                     self.worker.stats.inplace_overwrites += 1;
                 } else {
                     self.install_new_version(
                         table_id,
-                        &key,
+                        key,
                         record,
-                        &value,
+                        value,
                         present_word,
                         old_word,
                         keep_old_for_snapshot,
@@ -726,12 +871,16 @@ impl<'w> Txn<'w> {
                 // Delete: keep the old version reachable for snapshots when it
                 // crosses a snapshot boundary, then mark the key absent and
                 // schedule the two-stage cleanup (§4.5 "Deletes", §4.9
-                // "Deletions").
+                // "Deletions"). The Unhook garbage outlives the transaction,
+                // so the key is copied out of the arena here — deletes are the
+                // one write kind that pays an owned-key allocation.
+                // SAFETY: arena slice valid until the txn finishes.
+                let owned_key = unsafe { key.as_slice() }.to_vec();
                 let keep_old_for_snapshot = cfg_snapshots && !same_snapshot && !is_insert;
                 if keep_old_for_snapshot {
                     let new_head = self.install_new_version(
                         table_id,
-                        &key,
+                        &owned_key,
                         record,
                         &[],
                         absent_word,
@@ -745,7 +894,7 @@ impl<'w> Txn<'w> {
                         snap_epoch,
                         Garbage::Unhook {
                             table: table_id,
-                            key,
+                            key: owned_key,
                             record: RecordPtr(new_head),
                         },
                     );
@@ -755,7 +904,7 @@ impl<'w> Txn<'w> {
                         snap_epoch,
                         Garbage::Unhook {
                             table: table_id,
-                            key,
+                            key: owned_key,
                             record: RecordPtr(record),
                         },
                     );
@@ -817,7 +966,7 @@ impl<'w> Txn<'w> {
         // a lock bit observed on these records in any other situation belongs
         // to a different committing transaction and must not be touched.
         if self.locks_held {
-            for entry in &self.write_set {
+            for entry in &self.ctx.write_set {
                 // SAFETY: write-set records are pinned by our epoch; Phase 1
                 // locked each of them and Phase 3 did not run.
                 unsafe { (*entry.record).tid().unlock() };
@@ -831,8 +980,11 @@ impl<'w> Txn<'w> {
             let epochs = self.worker.database().epochs();
             epochs.snapshot_of(epochs.global_epoch())
         };
-        let placeholders = std::mem::take(&mut self.placeholders);
-        for (table, key, record) in placeholders {
+        for (table, key, record) in self.ctx.placeholders.drain(..) {
+            // The Unhook garbage outlives the transaction; copy the key out
+            // of the arena.
+            // SAFETY: arena slices are valid until the txn finishes.
+            let key = unsafe { key.as_slice() }.to_vec();
             self.worker
                 .defer_snapshot(snap_epoch, Garbage::Unhook { table, key, record });
         }
@@ -846,13 +998,42 @@ impl<'w> Drop for Txn<'w> {
         if !self.finished {
             self.abort_inner(self.poisoned.unwrap_or(AbortReason::UserRequested));
         }
+        // Clear the context (retaining capacity) and hand it back to the
+        // worker for the next transaction.
+        self.ctx.reset();
+        self.worker.stats.arena_chunk_allocs = self.ctx.arena_chunk_allocs();
+        self.worker.ctx = std::mem::take(&mut self.ctx);
     }
 }
 
-/// Internal classification of a record read.
+/// Borrow-based [`CommitWrites`] view over the write-set, handed to the
+/// commit hook so the durability layer serializes keys and values straight
+/// from the arena without any intermediate collection.
+struct WriteSetView<'a>(&'a [WriteEntry]);
+
+impl CommitWrites for WriteSetView<'_> {
+    fn count(&self) -> usize {
+        self.0.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(CommitWrite<'_>)) {
+        for w in self.0 {
+            // SAFETY: arena slices are valid until the txn finishes, and the
+            // hook runs strictly before that.
+            f(CommitWrite {
+                table: w.table,
+                key: unsafe { w.key.as_slice() },
+                value: w.new_value.as_ref().map(|v| unsafe { v.as_slice() }),
+            });
+        }
+    }
+}
+
+/// Internal classification of a record read. On `Present` the value bytes
+/// are in the buffer passed to [`Txn::read_internal`].
 enum ReadOutcome {
-    /// A present record with its value.
-    Present(Vec<u8>),
+    /// A present record (value copied into the caller's buffer).
+    Present,
     /// The key maps to an absent record (deleted / placeholder).
     Absent,
     /// The key is not in the index at all.

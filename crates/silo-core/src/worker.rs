@@ -12,7 +12,7 @@ use crate::gc::{Garbage, GarbageList, RecordPool};
 use crate::record::{Record, RecordPtr};
 use crate::snapshot::SnapshotTxn;
 use crate::stats::WorkerStats;
-use crate::txn::Txn;
+use crate::txn::{Txn, TxnContext};
 
 /// A database worker. One worker is created per worker thread (paper §3:
 /// "we run one worker thread per physical core"); it owns the thread-local
@@ -29,6 +29,14 @@ pub struct Worker {
     pub(crate) snapshot_garbage: GarbageList,
     pub(crate) tree_garbage: GarbageList,
     pub(crate) stats: WorkerStats,
+    /// The reusable transaction context (read/write/node sets, arena). Moved
+    /// into each [`Txn`] by [`Worker::begin`] and handed back, cleared, when
+    /// the transaction finishes — so steady-state transactions allocate
+    /// nothing.
+    pub(crate) ctx: TxnContext,
+    /// Reusable buffer for garbage ready to be reclaimed, so GC rounds do not
+    /// allocate either.
+    gc_scratch: Vec<(u64, Garbage)>,
     table_cache: Vec<Option<Arc<Table>>>,
     txns_since_gc: u64,
 }
@@ -56,6 +64,8 @@ impl Worker {
             snapshot_garbage: GarbageList::default(),
             tree_garbage: GarbageList::default(),
             stats: WorkerStats::default(),
+            ctx: TxnContext::default(),
+            gc_scratch: Vec::new(),
             table_cache: Vec::new(),
             txns_since_gc: 0,
         }
@@ -207,8 +217,14 @@ impl Worker {
         let tree_reclaim = self.db.epochs().tree_reclamation_epoch();
         let current_epoch = self.db.epochs().global_epoch();
 
-        let ready = self.snapshot_garbage.take_ready(snapshot_reclaim);
-        for (_, garbage) in ready {
+        // The ready items are drained into a reusable buffer (taken while
+        // processing, because the unhook path pushes new garbage) so a GC
+        // round performs no heap allocation in steady state.
+        let mut ready = std::mem::take(&mut self.gc_scratch);
+
+        ready.clear();
+        self.snapshot_garbage.take_ready_into(snapshot_reclaim, &mut ready);
+        for (_, garbage) in ready.drain(..) {
             match garbage {
                 Garbage::Record(ptr) => {
                     self.stats.records_reclaimed += 1;
@@ -224,8 +240,8 @@ impl Worker {
             }
         }
 
-        let ready = self.tree_garbage.take_ready(tree_reclaim);
-        for (_, garbage) in ready {
+        self.tree_garbage.take_ready_into(tree_reclaim, &mut ready);
+        for (_, garbage) in ready.drain(..) {
             match garbage {
                 Garbage::Record(ptr) => {
                     self.stats.records_reclaimed += 1;
@@ -242,6 +258,8 @@ impl Worker {
                 }
             }
         }
+
+        self.gc_scratch = ready;
     }
 
     /// Stage-two cleanup for a deleted key (§4.9): if the absent record is

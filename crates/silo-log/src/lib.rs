@@ -49,9 +49,9 @@ use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use silo_core::{CommitHook, CommitWrite, Database, Tid};
+use silo_core::{CommitHook, CommitWrites, Database, Tid};
 
-use record::{encode_compressed, encode_epoch_marker, encode_txn};
+use record::{encode_compressed, encode_epoch_marker, encode_txn_writes};
 
 /// Maximum number of workers the logging subsystem supports.
 pub const MAX_WORKERS: usize = 256;
@@ -150,6 +150,11 @@ struct WorkerLogState {
     /// The worker has finished: its buffer was flushed and it will not commit
     /// again, so it no longer holds the durable epoch back.
     finished: AtomicBool,
+    /// Reusable staging buffer for `+Compress` mode (records are encoded
+    /// here, compressed into `buffer`), so compression allocates nothing in
+    /// steady state. Only the owning worker locks it, and only while already
+    /// holding `buffer`.
+    compress_scratch: Mutex<Vec<u8>>,
 }
 
 impl WorkerLogState {
@@ -160,6 +165,7 @@ impl WorkerLogState {
             buffer_epoch: AtomicU64::new(0),
             pending_epoch: AtomicU64::new(0),
             finished: AtomicBool::new(false),
+            compress_scratch: Mutex::new(Vec::new()),
         }
     }
 }
@@ -362,7 +368,7 @@ impl SiloLogger {
 }
 
 impl CommitHook for SiloLogger {
-    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &[CommitWrite<'_>]) {
+    fn on_commit(&self, worker_id: usize, tid: Tid, writes: &dyn CommitWrites) {
         assert!(worker_id < MAX_WORKERS, "worker id exceeds MAX_WORKERS");
         let shared = &self.shared;
         let state = &shared.workers[worker_id];
@@ -379,15 +385,16 @@ impl CommitHook for SiloLogger {
             state.buffer_epoch.store(tid.epoch(), Ordering::Relaxed);
         }
 
-        let borrowed: Vec<(silo_core::TableId, &[u8], Option<&[u8]>)> =
-            writes.iter().map(|w| (w.table, w.key, w.value)).collect();
+        // Zero-copy handoff: serialize each write straight from the
+        // committing worker's (arena-backed) write-set into the log buffer.
         let small = matches!(shared.config.mode, LogMode::SmallRecords);
         if shared.config.compress {
-            let mut raw = Vec::new();
-            encode_txn(&mut raw, tid, &borrowed, small);
+            let mut raw = state.compress_scratch.lock();
+            raw.clear();
+            encode_txn_writes(&mut raw, tid, writes, small);
             encode_compressed(&mut buffer, &raw);
         } else {
-            encode_txn(&mut buffer, tid, &borrowed, small);
+            encode_txn_writes(&mut buffer, tid, writes, small);
         }
 
         if buffer.len() >= shared.config.buffer_capacity {

@@ -21,7 +21,7 @@
 //! The `SmallRecs` mode of the Figure 11 persistence analysis logs only the
 //! 8-byte TID (count = 0), giving an upper bound for any logging scheme.
 
-use silo_core::TableId;
+use silo_core::{CommitWrites, TableId};
 use silo_tid::Tid;
 
 /// Block tag for a transaction record.
@@ -51,6 +51,21 @@ pub struct LoggedTxn {
     pub writes: Vec<LoggedWrite>,
 }
 
+/// Appends one write (`table | key | tag [| value]`) to a transaction block.
+fn encode_write(out: &mut Vec<u8>, table: TableId, key: &[u8], value: Option<&[u8]>) {
+    out.extend_from_slice(&table.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    match value {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        None => out.push(0),
+    }
+}
+
 /// Appends a transaction block to `out`.
 ///
 /// When `small_records` is set, only the TID is logged (write count 0).
@@ -68,18 +83,30 @@ pub fn encode_txn(
     }
     out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
     for (table, key, value) in writes {
-        out.extend_from_slice(&table.to_le_bytes());
-        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        out.extend_from_slice(key);
-        match value {
-            Some(v) => {
-                out.push(1);
-                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                out.extend_from_slice(v);
-            }
-            None => out.push(0),
-        }
+        encode_write(out, *table, key, *value);
     }
+}
+
+/// Appends a transaction block to `out`, drawing the writes directly from a
+/// borrowed [`CommitWrites`] view. This is the zero-copy commit→log path:
+/// each key and value is serialized straight from the committing worker's
+/// write-set into the log buffer, with no intermediate collection.
+///
+/// Produces byte-for-byte the same encoding as [`encode_txn`].
+pub fn encode_txn_writes(
+    out: &mut Vec<u8>,
+    tid: Tid,
+    writes: &dyn CommitWrites,
+    small_records: bool,
+) {
+    out.push(BLOCK_TXN);
+    out.extend_from_slice(&tid.raw().to_le_bytes());
+    if small_records {
+        out.extend_from_slice(&0u32.to_le_bytes());
+        return;
+    }
+    out.extend_from_slice(&(writes.count() as u32).to_le_bytes());
+    writes.for_each(&mut |w| encode_write(out, w.table, w.key, w.value));
 }
 
 /// Appends a durable-epoch marker block to `out`.

@@ -5,6 +5,7 @@
 //! executed as a single transaction, records are 100 bytes, and keys are
 //! sampled uniformly from the key space.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -102,29 +103,37 @@ impl YcsbSilo {
     }
 }
 
+thread_local! {
+    /// Reusable value buffer so the benchmark loop itself allocates nothing
+    /// in steady state (the engine's context/arena/pool handle the rest).
+    static VALUE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
 impl Workload for YcsbSilo {
     fn run_one(&self, worker: &mut Worker, rng: &mut SmallRng, _thread: usize) -> bool {
         let key_index = rng.gen_range(0..self.config.keys);
         let key = ycsb_key(key_index);
         let is_read = rng.gen_bool(self.config.read_fraction);
         let mut txn = worker.begin();
-        let outcome = (|| -> Result<(), silo_core::Abort> {
-            if is_read {
-                let _ = txn.read(self.table, &key)?;
-            } else {
-                // Read-modify-write in a single transaction (paper §5.2 (b)).
-                let current = txn.read(self.table, &key)?.unwrap_or_default();
-                let mut new_value = current;
-                if new_value.len() < self.config.record_size {
-                    new_value.resize(self.config.record_size, 0);
+        let outcome = VALUE_BUF.with(|buf| {
+            let value = &mut *buf.borrow_mut();
+            (|| -> Result<(), silo_core::Abort> {
+                if is_read {
+                    let _ = txn.read_into(self.table, &key, value)?;
+                } else {
+                    // Read-modify-write in a single transaction (§5.2 (b)).
+                    txn.read_into(self.table, &key, value)?;
+                    if value.len() < self.config.record_size {
+                        value.resize(self.config.record_size, 0);
+                    }
+                    for b in value.iter_mut() {
+                        *b = b.wrapping_add(1);
+                    }
+                    txn.write(self.table, &key, value)?;
                 }
-                for b in new_value.iter_mut() {
-                    *b = b.wrapping_add(1);
-                }
-                txn.write(self.table, &key, &new_value)?;
-            }
-            Ok(())
-        })();
+                Ok(())
+            })()
+        });
         match outcome {
             Ok(()) => txn.commit().is_ok(),
             Err(_) => {
@@ -183,18 +192,20 @@ impl Workload for YcsbRmwOnly {
     fn run_one(&self, worker: &mut Worker, rng: &mut SmallRng, _thread: usize) -> bool {
         let key = ycsb_key(rng.gen_range(0..self.config.keys));
         let mut txn = worker.begin();
-        let outcome = (|| -> Result<(), silo_core::Abort> {
-            let current = txn.read(self.table, &key)?.unwrap_or_default();
-            let mut value = current;
-            if value.len() < self.config.record_size {
-                value.resize(self.config.record_size, 0);
-            }
-            for b in value.iter_mut() {
-                *b = b.wrapping_mul(31).wrapping_add(7);
-            }
-            txn.write(self.table, &key, &value)?;
-            Ok(())
-        })();
+        let outcome = VALUE_BUF.with(|buf| {
+            let value = &mut *buf.borrow_mut();
+            (|| -> Result<(), silo_core::Abort> {
+                txn.read_into(self.table, &key, value)?;
+                if value.len() < self.config.record_size {
+                    value.resize(self.config.record_size, 0);
+                }
+                for b in value.iter_mut() {
+                    *b = b.wrapping_mul(31).wrapping_add(7);
+                }
+                txn.write(self.table, &key, value)?;
+                Ok(())
+            })()
+        });
         match outcome {
             Ok(()) => txn.commit().is_ok(),
             Err(_) => {

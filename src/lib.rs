@@ -35,7 +35,7 @@ pub use silo_tid as tid;
 pub use silo_wl as wl;
 
 pub use silo_core::{
-    Abort, AbortReason, CommitHook, CommitWrite, Database, EpochConfig, SiloConfig, SnapshotTxn,
-    Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
+    Abort, AbortReason, CommitHook, CommitWrite, CommitWrites, Database, EpochConfig, SiloConfig,
+    SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
 };
 pub use silo_log::{LogConfig, LogDestination, LogMode, SiloLogger};
