@@ -32,6 +32,7 @@ fn main() {
             None,
         );
         print_row("Key-Value", t, &result);
+        emit_bench_json("fig4", "Key-Value", t, &result);
         db.stop_epoch_advancer();
     }
 
@@ -45,6 +46,7 @@ fn main() {
             None,
         );
         print_row("MemSilo", t, &result);
+        emit_bench_json("fig4", "MemSilo", t, &result);
         db.stop_epoch_advancer();
     }
 
@@ -58,6 +60,8 @@ fn main() {
             None,
         );
         print_row("MemSilo+GlobalTID", t, &result);
+        emit_bench_json("fig4", "MemSilo+GlobalTID", t, &result);
         db.stop_epoch_advancer();
     }
+    write_bench_json("fig4");
 }

@@ -29,6 +29,7 @@ fn main() {
             None,
         );
         print_row("MemSilo", t, &result);
+        emit_bench_json("fig5", "MemSilo", t, &result);
         db.stop_epoch_advancer();
     }
 
@@ -45,8 +46,11 @@ fn main() {
             Some(Arc::clone(&logger)),
         );
         print_row("Silo (persistent)", t, &result);
+        print_logger_stats(&result);
+        emit_bench_json("fig5", "Silo (persistent)", t, &result);
         logger.shutdown();
         db.stop_epoch_advancer();
     }
+    write_bench_json("fig5");
     let _ = std::fs::remove_dir_all(&log_dir);
 }

@@ -40,6 +40,8 @@ fn main() {
                 result.latency.max_us as f64 / 1000.0,
                 result.throughput(),
             );
+            print_logger_stats(&result);
+            emit_bench_json("fig7", label, t, &result);
             logger.shutdown();
             db.stop_epoch_advancer();
         }
@@ -55,5 +57,6 @@ fn main() {
         });
     }
     run("Silo+tmpfs", &|t| LogConfig::in_memory(4.min(t.max(1))));
+    write_bench_json("fig7");
     let _ = std::fs::remove_dir_all(&log_dir);
 }

@@ -147,6 +147,82 @@ pub fn print_row(series: &str, x: impl std::fmt::Display, result: &RunResult) {
     );
 }
 
+/// Prints the logging-subsystem counters for a persistent run, indented under
+/// its result row.
+pub fn print_logger_stats(result: &RunResult) {
+    if let Some(stats) = &result.logger_stats {
+        println!("  └─ logger: {stats}");
+    }
+}
+
+/// Rows accumulated by [`emit_bench_json`] for the current process, flushed
+/// to a file by [`write_bench_json`].
+static BENCH_JSON_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Emits one machine-readable benchmark row: printed to stdout as a
+/// `BENCH_JSON {...}` line (grep-able from CI logs) and retained for
+/// [`write_bench_json`]. Fields cover throughput, aborts, allocator
+/// discipline, durable-latency percentiles, and the logger counters, so the
+/// perf trajectory of every figure can be tracked across PRs.
+pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunResult) {
+    let mut row = format!(
+        "{{\"bench\":\"{}\",\"series\":\"{}\",\"threads\":{},\"seconds\":{:.3},\"committed\":{},\"aborted\":{},\"throughput_txns_per_s\":{:.1},\"allocs_per_txn\":{:.4},\"aborts_per_txn\":{:.5}",
+        json_escape(bench),
+        json_escape(series),
+        threads,
+        result.duration.as_secs_f64(),
+        result.committed,
+        result.aborted,
+        result.throughput(),
+        result.stats.allocs_per_txn(),
+        result.stats.aborts_per_txn(),
+    );
+    if result.latency.samples > 0 {
+        row.push_str(&format!(
+            ",\"latency_samples\":{},\"latency_mean_us\":{:.1},\"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_max_us\":{}",
+            result.latency.samples,
+            result.latency.mean_us,
+            result.latency.p50_us,
+            result.latency.p99_us,
+            result.latency.max_us,
+        ));
+    }
+    if let Some(log) = &result.logger_stats {
+        row.push_str(&format!(
+            ",\"log_buffers_published\":{},\"log_steal_publishes\":{},\"log_pool_hits\":{},\"log_pool_misses\":{},\"log_sync_calls\":{},\"log_bytes_published\":{},\"log_bytes_written\":{}",
+            log.buffers_published,
+            log.steal_publishes,
+            log.pool_hits,
+            log.pool_misses,
+            log.sync_calls,
+            log.bytes_published,
+            log.bytes_written,
+        ));
+    }
+    row.push('}');
+    println!("BENCH_JSON {row}");
+    BENCH_JSON_ROWS.lock().unwrap().push(row);
+}
+
+/// Writes every row emitted so far to `BENCH_<bench>.json` (a JSON array)
+/// under `SILO_BENCH_JSON_DIR`. Does nothing when the variable is unset, so
+/// ad-hoc runs don't litter the working directory.
+pub fn write_bench_json(bench: &str) {
+    let Ok(dir) = std::env::var("SILO_BENCH_JSON_DIR") else {
+        return;
+    };
+    let rows = BENCH_JSON_ROWS.lock().unwrap();
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body)) {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    }
+}
+
 /// Runs the partitioned-store new-order loop on `threads` threads for
 /// `duration` and returns `(committed, cross_partition, elapsed)`.
 pub fn run_partitioned(

@@ -46,7 +46,19 @@ fn hash4(data: &[u8]) -> usize {
 /// Compresses `input`, returning the token stream.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    let mut heads = vec![usize::MAX; HASH_SIZE];
+    let mut heads = Vec::new();
+    compress_into(input, &mut out, &mut heads);
+    out
+}
+
+/// Compresses `input`, appending the token stream to `out` (which is cleared
+/// first) and reusing `heads` as the match-finder hash table. Callers that
+/// compress many buffers — the logger threads — keep both across calls so
+/// steady-state compression performs no heap allocation.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>, heads: &mut Vec<usize>) {
+    out.clear();
+    heads.clear();
+    heads.resize(HASH_SIZE, usize::MAX);
     let mut literal_start = 0usize;
     let mut pos = 0usize;
 
@@ -74,7 +86,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                     len += 1;
                 }
                 if len >= MIN_MATCH {
-                    flush_literals(&mut out, literal_start, pos);
+                    flush_literals(&mut *out, literal_start, pos);
                     let dist = (pos - candidate) as u16;
                     out.push(0x01);
                     out.push(len as u8);
@@ -95,8 +107,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
         pos += 1;
     }
-    flush_literals(&mut out, literal_start, input.len());
-    out
+    flush_literals(&mut *out, literal_start, input.len());
 }
 
 /// Decompresses a token stream produced by [`compress`].

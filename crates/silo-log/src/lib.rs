@@ -6,14 +6,20 @@
 //!
 //! * every **worker** serializes its committed transactions into a local
 //!   memory buffer and publishes the buffer (plus its last committed TID
-//!   `ctid_w`) to its **logger** when the buffer fills or a new epoch begins;
+//!   `ctid_w`) to its **logger** when the buffer fills or a new epoch begins.
+//!   Publishing swaps in a fresh buffer from a recycled **pool**, so the hot
+//!   path never allocates: loggers return drained buffers to the pool after
+//!   flushing them, exactly as the paper describes;
 //! * a small number of **logger threads**, each responsible for a disjoint
-//!   subset of the workers, append the buffers to their log file, compute a
-//!   local durable epoch `d_l = epoch(min ctid_w) − 1`, persist it, and
-//!   publish it;
+//!   subset of the workers, coalesce the published buffers into a single
+//!   append + sync per group-commit round, compute a local durable epoch
+//!   `d_l = epoch(min ctid_w) − 1`, persist it, and publish it. Loggers are
+//!   event-driven: they block on their mailbox and are woken by the first
+//!   publish of a round (or by an epoch-tick timeout when idle);
 //! * the global **durable epoch** `D = min d_l`. Transactions with epochs
 //!   `≤ D` are durable, and results are released to clients only then —
-//!   epoch-granularity group commit.
+//!   epoch-granularity group commit. Advancement is signalled through a
+//!   condvar, so [`SiloLogger::wait_for_durable`] parks instead of polling.
 //!
 //! Recovery ([`recover_into`]) reads the log files, finds `D`, and replays
 //! exactly the transactions with `epoch(tid) ≤ D`, applying log records for
@@ -23,8 +29,9 @@
 //!
 //! The crate also implements the persistence-side knobs of the paper's factor
 //! analysis (Figure 11): `SmallRecs` (8-byte log records), `FullRecs`
-//! (default) and `Compress` (LZ77-style compression of log buffers), plus an
-//! in-memory sink that stands in for the paper's `Silo+tmpfs` configuration.
+//! (default) and `Compress` (LZ77-style compression of log buffers — applied
+//! by the *logger* threads, off the workers' commit path), plus an in-memory
+//! sink that stands in for the paper's `Silo+tmpfs` configuration.
 
 #![warn(missing_docs)]
 // Raw key/value byte tuples are part of this crate's vocabulary; aliasing
@@ -43,7 +50,7 @@ pub use sink::{FileSink, LogSink, MemorySink};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -51,10 +58,16 @@ use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use silo_core::{CommitHook, CommitWrites, Database, Tid};
 
-use record::{encode_compressed, encode_epoch_marker, encode_txn_writes};
+use record::{encode_compressed_into, encode_epoch_marker, encode_txn_writes};
 
 /// Maximum number of workers the logging subsystem supports.
 pub const MAX_WORKERS: usize = 256;
+
+/// Locks a std mutex, recovering from poison (a panicking logger thread must
+/// not take the workers down with it).
+fn lock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What the workers put into their log buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,14 +99,17 @@ pub struct LogConfig {
     pub num_loggers: usize,
     /// Record contents ([`LogMode`]).
     pub mode: LogMode,
-    /// Compress each record before buffering it (`+Compress`).
+    /// Compress published buffers before they hit the sink (`+Compress`).
+    /// Compression runs on the logger threads, not the workers' commit path.
     pub compress: bool,
     /// Call `fsync` after each logger write batch.
     pub fsync: bool,
-    /// Worker buffer size that triggers a publish to the logger.
+    /// Worker buffer fill level that triggers a publish to the logger.
     pub buffer_capacity: usize,
-    /// How often logger threads poll for new buffers and recompute `d_l`.
-    pub poll_interval: Duration,
+    /// Buffers pre-allocated into the recycled pool at startup. Size this at
+    /// least to the expected number of buffers in flight (workers plus queue
+    /// depth) so that steady-state publishes never hit the allocator.
+    pub pool_buffers: usize,
 }
 
 impl Default for LogConfig {
@@ -105,7 +121,7 @@ impl Default for LogConfig {
             compress: false,
             fsync: false,
             buffer_capacity: 64 * 1024,
-            poll_interval: Duration::from_millis(2),
+            pool_buffers: 16,
         }
     }
 }
@@ -130,9 +146,140 @@ impl LogConfig {
     }
 }
 
+/// A snapshot of the logging subsystem's counters (see
+/// [`SiloLogger::stats`]). All values are cumulative since the logger was
+/// created.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoggerStats {
+    /// Buffers handed from workers to logger threads (including steals and
+    /// finish-flushes).
+    pub buffers_published: u64,
+    /// Buffers a logger pulled out of an idle worker whose partial buffer was
+    /// holding the durable epoch back.
+    pub steal_publishes: u64,
+    /// Publishes that drew their replacement buffer from the recycled pool.
+    pub pool_hits: u64,
+    /// Publishes that had to allocate a replacement buffer (pool empty).
+    pub pool_misses: u64,
+    /// Group-commit rounds that reached the sink (`append` + `sync` pairs).
+    pub sync_calls: u64,
+    /// Raw bytes workers published to their loggers.
+    pub bytes_published: u64,
+    /// Bytes actually appended to the sinks (post-compression, including
+    /// epoch markers).
+    pub bytes_written: u64,
+}
+
+impl std::fmt::Display for LoggerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written",
+            self.buffers_published,
+            self.steal_publishes,
+            self.pool_hits,
+            self.pool_misses,
+            self.sync_calls,
+            self.bytes_published,
+            self.bytes_written,
+        )
+    }
+}
+
+/// Cumulative counters, updated by workers and logger threads.
+#[derive(Default)]
+struct Counters {
+    buffers_published: AtomicU64,
+    steal_publishes: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    sync_calls: AtomicU64,
+    bytes_published: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// The recycled buffer pool (paper §4.10: "it recycles [the buffers] to
+/// workers" after flushing). Buffers are allocated with twice the publish
+/// watermark so that the record whose append crosses the watermark never
+/// forces a re-grow — once a buffer has cycled, filling it is allocation-free.
+struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Capacity new buffers are created with (2× the publish watermark).
+    alloc_capacity: usize,
+    /// Retention cap: buffers beyond this are dropped rather than pooled,
+    /// bounding pool memory at roughly `retain_cap * alloc_capacity` bytes.
+    retain_cap: usize,
+}
+
+impl BufferPool {
+    fn new(config: &LogConfig) -> Self {
+        let alloc_capacity = config.buffer_capacity.saturating_mul(2).max(64);
+        let seed = config.pool_buffers;
+        BufferPool {
+            free: Mutex::new(
+                (0..seed)
+                    .map(|_| Vec::with_capacity(alloc_capacity))
+                    .collect(),
+            ),
+            alloc_capacity,
+            retain_cap: seed.max(16) * 4,
+        }
+    }
+
+    /// Takes a recycled buffer, or allocates one when the pool is dry.
+    fn take(&self, counters: &Counters) -> Vec<u8> {
+        match self.free.lock().pop() {
+            Some(buf) => {
+                counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                counters.pool_misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.alloc_capacity)
+            }
+        }
+    }
+
+    /// Returns a drained buffer to the pool (capacity retained).
+    fn put(&self, mut buf: Vec<u8>) {
+        // A buffer that out-grew the allocation size (a single transaction
+        // bigger than the headroom) is dropped rather than pooled: such
+        // workloads re-grow on every fill anyway, and retaining the buffer
+        // would break the pool's documented memory bound.
+        if buf.capacity() > self.alloc_capacity {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.retain_cap {
+            free.push(buf);
+        }
+    }
+}
+
+/// A logger thread's mailbox: workers push published buffers and wake the
+/// logger through the condvar; the logger swaps the whole queue out in one
+/// lock acquisition. Both sides reuse their `Vec`s, so steady-state traffic
+/// allocates nothing (unlike a linked-list channel, whose sends allocate a
+/// node on the worker thread).
+struct Inbox {
+    queue: StdMutex<Vec<Vec<u8>>>,
+    cv: Condvar,
+}
+
+impl Inbox {
+    fn new(depth_hint: usize) -> Self {
+        Inbox {
+            queue: StdMutex::new(Vec::with_capacity(depth_hint)),
+            cv: Condvar::new(),
+        }
+    }
+}
+
 /// Per-worker logging state.
 struct WorkerLogState {
-    /// Serialized, not yet published log records.
+    /// Serialized, not yet published log records (raw, even in `+Compress`
+    /// mode — compression happens on the logger threads).
     buffer: Mutex<Vec<u8>>,
     /// Last committed TID (`ctid_w`), raw representation. Zero means "no
     /// commit yet".
@@ -150,11 +297,6 @@ struct WorkerLogState {
     /// The worker has finished: its buffer was flushed and it will not commit
     /// again, so it no longer holds the durable epoch back.
     finished: AtomicBool,
-    /// Reusable staging buffer for `+Compress` mode (records are encoded
-    /// here, compressed into `buffer`), so compression allocates nothing in
-    /// steady state. Only the owning worker locks it, and only while already
-    /// holding `buffer`.
-    compress_scratch: Mutex<Vec<u8>>,
 }
 
 impl WorkerLogState {
@@ -165,37 +307,66 @@ impl WorkerLogState {
             buffer_epoch: AtomicU64::new(0),
             pending_epoch: AtomicU64::new(0),
             finished: AtomicBool::new(false),
-            compress_scratch: Mutex::new(Vec::new()),
         }
     }
-}
-
-/// A buffer published by a worker to its logger.
-struct PublishedBuffer {
-    bytes: Vec<u8>,
 }
 
 /// State shared between the commit hook (worker side) and the logger threads.
 struct LoggerShared {
     config: LogConfig,
     workers: Vec<WorkerLogState>,
-    senders: Vec<crossbeam::channel::Sender<PublishedBuffer>>,
-    bytes_published: AtomicU64,
+    inboxes: Vec<Inbox>,
+    pool: BufferPool,
+    counters: Counters,
+    /// Per-logger local durable epochs `d_l`.
+    durable_epochs: Vec<CachePadded<AtomicU64>>,
+    /// Cached global durable epoch `D = min d_l`, guarded so waiters can park
+    /// on the condvar instead of spin-sleeping.
+    durable: StdMutex<u64>,
+    durable_cv: Condvar,
+    stop: AtomicBool,
+    /// Set once the logger threads have been joined: from then on nothing
+    /// will ever drain the mailboxes, so publishes drop their records
+    /// instead of growing a dead queue.
+    detached: AtomicBool,
 }
 
 impl LoggerShared {
-    /// Flushes a worker's buffer to its logger.
+    /// Flushes a worker's buffer to its logger: the full buffer is swapped
+    /// for a recycled one and pushed into the logger's mailbox, waking it.
     fn publish(&self, worker_id: usize, buffer: &mut Vec<u8>) {
         if buffer.is_empty() {
             return;
         }
-        let bytes = std::mem::take(buffer);
-        self.bytes_published
+        if self.detached.load(Ordering::Acquire) {
+            // The logger threads are gone; these records can never become
+            // durable. Drop them (they were not durable anyway) rather than
+            // leaking them into a mailbox nothing drains. `stop` alone is
+            // not enough here: during the stopping round the loggers still
+            // steal-publish and final-drain, and a buffer their durable
+            // bound accounts for must reach the sink.
+            buffer.clear();
+            return;
+        }
+        let bytes = std::mem::replace(buffer, self.pool.take(&self.counters));
+        self.counters
+            .bytes_published
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        let logger_idx = worker_id % self.senders.len();
-        // The logger thread may already have exited during shutdown; dropping
-        // the buffer in that case is fine (it was not yet durable).
-        let _ = self.senders[logger_idx].send(PublishedBuffer { bytes });
+        self.counters
+            .buffers_published
+            .fetch_add(1, Ordering::Relaxed);
+        let inbox = &self.inboxes[worker_id % self.inboxes.len()];
+        lock(&inbox.queue).push(bytes);
+        inbox.cv.notify_one();
+    }
+
+    /// The global durable epoch `D = min d_l` from the per-logger atomics.
+    fn durable_epoch(&self) -> u64 {
+        self.durable_epochs
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -207,8 +378,6 @@ impl LoggerShared {
 /// epoch is `≤ D`).
 pub struct SiloLogger {
     shared: Arc<LoggerShared>,
-    durable_epochs: Vec<Arc<CachePadded<AtomicU64>>>,
-    stop: Arc<AtomicBool>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Memory sinks (one per logger) when the destination is `Memory`.
     memory_sinks: Vec<Arc<Mutex<Vec<u8>>>>,
@@ -227,17 +396,6 @@ impl SiloLogger {
     /// Creates the logging subsystem and spawns its logger threads.
     pub fn new(config: LogConfig, epochs: Arc<silo_core::EpochManager>) -> Arc<SiloLogger> {
         let num_loggers = config.num_loggers.max(1);
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        for _ in 0..num_loggers {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let durable_epochs: Vec<Arc<CachePadded<AtomicU64>>> = (0..num_loggers)
-            .map(|_| Arc::new(CachePadded::new(AtomicU64::new(0))))
-            .collect();
 
         // Build the per-logger sinks before spawning threads.
         let mut memory_sinks = Vec::new();
@@ -259,24 +417,30 @@ impl SiloLogger {
             }
         }
 
+        let inbox_depth = config.pool_buffers + 16;
         let shared = Arc::new(LoggerShared {
-            config: config.clone(),
+            pool: BufferPool::new(&config),
+            config,
             workers: (0..MAX_WORKERS).map(|_| WorkerLogState::new()).collect(),
-            senders,
-            bytes_published: AtomicU64::new(0),
+            inboxes: (0..num_loggers).map(|_| Inbox::new(inbox_depth)).collect(),
+            counters: Counters::default(),
+            durable_epochs: (0..num_loggers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            durable: StdMutex::new(0),
+            durable_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            detached: AtomicBool::new(false),
         });
 
         let mut handles = Vec::new();
-        for (i, (rx, mut sink)) in receivers.into_iter().zip(sinks).enumerate() {
-            let stop = Arc::clone(&stop);
-            let my_durable = Arc::clone(&durable_epochs[i]);
+        for (i, mut sink) in sinks.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let epochs = Arc::clone(&epochs);
-            let poll = config.poll_interval;
             let handle = std::thread::Builder::new()
                 .name(format!("silo-logger-{i}"))
                 .spawn(move || {
-                    logger_thread(i, shared, rx, sink.as_mut(), my_durable, stop, epochs, poll);
+                    logger_thread(i, shared, sink.as_mut(), epochs);
                 })
                 .expect("spawn logger thread");
             handles.push(handle);
@@ -284,8 +448,6 @@ impl SiloLogger {
 
         Arc::new(SiloLogger {
             shared,
-            durable_epochs,
-            stop,
             handles: Mutex::new(handles),
             memory_sinks,
         })
@@ -309,22 +471,28 @@ impl SiloLogger {
     /// The global durable epoch `D = min d_l`: every transaction whose TID
     /// epoch is `≤ D` is durably logged.
     pub fn durable_epoch(&self) -> u64 {
-        self.durable_epochs
-            .iter()
-            .map(|d| d.load(Ordering::Acquire))
-            .min()
-            .unwrap_or(0)
+        self.shared.durable_epoch()
     }
 
     /// Blocks until the durable epoch reaches `epoch` (with a timeout).
     /// Returns whether the epoch became durable.
+    ///
+    /// Waiters park on a condvar that the logger threads signal whenever the
+    /// global durable epoch advances, so this costs no CPU while parked.
     pub fn wait_for_durable(&self, epoch: u64, timeout: Duration) -> bool {
-        let start = std::time::Instant::now();
-        while self.durable_epoch() < epoch {
-            if start.elapsed() > timeout {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut durable = lock(&self.shared.durable);
+        while *durable < epoch {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            durable = self
+                .shared
+                .durable_cv
+                .wait_timeout(durable, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
         true
     }
@@ -336,7 +504,21 @@ impl SiloLogger {
 
     /// Total bytes published to logger threads so far.
     pub fn bytes_published(&self) -> u64 {
-        self.shared.bytes_published.load(Ordering::Relaxed)
+        self.shared.counters.bytes_published.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the subsystem's counters.
+    pub fn stats(&self) -> LoggerStats {
+        let c = &self.shared.counters;
+        LoggerStats {
+            buffers_published: c.buffers_published.load(Ordering::Relaxed),
+            steal_publishes: c.steal_publishes.load(Ordering::Relaxed),
+            pool_hits: c.pool_hits.load(Ordering::Relaxed),
+            pool_misses: c.pool_misses.load(Ordering::Relaxed),
+            sync_calls: c.sync_calls.load(Ordering::Relaxed),
+            bytes_published: c.bytes_published.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+        }
     }
 
     /// The in-memory log contents (only for [`LogDestination::Memory`]); one
@@ -348,11 +530,23 @@ impl SiloLogger {
     /// Stops the logger threads after they drain already-published buffers.
     /// Worker buffers not yet published are lost (they were not durable).
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
+        for inbox in &self.shared.inboxes {
+            // Take the lock so the wake cannot land between a logger's
+            // empty-check and its park.
+            let _guard = lock(&inbox.queue);
+            inbox.cv.notify_all();
+        }
         let mut handles = self.handles.lock();
         for h in handles.drain(..) {
             let _ = h.join();
         }
+        // From here on nothing drains the mailboxes: later publishes drop
+        // their records instead of queueing them.
+        self.shared.detached.store(true, Ordering::Release);
+        // Unblock any waiter watching for an epoch that became durable during
+        // the final rounds.
+        self.shared.durable_cv.notify_all();
     }
 
     /// The last committed TID of every worker that committed at least once
@@ -387,15 +581,11 @@ impl CommitHook for SiloLogger {
 
         // Zero-copy handoff: serialize each write straight from the
         // committing worker's (arena-backed) write-set into the log buffer.
+        // Records are written raw even in `+Compress` mode — the logger
+        // threads compress while batching, keeping the CPU cost off the
+        // commit path.
         let small = matches!(shared.config.mode, LogMode::SmallRecords);
-        if shared.config.compress {
-            let mut raw = state.compress_scratch.lock();
-            raw.clear();
-            encode_txn_writes(&mut raw, tid, writes, small);
-            encode_compressed(&mut buffer, &raw);
-        } else {
-            encode_txn_writes(&mut buffer, tid, writes, small);
-        }
+        encode_txn_writes(&mut buffer, tid, writes, small);
 
         if buffer.len() >= shared.config.buffer_capacity {
             shared.publish(worker_id, &mut buffer);
@@ -431,21 +621,68 @@ impl Drop for SiloLogger {
     }
 }
 
+/// Reusable compression scratch owned by each logger thread: the match-finder
+/// hash table and the compressed-output staging buffer survive across rounds,
+/// so logger-side compression allocates nothing in steady state.
+struct Compressor {
+    scratch: Vec<u8>,
+    heads: Vec<usize>,
+}
+
 /// Body of each logger thread (§4.10).
-#[allow(clippy::too_many_arguments)]
 fn logger_thread(
     logger_index: usize,
     shared: Arc<LoggerShared>,
-    rx: crossbeam::channel::Receiver<PublishedBuffer>,
     sink: &mut dyn LogSink,
-    my_durable: Arc<CachePadded<AtomicU64>>,
-    stop: Arc<AtomicBool>,
     epochs: Arc<silo_core::EpochManager>,
-    poll: Duration,
 ) {
-    let num_loggers = shared.senders.len();
+    let num_loggers = shared.inboxes.len();
+    let inbox = &shared.inboxes[logger_index];
+    let my_durable = &shared.durable_epochs[logger_index];
+    // Idle loggers wake once per epoch tick: the durable epoch can only move
+    // when the global epoch does, so there is nothing to recompute sooner.
+    let tick = epochs.config().epoch_interval.max(Duration::from_micros(100));
+
+    // Round-local reusable state: the drained mailbox swap partner, the
+    // coalesced output for one group-commit round, and compression scratch.
+    let mut drained: Vec<Vec<u8>> = Vec::with_capacity(shared.config.pool_buffers + 16);
+    let mut round: Vec<u8> = Vec::with_capacity(shared.config.buffer_capacity * 2);
+    let mut compressor = shared.config.compress.then(|| Compressor {
+        scratch: Vec::with_capacity(shared.config.buffer_capacity),
+        heads: Vec::new(),
+    });
+
+    // Appends one published buffer to the round, compressing it when
+    // configured, and recycles the buffer into the pool.
+    let coalesce = |round: &mut Vec<u8>, bytes: Vec<u8>, compressor: &mut Option<Compressor>| {
+        match compressor {
+            Some(c) => encode_compressed_into(round, &bytes, &mut c.scratch, &mut c.heads),
+            None => round.extend_from_slice(&bytes),
+        }
+        shared.pool.put(bytes);
+    };
+
     loop {
-        let stopping = stop.load(Ordering::Acquire);
+        // Wait for work, event-driven: park on the mailbox until a worker
+        // publishes a buffer, the subsystem stops, or an epoch tick elapses
+        // (the timeout keeps the durable epoch advancing while idle). The
+        // mailbox is NOT drained yet: the durable bound must be computed
+        // first, so that every buffer the bound accounts for as "published"
+        // is drained into this very round — draining first would let a
+        // buffer slip in between drain and bound and be declared durable one
+        // round before it reaches the sink.
+        {
+            let queue = lock(&inbox.queue);
+            if queue.is_empty() && !shared.stop.load(Ordering::Acquire) {
+                drop(
+                    inbox
+                        .cv
+                        .wait_timeout(queue, tick)
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+            }
+        }
+        let stopping = shared.stop.load(Ordering::Acquire);
 
         // Compute this logger's durable bound d over its *active* (not
         // finished) workers. A worker constrains d only through data that is
@@ -486,6 +723,7 @@ fn logger_thread(
                 if !buffer.is_empty() && state.buffer_epoch.load(Ordering::Relaxed) < e_now {
                     shared.publish(wid, &mut buffer);
                     state.pending_epoch.store(0, Ordering::Release);
+                    shared.counters.steal_publishes.fetch_add(1, Ordering::Relaxed);
                 }
                 drop(buffer);
                 pending = state.pending_epoch.load(Ordering::Acquire);
@@ -495,7 +733,7 @@ fn logger_thread(
                 // Untouched worker slot (never committed): imposes no bound.
                 // (A first commit that is in flight right now can land in
                 // epoch E − 1; the `None` fallback below can declare E − 1
-                // durable a poll round early in that window. This matches the
+                // durable a round early in that window. This matches the
                 // paper's accounting, which also only sees published state.)
                 continue;
             }
@@ -520,33 +758,74 @@ fn logger_thread(
             None => e_now.saturating_sub(1),
         };
 
-        // Drain published buffers and append them to the log.
-        let mut wrote = false;
-        while let Ok(buf) = rx.try_recv() {
-            sink.append(&buf.bytes);
-            wrote = true;
+        // Drain the mailbox *after* the bound: every buffer the bound
+        // counted as published (including this round's steals, which went
+        // through our own mailbox) is now in `drained` and reaches the sink
+        // before the marker that may declare its epoch durable.
+        {
+            let mut queue = lock(&inbox.queue);
+            std::mem::swap(&mut *queue, &mut drained);
         }
-        // Append the durable-epoch marker and make everything stable.
+
+        // Coalesce everything drained this round — published buffers
+        // (compressed here in `+Compress` mode) followed by the durable-epoch
+        // marker — into one append + sync.
+        round.clear();
+        let wrote = !drained.is_empty();
+        for bytes in drained.drain(..) {
+            coalesce(&mut round, bytes, &mut compressor);
+        }
         let prev = my_durable.load(Ordering::Acquire);
         if wrote || local_durable > prev {
-            let mut marker = Vec::with_capacity(16);
-            encode_epoch_marker(&mut marker, local_durable);
-            sink.append(&marker);
+            encode_epoch_marker(&mut round, local_durable);
+            sink.append(&round);
             sink.sync();
+            shared
+                .counters
+                .bytes_written
+                .fetch_add(round.len() as u64, Ordering::Relaxed);
+            shared.counters.sync_calls.fetch_add(1, Ordering::Relaxed);
             if local_durable > prev {
                 my_durable.store(local_durable, Ordering::Release);
+                // Signal waiters when the *global* durable epoch moved. The
+                // min over the per-logger atomics is recomputed *inside* the
+                // mutex: each logger stores its slot before locking, so the
+                // last logger through the critical section observes every
+                // concurrent store and the cache cannot go permanently stale
+                // (reading the min before locking would allow two loggers to
+                // each miss the other's store — the classic store-buffer
+                // reordering — and strand waiters at the old epoch).
+                let mut cached = lock(&shared.durable);
+                let global = shared.durable_epoch();
+                if global > *cached {
+                    *cached = global;
+                    shared.durable_cv.notify_all();
+                }
             }
         }
 
         if stopping {
-            // One final drain so already-published buffers hit the sink.
-            while let Ok(buf) = rx.try_recv() {
-                sink.append(&buf.bytes);
+            // One final drain so buffers published while this round was
+            // being written still hit the sink.
+            round.clear();
+            {
+                let mut queue = lock(&inbox.queue);
+                std::mem::swap(&mut *queue, &mut drained);
             }
-            sink.sync();
+            for bytes in drained.drain(..) {
+                coalesce(&mut round, bytes, &mut compressor);
+            }
+            if !round.is_empty() {
+                sink.append(&round);
+                sink.sync();
+                shared
+                    .counters
+                    .bytes_written
+                    .fetch_add(round.len() as u64, Ordering::Relaxed);
+                shared.counters.sync_calls.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
-        std::thread::sleep(poll);
     }
 }
 

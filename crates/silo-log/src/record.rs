@@ -117,11 +117,26 @@ pub fn encode_epoch_marker(out: &mut Vec<u8>, epoch: u64) {
 
 /// Appends a compressed block wrapping `raw` (already-encoded inner blocks).
 pub fn encode_compressed(out: &mut Vec<u8>, raw: &[u8]) {
-    let compressed = crate::compress::compress(raw);
+    let mut scratch = Vec::new();
+    let mut heads = Vec::new();
+    encode_compressed_into(out, raw, &mut scratch, &mut heads);
+}
+
+/// Appends a compressed block wrapping `raw`, reusing the caller's
+/// compression scratch: `scratch` receives the token stream and `heads` the
+/// match-finder hash table. The logger threads keep both across rounds so
+/// steady-state compression performs no heap allocation.
+pub fn encode_compressed_into(
+    out: &mut Vec<u8>,
+    raw: &[u8],
+    scratch: &mut Vec<u8>,
+    heads: &mut Vec<usize>,
+) {
+    crate::compress::compress_into(raw, scratch, heads);
     out.push(BLOCK_COMPRESSED);
     out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
-    out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
-    out.extend_from_slice(&compressed);
+    out.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+    out.extend_from_slice(scratch);
 }
 
 /// A parsed block.

@@ -261,6 +261,69 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_out_of_epoch_order_buffers_recover_in_tid_order() {
+        // Loggers append buffers in arrival order, not epoch order: a slow
+        // worker's epoch-2 buffer can land *after* a fast worker's epoch-3
+        // buffer in the same stream. Replay must still resolve each key to
+        // its largest TID, not to stream order.
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(3, 5), 0, b"a", Some(b"epoch3"))); // newest first in stream
+        s.extend(txn_block(Tid::new(2, 9), 0, b"a", Some(b"epoch2")));
+        s.extend(txn_block(Tid::new(2, 1), 0, b"b", Some(b"b-old")));
+        encode_epoch_marker(&mut s, 2);
+        s.extend(txn_block(Tid::new(3, 2), 0, b"b", Some(b"b-new")));
+        s.extend(txn_block(Tid::new(2, 4), 0, b"c", None)); // late delete from an earlier epoch
+        encode_epoch_marker(&mut s, 4);
+
+        let state = scan_streams(&[s]).unwrap();
+        assert_eq!(state.durable_epoch, 4);
+        assert_eq!(state.replayed_txns, 5);
+        let get = |k: &[u8]| state.latest.get(&(0, k.to_vec())).unwrap().clone();
+        assert_eq!(get(b"a"), (Tid::new(3, 5), Some(b"epoch3".to_vec())));
+        assert_eq!(get(b"b"), (Tid::new(3, 2), Some(b"b-new".to_vec())));
+        assert_eq!(get(b"c"), (Tid::new(2, 4), None));
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_without_losing_the_prefix() {
+        // A crash mid-append tears the last block; everything before it —
+        // including buffers that arrived out of epoch order — must survive.
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(3, 1), 0, b"x", Some(b"keep-3")));
+        s.extend(txn_block(Tid::new(2, 8), 0, b"y", Some(b"keep-2")));
+        encode_epoch_marker(&mut s, 3);
+        let good_len = s.len();
+        s.extend(txn_block(Tid::new(4, 1), 0, b"z", Some(b"torn")));
+        s.truncate(good_len + 6); // crash tears the final record mid-header
+
+        let state = scan_streams(&[s]).unwrap();
+        assert_eq!(state.durable_epoch, 3);
+        assert_eq!(state.replayed_txns, 2);
+        assert!(state.latest.contains_key(&(0, b"x".to_vec())));
+        assert!(state.latest.contains_key(&(0, b"y".to_vec())));
+        assert!(
+            !state.latest.contains_key(&(0, b"z".to_vec())),
+            "the torn record must not be replayed"
+        );
+
+        // The recovered prefix applies cleanly.
+        let db = Database::open(SiloConfig::for_testing());
+        db.create_table("t").unwrap();
+        let installed = apply_recovered(
+            &db,
+            &scan_streams(&[{
+                let mut s = Vec::new();
+                s.extend(txn_block(Tid::new(3, 1), 0, b"x", Some(b"keep-3")));
+                encode_epoch_marker(&mut s, 3);
+                s
+            }])
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(installed, 1);
+    }
+
+    #[test]
     fn apply_fails_without_schema() {
         let mut s = Vec::new();
         s.extend(txn_block(Tid::new(1, 1), 5, b"k", Some(b"v")));

@@ -1,4 +1,10 @@
 //! Log output sinks: real files and in-memory buffers.
+//!
+//! Logger threads coalesce every buffer drained in a group-commit round —
+//! plus the trailing durable-epoch marker — into one [`LogSink::append`]
+//! followed by one [`LogSink::sync`], so a sink sees exactly one write (and
+//! for [`FileSink`] with fsync enabled, one `fdatasync`) per round, however
+//! many workers published in it.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -9,7 +15,7 @@ use parking_lot::Mutex;
 
 /// Destination for log bytes. Each logger thread owns one sink.
 pub trait LogSink {
-    /// Appends `data` to the log.
+    /// Appends `data` to the log (one call per group-commit round).
     fn append(&mut self, data: &[u8]);
     /// Makes previously appended data stable (fsync for files).
     fn sync(&mut self);

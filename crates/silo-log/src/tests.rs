@@ -256,6 +256,137 @@ fn compressed_logs_shrink_and_recover_identically() {
 }
 
 #[test]
+fn idle_worker_partial_buffer_is_stolen_and_becomes_durable() {
+    // A worker commits once (a partial buffer, far below the watermark) and
+    // then goes idle without finishing. The event-driven logger must
+    // steal-publish the stale buffer on an epoch tick — otherwise the
+    // durable epoch would be stuck behind the idle worker forever.
+    let (db, logger) = logged_db(LogConfig {
+        buffer_capacity: 1024 * 1024,
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"lonely", b"value").unwrap();
+    let tid = txn.commit().unwrap();
+    // Quiesce (but keep the worker alive and unfinished) so the global epoch
+    // can advance past the commit.
+    w.quiesce();
+    assert!(
+        logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)),
+        "stolen partial buffer never became durable (durable epoch {})",
+        logger.durable_epoch()
+    );
+    assert!(
+        logger.stats().steal_publishes >= 1,
+        "the only publish path for an idle worker is the steal"
+    );
+    let state = recovery::scan_streams(&logger.memory_logs()).unwrap();
+    assert!(state.latest.contains_key(&(t, b"lonely".to_vec())));
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn compression_happens_on_the_logger_side() {
+    // Workers publish raw bytes; the logger compresses while batching. The
+    // counters make the division of labour observable: published (raw) bytes
+    // must exceed written (compressed) bytes on repetitive data.
+    let (db, logger) = logged_db(LogConfig {
+        compress: true,
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut last = silo_core::Tid::ZERO;
+    for i in 0..60u32 {
+        let mut txn = w.begin();
+        let value = format!("district-{:02}-{}", i % 10, "pad".repeat(40));
+        txn.write(t, format!("key{i:04}").as_bytes(), value.as_bytes())
+            .unwrap();
+        last = txn.commit().unwrap();
+    }
+    drop(w);
+    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    logger.shutdown();
+    let stats = logger.stats();
+    assert!(
+        stats.bytes_written < stats.bytes_published,
+        "logger-side compression must shrink the stream ({} written vs {} published)",
+        stats.bytes_written,
+        stats.bytes_published
+    );
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn pool_survives_finish_steal_and_shutdown_races() {
+    // Stress the recycled pool: workers registering/finishing in a loop,
+    // epoch-boundary and watermark publishes, logger steals, and a shutdown
+    // fired while workers are still committing. The run must not panic, the
+    // pool accounting must balance, and whatever reached the sinks must
+    // still be a decodable, replayable log.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (db, logger) = logged_db(LogConfig {
+        buffer_capacity: 256, // tiny watermark: publish every couple of txns
+        pool_buffers: 2,      // force pool misses under pressure
+        ..LogConfig::in_memory(2)
+    });
+    let t = db.create_table("t").unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for thread in 0..3u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            // Bounded re-registration (worker ids are finite): each drop
+            // exercises on_worker_finish racing the logger's steal scan.
+            for generation in 0..25u64 {
+                let mut w = db.register_worker();
+                for i in 0..80u64 {
+                    let mut txn = w.begin();
+                    let key = format!("t{thread}g{generation}k{}", i % 17);
+                    let value = vec![b'v'; 64];
+                    txn.write(t, key.as_bytes(), &value).unwrap();
+                    txn.commit().unwrap();
+                    if i % 19 == 0 {
+                        w.quiesce(); // let steals and epoch advances interleave
+                        std::thread::yield_now();
+                    }
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+        }));
+    }
+    // Shut the logging subsystem down in the middle of the commit storm.
+    std::thread::sleep(Duration::from_millis(30));
+    logger.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("stress worker panicked");
+    }
+
+    let stats = logger.stats();
+    assert_eq!(
+        stats.pool_hits + stats.pool_misses,
+        stats.buffers_published,
+        "every publish draws exactly one replacement buffer"
+    );
+    assert!(stats.buffers_published > 0);
+
+    // The sinks hold a valid log prefix: decodable, and replayable into a
+    // fresh database.
+    let state = recovery::scan_streams(&logger.memory_logs()).unwrap();
+    let db2 = Database::open(SiloConfig::for_testing());
+    let t2 = db2.create_table("t").unwrap();
+    assert_eq!(t2, t);
+    recovery::apply_recovered(&db2, &state).unwrap();
+    db.stop_epoch_advancer();
+}
+
+#[test]
 fn worker_finish_flushes_partial_buffers() {
     let (db, logger) = logged_db(LogConfig {
         buffer_capacity: 1024 * 1024, // never fills by size

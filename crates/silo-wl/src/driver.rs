@@ -10,6 +10,13 @@
 //! supplied, a sample of transactions additionally measures *durable latency*
 //! — the time from the start of the transaction until its epoch becomes
 //! durable — which is what Figure 7 plots.
+//!
+//! Latency sampling is asynchronous: workers hand each sampled transaction's
+//! start time and commit epoch to a dedicated sampler thread, which parks in
+//! [`SiloLogger::wait_for_durable`] on their behalf. Group-commit latency is
+//! epochs long (tens of milliseconds), so a worker that waited inline would
+//! spend almost all of its time parked and the "persistent" series would
+//! measure the sampling policy rather than the logging subsystem.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,7 +25,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use silo_core::{Database, Worker, WorkerStats};
-use silo_log::SiloLogger;
+use silo_log::{LoggerStats, SiloLogger};
 
 /// A workload: produces one transaction per call against the given worker.
 ///
@@ -106,6 +113,9 @@ pub struct RunResult {
     pub latency: LatencySummary,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Logging-subsystem counters at the end of the run (`None` when the run
+    /// had no logger).
+    pub logger_stats: Option<LoggerStats>,
 }
 
 impl RunResult {
@@ -139,13 +149,57 @@ pub fn run_workload(
     let start_barrier = Arc::new(std::sync::Barrier::new(config.threads + 1));
     let mut handles = Vec::new();
 
+    // Asynchronous durable-latency sampling: sampled commits send their
+    // (start time, post-commit epoch) to this thread, which parks in
+    // `wait_for_durable` so the workers never stall on group commit.
+    let (sample_tx, sampler) = match (&logger, config.latency_sample_every) {
+        (Some(logger), n) if n > 0 => {
+            let logger = Arc::clone(logger);
+            let (tx, rx) = std::sync::mpsc::channel::<(Instant, u64)>();
+            let handle = std::thread::Builder::new()
+                .name("silo-latency-sampler".to_string())
+                .spawn(move || {
+                    let mut latencies = Vec::new();
+                    // Lowest epoch a wait has already timed out on: the
+                    // durable epoch is monotone, so once it failed to reach
+                    // `f`, queued samples with epoch ≥ `f` cannot succeed —
+                    // poll those instead of burning the full timeout per
+                    // sample (a stalled run would otherwise hang for
+                    // queue-length × timeout after the workers stop).
+                    let mut failed_at: Option<u64> = None;
+                    while let Ok((begin, epoch)) = rx.recv() {
+                        let timeout = match failed_at {
+                            Some(f) if epoch >= f => Duration::ZERO,
+                            _ => Duration::from_secs(10),
+                        };
+                        // The durable epoch is monotone, so samples (arriving
+                        // in roughly epoch order) mostly return immediately
+                        // once the first wait in their epoch completes.
+                        if logger.wait_for_durable(epoch, timeout) {
+                            latencies.push(begin.elapsed().as_micros() as u64);
+                            // The durable epoch caught up: resume real waits
+                            // so a transient stall doesn't discard the rest
+                            // of the run's samples.
+                            failed_at = None;
+                        } else if timeout > Duration::ZERO {
+                            failed_at = Some(failed_at.map_or(epoch, |f| f.min(epoch)));
+                        }
+                    }
+                    latencies
+                })
+                .expect("spawn latency sampler");
+            (Some(tx), Some(handle))
+        }
+        _ => (None, None),
+    };
+
     for thread_index in 0..config.threads {
         let db = Arc::clone(db);
         let workload = Arc::clone(&workload);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&start_barrier);
-        let logger = logger.clone();
-        let sample_every = config.latency_sample_every;
+        let sample_tx = sample_tx.clone();
+        let sample_every = config.latency_sample_every.max(1);
         let seed = config.seed + thread_index as u64;
         handles.push(std::thread::spawn(move || {
             let mut worker = db.register_worker();
@@ -154,31 +208,19 @@ pub fn run_workload(
             barrier.wait();
             let mut committed = 0u64;
             let mut aborted = 0u64;
-            let mut latencies = Vec::new();
             while !stop.load(Ordering::Relaxed) {
-                let sample = logger.is_some()
-                    && sample_every > 0
-                    && (committed + aborted) % sample_every == 0;
+                let sample =
+                    sample_tx.is_some() && (committed + aborted) % sample_every == 0;
                 let begin = if sample { Some(Instant::now()) } else { None };
                 let ok = workload.run_one(&mut worker, &mut rng, thread_index);
                 if ok {
                     committed += 1;
-                    if let (Some(begin), Some(logger)) = (begin, logger.as_ref()) {
-                        // Durable (group-commit) latency: wait until the
-                        // transaction's epoch is durable. The commit epoch is
-                        // at most the current global epoch, so waiting for the
-                        // epoch observed right after commit is conservative.
-                        //
-                        // Quiesce while parked: the worker holds no shared
-                        // references between transactions, and keeping its
-                        // epoch pin here would stop the global epoch (E −
-                        // e_w ≤ 1) — and with it the durable epoch the wait
-                        // is watching — from ever advancing.
-                        let epoch = db.epochs().global_epoch();
-                        worker.quiesce();
-                        if logger.wait_for_durable(epoch, Duration::from_secs(10)) {
-                            latencies.push(begin.elapsed().as_micros() as u64);
-                        }
+                    if let (Some(begin), Some(tx)) = (begin, sample_tx.as_ref()) {
+                        // The commit epoch is at most the global epoch read
+                        // right after commit, so waiting for that epoch is a
+                        // conservative durable-latency measurement. The wait
+                        // itself happens on the sampler thread.
+                        let _ = tx.send((begin, db.epochs().global_epoch()));
                     }
                 } else {
                     aborted += 1;
@@ -187,7 +229,7 @@ pub fn run_workload(
             worker.quiesce();
             let stats = worker.stats().clone();
             drop(worker);
-            (committed, aborted, stats, latencies)
+            (committed, aborted, stats)
         }));
     }
 
@@ -199,15 +241,23 @@ pub fn run_workload(
     let mut committed = 0;
     let mut aborted = 0;
     let mut stats = WorkerStats::default();
-    let mut all_latencies = Vec::new();
     for handle in handles {
-        let (c, a, s, lat) = handle.join().expect("worker thread panicked");
+        let (c, a, s) = handle.join().expect("worker thread panicked");
         committed += c;
         aborted += a;
         stats.merge(&s);
-        all_latencies.extend(lat);
     }
     let duration = started.elapsed();
+
+    // All worker threads (and their sender clones) are gone; dropping the
+    // last sender lets the sampler drain its queue and exit. Joining it
+    // *after* the workers is what lets in-flight samples complete: with the
+    // workers quiesced, the epoch — and with it the durable epoch — keeps
+    // advancing.
+    drop(sample_tx);
+    let all_latencies = sampler
+        .map(|h| h.join().expect("latency sampler panicked"))
+        .unwrap_or_default();
 
     RunResult {
         committed,
@@ -216,6 +266,7 @@ pub fn run_workload(
         stats,
         latency: LatencySummary::from_samples(all_latencies),
         threads: config.threads,
+        logger_stats: logger.map(|l| l.stats()),
     }
 }
 
