@@ -155,6 +155,25 @@ pub fn print_logger_stats(result: &RunResult) {
     }
 }
 
+/// Prints the checkpointer counters for a run that had one, indented under
+/// its result row.
+pub fn print_checkpoint_stats(result: &RunResult) {
+    if let Some(c) = &result.checkpoint_stats {
+        println!(
+            "  └─ checkpoints: {} completed ({} skipped, {} failed), last epoch {}, {} records / {} B in {:.1} ms ({:.1} MB/s), {} B total",
+            c.completed,
+            c.skipped,
+            c.failed,
+            c.last_epoch,
+            c.last_records,
+            c.last_bytes,
+            c.last_micros as f64 / 1e3,
+            c.last_write_rate() / 1e6,
+            c.total_bytes,
+        );
+    }
+}
+
 /// Rows accumulated by [`emit_bench_json`] for the current process, flushed
 /// to a file by [`write_bench_json`].
 static BENCH_JSON_ROWS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
@@ -193,7 +212,7 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
     }
     if let Some(log) = &result.logger_stats {
         row.push_str(&format!(
-            ",\"log_buffers_published\":{},\"log_steal_publishes\":{},\"log_pool_hits\":{},\"log_pool_misses\":{},\"log_sync_calls\":{},\"log_bytes_published\":{},\"log_bytes_written\":{}",
+            ",\"log_buffers_published\":{},\"log_steal_publishes\":{},\"log_pool_hits\":{},\"log_pool_misses\":{},\"log_sync_calls\":{},\"log_bytes_published\":{},\"log_bytes_written\":{},\"log_segments_rotated\":{},\"log_segments_deleted\":{},\"log_bytes_truncated\":{}",
             log.buffers_published,
             log.steal_publishes,
             log.pool_hits,
@@ -201,6 +220,20 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
             log.sync_calls,
             log.bytes_published,
             log.bytes_written,
+            log.segments_rotated,
+            log.segments_deleted,
+            log.bytes_truncated,
+        ));
+    }
+    if let Some(ckpt) = &result.checkpoint_stats {
+        row.push_str(&format!(
+            ",\"ckpt_completed\":{},\"ckpt_last_epoch\":{},\"ckpt_last_records\":{},\"ckpt_last_bytes\":{},\"ckpt_write_rate_bytes_per_s\":{:.0},\"ckpt_total_bytes\":{}",
+            ckpt.completed,
+            ckpt.last_epoch,
+            ckpt.last_records,
+            ckpt.last_bytes,
+            ckpt.last_write_rate(),
+            ckpt.total_bytes,
         ));
     }
     row.push('}');

@@ -51,6 +51,7 @@
 #![allow(clippy::type_complexity)]
 
 mod arena;
+pub mod bulk;
 pub mod config;
 pub mod database;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod stats;
 pub mod txn;
 pub mod worker;
 
+pub use bulk::{bulk_apply, BulkOutcome};
 pub use config::SiloConfig;
 pub use database::{CommitHook, CommitWrite, CommitWrites, Database, Table, TableId};
 pub use error::{Abort, AbortReason, CatalogError};

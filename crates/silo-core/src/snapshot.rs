@@ -9,6 +9,8 @@
 //! **never abort** — which is exactly why the stock-level experiment of
 //! Figure 10 benefits from them.
 
+use silo_tid::Tid;
+
 use crate::database::TableId;
 use crate::record::Record;
 use crate::worker::Worker;
@@ -107,6 +109,76 @@ impl<'w> SnapshotTxn<'w> {
             out.push((key, data));
         }
         out
+    }
+
+    /// Streams every record of `table_id` that exists at this snapshot, in
+    /// key order, into `f` as `(key, version TID, value bytes)`.
+    ///
+    /// This is the checkpoint scan hook (§4.9 applied to §4.10's
+    /// checkpoints): the index is walked in chunks of `chunk` keys, so memory
+    /// stays bounded no matter how large the table is, and the worker's
+    /// *current* epoch `e_w` is re-refreshed between chunks (keeping its
+    /// pinned `se_w`) so a long walk never stalls global epoch advancement.
+    /// The yielded TID is the version's commit TID, which the recovery path
+    /// uses to resolve conflicts against log-tail records.
+    ///
+    /// Returns the number of records yielded.
+    pub fn scan_versions_into(
+        &mut self,
+        table_id: TableId,
+        chunk: usize,
+        mut f: impl FnMut(&[u8], Tid, &[u8]),
+    ) -> u64 {
+        let chunk = chunk.max(1);
+        let snapshot_epoch = self.snapshot_epoch;
+        let table_ptr = self.worker.table_ptr(table_id);
+        // SAFETY: the worker's table cache keeps the table alive.
+        let table = unsafe { &*table_ptr };
+        let mut start: Vec<u8> = Vec::new();
+        let mut data = Vec::new();
+        let mut yielded = 0u64;
+        loop {
+            let result = table.tree().scan(&start, None, Some(chunk));
+            let n = result.entries.len();
+            for (key, value) in result.entries {
+                let record = value as *const Record;
+                // SAFETY: as in `read` — the pinned `se_w` keeps every chain
+                // member this snapshot can reach alive.
+                let rec = unsafe { &*record };
+                // Validated read with retry: the chain *head* can change
+                // under us (an in-place overwrite when snapshots are
+                // disabled, or a concurrent commit pushing the version we
+                // want onto the chain between the walk and the copy), so
+                // copy via the §4.5 read protocol and re-walk if the version
+                // turned out to belong to an epoch after the snapshot.
+                while let Some(version) = rec.snapshot_version(snapshot_epoch) {
+                    let word = version.read_consistent(&mut data);
+                    if snapshot_epoch != u64::MAX && word.tid().epoch() > snapshot_epoch {
+                        // The head moved past the snapshot mid-copy; the
+                        // version this snapshot needs is now on the chain.
+                        continue;
+                    }
+                    if !word.is_absent() {
+                        self.reads += 1;
+                        yielded += 1;
+                        f(&key, word.tid(), &data);
+                    }
+                    break;
+                }
+                start = key;
+            }
+            if n < chunk {
+                return yielded;
+            }
+            // Resume at the successor of the last key seen, and let the
+            // global epoch move past us while we are between chunks.
+            start.push(0);
+            if snapshot_epoch != u64::MAX {
+                self.worker.epoch().refresh_pinned(snapshot_epoch);
+            } else {
+                self.worker.epoch().refresh();
+            }
+        }
     }
 
     /// Completes the snapshot transaction. Snapshot transactions are

@@ -91,8 +91,8 @@ impl Worker {
         &self.stats
     }
 
-    /// The worker's epoch handle (used by the commit protocol and tests).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// The worker's epoch handle (used by the commit protocol, the snapshot
+    /// scan hook and tests).
     pub(crate) fn epoch(&self) -> &WorkerEpochHandle {
         &self.epoch
     }
@@ -139,6 +139,31 @@ impl Worker {
             u64::MAX
         };
         SnapshotTxn::new(self, snapshot_epoch)
+    }
+
+    /// Starts a read-only snapshot transaction pinned to an *explicit*
+    /// snapshot epoch (at most the current global `SE`; larger values are
+    /// clamped).
+    ///
+    /// This is the checkpointer's entry point (§4.9 applied to §4.10's
+    /// checkpoints): several workers can walk different tables of the *same*
+    /// consistent snapshot concurrently, and a long walk can be split into
+    /// many short snapshot transactions — each `begin_snapshot_at` re-pins
+    /// `se_w` to the chosen epoch (so the versions that snapshot needs are
+    /// never reclaimed mid-walk) while refreshing `e_w` (so the walk never
+    /// stalls global epoch advancement).
+    pub fn begin_snapshot_at(&mut self, snapshot_epoch: u64) -> SnapshotTxn<'_> {
+        self.on_txn_boundary();
+        let snapshot_epoch = snapshot_epoch.min(self.db.epochs().global_snapshot_epoch());
+        if self.db.config().enable_snapshots {
+            self.epoch.refresh_pinned(snapshot_epoch);
+            SnapshotTxn::new(self, snapshot_epoch)
+        } else {
+            // Snapshots disabled: no old versions are retained, so the best
+            // available point is the latest committed state.
+            self.epoch.refresh();
+            SnapshotTxn::new(self, u64::MAX)
+        }
     }
 
     /// Marks the worker quiescent (outside any transaction); it no longer

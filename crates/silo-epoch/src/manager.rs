@@ -198,6 +198,28 @@ impl EpochManager {
         }
     }
 
+    /// Fast-forwards the global epoch to at least `target` (and refreshes the
+    /// snapshot epoch accordingly).
+    ///
+    /// This is the recovery hook: a freshly opened database starts at epoch 1,
+    /// but the state recovered from a checkpoint + log tail carries TIDs from
+    /// epochs up to the recovered durable horizon. Fast-forwarding past that
+    /// horizon keeps post-recovery commit TIDs (and durable-epoch markers)
+    /// strictly above every recovered TID, which both log truncation and
+    /// TID-based replay conflict resolution rely on.
+    ///
+    /// Must only be called while no worker is inside a transaction (recovery
+    /// runs before workers start); a jump would otherwise break the
+    /// `E − e_w ≤ 1` invariant.
+    pub fn advance_to(&self, target: u64) {
+        debug_assert!(
+            self.min_worker_epoch().is_none(),
+            "advance_to with non-quiescent workers"
+        );
+        self.global_epoch.fetch_max(target, Ordering::AcqRel);
+        self.refresh_snapshot_epoch(self.global_epoch());
+    }
+
     /// Advances the global epoch by (up to) `n` steps, used by tests and by
     /// deterministic benchmarks that do not run an advancer thread.
     pub fn advance_n(&self, n: u64) -> u64 {
@@ -277,6 +299,32 @@ impl WorkerEpochHandle {
             self.slot.local_snapshot_epoch.store(se, Ordering::SeqCst);
             if self.manager.global_epoch() == e {
                 return (e, se);
+            }
+        }
+    }
+
+    /// Refreshes the worker's local epoch `e_w` from the global value while
+    /// pinning its local snapshot epoch `se_w` to the (typically older)
+    /// `snapshot_epoch` instead of the current `SE`.
+    ///
+    /// This is the checkpointer's hook: a long table walk over a fixed
+    /// snapshot must keep refreshing `e_w` (so it never stalls global epoch
+    /// advancement) while holding `se_w` at the snapshot it reads — the
+    /// pinned `se_w` bounds [`EpochManager::snapshot_reclamation_epoch`], so
+    /// every record version the snapshot can reach stays alive for the whole
+    /// walk. `snapshot_epoch` must not exceed the current global `SE` (the
+    /// versions of a *future* snapshot cannot be pinned retroactively).
+    ///
+    /// Returns the refreshed `e_w`.
+    pub fn refresh_pinned(&self, snapshot_epoch: u64) -> u64 {
+        loop {
+            let e = self.manager.global_epoch();
+            self.slot.local_epoch.store(e, Ordering::SeqCst);
+            self.slot
+                .local_snapshot_epoch
+                .store(snapshot_epoch, Ordering::SeqCst);
+            if self.manager.global_epoch() == e {
+                return e;
             }
         }
     }

@@ -38,13 +38,18 @@
 // them away would obscure more than it clarifies.
 #![allow(clippy::type_complexity)]
 
+pub mod checkpoint;
 pub mod compress;
 pub mod record;
 mod recovery;
 mod sink;
 
+pub use checkpoint::{
+    latest_checkpoint, CheckpointConfig, CheckpointInfo, CheckpointStats, Checkpointer,
+};
 pub use recovery::{
-    apply_recovered, recover_into, scan_directory, scan_streams, RecoveredState, RecoveryError,
+    apply_recovered, recover_directory, recover_into, scan_directory, scan_streams,
+    RecoveredState, RecoveryError, RecoveryOptions, RecoveryReport,
 };
 pub use sink::{FileSink, LogSink, MemorySink};
 
@@ -65,7 +70,7 @@ pub const MAX_WORKERS: usize = 256;
 
 /// Locks a std mutex, recovering from poison (a panicking logger thread must
 /// not take the workers down with it).
-fn lock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -110,6 +115,10 @@ pub struct LogConfig {
     /// least to the expected number of buffers in flight (workers plus queue
     /// depth) so that steady-state publishes never hit the allocator.
     pub pool_buffers: usize,
+    /// Rotate a logger's file into a fresh segment once it exceeds this many
+    /// bytes (directory destinations only). Smaller segments let checkpoints
+    /// truncate the log at a finer grain; each rotation costs one fsync.
+    pub segment_bytes: u64,
 }
 
 impl Default for LogConfig {
@@ -122,6 +131,7 @@ impl Default for LogConfig {
             fsync: false,
             buffer_capacity: 64 * 1024,
             pool_buffers: 16,
+            segment_bytes: 64 << 20,
         }
     }
 }
@@ -168,13 +178,20 @@ pub struct LoggerStats {
     /// Bytes actually appended to the sinks (post-compression, including
     /// epoch markers).
     pub bytes_written: u64,
+    /// Log segments closed by rotation (size threshold or checkpoint
+    /// truncation).
+    pub segments_rotated: u64,
+    /// Log segments deleted because a durable checkpoint made them redundant.
+    pub segments_deleted: u64,
+    /// Bytes reclaimed by deleting redundant log segments.
+    pub bytes_truncated: u64,
 }
 
 impl std::fmt::Display for LoggerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written",
+            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written, {} rotations, {} segments / {} B truncated",
             self.buffers_published,
             self.steal_publishes,
             self.pool_hits,
@@ -182,6 +199,9 @@ impl std::fmt::Display for LoggerStats {
             self.sync_calls,
             self.bytes_published,
             self.bytes_written,
+            self.segments_rotated,
+            self.segments_deleted,
+            self.bytes_truncated,
         )
     }
 }
@@ -196,6 +216,9 @@ struct Counters {
     sync_calls: AtomicU64,
     bytes_published: AtomicU64,
     bytes_written: AtomicU64,
+    segments_rotated: AtomicU64,
+    segments_deleted: AtomicU64,
+    bytes_truncated: AtomicU64,
 }
 
 /// The recycled buffer pool (paper §4.10: "it recycles [the buffers] to
@@ -257,13 +280,15 @@ impl BufferPool {
     }
 }
 
-/// A logger thread's mailbox: workers push published buffers and wake the
-/// logger through the condvar; the logger swaps the whole queue out in one
-/// lock acquisition. Both sides reuse their `Vec`s, so steady-state traffic
-/// allocates nothing (unlike a linked-list channel, whose sends allocate a
-/// node on the worker thread).
+/// A logger thread's mailbox: workers push published buffers (tagged with
+/// the single epoch all records in the buffer share, which segmented sinks
+/// use to bound each segment's contents) and wake the logger through the
+/// condvar; the logger swaps the whole queue out in one lock acquisition.
+/// Both sides reuse their `Vec`s, so steady-state traffic allocates nothing
+/// (unlike a linked-list channel, whose sends allocate a node on the worker
+/// thread).
 struct Inbox {
-    queue: StdMutex<Vec<Vec<u8>>>,
+    queue: StdMutex<Vec<(u64, Vec<u8>)>>,
     cv: Condvar,
 }
 
@@ -324,6 +349,10 @@ struct LoggerShared {
     /// on the condvar instead of spin-sleeping.
     durable: StdMutex<u64>,
     durable_cv: Condvar,
+    /// Latest checkpoint epoch a truncation was requested for (0 = never).
+    /// Logger threads compare against their locally handled value and delete
+    /// redundant segments when it moves.
+    truncate_epoch: AtomicU64,
     stop: AtomicBool,
     /// Set once the logger threads have been joined: from then on nothing
     /// will ever drain the mailboxes, so publishes drop their records
@@ -333,8 +362,9 @@ struct LoggerShared {
 
 impl LoggerShared {
     /// Flushes a worker's buffer to its logger: the full buffer is swapped
-    /// for a recycled one and pushed into the logger's mailbox, waking it.
-    fn publish(&self, worker_id: usize, buffer: &mut Vec<u8>) {
+    /// for a recycled one and pushed into the logger's mailbox (tagged with
+    /// `epoch`, the single epoch of every record it holds), waking it.
+    fn publish(&self, worker_id: usize, buffer: &mut Vec<u8>, epoch: u64) {
         if buffer.is_empty() {
             return;
         }
@@ -356,7 +386,7 @@ impl LoggerShared {
             .buffers_published
             .fetch_add(1, Ordering::Relaxed);
         let inbox = &self.inboxes[worker_id % self.inboxes.len()];
-        lock(&inbox.queue).push(bytes);
+        lock(&inbox.queue).push((epoch, bytes));
         inbox.cv.notify_one();
     }
 
@@ -403,10 +433,12 @@ impl SiloLogger {
         for i in 0..num_loggers {
             match &config.destination {
                 LogDestination::Directory(dir) => {
-                    std::fs::create_dir_all(dir).expect("create log directory");
-                    sinks.push(Box::new(FileSink::create(
-                        dir.join(format!("silo-log-{i}.bin")),
+                    sinks.push(Box::new(FileSink::segmented(
+                        dir,
+                        i,
+                        num_loggers,
                         config.fsync,
+                        config.segment_bytes,
                     )));
                 }
                 LogDestination::Memory => {
@@ -429,6 +461,7 @@ impl SiloLogger {
                 .collect(),
             durable: StdMutex::new(0),
             durable_cv: Condvar::new(),
+            truncate_epoch: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             detached: AtomicBool::new(false),
         });
@@ -518,6 +551,28 @@ impl SiloLogger {
             sync_calls: c.sync_calls.load(Ordering::Relaxed),
             bytes_published: c.bytes_published.load(Ordering::Relaxed),
             bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            segments_rotated: c.segments_rotated.load(Ordering::Relaxed),
+            segments_deleted: c.segments_deleted.load(Ordering::Relaxed),
+            bytes_truncated: c.bytes_truncated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests log truncation against a durable checkpoint at `ckpt_epoch`:
+    /// each logger thread rotates its current segment, stamps the fresh
+    /// segment with a durable-epoch marker, and deletes closed segments whose
+    /// records all have epochs `≤ ckpt_epoch` (the checkpoint already covers
+    /// those transactions). Asynchronous — returns immediately.
+    ///
+    /// The caller must only pass epochs of *complete, durable* checkpoints
+    /// (`durable_epoch() ≥ ckpt_epoch` and the manifest written), or
+    /// recovery may lose transactions.
+    pub fn truncate_logs(&self, ckpt_epoch: u64) {
+        self.shared
+            .truncate_epoch
+            .fetch_max(ckpt_epoch, Ordering::AcqRel);
+        for inbox in &self.shared.inboxes {
+            let _guard = lock(&inbox.queue);
+            inbox.cv.notify_all();
         }
     }
 
@@ -573,7 +628,7 @@ impl CommitHook for SiloLogger {
         // buffer to fill (§4.10).
         let buffer_epoch = state.buffer_epoch.load(Ordering::Relaxed);
         if !buffer.is_empty() && buffer_epoch != tid.epoch() {
-            shared.publish(worker_id, &mut buffer);
+            shared.publish(worker_id, &mut buffer, buffer_epoch);
         }
         if buffer.is_empty() {
             state.buffer_epoch.store(tid.epoch(), Ordering::Relaxed);
@@ -588,7 +643,7 @@ impl CommitHook for SiloLogger {
         encode_txn_writes(&mut buffer, tid, writes, small);
 
         if buffer.len() >= shared.config.buffer_capacity {
-            shared.publish(worker_id, &mut buffer);
+            shared.publish(worker_id, &mut buffer, tid.epoch());
         }
         // Record what is still unpublished (all records in a buffer share one
         // epoch, see the epoch-boundary publish above) while the buffer lock
@@ -608,7 +663,8 @@ impl CommitHook for SiloLogger {
         }
         let state = &self.shared.workers[worker_id];
         let mut buffer = state.buffer.lock();
-        self.shared.publish(worker_id, &mut buffer);
+        let buffer_epoch = state.buffer_epoch.load(Ordering::Relaxed);
+        self.shared.publish(worker_id, &mut buffer, buffer_epoch);
         state.pending_epoch.store(0, Ordering::Release);
         drop(buffer);
         state.finished.store(true, Ordering::Release);
@@ -642,10 +698,12 @@ fn logger_thread(
     // Idle loggers wake once per epoch tick: the durable epoch can only move
     // when the global epoch does, so there is nothing to recompute sooner.
     let tick = epochs.config().epoch_interval.max(Duration::from_micros(100));
+    // Checkpoint epoch this logger last truncated its segments against.
+    let mut last_truncated = 0u64;
 
     // Round-local reusable state: the drained mailbox swap partner, the
     // coalesced output for one group-commit round, and compression scratch.
-    let mut drained: Vec<Vec<u8>> = Vec::with_capacity(shared.config.pool_buffers + 16);
+    let mut drained: Vec<(u64, Vec<u8>)> = Vec::with_capacity(shared.config.pool_buffers + 16);
     let mut round: Vec<u8> = Vec::with_capacity(shared.config.buffer_capacity * 2);
     let mut compressor = shared.config.compress.then(|| Compressor {
         scratch: Vec::with_capacity(shared.config.buffer_capacity),
@@ -720,8 +778,9 @@ fn logger_thread(
                 // here; commits only ever append complete records, so the
                 // buffer is always safe to ship.
                 let mut buffer = state.buffer.lock();
-                if !buffer.is_empty() && state.buffer_epoch.load(Ordering::Relaxed) < e_now {
-                    shared.publish(wid, &mut buffer);
+                let buffer_epoch = state.buffer_epoch.load(Ordering::Relaxed);
+                if !buffer.is_empty() && buffer_epoch < e_now {
+                    shared.publish(wid, &mut buffer, buffer_epoch);
                     state.pending_epoch.store(0, Ordering::Release);
                     shared.counters.steal_publishes.fetch_add(1, Ordering::Relaxed);
                 }
@@ -769,15 +828,19 @@ fn logger_thread(
 
         // Coalesce everything drained this round — published buffers
         // (compressed here in `+Compress` mode) followed by the durable-epoch
-        // marker — into one append + sync.
+        // marker — into one append + sync. The sink is told the largest epoch
+        // the round carries so segmented sinks can bound each segment.
         round.clear();
         let wrote = !drained.is_empty();
-        for bytes in drained.drain(..) {
+        let mut round_max_epoch = 0u64;
+        for (epoch, bytes) in drained.drain(..) {
+            round_max_epoch = round_max_epoch.max(epoch);
             coalesce(&mut round, bytes, &mut compressor);
         }
         let prev = my_durable.load(Ordering::Acquire);
         if wrote || local_durable > prev {
             encode_epoch_marker(&mut round, local_durable);
+            sink.observe_epoch(round_max_epoch.max(local_durable));
             sink.append(&round);
             sink.sync();
             shared
@@ -804,6 +867,39 @@ fn logger_thread(
             }
         }
 
+        // Segment maintenance, after the round is durable: rotate when the
+        // segment is full or a checkpoint requested truncation, stamp the
+        // fresh segment with a durable-epoch marker (so the stream's durable
+        // floor survives deletion of every older segment), then delete the
+        // segments the checkpoint made redundant.
+        let trunc = shared.truncate_epoch.load(Ordering::Acquire);
+        if trunc > last_truncated || sink.should_rotate() {
+            if sink.rotate() {
+                shared
+                    .counters
+                    .segments_rotated
+                    .fetch_add(1, Ordering::Relaxed);
+                round.clear();
+                let d = my_durable.load(Ordering::Acquire);
+                encode_epoch_marker(&mut round, d);
+                sink.observe_epoch(d);
+                sink.append(&round);
+                sink.sync();
+            }
+            if trunc > last_truncated {
+                let (segments, bytes) = sink.truncate_obsolete(trunc);
+                shared
+                    .counters
+                    .segments_deleted
+                    .fetch_add(segments, Ordering::Relaxed);
+                shared
+                    .counters
+                    .bytes_truncated
+                    .fetch_add(bytes, Ordering::Relaxed);
+                last_truncated = trunc;
+            }
+        }
+
         if stopping {
             // One final drain so buffers published while this round was
             // being written still hit the sink.
@@ -812,10 +908,13 @@ fn logger_thread(
                 let mut queue = lock(&inbox.queue);
                 std::mem::swap(&mut *queue, &mut drained);
             }
-            for bytes in drained.drain(..) {
+            let mut final_max = 0u64;
+            for (epoch, bytes) in drained.drain(..) {
+                final_max = final_max.max(epoch);
                 coalesce(&mut round, bytes, &mut compressor);
             }
             if !round.is_empty() {
+                sink.observe_epoch(final_max);
                 sink.append(&round);
                 sink.sync();
                 shared

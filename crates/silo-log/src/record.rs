@@ -158,6 +158,8 @@ pub enum DecodeError {
     BadTag(u8),
     /// A compressed block failed to decompress.
     BadCompression,
+    /// Reading from the underlying source failed (streaming decode only).
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -166,6 +168,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "log stream truncated mid-block"),
             DecodeError::BadTag(t) => write!(f, "unknown log block tag {t:#x}"),
             DecodeError::BadCompression => write!(f, "corrupt compressed log block"),
+            DecodeError::Io(kind) => write!(f, "log read error: {kind:?}"),
         }
     }
 }
@@ -204,22 +207,28 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_txn(cur: &mut Cursor<'_>) -> Result<LoggedTxn, DecodeError> {
+fn decode_txn(cur: &mut Cursor<'_>, materialize: bool) -> Result<LoggedTxn, DecodeError> {
     let tid = Tid::from_raw(cur.u64()?);
     let count = cur.u32()? as usize;
-    let mut writes = Vec::with_capacity(count.min(1024));
+    let mut writes = Vec::with_capacity(if materialize { count.min(1024) } else { 0 });
     for _ in 0..count {
         let table = cur.u32()?;
         let key_len = cur.u32()? as usize;
-        let key = cur.take(key_len)?.to_vec();
+        let key = cur.take(key_len)?;
         let tag = cur.u8()?;
         let value = if tag == 1 {
             let val_len = cur.u32()? as usize;
-            Some(cur.take(val_len)?.to_vec())
+            Some(cur.take(val_len)?)
         } else {
             None
         };
-        writes.push(LoggedWrite { table, key, value });
+        if materialize {
+            writes.push(LoggedWrite {
+                table,
+                key: key.to_vec(),
+                value: value.map(<[u8]>::to_vec),
+            });
+        }
     }
     Ok(LoggedTxn { tid, writes })
 }
@@ -238,7 +247,7 @@ pub fn decode_stream(data: &[u8]) -> Result<Vec<Block>, DecodeError> {
         let result: Result<(), DecodeError> = (|| {
             match tag {
                 BLOCK_TXN => {
-                    let txn = decode_txn(&mut cur)?;
+                    let txn = decode_txn(&mut cur, true)?;
                     blocks.push(Block::Txn(txn));
                 }
                 BLOCK_EPOCH_MARKER => {
@@ -274,6 +283,174 @@ pub fn decode_stream(data: &[u8]) -> Result<Vec<Block>, DecodeError> {
         }
     }
     Ok(blocks)
+}
+
+/// An incremental log-block decoder over any [`std::io::Read`] source.
+///
+/// Unlike [`decode_stream`], which needs the whole stream in memory, the
+/// stream decoder holds at most one block (plus a refill chunk) at a time —
+/// recovery uses it to replay arbitrarily large log files with bounded
+/// memory. A torn *final* block (the stream ends mid-block) terminates the
+/// stream cleanly, mirroring [`decode_stream`]'s crash tolerance; any other
+/// malformation is an error.
+///
+/// With `skip_payload` set, transaction blocks are parsed and skipped without
+/// materializing their writes (`Block::Txn` is returned with the TID and an
+/// empty write list) — the cheap mode recovery's first pass uses to find the
+/// durable horizon and per-segment epoch bounds.
+pub struct StreamDecoder<R> {
+    reader: R,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+    /// Inner blocks produced by a compressed block, drained first.
+    pending: std::collections::VecDeque<Block>,
+    skip_payload: bool,
+    consumed: u64,
+}
+
+/// Refill granularity for [`StreamDecoder`].
+const STREAM_CHUNK: usize = 64 * 1024;
+
+impl<R: std::io::Read> StreamDecoder<R> {
+    /// Creates a decoder reading blocks from `reader`.
+    pub fn new(reader: R) -> Self {
+        StreamDecoder {
+            reader,
+            buf: Vec::with_capacity(STREAM_CHUNK),
+            pos: 0,
+            eof: false,
+            pending: std::collections::VecDeque::new(),
+            skip_payload: false,
+            consumed: 0,
+        }
+    }
+
+    /// Creates a decoder that parses transaction blocks without materializing
+    /// their writes.
+    pub fn new_skipping(reader: R) -> Self {
+        let mut d = Self::new(reader);
+        d.skip_payload = true;
+        d
+    }
+
+    /// Total bytes of complete blocks consumed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    fn refill(&mut self) -> Result<(), DecodeError> {
+        // Drop the consumed prefix before growing the buffer.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + STREAM_CHUNK, 0);
+        let mut filled = old_len;
+        while filled < self.buf.len() {
+            match self.reader.read(&mut self.buf[filled..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(DecodeError::Io(e.kind())),
+            }
+        }
+        self.buf.truncate(filled);
+        Ok(())
+    }
+
+    /// Decodes the next block, or `Ok(None)` at the end of the stream
+    /// (including after a torn final block).
+    pub fn next_block(&mut self) -> Result<Option<Block>, DecodeError> {
+        if let Some(block) = self.pending.pop_front() {
+            return Ok(Some(block));
+        }
+        loop {
+            let mut cur = Cursor {
+                data: &self.buf[self.pos..],
+                pos: 0,
+            };
+            if cur.remaining() == 0 && self.eof {
+                return Ok(None);
+            }
+            let attempt: Result<Option<Block>, DecodeError> = (|| {
+                match cur.u8()? {
+                    BLOCK_TXN => Ok(Some(Block::Txn(decode_txn(&mut cur, !self.skip_payload)?))),
+                    BLOCK_EPOCH_MARKER => Ok(Some(Block::EpochMarker(cur.u64()?))),
+                    BLOCK_COMPRESSED => {
+                        let raw_len = cur.u32()? as usize;
+                        let comp_len = cur.u32()? as usize;
+                        let payload = cur.take(comp_len)?;
+                        let raw = crate::compress::decompress(payload)
+                            .map_err(|_| DecodeError::BadCompression)?;
+                        if raw.len() != raw_len {
+                            return Err(DecodeError::BadCompression);
+                        }
+                        // Decode the inner blocks eagerly: the payload is one
+                        // group-commit round's worth of data, so this is the
+                        // same bound as the uncompressed case. A truncated
+                        // inner block cannot be a torn write (the compressed
+                        // envelope was complete), so it is corruption.
+                        let mut inner_cur = Cursor {
+                            data: &raw,
+                            pos: 0,
+                        };
+                        let mut inner_blocks = Vec::new();
+                        let fixup =
+                            |e| match e {
+                                DecodeError::Truncated => DecodeError::BadCompression,
+                                other => other,
+                            };
+                        while inner_cur.remaining() > 0 {
+                            match inner_cur.u8().map_err(fixup)? {
+                                BLOCK_TXN => inner_blocks.push(Block::Txn(
+                                    decode_txn(&mut inner_cur, !self.skip_payload)
+                                        .map_err(fixup)?,
+                                )),
+                                BLOCK_EPOCH_MARKER => inner_blocks.push(Block::EpochMarker(
+                                    inner_cur.u64().map_err(fixup)?,
+                                )),
+                                // Compressed blocks do not nest.
+                                other => return Err(DecodeError::BadTag(other)),
+                            }
+                        }
+                        self.pending.extend(inner_blocks);
+                        Ok(None)
+                    }
+                    other => Err(DecodeError::BadTag(other)),
+                }
+            })();
+            match attempt {
+                Ok(block) => {
+                    self.consumed += cur.pos as u64;
+                    self.pos += cur.pos;
+                    match block {
+                        Some(block) => return Ok(Some(block)),
+                        // A compressed block was unpacked into `pending`.
+                        None => {
+                            if let Some(block) = self.pending.pop_front() {
+                                return Ok(Some(block));
+                            }
+                            // Empty compressed block: keep decoding.
+                        }
+                    }
+                }
+                Err(DecodeError::Truncated) if !self.eof => {
+                    self.refill()?;
+                }
+                Err(DecodeError::Truncated) => {
+                    // Torn final block: the stream ends at the previous
+                    // block boundary.
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

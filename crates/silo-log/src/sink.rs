@@ -1,19 +1,29 @@
-//! Log output sinks: real files and in-memory buffers.
+//! Log output sinks: segmented log files and in-memory buffers.
 //!
 //! Logger threads coalesce every buffer drained in a group-commit round —
 //! plus the trailing durable-epoch marker — into one [`LogSink::append`]
 //! followed by one [`LogSink::sync`], so a sink sees exactly one write (and
 //! for [`FileSink`] with fsync enabled, one `fdatasync`) per round, however
 //! many workers published in it.
+//!
+//! [`FileSink`] writes *segments* (`silo-log-<logger>-seg<seq>.bin`) and
+//! tracks the largest record epoch each closed segment contains. Once a
+//! checkpoint at epoch `ce` is durable, every segment whose records all have
+//! epochs `≤ ce` is redundant (the checkpoint already covers those
+//! transactions) and [`LogSink::truncate_obsolete`] deletes it — this is what
+//! bounds log growth between checkpoints.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 /// Destination for log bytes. Each logger thread owns one sink.
+///
+/// The segmentation hooks have no-op defaults so in-memory and single-file
+/// sinks keep working unchanged.
 pub trait LogSink {
     /// Appends `data` to the log (one call per group-commit round).
     fn append(&mut self, data: &[u8]);
@@ -21,18 +31,80 @@ pub trait LogSink {
     fn sync(&mut self);
     /// Bytes written so far.
     fn bytes_written(&self) -> u64;
+    /// Tells the sink the largest epoch (transaction or durable-marker) it is
+    /// about to receive in the current round, so segmented sinks can bound
+    /// each segment's contents.
+    fn observe_epoch(&mut self, _epoch: u64) {}
+    /// Whether the current segment is full and should be rotated.
+    fn should_rotate(&self) -> bool {
+        false
+    }
+    /// Closes the current segment and opens the next one. Returns whether a
+    /// rotation actually happened.
+    fn rotate(&mut self) -> bool {
+        false
+    }
+    /// Deletes closed segments made redundant by a durable checkpoint at
+    /// `ckpt_epoch` (every epoch they contain is `≤ ckpt_epoch`). Returns
+    /// `(segments_deleted, bytes_deleted)`.
+    fn truncate_obsolete(&mut self, _ckpt_epoch: u64) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
-/// A sink writing to a file, optionally fsyncing on [`LogSink::sync`].
+/// A closed log segment retained on disk.
+struct ClosedSegment {
+    path: PathBuf,
+    /// Largest epoch (record or marker) the segment contains; `None` for
+    /// segments inherited from a previous process, resolved by scanning when
+    /// truncation first considers them.
+    max_epoch: Option<u64>,
+}
+
+/// A sink writing segmented log files under a directory, optionally fsyncing
+/// on [`LogSink::sync`].
 pub struct FileSink {
     file: File,
     path: PathBuf,
     fsync: bool,
     written: u64,
+    /// Segmentation state; `None` for the legacy single-file mode used by
+    /// tests ([`FileSink::create`]).
+    segmented: Option<Segmented>,
+}
+
+struct Segmented {
+    dir: PathBuf,
+    logger_index: usize,
+    /// Rotation threshold in bytes.
+    segment_bytes: u64,
+    next_seq: u64,
+    current_bytes: u64,
+    current_max_epoch: u64,
+    closed: Vec<ClosedSegment>,
+}
+
+/// The file name of segment `seq` for logger `logger_index`.
+fn segment_name(logger_index: usize, seq: u64) -> String {
+    format!("silo-log-{logger_index}-seg{seq:06}.bin")
+}
+
+/// Parses `silo-log-<i>-seg<seq>.bin`, returning `(logger_index, seq)`.
+pub(crate) fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("silo-log-")?.strip_suffix(".bin")?;
+    let (idx, seq) = rest.split_once("-seg")?;
+    Some((idx.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Parses the legacy single-file name `silo-log-<i>.bin`.
+pub(crate) fn parse_legacy_name(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix("silo-log-")?.strip_suffix(".bin")?;
+    rest.parse().ok()
 }
 
 impl FileSink {
-    /// Creates (truncates) the log file at `path`.
+    /// Creates (truncates) a single log file at `path` — the legacy,
+    /// non-segmented mode (no rotation, no truncation).
     pub fn create(path: PathBuf, fsync: bool) -> Self {
         let file = OpenOptions::new()
             .create(true)
@@ -45,13 +117,106 @@ impl FileSink {
             path,
             fsync,
             written: 0,
+            segmented: None,
         }
     }
 
-    /// The path of the log file.
+    /// Opens a segmented sink for `logger_index` (one of `num_loggers`
+    /// loggers) under `dir`.
+    ///
+    /// Existing segments (from a previous, possibly crashed, process) are
+    /// never overwritten: the sink resumes after the largest existing
+    /// sequence number and registers the old files as closed segments so a
+    /// later checkpoint can truncate them. Streams of logger indices that no
+    /// longer exist (the previous run used more loggers) are *adopted* as
+    /// closed segments by index modulo `num_loggers`, so truncation
+    /// eventually reclaims them too; until then they keep capping the
+    /// recovery horizon at their final durable marker (see
+    /// [`crate::recover_directory`]).
+    pub fn segmented(
+        dir: &Path,
+        logger_index: usize,
+        num_loggers: usize,
+        fsync: bool,
+        segment_bytes: u64,
+    ) -> Self {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create log directory {}: {e}", dir.display()));
+        let num_loggers = num_loggers.max(1);
+        let owns = |idx: usize| {
+            idx == logger_index || (idx >= num_loggers && idx % num_loggers == logger_index)
+        };
+        let mut next_seq = 0u64;
+        let mut closed = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some((idx, seq)) = parse_segment_name(name) {
+                    if owns(idx) {
+                        if idx == logger_index {
+                            next_seq = next_seq.max(seq + 1);
+                        }
+                        closed.push(ClosedSegment {
+                            path: entry.path(),
+                            max_epoch: None,
+                        });
+                    }
+                } else if parse_legacy_name(name).is_some_and(owns) {
+                    closed.push(ClosedSegment {
+                        path: entry.path(),
+                        max_epoch: None,
+                    });
+                }
+            }
+        }
+        let path = dir.join(segment_name(logger_index, next_seq));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot create log segment {}: {e}", path.display()));
+        FileSink {
+            file,
+            path,
+            fsync,
+            written: 0,
+            segmented: Some(Segmented {
+                dir: dir.to_path_buf(),
+                logger_index,
+                segment_bytes: segment_bytes.max(1),
+                next_seq: next_seq + 1,
+                current_bytes: 0,
+                current_max_epoch: 0,
+                closed,
+            }),
+        }
+    }
+
+    /// The path of the current log file / segment.
     #[allow(dead_code)]
     pub fn path(&self) -> &PathBuf {
         &self.path
+    }
+}
+
+/// The largest epoch (transaction or durable-marker) found in a log file, by
+/// streaming scan. Unreadable or corrupt files report `u64::MAX` so they are
+/// never deleted.
+fn scan_file_max_epoch(path: &Path) -> u64 {
+    let Ok(file) = File::open(path) else {
+        return u64::MAX;
+    };
+    let mut decoder =
+        crate::record::StreamDecoder::new_skipping(std::io::BufReader::new(file));
+    let mut max = 0u64;
+    loop {
+        match decoder.next_block() {
+            Ok(Some(crate::record::Block::Txn(txn))) => max = max.max(txn.tid.epoch()),
+            Ok(Some(crate::record::Block::EpochMarker(e))) => max = max.max(e),
+            Ok(None) => return max,
+            Err(_) => return u64::MAX,
+        }
     }
 }
 
@@ -61,6 +226,9 @@ impl LogSink for FileSink {
             .write_all(data)
             .unwrap_or_else(|e| panic!("log write to {} failed: {e}", self.path.display()));
         self.written += data.len() as u64;
+        if let Some(seg) = &mut self.segmented {
+            seg.current_bytes += data.len() as u64;
+        }
     }
 
     fn sync(&mut self) {
@@ -76,6 +244,75 @@ impl LogSink for FileSink {
 
     fn bytes_written(&self) -> u64 {
         self.written
+    }
+
+    fn observe_epoch(&mut self, epoch: u64) {
+        if let Some(seg) = &mut self.segmented {
+            seg.current_max_epoch = seg.current_max_epoch.max(epoch);
+        }
+    }
+
+    fn should_rotate(&self) -> bool {
+        self.segmented
+            .as_ref()
+            .is_some_and(|seg| seg.current_bytes >= seg.segment_bytes)
+    }
+
+    fn rotate(&mut self) -> bool {
+        let Some(seg) = &mut self.segmented else {
+            return false;
+        };
+        if seg.current_bytes == 0 {
+            // Nothing in the current segment; rotation would only litter.
+            return false;
+        }
+        // Make the outgoing segment fully stable before the cutover.
+        self.file
+            .flush()
+            .unwrap_or_else(|e| panic!("log flush failed: {e}"));
+        let _ = self.file.sync_data();
+        seg.closed.push(ClosedSegment {
+            path: self.path.clone(),
+            max_epoch: Some(seg.current_max_epoch),
+        });
+        let path = seg.dir.join(segment_name(seg.logger_index, seg.next_seq));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot create log segment {}: {e}", path.display()));
+        seg.next_seq += 1;
+        seg.current_bytes = 0;
+        seg.current_max_epoch = 0;
+        self.file = file;
+        self.path = path;
+        true
+    }
+
+    fn truncate_obsolete(&mut self, ckpt_epoch: u64) -> (u64, u64) {
+        let Some(seg) = &mut self.segmented else {
+            return (0, 0);
+        };
+        let mut deleted = 0u64;
+        let mut bytes = 0u64;
+        seg.closed.retain_mut(|closed| {
+            let max_epoch = *closed
+                .max_epoch
+                .get_or_insert_with(|| scan_file_max_epoch(&closed.path));
+            if max_epoch > ckpt_epoch {
+                return true;
+            }
+            let len = std::fs::metadata(&closed.path).map(|m| m.len()).unwrap_or(0);
+            match std::fs::remove_file(&closed.path) {
+                Ok(()) => {
+                    deleted += 1;
+                    bytes += len;
+                    false
+                }
+                Err(_) => true,
+            }
+        });
+        (deleted, bytes)
     }
 }
 
@@ -108,6 +345,9 @@ impl LogSink for MemorySink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::{encode_epoch_marker, encode_txn};
+    use silo_core::TableId;
+    use silo_tid::Tid;
 
     #[test]
     fn memory_sink_appends() {
@@ -130,6 +370,10 @@ mod tests {
             sink.append(b"0123456789");
             sink.sync();
             assert_eq!(sink.bytes_written(), 10);
+            // Legacy mode: no segmentation behaviour.
+            assert!(!sink.should_rotate());
+            assert!(!sink.rotate());
+            assert_eq!(sink.truncate_obsolete(u64::MAX), (0, 0));
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
         {
@@ -138,6 +382,112 @@ mod tests {
             sink.sync();
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"xy");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(parse_segment_name(&segment_name(3, 17)), Some((3, 17)));
+        assert_eq!(parse_segment_name("silo-log-0-seg000000.bin"), Some((0, 0)));
+        assert_eq!(parse_segment_name("silo-log-0.bin"), None);
+        assert_eq!(parse_legacy_name("silo-log-2.bin"), Some(2));
+        assert_eq!(parse_legacy_name("silo-log-2-seg000001.bin"), None);
+        assert_eq!(parse_legacy_name("unrelated.bin"), None);
+    }
+
+    fn txn_bytes(epoch: u64, key: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![(0, key, Some(b"v".as_ref()))];
+        encode_txn(&mut buf, Tid::new(epoch, 1), &writes, false);
+        buf
+    }
+
+    #[test]
+    fn segmented_sink_rotates_and_truncates_by_epoch() {
+        let dir = std::env::temp_dir().join(format!("silo-seg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut sink = FileSink::segmented(&dir, 0, 1, false, 64);
+            // Segment 0: epochs up to 3.
+            sink.observe_epoch(3);
+            sink.append(&txn_bytes(3, b"aaaa"));
+            sink.append(&[0u8; 0]);
+            while !sink.should_rotate() {
+                sink.append(&txn_bytes(2, b"pad"));
+                sink.observe_epoch(2);
+            }
+            assert!(sink.rotate());
+            // Segment 1: epoch 9.
+            sink.observe_epoch(9);
+            sink.append(&txn_bytes(9, b"bbbb"));
+            sink.sync();
+
+            // A checkpoint at epoch 5 covers segment 0 but not segment 1.
+            let (deleted, bytes) = sink.truncate_obsolete(5);
+            assert_eq!(deleted, 1);
+            assert!(bytes > 0);
+            let (deleted, _) = sink.truncate_obsolete(5);
+            assert_eq!(deleted, 0, "already truncated");
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![segment_name(0, 1)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segmented_sink_adopts_orphan_streams_of_removed_loggers() {
+        // A previous run used 4 loggers; this one uses 2. The orphan streams
+        // (indices 2 and 3) must be adopted — index modulo the new count —
+        // so checkpoint truncation can reclaim them.
+        let dir = std::env::temp_dir().join(format!("silo-seg-orphan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut old = txn_bytes(3, b"old");
+        encode_epoch_marker(&mut old, 3);
+        std::fs::write(dir.join(segment_name(2, 0)), &old).unwrap();
+        std::fs::write(dir.join(segment_name(3, 0)), &old).unwrap();
+        std::fs::write(dir.join("silo-log-5.bin"), &old).unwrap(); // orphan legacy name
+
+        let mut sink0 = FileSink::segmented(&dir, 0, 2, false, 1 << 20);
+        let mut sink1 = FileSink::segmented(&dir, 1, 2, false, 1 << 20);
+        // Logger 0 adopts stream 2; logger 1 adopts streams 3 and legacy 5.
+        assert_eq!(sink0.truncate_obsolete(3).0, 1);
+        assert_eq!(sink1.truncate_obsolete(3).0, 2);
+        assert!(!dir.join(segment_name(2, 0)).exists());
+        assert!(!dir.join(segment_name(3, 0)).exists());
+        assert!(!dir.join("silo-log-5.bin").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segmented_sink_resumes_after_existing_segments_and_scans_them() {
+        let dir = std::env::temp_dir().join(format!("silo-seg-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A "previous process" left a segment with epochs up to 4 plus a
+        // durable marker at 4.
+        let mut old = txn_bytes(4, b"old");
+        encode_epoch_marker(&mut old, 4);
+        std::fs::write(dir.join(segment_name(0, 0)), &old).unwrap();
+        // And an empty segment (crash right after rotation).
+        std::fs::write(dir.join(segment_name(0, 1)), b"").unwrap();
+
+        let mut sink = FileSink::segmented(&dir, 0, 1, false, 1 << 20);
+        assert!(sink.path().ends_with(segment_name(0, 2)), "resumes after existing seq");
+        sink.observe_epoch(10);
+        sink.append(&txn_bytes(10, b"new"));
+        sink.sync();
+
+        // Truncating at epoch 3 keeps the old segment (its max epoch is 4);
+        // truncating at 4 deletes it together with the empty one.
+        assert_eq!(sink.truncate_obsolete(3).0, 1, "only the empty segment goes");
+        assert_eq!(sink.truncate_obsolete(4).0, 1);
+        assert!(dir.join(segment_name(0, 2)).exists());
+        assert!(!dir.join(segment_name(0, 0)).exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

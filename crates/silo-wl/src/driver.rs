@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use silo_core::{Database, Worker, WorkerStats};
-use silo_log::{LoggerStats, SiloLogger};
+use silo_log::{CheckpointStats, Checkpointer, LoggerStats, SiloLogger};
 
 /// A workload: produces one transaction per call against the given worker.
 ///
@@ -116,6 +116,9 @@ pub struct RunResult {
     /// Logging-subsystem counters at the end of the run (`None` when the run
     /// had no logger).
     pub logger_stats: Option<LoggerStats>,
+    /// Checkpointer counters at the end of the run (`None` when the run had
+    /// no checkpointer).
+    pub checkpoint_stats: Option<CheckpointStats>,
 }
 
 impl RunResult {
@@ -144,6 +147,25 @@ pub fn run_workload(
     workload: Arc<dyn Workload>,
     config: DriverConfig,
     logger: Option<Arc<SiloLogger>>,
+) -> RunResult {
+    run_workload_durable(db, workload, config, logger, None)
+}
+
+/// Runs `workload` with the full durability pipeline: like [`run_workload`],
+/// but additionally snapshots the counters of a periodic [`Checkpointer`]
+/// (spawned by the caller against the same database and logger) into
+/// [`RunResult::checkpoint_stats`], so persistent benchmarks report
+/// checkpoint write rate and log-truncation volume alongside throughput.
+///
+/// The checkpointer keeps running when the function returns — shutting it
+/// down (and deciding whether a final checkpoint should be taken) stays with
+/// the caller, mirroring how the logger is handled.
+pub fn run_workload_durable(
+    db: &Arc<Database>,
+    workload: Arc<dyn Workload>,
+    config: DriverConfig,
+    logger: Option<Arc<SiloLogger>>,
+    checkpointer: Option<Arc<Checkpointer>>,
 ) -> RunResult {
     let stop = Arc::new(AtomicBool::new(false));
     let start_barrier = Arc::new(std::sync::Barrier::new(config.threads + 1));
@@ -267,6 +289,7 @@ pub fn run_workload(
         latency: LatencySummary::from_samples(all_latencies),
         threads: config.threads,
         logger_stats: logger.map(|l| l.stats()),
+        checkpoint_stats: checkpointer.map(|c| c.stats()),
     }
 }
 

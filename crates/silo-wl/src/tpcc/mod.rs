@@ -14,6 +14,7 @@
 //! * [`TableSplit::PerWarehouse`] — physically split every table per
 //!   warehouse (`MemSilo+Split`, Figure 8).
 
+pub mod check;
 pub mod schema;
 pub mod txns;
 

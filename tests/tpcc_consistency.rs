@@ -1,13 +1,14 @@
 //! Integration test: TPC-C consistency conditions after a concurrent run of
-//! the full mix, checked through the facade crate.
+//! the full mix, checked through the facade crate with the same
+//! `tpcc::check` invariants the crash-recovery CI gate runs.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use silo::{Database, EpochConfig, SiloConfig};
 use silo_wl::driver::{run_workload, DriverConfig};
-use silo_wl::tpcc::schema::{self, DistrictRow, OrderRow, TpccTable};
-use silo_wl::tpcc::{load, txns, TpccConfig, TpccWorkload};
+use silo_wl::tpcc::check::check_consistency;
+use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
 #[test]
 fn tpcc_consistency_conditions_after_concurrent_mix() {
@@ -39,70 +40,8 @@ fn tpcc_consistency_conditions_after_concurrent_mix() {
     );
     assert!(result.committed > 0);
 
-    let mut worker = db.register_worker();
-    let mut txn = worker.begin();
-    for w in 1..=cfg.warehouses {
-        for d in 1..=cfg.districts_per_warehouse {
-            let district = DistrictRow::decode(
-                &txn.read(tables.id(TpccTable::District, w), &schema::district_key(w, d))
-                    .unwrap()
-                    .unwrap(),
-            );
-
-            // Consistency condition 1: D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID).
-            let orders = txn
-                .scan(
-                    tables.id(TpccTable::Order, w),
-                    &schema::order_key(w, d, 0),
-                    Some(&schema::order_key(w, d, u32::MAX)),
-                    None,
-                )
-                .unwrap();
-            let max_o_id = orders
-                .iter()
-                .map(|(k, _)| u32::from_be_bytes(k[k.len() - 4..].try_into().unwrap()))
-                .max()
-                .unwrap_or(0);
-            assert_eq!(district.next_o_id - 1, max_o_id, "C1 violated at w={w} d={d}");
-
-            // Consistency condition 3 (adapted): every NEW-ORDER row has a
-            // matching ORDER row that is undelivered.
-            let pending = txn
-                .scan(
-                    tables.id(TpccTable::NewOrder, w),
-                    &schema::new_order_district_prefix(w, d),
-                    txns::prefix_end(&schema::new_order_district_prefix(w, d)).as_deref(),
-                    None,
-                )
-                .unwrap();
-            for (no_key, _) in &pending {
-                let o_id = u32::from_be_bytes(no_key[no_key.len() - 4..].try_into().unwrap());
-                let order = OrderRow::decode(
-                    &txn.read(tables.id(TpccTable::Order, w), &schema::order_key(w, d, o_id))
-                        .unwrap()
-                        .expect("NEW-ORDER row without ORDER row"),
-                );
-                assert_eq!(order.carrier_id, 0, "undelivered order must have no carrier");
-            }
-
-            // Consistency condition 4 (adapted): for recent orders, the number
-            // of ORDER-LINE rows equals O_OL_CNT.
-            for (k, raw) in orders.iter().rev().take(3) {
-                let o_id = u32::from_be_bytes(k[k.len() - 4..].try_into().unwrap());
-                let order = OrderRow::decode(raw);
-                let prefix = schema::order_line_prefix(w, d, o_id);
-                let lines = txn
-                    .scan(
-                        tables.id(TpccTable::OrderLine, w),
-                        &prefix,
-                        txns::prefix_end(&prefix).as_deref(),
-                        None,
-                    )
-                    .unwrap();
-                assert_eq!(lines.len() as u32, order.ol_cnt, "C4 violated at w={w} d={d} o={o_id}");
-            }
-        }
-    }
-    txn.commit().unwrap();
+    let summary = check_consistency(&db, &cfg, &tables).expect("consistency violated");
+    assert_eq!(summary.districts, (cfg.warehouses * cfg.districts_per_warehouse) as u64);
+    assert!(summary.orders > 0, "the mix must have produced orders to check");
     db.stop_epoch_advancer();
 }
