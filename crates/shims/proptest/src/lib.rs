@@ -296,8 +296,44 @@ pub mod option {
     }
 }
 
+/// Strategy that always produces (a clone of) one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Value-sampling strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use crate::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed set of values; built by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly selects one of `values` (which must be non-empty).
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
 /// Namespaced strategy constants, mirroring `proptest::prop`.
 pub mod prop {
+    pub use crate::sample;
+
     /// Numeric strategies.
     pub mod num {
         /// `u8` strategies.
@@ -528,7 +564,7 @@ macro_rules! __proptest_bind {
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

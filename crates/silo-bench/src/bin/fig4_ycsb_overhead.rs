@@ -25,13 +25,15 @@ fn main() {
         let kv = KeyValueStore::shared();
         load_keyvalue(&kv, &cfg);
         let db = open_memsilo(); // only provides workers/epochs for the driver
-        let result = run_workload(
+        let mut result = run_workload(
             &db,
-            Arc::new(YcsbKeyValue::new(cfg.clone(), kv)),
+            Arc::new(YcsbKeyValue::new(cfg.clone(), Arc::clone(&kv))),
             driver_config(t),
             None,
         );
+        result.index_stats = Some(kv.index_stats());
         print_row("Key-Value", t, &result);
+        print_index_stats(&result);
         emit_bench_json("fig4", "Key-Value", t, &result);
         db.stop_epoch_advancer();
     }
@@ -39,13 +41,15 @@ fn main() {
     for &t in &threads {
         let db = open_memsilo();
         let table = load_silo(&db, &cfg);
-        let result = run_workload(
+        let mut result = run_workload(
             &db,
             Arc::new(YcsbSilo::new(cfg.clone(), table)),
             driver_config(t),
             None,
         );
+        result.index_stats = Some(db.index_stats());
         print_row("MemSilo", t, &result);
+        print_index_stats(&result);
         emit_bench_json("fig4", "MemSilo", t, &result);
         db.stop_epoch_advancer();
     }
@@ -53,13 +57,15 @@ fn main() {
     for &t in &threads {
         let db = silo_core::Database::open(memsilo_config().with_global_tid());
         let table = load_silo(&db, &cfg);
-        let result = run_workload(
+        let mut result = run_workload(
             &db,
             Arc::new(YcsbSilo::new(cfg.clone(), table)),
             driver_config(t),
             None,
         );
+        result.index_stats = Some(db.index_stats());
         print_row("MemSilo+GlobalTID", t, &result);
+        print_index_stats(&result);
         emit_bench_json("fig4", "MemSilo+GlobalTID", t, &result);
         db.stop_epoch_advancer();
     }

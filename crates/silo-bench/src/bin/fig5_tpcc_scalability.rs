@@ -22,13 +22,15 @@ fn main() {
         let db = open_memsilo();
         let cfg = TpccConfig::scaled(t as u32, scale);
         let tables = load(&db, &cfg);
-        let result = run_workload(
+        let mut result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
             driver_config(t),
             None,
         );
+        result.index_stats = Some(db.index_stats());
         print_row("MemSilo", t, &result);
+        print_index_stats(&result);
         emit_bench_json("fig5", "MemSilo", t, &result);
         db.stop_epoch_advancer();
     }
@@ -39,14 +41,16 @@ fn main() {
         let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 4.min(t.max(1))), &db);
         let cfg = TpccConfig::scaled(t as u32, scale);
         let tables = load(&db, &cfg);
-        let result = run_workload(
+        let mut result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
             driver_config(t),
             Some(Arc::clone(&logger)),
         );
+        result.index_stats = Some(db.index_stats());
         print_row("Silo (persistent)", t, &result);
         print_logger_stats(&result);
+        print_index_stats(&result);
         emit_bench_json("fig5", "Silo (persistent)", t, &result);
         logger.shutdown();
         db.stop_epoch_advancer();

@@ -21,6 +21,7 @@
 //! | Variable | Meaning | Default |
 //! |---|---|---|
 //! | `SILO_BENCH_CKPT_MS` | checkpoint interval (ms) | 1000 |
+//! | `SILO_BENCH_CKPT_BYTES_PER_SEC` | checkpoint walk rate limit (0 = off) | 0 |
 //! | `SILO_BENCH_SEGMENT_BYTES` | log segment rotation threshold | 4 MiB |
 //! | `SILO_RECOVERY_THREADS` | checkpoint-load / replay threads | 4 |
 //! | `SILO_RECOVERY_MIN_EPOCH` | recovered horizon must reach this | 0 |
@@ -59,6 +60,7 @@ fn checkpoint_config(dir: &Path) -> CheckpointConfig {
     CheckpointConfig {
         interval: checkpoint_interval(),
         writers: recovery_threads().min(4),
+        max_walk_bytes_per_sec: env_u64("SILO_BENCH_CKPT_BYTES_PER_SEC", 0),
         ..CheckpointConfig::new(dir)
     }
 }
@@ -197,6 +199,7 @@ fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) 
         dir,
         &RecoveryOptions {
             replay_threads: recovery_threads(),
+            ..Default::default()
         },
     )
     .expect("recovery failed");
@@ -225,7 +228,7 @@ fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) 
     );
 
     println!(
-        "# recovered: ckpt epoch {} ({} records, {} B in {:.1} ms), horizon {}, replayed {} txns / {} writes ({} B tail over {} files, {} covered by ckpt) in {:.1} ms; consistency: {} districts / {} orders OK; post-recovery commits: {}",
+        "# recovered: ckpt epoch {} ({} records, {} B in {:.1} ms), horizon {}, replayed {} txns / {} writes ({} B tail over {} files, {} covered by ckpt) in {:.1} ms, {} tombstones swept; consistency: {} districts / {} orders OK; post-recovery commits: {}",
         report.checkpoint_epoch,
         report.checkpoint_records,
         report.checkpoint_bytes,
@@ -237,12 +240,13 @@ fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) 
         report.log_files,
         report.covered_txns,
         report.replay_micros as f64 / 1e3,
+        report.tombstones_reclaimed,
         summary.districts,
         summary.orders,
         post.committed,
     );
     println!(
-        "BENCH_JSON {{\"bench\":\"fig_recovery\",\"series\":\"recover\",\"ckpt_epoch\":{},\"ckpt_records\":{},\"ckpt_bytes\":{},\"ckpt_micros\":{},\"durable_epoch\":{},\"replayed_txns\":{},\"replayed_writes\":{},\"skipped_txns\":{},\"covered_txns\":{},\"log_tail_bytes\":{},\"log_files\":{},\"replay_micros\":{},\"restart_us\":{},\"districts_checked\":{},\"post_recovery_committed\":{}}}",
+        "BENCH_JSON {{\"bench\":\"fig_recovery\",\"series\":\"recover\",\"ckpt_epoch\":{},\"ckpt_records\":{},\"ckpt_bytes\":{},\"ckpt_micros\":{},\"durable_epoch\":{},\"replayed_txns\":{},\"replayed_writes\":{},\"skipped_txns\":{},\"covered_txns\":{},\"log_tail_bytes\":{},\"log_files\":{},\"replay_micros\":{},\"tombstones_reclaimed\":{},\"restart_us\":{},\"districts_checked\":{},\"post_recovery_committed\":{}}}",
         report.checkpoint_epoch,
         report.checkpoint_records,
         report.checkpoint_bytes,
@@ -255,6 +259,7 @@ fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) 
         report.log_bytes_scanned,
         report.log_files,
         report.replay_micros,
+        report.tombstones_reclaimed,
         restart_us,
         summary.districts,
         post.committed,

@@ -1,0 +1,195 @@
+//! Index microbenchmark: raw `silo_index::Tree` get/insert/scan throughput,
+//! isolated from the transaction layer, with key shapes chosen to exercise
+//! the Masstree layout (§3, §4.6):
+//!
+//! * `get/u64` — 8-byte keys: the single-slice fast path (one layer, inline
+//!   slices, no suffix access).
+//! * `get/ycsb16` — the 16-byte YCSB encoding (8-byte table prefix + 8-byte
+//!   id): exactly one trie-layer descent.
+//! * `get/composite24` — 24-byte TPC-C-style composite keys: two layer
+//!   descents, register compares all the way.
+//! * `insert/u64` — fresh ordered inserts (permutation publish + splits).
+//! * `scan/100` — 100-entry range scans over the 16-byte key population.
+//!
+//! Each series emits a `BENCH_JSON` row (`bench: "index"`, ops as
+//! `committed`) that the CI bench-regression gate compares against
+//! `bench/baseline.json`, so index-layout regressions fail CI the same way
+//! fig4/fig5 ones do.
+//!
+//! `SILO_BENCH_INDEX_KEYS` (default 200 000) sizes the pre-loaded tree;
+//! `SILO_BENCH_SECONDS` and `SILO_BENCH_THREADS` work as usual.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use silo_bench::*;
+use silo_index::Tree;
+use silo_wl::driver::RunResult;
+
+fn key_u64(i: u64) -> [u8; 8] {
+    i.to_be_bytes()
+}
+
+fn key_ycsb16(i: u64) -> [u8; 16] {
+    silo_wl::ycsb::ycsb_key(i)
+}
+
+fn key_composite24(i: u64) -> [u8; 24] {
+    // Warehouse / district / order / line-ish: three 8-byte slices whose
+    // upper components repeat heavily, like TPC-C's composite keys.
+    let mut k = [0u8; 24];
+    k[..8].copy_from_slice(&(i % 97).to_be_bytes());
+    k[8..16].copy_from_slice(&(i % 1009).to_be_bytes());
+    k[16..].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+/// Runs `op` (which returns the number of operations it performed) on
+/// `threads` threads for the configured duration; returns (ops, elapsed).
+fn run_threads(
+    threads: usize,
+    op: impl Fn(&mut SmallRng, &AtomicBool) -> u64 + Sync,
+) -> (u64, std::time::Duration) {
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let total = std::thread::scope(|scope| {
+        let stop = &stop;
+        let op = &op;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(42 + t as u64);
+                    op(&mut rng, stop)
+                })
+            })
+            .collect();
+        std::thread::sleep(bench_seconds());
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("bench thread")).sum::<u64>()
+    });
+    (total, started.elapsed())
+}
+
+/// Wraps raw op counts in the harness's result row shape so the regression
+/// gate sees the usual `throughput_txns_per_s` field.
+fn emit(series: &str, threads: usize, ops: u64, elapsed: std::time::Duration, tree: &Tree) {
+    let mut result = RunResult {
+        committed: ops,
+        aborted: 0,
+        duration: elapsed,
+        stats: Default::default(),
+        latency: Default::default(),
+        threads,
+        logger_stats: None,
+        checkpoint_stats: None,
+        index_stats: Some(tree.stats()),
+    };
+    // The structural walk is cheap but noisy to print per row; keep it for
+    // the JSON and the one-line summary.
+    print_row(series, threads, &result);
+    result.stats.commits = ops;
+    emit_bench_json("index", series, threads, &result);
+}
+
+fn main() {
+    let keys = env_u64("SILO_BENCH_INDEX_KEYS", 200_000);
+    let threads_list = bench_threads();
+    println!(
+        "# index microbench — {keys} keys per shape, {}s per point",
+        bench_seconds().as_secs()
+    );
+    println!("# series                 threads     throughput        per-core      aborts      allocs/txn aborts/txn");
+
+    // One tree per key shape, shared across the thread sweeps.
+    let t_u64 = Arc::new(Tree::new());
+    let t_16 = Arc::new(Tree::new());
+    let t_24 = Arc::new(Tree::new());
+    for i in 0..keys {
+        t_u64.insert_if_absent(&key_u64(i), i);
+        t_16.insert_if_absent(&key_ycsb16(i), i);
+        t_24.insert_if_absent(&key_composite24(i), i);
+    }
+
+    for &threads in &threads_list {
+        let (ops, elapsed) = run_threads(threads, |rng, stop| {
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    let i = rng.gen_range(0..keys);
+                    assert_eq!(t_u64.get(&key_u64(i)), Some(i));
+                    ops += 1;
+                }
+            }
+            ops
+        });
+        emit("get/u64", threads, ops, elapsed, &t_u64);
+    }
+
+    for &threads in &threads_list {
+        let (ops, elapsed) = run_threads(threads, |rng, stop| {
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    let i = rng.gen_range(0..keys);
+                    assert_eq!(t_16.get(&key_ycsb16(i)), Some(i));
+                    ops += 1;
+                }
+            }
+            ops
+        });
+        emit("get/ycsb16", threads, ops, elapsed, &t_16);
+    }
+
+    for &threads in &threads_list {
+        let (ops, elapsed) = run_threads(threads, |rng, stop| {
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    let i = rng.gen_range(0..keys);
+                    assert_eq!(t_24.get(&key_composite24(i)), Some(i));
+                    ops += 1;
+                }
+            }
+            ops
+        });
+        emit("get/composite24", threads, ops, elapsed, &t_24);
+    }
+
+    // Inserts: disjoint fresh ranges per thread, ordered within a thread.
+    for &threads in &threads_list {
+        let insert_tree = Tree::new();
+        let next_base = std::sync::atomic::AtomicU64::new(0);
+        let (ops, elapsed) = run_threads(threads, |_rng, stop| {
+            let mut ops = 0u64;
+            let mut i = next_base.fetch_add(1 << 40, Ordering::Relaxed);
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    insert_tree.insert_if_absent(&key_u64(i), i);
+                    i += 1;
+                    ops += 1;
+                }
+            }
+            ops
+        });
+        emit("insert/u64", threads, ops, elapsed, &insert_tree);
+    }
+
+    for &threads in &threads_list {
+        let (ops, elapsed) = run_threads(threads, |rng, stop| {
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let start = rng.gen_range(0..keys.saturating_sub(100).max(1));
+                let r = t_16.scan(&key_ycsb16(start), None, Some(100));
+                assert!(!r.entries.is_empty());
+                ops += 1;
+            }
+            ops
+        });
+        emit("scan/100", threads, ops, elapsed, &t_16);
+    }
+
+    write_bench_json("index");
+}

@@ -155,6 +155,27 @@ pub fn print_logger_stats(result: &RunResult) {
     }
 }
 
+/// Prints the index-structure statistics for a run, indented under its
+/// result row.
+pub fn print_index_stats(result: &RunResult) {
+    if let Some(idx) = &result.index_stats {
+        println!(
+            "  └─ index: {} entries in {} leaves / {} inners over {} layers (per level {:?}, trie depth {}, {} suffix / {} layer entries); {} splits, {} layers created, {} reader retries",
+            idx.entries,
+            idx.leaves,
+            idx.inners,
+            idx.layers,
+            idx.nodes_per_level,
+            idx.max_trie_depth,
+            idx.suffix_entries,
+            idx.layer_entries,
+            idx.splits,
+            idx.layer_creations,
+            idx.reader_retries,
+        );
+    }
+}
+
 /// Prints the checkpointer counters for a run that had one, indented under
 /// its result row.
 pub fn print_checkpoint_stats(result: &RunResult) {
@@ -223,6 +244,22 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
             log.segments_rotated,
             log.segments_deleted,
             log.bytes_truncated,
+        ));
+    }
+    if let Some(idx) = &result.index_stats {
+        row.push_str(&format!(
+            ",\"idx_entries\":{},\"idx_leaves\":{},\"idx_inners\":{},\"idx_layers\":{},\"idx_suffix_entries\":{},\"idx_layer_entries\":{},\"idx_max_btree_depth\":{},\"idx_max_trie_depth\":{},\"idx_splits\":{},\"idx_layer_creations\":{},\"idx_reader_retries\":{}",
+            idx.entries,
+            idx.leaves,
+            idx.inners,
+            idx.layers,
+            idx.suffix_entries,
+            idx.layer_entries,
+            idx.max_btree_depth,
+            idx.max_trie_depth,
+            idx.splits,
+            idx.layer_creations,
+            idx.reader_retries,
         ));
     }
     if let Some(ckpt) = &result.checkpoint_stats {

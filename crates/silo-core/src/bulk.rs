@@ -124,10 +124,9 @@ pub unsafe fn bulk_apply(
                     None => {
                         // Delete: mark the record absent, as the engine's own
                         // delete path does. No `Garbage::Unhook` is registered
-                        // (recovery runs without the worker/GC machinery), so
-                        // the absent record stays hooked until a later write
-                        // revives it — bounded by the number of recovered
-                        // deletes; reclamation is a ROADMAP follow-up.
+                        // (recovery runs without the worker/GC machinery); the
+                        // post-replay [`sweep_absent`] pass unhooks and frees
+                        // whatever stays absent once all streams are applied.
                         rec.tid().lock();
                         rec.tid()
                             .store_and_unlock(TidWord::new(tid, false, true, true));
@@ -139,11 +138,88 @@ pub unsafe fn bulk_apply(
     }
 }
 
+/// Unhooks every *absent* record still reachable from `table`'s index — the
+/// tombstones recovery installs for deletes of unseen keys, plus present
+/// keys whose recovered final action was a delete — and frees the records.
+/// Returns the number of keys reclaimed.
+///
+/// During normal operation the garbage collector performs this cleanup
+/// lazily (a touching write revives or supersedes the record); after
+/// recovery there are no workers yet, so without this sweep a tombstone
+/// would stay hooked until some future write happens to touch its key.
+/// The index walk is chunked so memory stays bounded on large tables.
+///
+/// # Safety
+///
+/// Recovery-mode exclusivity, as for [`bulk_apply`]: no transactional or
+/// concurrent bulk access to `table` may be in flight. Records and removed
+/// index entries are freed immediately, which is only sound under this
+/// contract.
+pub unsafe fn sweep_absent(table: &Table) -> u64 {
+    const CHUNK: usize = 1024;
+    let tree = table.tree();
+    let mut reclaimed = 0u64;
+    let mut start: Vec<u8> = Vec::new();
+    loop {
+        let result = tree.scan(&start, None, Some(CHUNK));
+        let n = result.entries.len();
+        for (key, value) in result.entries {
+            let record = value as *mut Record;
+            // SAFETY: exclusivity contract — the record is alive and no one
+            // else can free it.
+            let word = unsafe { (*record).tid().load() };
+            if word.is_latest() && word.is_absent() {
+                if let Some(removed) = tree.remove(&key) {
+                    debug_assert_eq!(removed.value, value);
+                    // Exclusive access: no concurrent reader can still hold
+                    // the suffix or the record, so both free immediately.
+                    drop(removed);
+                    // SAFETY: unhooked above; exclusively ours.
+                    unsafe { Record::free(record) };
+                    reclaimed += 1;
+                }
+            }
+            start = key;
+        }
+        if n < CHUNK {
+            return reclaimed;
+        }
+        start.push(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SiloConfig;
     use crate::database::Database;
+
+    #[test]
+    fn sweep_absent_reclaims_tombstones_and_deleted_keys() {
+        let db = Database::open(SiloConfig::for_testing());
+        let t = db.create_table("t").unwrap();
+        let table = db.table(t);
+        // SAFETY: single-threaded test, no transactions in flight.
+        unsafe {
+            // A live key, a tombstone for an unseen key, and a key whose
+            // final recovered action was a delete.
+            bulk_apply(&table, b"alive", Tid::new(2, 1), Some(b"v"));
+            bulk_apply(&table, b"ghost", Tid::new(3, 1), None);
+            bulk_apply(&table, b"gone", Tid::new(2, 2), Some(b"v"));
+            bulk_apply(&table, b"gone", Tid::new(3, 2), None);
+            assert_eq!(table.tree().len(), 3, "absent records stay hooked");
+            assert_eq!(sweep_absent(&table), 2);
+        }
+        assert_eq!(table.tree().len(), 1);
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        assert_eq!(txn.read(t, b"alive").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(txn.read(t, b"ghost").unwrap(), None);
+        assert_eq!(txn.read(t, b"gone").unwrap(), None);
+        // The swept keys are fully usable again.
+        txn.insert(t, b"gone", b"back").unwrap();
+        txn.commit().unwrap();
+    }
 
     #[test]
     fn insert_update_delete_resolve_by_tid() {

@@ -247,6 +247,18 @@ impl Database {
         (0..self.tables.read().len() as TableId).collect()
     }
 
+    /// Index statistics aggregated over every table (node counts per level,
+    /// trie layers, splits, reader retries — see
+    /// [`silo_index::IndexStats`]). Structure counts are approximate while
+    /// writers are active.
+    pub fn index_stats(&self) -> silo_index::IndexStats {
+        let mut stats = silo_index::IndexStats::default();
+        for table in self.tables.read().iter() {
+            stats.merge(&table.tree().stats());
+        }
+        stats
+    }
+
     /// Registers a new worker thread with the engine.
     pub fn register_worker(self: &Arc<Self>) -> Worker {
         let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);

@@ -62,13 +62,14 @@ pub mod stats;
 pub mod txn;
 pub mod worker;
 
-pub use bulk::{bulk_apply, BulkOutcome};
+pub use bulk::{bulk_apply, sweep_absent, BulkOutcome};
 pub use config::SiloConfig;
 pub use database::{CommitHook, CommitWrite, CommitWrites, Database, Table, TableId};
 pub use error::{Abort, AbortReason, CatalogError};
 pub use silo_epoch::{EpochConfig, EpochManager};
+pub use silo_index::IndexStats;
 pub use silo_tid::{Tid, TidWord};
-pub use snapshot::SnapshotTxn;
+pub use snapshot::{SnapshotTxn, WalkPacer};
 pub use stats::{AbortBreakdown, WorkerStats};
 pub use txn::Txn;
 pub use worker::Worker;

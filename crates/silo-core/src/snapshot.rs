@@ -9,11 +9,60 @@
 //! **never abort** — which is exactly why the stock-level experiment of
 //! Figure 10 benefits from them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
 use silo_tid::Tid;
 
 use crate::database::TableId;
 use crate::record::Record;
 use crate::worker::Worker;
+
+/// A byte-rate budget for long snapshot walks (the checkpointer's table
+/// scans): on small machines an unthrottled walk competes with workers for
+/// CPU, so the walk yields whenever it runs ahead of `bytes_per_sec`.
+///
+/// One pacer can be shared (`Arc`) by several walker threads, making the
+/// rate a *global* budget across all of them. Walkers report progress with
+/// [`WalkPacer::note`]; [`SnapshotTxn::scan_versions_paced`] sleeps off any
+/// [`WalkPacer::backlog`] between chunks — in small slices, re-refreshing
+/// the worker's epoch pin, so throttling never stalls global epoch
+/// advancement.
+#[derive(Debug)]
+pub struct WalkPacer {
+    bytes_per_sec: u64,
+    started: Instant,
+    bytes: AtomicU64,
+}
+
+impl WalkPacer {
+    /// Creates a pacer budgeting `bytes_per_sec` (must be non-zero) from
+    /// now.
+    pub fn new(bytes_per_sec: u64) -> WalkPacer {
+        WalkPacer {
+            bytes_per_sec: bytes_per_sec.max(1),
+            started: Instant::now(),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `bytes` of walk progress.
+    pub fn note(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// How far the walk is ahead of its budget: the time that must still
+    /// pass before the bytes reported so far fit under `bytes_per_sec`.
+    pub fn backlog(&self) -> Duration {
+        let target = self.bytes.load(Ordering::Relaxed) as f64 / self.bytes_per_sec as f64;
+        let actual = self.started.elapsed().as_secs_f64();
+        if target > actual {
+            Duration::from_secs_f64(target - actual)
+        } else {
+            Duration::ZERO
+        }
+    }
+}
 
 /// A read-only transaction over a recent consistent snapshot. Created by
 /// [`Worker::begin_snapshot`].
@@ -127,6 +176,22 @@ impl<'w> SnapshotTxn<'w> {
         &mut self,
         table_id: TableId,
         chunk: usize,
+        f: impl FnMut(&[u8], Tid, &[u8]),
+    ) -> u64 {
+        self.scan_versions_paced(table_id, chunk, None, f)
+    }
+
+    /// [`SnapshotTxn::scan_versions_into`] with an optional rate limit: when
+    /// a [`WalkPacer`] is given, the walk sleeps off the pacer's backlog
+    /// between chunks (in short slices, keeping the worker's epoch pin fresh
+    /// so global epoch advancement is delayed by at most one slice). The
+    /// caller reports its notion of progress — e.g. serialized bytes — via
+    /// [`WalkPacer::note`] from inside `f`.
+    pub fn scan_versions_paced(
+        &mut self,
+        table_id: TableId,
+        chunk: usize,
+        pacer: Option<&WalkPacer>,
         mut f: impl FnMut(&[u8], Tid, &[u8]),
     ) -> u64 {
         let chunk = chunk.max(1);
@@ -173,11 +238,31 @@ impl<'w> SnapshotTxn<'w> {
             // Resume at the successor of the last key seen, and let the
             // global epoch move past us while we are between chunks.
             start.push(0);
-            if snapshot_epoch != u64::MAX {
-                self.worker.epoch().refresh_pinned(snapshot_epoch);
-            } else {
-                self.worker.epoch().refresh();
+            self.refresh_walk_pin(snapshot_epoch);
+            // Throttle: sleep off the pacer backlog in ≤ 2 ms slices,
+            // re-refreshing the pin after each slice so a long throttle
+            // never holds back the epoch.
+            if let Some(pacer) = pacer {
+                loop {
+                    let backlog = pacer.backlog();
+                    if backlog.is_zero() {
+                        break;
+                    }
+                    std::thread::sleep(backlog.min(std::time::Duration::from_millis(2)));
+                    self.refresh_walk_pin(snapshot_epoch);
+                }
             }
+        }
+    }
+
+    /// Re-refreshes the worker's epoch between walk chunks: keep `se_w`
+    /// pinned to the snapshot (so its versions stay reachable) while moving
+    /// `e_w` forward — or, with snapshots disabled, a plain refresh.
+    fn refresh_walk_pin(&self, snapshot_epoch: u64) {
+        if snapshot_epoch != u64::MAX {
+            self.worker.epoch().refresh_pinned(snapshot_epoch);
+        } else {
+            self.worker.epoch().refresh();
         }
     }
 
@@ -192,5 +277,53 @@ impl<'w> SnapshotTxn<'w> {
 impl<'w> Drop for SnapshotTxn<'w> {
     fn drop(&mut self) {
         self.worker.stats.snapshot_commits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiloConfig;
+    use crate::database::Database;
+
+    #[test]
+    fn walk_pacer_backlog_tracks_budget() {
+        let pacer = WalkPacer::new(1_000_000);
+        assert_eq!(pacer.backlog(), Duration::ZERO);
+        // 100 KB at 1 MB/s = 100 ms of budget; essentially no time passed.
+        pacer.note(100_000);
+        let backlog = pacer.backlog();
+        assert!(
+            backlog > Duration::from_millis(50) && backlog <= Duration::from_millis(100),
+            "unexpected backlog {backlog:?}"
+        );
+    }
+
+    #[test]
+    fn paced_scan_is_throttled_and_complete() {
+        // Snapshots disabled: the walk reads latest versions, so the test
+        // does not depend on epoch advancement.
+        let db = Database::open(SiloConfig::for_testing().without_snapshots());
+        let t = db.create_table("t").unwrap();
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        for i in 0..200u32 {
+            txn.write(t, &i.to_be_bytes(), &[0u8; 64]).unwrap();
+        }
+        txn.commit().unwrap();
+
+        // 200 × 64 B of values at 100 KB/s ≈ 128 ms minimum walk time.
+        let pacer = WalkPacer::new(100_000);
+        let started = Instant::now();
+        let mut snap = w.begin_snapshot();
+        let yielded = snap.scan_versions_paced(t, 32, Some(&pacer), |_, _, value| {
+            pacer.note(value.len() as u64);
+        });
+        assert_eq!(yielded, 200);
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "walk was not throttled: {:?}",
+            started.elapsed()
+        );
     }
 }

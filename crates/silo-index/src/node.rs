@@ -1,4 +1,5 @@
-//! Node structures and low-level node operations for the concurrent B+-tree.
+//! Node structures and low-level node operations for the Masstree-style
+//! concurrent trie of B+-trees (paper §3, §4.6; Masstree §4).
 //!
 //! Every node starts with a [`NodeHeader`] containing a *version word*:
 //!
@@ -12,27 +13,70 @@
 //! * `LOCK` — held by a writer while it modifies the node.
 //! * `LEAF` — immutable node-kind flag (set for leaf nodes).
 //! * counter — incremented on every *structural* change: key inserted or
-//!   removed in a leaf, node split, separator installed in an interior node.
+//!   removed in a leaf, a suffix entry converted into a trie-layer pointer,
+//!   node split, separator installed in an interior node.
 //!
 //! Readers never write to nodes: they read the version, read the node
-//! contents, and re-check the version (the Masstree/OLFIT discipline, paper
-//! §3 and §4.6). The version counter is exactly what Silo's node-set
-//! validation records for phantom protection.
+//! contents, and re-check the version (the Masstree/OLFIT discipline). The
+//! version counter is exactly what Silo's node-set validation records for
+//! phantom protection.
 //!
-//! Keys are stored as single atomic pointers to immutable, heap-allocated
-//! [`KeyBuf`]s, so a concurrent reader can always dereference whatever
-//! pointer it observes: key buffers removed from a node are handed back to
-//! the caller, which must defer their destruction through the epoch-based
-//! reclamation scheme (`silo-epoch`).
+//! # Keyslices
+//!
+//! Keys are compared 8 bytes at a time as big-endian `u64` *keyslices* stored
+//! **inline** in the nodes (Masstree §4.2): descent and leaf search never
+//! chase a pointer for keys of at most 8 bytes (per trie layer). A leaf entry
+//! is `(slice, klen, value, suffix)` where `klen` is:
+//!
+//! * `0..=8` — the key ends in this layer after `klen` bytes; `slice` holds
+//!   the bytes zero-padded, `suffix` is unused.
+//! * [`KLEN_SUFFIX`] — the key continues past the slice; the remaining bytes
+//!   live out-of-line in a [`KeyBuf`].
+//! * [`KLEN_LAYER`] — several keys continue past this slice; `value` points
+//!   to the next trie layer (a whole B+-tree keyed on the next 8 bytes).
+//!
+//! Entries are ordered by `(slice, min(klen, 9))`: among keys sharing a
+//! slice, shorter keys sort first, and the suffix/layer bucket (of which a
+//! leaf holds at most one per slice) sorts last — which is exactly byte
+//! order of the original keys. Because at most 10 distinct entries can share
+//! one slice, a full leaf of [`LEAF_WIDTH`] entries always has a slice
+//! boundary to split at, so entries with equal slices never straddle leaves
+//! and interior nodes can route on the slice alone.
+//!
+//! # Permutation-ordered leaves
+//!
+//! Leaf entries live in fixed slots and are ordered by a packed 64-bit
+//! *permutation* word (Masstree §4.6.2, 4 bits of count + 15 × 4-bit slot
+//! indices): an insert writes a free slot and publishes a new permutation
+//! with a single atomic store instead of shifting arrays while readers
+//! retry. Freed slots go to the back of the free list so they are reused as
+//! late as possible.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
-/// Maximum number of keys per node (leaf and interior).
-///
-/// The paper sizes nodes at roughly four cache lines; with pointer-sized
-/// slots 15–16 keys per node is in the same ballpark and keeps split code
-/// exercised even in small unit tests.
-pub const FANOUT: usize = 16;
+/// Maximum number of entries per leaf (limited by the 64-bit permutation
+/// word: 4 bits of count plus 15 slot indices).
+pub const LEAF_WIDTH: usize = 15;
+
+/// Maximum number of separator keyslices per interior node
+/// (`FANOUT + 1` children).
+pub const FANOUT: usize = 15;
+
+/// `klen` value marking an entry whose key continues past the slice with the
+/// remainder stored out-of-line in a [`KeyBuf`].
+pub const KLEN_SUFFIX: u8 = 9;
+
+/// `klen` value marking an entry whose value is a pointer to the next trie
+/// layer.
+pub const KLEN_LAYER: u8 = 10;
+
+/// Collapses a stored `klen` into its ordering class: inline lengths order
+/// by length, and the suffix/layer bucket (there is at most one per slice)
+/// orders after every inline entry of the same slice.
+#[inline(always)]
+pub fn klen_class(klen: u8) -> u8 {
+    klen.min(KLEN_SUFFIX)
+}
 
 /// Lock bit of the node version word.
 pub const NODE_LOCK_BIT: u64 = 1;
@@ -41,7 +85,56 @@ pub const NODE_LEAF_BIT: u64 = 1 << 1;
 /// Increment applied to the version counter on each structural change.
 pub const NODE_VERSION_INC: u64 = 1 << 2;
 
-/// An immutable, heap-allocated key buffer.
+/// Prefetches the first cache lines of a node (or any object) into L1.
+///
+/// Descent knows the child it will visit one hop in advance; issuing the
+/// prefetch before validating the parent overlaps the memory latency with
+/// the version re-check (paper §3: Masstree "prefetches the next tree node
+/// while descending").
+#[inline(always)]
+pub fn prefetch<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if ptr.is_null() {
+            return;
+        }
+        // SAFETY: prefetch is a hint; it cannot fault even on dangling
+        // addresses, and `ptr` refers to a live node here anyway.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = ptr as *const i8;
+            _mm_prefetch::<_MM_HINT_T0>(p);
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(64));
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(128));
+            _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(192));
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Extracts the keyslice and ordering class of the key *remainder* `rem`
+/// (the key bytes from the current trie layer on): the first 8 bytes
+/// big-endian (zero-padded), and `rem.len()` capped at [`KLEN_SUFFIX`].
+///
+/// Big-endian packing makes `u64` comparison agree with byte-string
+/// comparison of the slices, which is the whole trick (§3).
+#[inline(always)]
+pub fn keyslice(rem: &[u8]) -> (u64, u8) {
+    if rem.len() >= 8 {
+        let slice = u64::from_be_bytes(rem[..8].try_into().expect("8 bytes"));
+        let class = if rem.len() == 8 { 8 } else { KLEN_SUFFIX };
+        (slice, class)
+    } else {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        (u64::from_be_bytes(buf), rem.len() as u8)
+    }
+}
+
+/// An immutable, heap-allocated key-suffix buffer.
 ///
 /// `KeyBuf`s are never mutated after construction, so concurrent readers may
 /// dereference them freely; the only hazard is deallocation, which callers
@@ -52,20 +145,20 @@ pub struct KeyBuf {
 }
 
 impl KeyBuf {
-    /// Allocates a new key buffer holding a copy of `key` and leaks it,
+    /// Allocates a new buffer holding a copy of `bytes` and leaks it,
     /// returning the raw pointer that node slots store.
-    pub fn allocate(key: &[u8]) -> *mut KeyBuf {
+    pub fn allocate(bytes: &[u8]) -> *mut KeyBuf {
         Box::into_raw(Box::new(KeyBuf {
-            bytes: key.to_vec().into_boxed_slice(),
+            bytes: bytes.to_vec().into_boxed_slice(),
         }))
     }
 
-    /// The key bytes.
+    /// The stored bytes.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
     }
 
-    /// Frees a key buffer previously produced by [`KeyBuf::allocate`].
+    /// Frees a buffer previously produced by [`KeyBuf::allocate`].
     ///
     /// # Safety
     ///
@@ -80,6 +173,111 @@ impl KeyBuf {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Permutation word
+// ---------------------------------------------------------------------------
+
+/// A packed leaf permutation: bits `[0, 4)` hold the entry count `n`, bits
+/// `[4 + 4i, 8 + 4i)` hold the slot index stored at position `i`. Positions
+/// `0..n` list the active slots in sorted key order; positions `n..15` are
+/// the free list (every slot index appears exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permutation(u64);
+
+impl Permutation {
+    /// The empty permutation: no active entries, free list `0, 1, …, 14`.
+    pub fn empty() -> Permutation {
+        let mut word = 0u64;
+        for i in 0..LEAF_WIDTH as u64 {
+            word |= i << (4 + 4 * i);
+        }
+        Permutation(word)
+    }
+
+    /// Rebuilds a permutation from a raw word (as loaded from a leaf).
+    #[inline(always)]
+    pub fn from_raw(word: u64) -> Permutation {
+        Permutation(word)
+    }
+
+    /// The raw word (as stored in a leaf).
+    #[inline(always)]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Number of active entries.
+    #[inline(always)]
+    pub fn count(self) -> usize {
+        (self.0 & 0xF) as usize
+    }
+
+    /// The slot index stored at position `pos` (active for `pos < count()`).
+    #[inline(always)]
+    pub fn slot(self, pos: usize) -> usize {
+        ((self.0 >> (4 + 4 * pos)) & 0xF) as usize
+    }
+
+    fn to_slots(self) -> [u8; LEAF_WIDTH] {
+        let mut slots = [0u8; LEAF_WIDTH];
+        for (p, s) in slots.iter_mut().enumerate() {
+            *s = self.slot(p) as u8;
+        }
+        slots
+    }
+
+    fn from_slots(slots: [u8; LEAF_WIDTH], count: usize) -> Permutation {
+        let mut word = count as u64;
+        for (p, s) in slots.iter().enumerate() {
+            word |= (*s as u64) << (4 + 4 * p);
+        }
+        Permutation(word)
+    }
+
+    /// Returns the permutation with the first free slot inserted at `rank`,
+    /// plus the chosen slot index. The caller writes the entry into the slot
+    /// *before* publishing the returned permutation.
+    pub fn insert_at(self, rank: usize) -> (Permutation, usize) {
+        let n = self.count();
+        debug_assert!(rank <= n && n < LEAF_WIDTH);
+        let mut slots = self.to_slots();
+        let free = slots[n];
+        let mut p = n;
+        while p > rank {
+            slots[p] = slots[p - 1];
+            p -= 1;
+        }
+        slots[rank] = free;
+        (Permutation::from_slots(slots, n + 1), free as usize)
+    }
+
+    /// Returns the permutation with the entry at `rank` removed (its slot
+    /// moved to the very back of the free list, so it is reused as late as
+    /// possible), plus the freed slot index.
+    pub fn remove_at(self, rank: usize) -> (Permutation, usize) {
+        let n = self.count();
+        debug_assert!(rank < n);
+        let mut slots = self.to_slots();
+        let freed = slots[rank];
+        for p in rank..LEAF_WIDTH - 1 {
+            slots[p] = slots[p + 1];
+        }
+        slots[LEAF_WIDTH - 1] = freed;
+        (Permutation::from_slots(slots, n - 1), freed as usize)
+    }
+
+    /// Returns the permutation truncated to its first `count` entries (used
+    /// by splits: the moved upper ranks become the new free region).
+    pub fn truncated(self, count: usize) -> Permutation {
+        debug_assert!(count <= self.count());
+        Permutation((self.0 & !0xF) | count as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node header
+// ---------------------------------------------------------------------------
+
 /// Common header shared by leaf and interior nodes. `#[repr(C)]` with the
 /// header first lets us cast a `*mut NodeHeader` to the concrete node type
 /// once the LEAF bit has been inspected.
@@ -87,7 +285,6 @@ impl KeyBuf {
 #[derive(Debug)]
 pub struct NodeHeader {
     version: AtomicU64,
-    nkeys: AtomicUsize,
 }
 
 impl NodeHeader {
@@ -95,11 +292,11 @@ impl NodeHeader {
         let v = if is_leaf { NODE_LEAF_BIT } else { 0 };
         NodeHeader {
             version: AtomicU64::new(v),
-            nkeys: AtomicUsize::new(0),
         }
     }
 
     /// Loads the raw version word (may include the lock bit).
+    #[inline(always)]
     pub fn version_raw(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
@@ -123,6 +320,7 @@ impl NodeHeader {
     }
 
     /// Whether this node is a leaf.
+    #[inline(always)]
     pub fn is_leaf(&self) -> bool {
         self.version.load(Ordering::Relaxed) & NODE_LEAF_BIT != 0
     }
@@ -179,8 +377,7 @@ impl NodeHeader {
     }
 
     /// Releases the write lock and increments the version counter (the node
-    /// was structurally modified: key inserted/removed, node split, separator
-    /// added). Returns the new (unlocked) version word.
+    /// was structurally modified). Returns the new (unlocked) version word.
     pub fn unlock_with_increment(&self) -> u64 {
         let v = self.version.load(Ordering::Relaxed);
         debug_assert!(v & NODE_LOCK_BIT != 0);
@@ -188,35 +385,28 @@ impl NodeHeader {
         self.version.store(new, Ordering::Release);
         new
     }
-
-    /// Number of keys currently in the node.
-    pub fn nkeys(&self) -> usize {
-        self.nkeys.load(Ordering::Acquire)
-    }
-
-    fn set_nkeys(&self, n: usize) {
-        self.nkeys.store(n, Ordering::Release);
-    }
 }
 
-/// An interior (routing) node: `nkeys` separator keys and `nkeys + 1`
-/// children. `children[i]` covers keys `< keys[i]`; `children[nkeys]` covers
-/// keys `≥ keys[nkeys - 1]`.
+// ---------------------------------------------------------------------------
+// Interior nodes
+// ---------------------------------------------------------------------------
+
+/// An interior (routing) node: `nkeys` separator keyslices — stored inline
+/// as `u64`s, so routing is pure register compares — and `nkeys + 1`
+/// children. `children[i]` covers slices `< keys[i]`; `children[nkeys]`
+/// covers slices `≥ keys[nkeys - 1]`.
+///
+/// Interior inserts still shift arrays (splits are orders of magnitude rarer
+/// than leaf inserts), but with inline slices a torn optimistic read can at
+/// worst route to a sibling — which the version re-check catches — rather
+/// than dereference a half-written pointer.
 #[repr(C)]
 pub struct InnerNode {
+    /// Version word (see [`NodeHeader`]).
     pub header: NodeHeader,
-    keys: [AtomicPtr<KeyBuf>; FANOUT],
+    nkeys: AtomicUsize,
+    keys: [AtomicU64; FANOUT],
     children: [AtomicPtr<NodeHeader>; FANOUT + 1],
-}
-
-/// A leaf node: `nkeys` sorted key/value entries plus a B-link pointer to the
-/// next (right) sibling leaf.
-#[repr(C)]
-pub struct LeafNode {
-    pub header: NodeHeader,
-    keys: [AtomicPtr<KeyBuf>; FANOUT],
-    values: [AtomicU64; FANOUT],
-    next: AtomicPtr<LeafNode>,
 }
 
 impl InnerNode {
@@ -224,51 +414,47 @@ impl InnerNode {
     pub fn allocate() -> *mut InnerNode {
         Box::into_raw(Box::new(InnerNode {
             header: NodeHeader::new(false),
-            keys: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT],
+            nkeys: AtomicUsize::new(0),
+            keys: [const { AtomicU64::new(0) }; FANOUT],
             children: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT + 1],
         }))
     }
 
+    /// Number of separator slices currently in the node.
+    #[inline(always)]
+    pub fn nkeys(&self) -> usize {
+        self.nkeys.load(Ordering::Acquire)
+    }
+
     /// The child pointer stored at `idx`.
+    #[inline(always)]
     pub fn child(&self, idx: usize) -> *mut NodeHeader {
         self.children[idx].load(Ordering::Acquire)
     }
 
-    /// Finds the index of the child that covers `key`.
+    /// Finds the index of the child that covers `slice`.
     ///
     /// Works both under the node lock and optimistically (in the latter case
     /// the result is only meaningful if the version validates afterwards).
-    /// Returns `None` if a torn read is detected (null key pointer), telling
-    /// the optimistic reader to restart.
-    pub fn route(&self, key: &[u8]) -> Option<usize> {
-        let n = self.header.nkeys().min(FANOUT);
+    #[inline(always)]
+    pub fn route(&self, slice: u64) -> usize {
+        let n = self.nkeys().min(FANOUT);
         let mut idx = 0;
-        while idx < n {
-            let kptr = self.keys[idx].load(Ordering::Acquire);
-            if kptr.is_null() {
-                return None;
-            }
-            // SAFETY: key buffers are immutable and only freed after a grace
-            // period, so any non-null pointer observed here is dereferenceable.
-            let kb = unsafe { &*kptr };
-            if key < kb.bytes() {
-                break;
-            }
+        while idx < n && slice >= self.keys[idx].load(Ordering::Acquire) {
             idx += 1;
         }
-        Some(idx)
+        idx
     }
 
-    /// Inserts separator `key_ptr` with right child `right` at position
-    /// `idx`, shifting subsequent entries. Caller must hold the node lock and
+    /// Inserts separator `slice` with right child `right` at position `idx`,
+    /// shifting subsequent entries. Caller must hold the node lock and
     /// guarantee the node is not full.
-    pub fn insert_separator(&self, idx: usize, key_ptr: *mut KeyBuf, right: *mut NodeHeader) {
-        let n = self.header.nkeys();
+    pub fn insert_separator(&self, idx: usize, slice: u64, right: *mut NodeHeader) {
+        let n = self.nkeys();
         debug_assert!(n < FANOUT);
         debug_assert!(idx <= n);
-        // Shift keys [idx, n) right by one and children [idx+1, n+1) right by
-        // one, from the top down so concurrent optimistic readers always see
-        // initialized slots.
+        // Shift from the top down so concurrent optimistic readers always
+        // see initialized slots.
         let mut i = n;
         while i > idx {
             let k = self.keys[i - 1].load(Ordering::Relaxed);
@@ -277,34 +463,34 @@ impl InnerNode {
             self.children[i + 1].store(c, Ordering::Release);
             i -= 1;
         }
-        self.keys[idx].store(key_ptr, Ordering::Release);
+        self.keys[idx].store(slice, Ordering::Release);
         self.children[idx + 1].store(right, Ordering::Release);
-        self.header.set_nkeys(n + 1);
+        self.nkeys.store(n + 1, Ordering::Release);
     }
 
     /// Initializes a fresh root with a single separator and two children.
     /// Caller owns the node exclusively.
-    pub fn init_root(&self, key_ptr: *mut KeyBuf, left: *mut NodeHeader, right: *mut NodeHeader) {
-        self.keys[0].store(key_ptr, Ordering::Release);
+    pub fn init_root(&self, slice: u64, left: *mut NodeHeader, right: *mut NodeHeader) {
+        self.keys[0].store(slice, Ordering::Release);
         self.children[0].store(left, Ordering::Release);
         self.children[1].store(right, Ordering::Release);
-        self.header.set_nkeys(1);
+        self.nkeys.store(1, Ordering::Release);
     }
 
     /// Whether inserting one more separator would overflow the node.
     pub fn is_full(&self) -> bool {
-        self.header.nkeys() >= FANOUT
+        self.nkeys() >= FANOUT
     }
 
     /// Splits this (full, locked) node: the upper half of the separators and
     /// children move to a freshly allocated right sibling, and the middle
     /// separator is *promoted* (returned) for insertion into the parent.
     ///
-    /// Returns `(promoted_separator, right_sibling)`. The caller must hold
-    /// this node's lock; the right sibling is returned locked so the caller
-    /// can publish it before any other writer touches it.
-    pub fn split(&self) -> (*mut KeyBuf, *mut InnerNode) {
-        let n = self.header.nkeys();
+    /// Returns `(promoted_slice, right_sibling)`. The caller must hold this
+    /// node's lock; the right sibling is returned locked so the caller can
+    /// publish it before any other writer touches it.
+    pub fn split(&self) -> (u64, *mut InnerNode) {
+        let n = self.nkeys();
         debug_assert_eq!(n, FANOUT);
         let mid = n / 2;
         let right = InnerNode::allocate();
@@ -322,52 +508,48 @@ impl InnerNode {
         }
         let last_child = self.children[n].load(Ordering::Relaxed);
         right_ref.children[j].store(last_child, Ordering::Release);
-        right_ref.header.set_nkeys(j);
-        self.header.set_nkeys(mid);
+        right_ref.nkeys.store(j, Ordering::Release);
+        self.nkeys.store(mid, Ordering::Release);
         (promoted, right)
-    }
-
-    /// Frees this node and (recursively) its subtree, including key buffers.
-    ///
-    /// # Safety
-    ///
-    /// Requires exclusive access to the whole subtree (no concurrent readers
-    /// or writers), e.g. during `Tree::drop`.
-    pub unsafe fn free_subtree(ptr: *mut InnerNode) {
-        // SAFETY: exclusive access per the caller's contract.
-        let node = unsafe { Box::from_raw(ptr) };
-        let n = node.header.nkeys();
-        for i in 0..n {
-            let k = node.keys[i].load(Ordering::Relaxed);
-            if !k.is_null() {
-                // SAFETY: separators in [0, nkeys) are owned by this node.
-                unsafe { KeyBuf::free(k) };
-            }
-        }
-        for i in 0..=n {
-            let c = node.children[i].load(Ordering::Relaxed);
-            if c.is_null() {
-                continue;
-            }
-            // SAFETY: children in [0, nkeys] are owned by this node.
-            unsafe {
-                if (*c).is_leaf() {
-                    LeafNode::free(c as *mut LeafNode);
-                } else {
-                    InnerNode::free_subtree(c as *mut InnerNode);
-                }
-            }
-        }
     }
 }
 
-/// Outcome of searching a leaf for a key under the leaf lock.
+// ---------------------------------------------------------------------------
+// Leaf nodes
+// ---------------------------------------------------------------------------
+
+/// Outcome of searching a leaf for a `(slice, class)` key position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafSearch {
-    /// Key present at the given slot.
-    Found(usize),
-    /// Key absent; it would belong at the given slot.
-    NotFound(usize),
+    /// An entry with the same `(slice, class)` exists: its rank in the
+    /// permutation order and its storage slot.
+    Found {
+        /// Position in the sorted permutation order.
+        rank: usize,
+        /// Storage slot holding the entry.
+        slot: usize,
+    },
+    /// No such entry; it would belong at the given rank.
+    NotFound {
+        /// Insertion position in the sorted permutation order.
+        rank: usize,
+    },
+}
+
+/// A leaf node: up to [`LEAF_WIDTH`] entries in fixed slots, ordered by the
+/// permutation word, plus a B-link pointer to the right sibling leaf. Field
+/// order keeps the search-relevant arrays (`slices`, `klens`) in the first
+/// cache lines.
+#[repr(C)]
+pub struct LeafNode {
+    /// Version word (see [`NodeHeader`]).
+    pub header: NodeHeader,
+    permutation: AtomicU64,
+    slices: [AtomicU64; LEAF_WIDTH],
+    klens: [AtomicU8; LEAF_WIDTH],
+    next: AtomicPtr<LeafNode>,
+    values: [AtomicU64; LEAF_WIDTH],
+    suffixes: [AtomicPtr<KeyBuf>; LEAF_WIDTH],
 }
 
 impl LeafNode {
@@ -375,155 +557,221 @@ impl LeafNode {
     pub fn allocate() -> *mut LeafNode {
         Box::into_raw(Box::new(LeafNode {
             header: NodeHeader::new(true),
-            keys: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT],
-            values: [const { AtomicU64::new(0) }; FANOUT],
+            permutation: AtomicU64::new(Permutation::empty().raw()),
+            slices: [const { AtomicU64::new(0) }; LEAF_WIDTH],
+            klens: [const { AtomicU8::new(0) }; LEAF_WIDTH],
             next: AtomicPtr::new(std::ptr::null_mut()),
+            values: [const { AtomicU64::new(0) }; LEAF_WIDTH],
+            suffixes: [const { AtomicPtr::new(std::ptr::null_mut()) }; LEAF_WIDTH],
         }))
     }
 
-    /// The key stored at `idx` (may be null under optimistic reads of stale
-    /// slots).
-    pub fn key(&self, idx: usize) -> *mut KeyBuf {
-        self.keys[idx].load(Ordering::Acquire)
+    /// The current permutation word.
+    #[inline(always)]
+    pub fn permutation(&self) -> Permutation {
+        Permutation::from_raw(self.permutation.load(Ordering::Acquire))
     }
 
-    /// The value stored at `idx`.
-    pub fn value(&self, idx: usize) -> u64 {
-        self.values[idx].load(Ordering::Acquire)
+    /// Publishes a new permutation. Caller must hold the leaf lock.
+    #[inline(always)]
+    pub fn set_permutation(&self, perm: Permutation) {
+        self.permutation.store(perm.raw(), Ordering::Release);
     }
 
-    /// Atomically overwrites the value at `idx`. Caller must hold the leaf
-    /// lock so the slot cannot move underneath it.
-    pub fn set_value(&self, idx: usize, value: u64) {
-        self.values[idx].store(value, Ordering::Release);
+    /// The keyslice stored in `slot`.
+    #[inline(always)]
+    pub fn slice(&self, slot: usize) -> u64 {
+        self.slices[slot].load(Ordering::Acquire)
+    }
+
+    /// The `klen` stored in `slot` (`0..=8`, [`KLEN_SUFFIX`] or
+    /// [`KLEN_LAYER`]).
+    #[inline(always)]
+    pub fn klen(&self, slot: usize) -> u8 {
+        self.klens[slot].load(Ordering::Acquire)
+    }
+
+    /// The value stored in `slot` (a record pointer, or a trie-layer pointer
+    /// when `klen == KLEN_LAYER`).
+    #[inline(always)]
+    pub fn value(&self, slot: usize) -> u64 {
+        self.values[slot].load(Ordering::Acquire)
+    }
+
+    /// The suffix buffer stored in `slot` (meaningful for
+    /// `klen == KLEN_SUFFIX`).
+    #[inline(always)]
+    pub fn suffix(&self, slot: usize) -> *mut KeyBuf {
+        self.suffixes[slot].load(Ordering::Acquire)
+    }
+
+    /// Atomically overwrites the value in `slot`. Caller must hold the leaf
+    /// lock so the slot cannot be recycled underneath it.
+    pub fn set_value(&self, slot: usize, value: u64) {
+        self.values[slot].store(value, Ordering::Release);
     }
 
     /// The right sibling leaf (B-link pointer).
+    #[inline(always)]
     pub fn next(&self) -> *mut LeafNode {
         self.next.load(Ordering::Acquire)
     }
 
-    /// Binary-searches the (sorted) leaf for `key`.
+    /// Searches the leaf (under the permutation snapshot `perm`) for an
+    /// entry with the given slice and ordering class.
     ///
-    /// Under the leaf lock the result is exact. Optimistic readers must
-    /// validate the leaf version afterwards; a torn read (null key pointer)
-    /// is reported as `None` so they can restart.
-    pub fn search(&self, key: &[u8]) -> Option<LeafSearch> {
-        let n = self.header.nkeys().min(FANOUT);
-        let mut lo = 0usize;
-        let mut hi = n;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            let kptr = self.keys[mid].load(Ordering::Acquire);
-            if kptr.is_null() {
-                return None;
+    /// Under the leaf lock the result is exact; optimistic readers must
+    /// validate the leaf version afterwards. For `class <= 8` a `Found`
+    /// result identifies the key completely (equal slice + equal length ⇒
+    /// equal bytes); for `class == 9` it identifies the slice's suffix/layer
+    /// bucket, which the caller disambiguates via [`LeafNode::klen`].
+    #[inline]
+    pub fn search(&self, perm: Permutation, slice: u64, class: u8) -> LeafSearch {
+        let n = perm.count();
+        for rank in 0..n {
+            let slot = perm.slot(rank);
+            let es = self.slices[slot].load(Ordering::Acquire);
+            if es < slice {
+                continue;
             }
-            // SAFETY: non-null key pointers observed in a node are
-            // dereferenceable (immutable buffers, deferred reclamation).
-            let kb = unsafe { &*kptr };
-            match kb.bytes().cmp(key) {
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return Some(LeafSearch::Found(mid)),
+            if es > slice {
+                return LeafSearch::NotFound { rank };
             }
+            let ec = klen_class(self.klens[slot].load(Ordering::Acquire));
+            if ec < class {
+                continue;
+            }
+            if ec > class {
+                return LeafSearch::NotFound { rank };
+            }
+            return LeafSearch::Found { rank, slot };
         }
-        Some(LeafSearch::NotFound(lo))
+        LeafSearch::NotFound { rank: n }
     }
 
-    /// Inserts `(key_ptr, value)` at slot `idx`, shifting subsequent entries
-    /// right. Caller must hold the leaf lock and guarantee the leaf is not
-    /// full.
-    pub fn insert_at(&self, idx: usize, key_ptr: *mut KeyBuf, value: u64) {
-        let n = self.header.nkeys();
-        debug_assert!(n < FANOUT);
-        debug_assert!(idx <= n);
-        let mut i = n;
-        while i > idx {
-            let k = self.keys[i - 1].load(Ordering::Relaxed);
-            let v = self.values[i - 1].load(Ordering::Relaxed);
-            self.keys[i].store(k, Ordering::Release);
-            self.values[i].store(v, Ordering::Release);
-            i -= 1;
-        }
-        self.keys[idx].store(key_ptr, Ordering::Release);
-        self.values[idx].store(value, Ordering::Release);
-        self.header.set_nkeys(n + 1);
+    /// Writes a full entry into `slot` and publishes the permutation placing
+    /// it at `rank`. Caller must hold the leaf lock and pass the current
+    /// permutation; the leaf must not be full. Returns the new permutation.
+    pub fn insert_entry(
+        &self,
+        perm: Permutation,
+        rank: usize,
+        slice: u64,
+        klen: u8,
+        suffix: *mut KeyBuf,
+        value: u64,
+    ) -> Permutation {
+        let (new_perm, slot) = perm.insert_at(rank);
+        self.slices[slot].store(slice, Ordering::Release);
+        self.klens[slot].store(klen, Ordering::Release);
+        self.suffixes[slot].store(suffix, Ordering::Release);
+        self.values[slot].store(value, Ordering::Release);
+        // The permutation store publishes the slot: readers that see the new
+        // word also see the entry fields (release/acquire on the word).
+        self.set_permutation(new_perm);
+        new_perm
     }
 
-    /// Removes the entry at slot `idx`, shifting subsequent entries left.
-    /// Returns the removed key buffer (ownership passes to the caller, which
-    /// must defer its destruction) and the removed value. Caller must hold
-    /// the leaf lock.
-    pub fn remove_at(&self, idx: usize) -> (*mut KeyBuf, u64) {
-        let n = self.header.nkeys();
-        debug_assert!(idx < n);
-        let key = self.keys[idx].load(Ordering::Relaxed);
-        let value = self.values[idx].load(Ordering::Relaxed);
-        for i in idx..n - 1 {
-            let k = self.keys[i + 1].load(Ordering::Relaxed);
-            let v = self.values[i + 1].load(Ordering::Relaxed);
-            self.keys[i].store(k, Ordering::Release);
-            self.values[i].store(v, Ordering::Release);
-        }
-        self.header.set_nkeys(n - 1);
-        (key, value)
+    /// Removes the entry at `rank`, publishing the shrunken permutation.
+    /// Returns `(klen, suffix, value)` of the removed entry; ownership of a
+    /// non-null suffix passes to the caller, which must defer its
+    /// destruction past a grace period. Caller must hold the leaf lock. The
+    /// slot's contents are intentionally left in place: readers holding the
+    /// old permutation can still load them consistently.
+    pub fn remove_entry(&self, perm: Permutation, rank: usize) -> (u8, *mut KeyBuf, u64) {
+        let (new_perm, slot) = perm.remove_at(rank);
+        let klen = self.klens[slot].load(Ordering::Relaxed);
+        let suffix = self.suffixes[slot].load(Ordering::Relaxed);
+        let value = self.values[slot].load(Ordering::Relaxed);
+        self.set_permutation(new_perm);
+        (klen, suffix, value)
+    }
+
+    /// Converts the suffix entry in `slot` into a trie-layer pointer: the
+    /// value becomes `layer` and the `klen` becomes [`KLEN_LAYER`]. Returns
+    /// the displaced suffix buffer, whose destruction the caller must defer
+    /// (concurrent readers holding the old `(klen, suffix)` pair may still
+    /// dereference it). Caller must hold the leaf lock.
+    ///
+    /// Store order matters for lock-free readers: the value is written
+    /// before the `klen`, so a reader that observes `KLEN_LAYER` is
+    /// guaranteed to load the layer pointer (release on `klen`, acquire on
+    /// the reader's `klen` load). A reader that instead observes the *old*
+    /// `klen` with the *new* value returns a garbage `u64` — which the leaf
+    /// version re-check (the conversion increments it) discards before the
+    /// caller can dereference anything.
+    pub fn convert_to_layer(&self, slot: usize, layer: u64) -> *mut KeyBuf {
+        debug_assert_eq!(self.klens[slot].load(Ordering::Relaxed), KLEN_SUFFIX);
+        let suffix = self.suffixes[slot].load(Ordering::Relaxed);
+        self.values[slot].store(layer, Ordering::Release);
+        self.klens[slot].store(KLEN_LAYER, Ordering::Release);
+        suffix
     }
 
     /// Whether inserting one more entry would overflow the leaf.
     pub fn is_full(&self) -> bool {
-        self.header.nkeys() >= FANOUT
+        self.permutation().count() >= LEAF_WIDTH
     }
 
-    /// Splits this (full, locked) leaf: the upper half of the entries move to
-    /// a freshly allocated right sibling which is linked into the B-link
-    /// chain. Returns `(separator_key_copy, right_sibling)`; the separator is
-    /// a *new* key buffer equal to the right sibling's first key (interior
-    /// nodes own their separators independently). The right sibling is
-    /// returned locked.
-    pub fn split(&self) -> (*mut KeyBuf, *mut LeafNode) {
-        let n = self.header.nkeys();
-        debug_assert_eq!(n, FANOUT);
-        let mid = n / 2;
+    /// Splits this (full, locked) leaf at a slice boundary: the upper ranks
+    /// move to a freshly allocated right sibling which is linked into the
+    /// B-link chain. Entries sharing a slice never straddle the boundary —
+    /// always possible because at most 10 entries can share a slice — so the
+    /// parent can route on the separator slice alone.
+    ///
+    /// Returns `(separator_slice, right_sibling)`; the separator equals the
+    /// right sibling's first slice. The right sibling is returned locked.
+    pub fn split(&self) -> (u64, *mut LeafNode) {
+        let perm = self.permutation();
+        let n = perm.count();
+        debug_assert_eq!(n, LEAF_WIDTH);
+        // Pick the slice boundary closest to the middle.
+        let mut boundary = 0usize;
+        let mut best = usize::MAX;
+        for j in 1..n {
+            let prev = self.slices[perm.slot(j - 1)].load(Ordering::Relaxed);
+            let cur = self.slices[perm.slot(j)].load(Ordering::Relaxed);
+            if prev != cur {
+                let dist = j.abs_diff(n / 2);
+                if dist < best {
+                    best = dist;
+                    boundary = j;
+                }
+            }
+        }
+        assert!(boundary > 0, "a full leaf always has a slice boundary");
         let right = LeafNode::allocate();
         // SAFETY: freshly allocated, exclusively owned until published.
         let right_ref = unsafe { &*right };
         right_ref.header.lock();
         let mut j = 0;
-        for i in mid..n {
-            let k = self.keys[i].load(Ordering::Relaxed);
-            let v = self.values[i].load(Ordering::Relaxed);
-            right_ref.keys[j].store(k, Ordering::Release);
-            right_ref.values[j].store(v, Ordering::Release);
+        for rank in boundary..n {
+            let slot = perm.slot(rank);
+            right_ref.slices[j].store(self.slices[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref.klens[j].store(self.klens[slot].load(Ordering::Relaxed), Ordering::Release);
+            // Ownership of suffix buffers moves to the right sibling; the
+            // left slot keeps a stale copy, but it sits in the free region
+            // after the truncation below, so only the right sibling ever
+            // frees it.
+            right_ref
+                .suffixes[j]
+                .store(self.suffixes[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref.values[j].store(self.values[slot].load(Ordering::Relaxed), Ordering::Release);
             j += 1;
         }
-        right_ref.header.set_nkeys(j);
+        // Identity permutation over the copied entries.
+        let mut right_perm = Permutation::empty();
+        right_perm = Permutation::from_raw((right_perm.raw() & !0xF) | j as u64);
+        right_ref.set_permutation(right_perm);
         right_ref
             .next
             .store(self.next.load(Ordering::Relaxed), Ordering::Release);
         self.next.store(right, Ordering::Release);
-        self.header.set_nkeys(mid);
-        // SAFETY: slot 0 of the right sibling was just initialized above.
-        let sep_src = unsafe { &*right_ref.keys[0].load(Ordering::Relaxed) };
-        let sep = KeyBuf::allocate(sep_src.bytes());
+        let sep = right_ref.slices[0].load(Ordering::Relaxed);
+        // Truncating the permutation atomically retires the moved ranks:
+        // their slots become the new free region.
+        self.set_permutation(perm.truncated(boundary));
         (sep, right)
-    }
-
-    /// Frees this leaf and the key buffers it owns.
-    ///
-    /// # Safety
-    ///
-    /// Requires exclusive access (no concurrent readers or writers).
-    pub unsafe fn free(ptr: *mut LeafNode) {
-        // SAFETY: exclusive access per the caller's contract.
-        let node = unsafe { Box::from_raw(ptr) };
-        let n = node.header.nkeys();
-        for i in 0..n {
-            let k = node.keys[i].load(Ordering::Relaxed);
-            if !k.is_null() {
-                // SAFETY: entries in [0, nkeys) own their key buffers.
-                unsafe { KeyBuf::free(k) };
-            }
-        }
     }
 }
 
@@ -546,29 +794,156 @@ mod tests {
     }
 
     #[test]
+    fn keyslice_orders_like_bytes() {
+        let keys: Vec<&[u8]> = vec![
+            b"",
+            b"\x00",
+            b"\x00\x00",
+            b"a",
+            b"a\x00",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"b",
+            b"\xff",
+        ];
+        for w in keys.windows(2) {
+            let (s0, c0) = keyslice(w[0]);
+            let (s1, c1) = keyslice(w[1]);
+            assert!(
+                (s0, c0) <= (s1, c1),
+                "slice order must follow byte order: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(keyslice(b"abcdefgh").1, 8);
+        assert_eq!(keyslice(b"abcdefghi").1, KLEN_SUFFIX);
+        assert_eq!(keyslice(b"").1, 0);
+    }
+
+    #[test]
+    fn permutation_insert_remove_roundtrip() {
+        let mut perm = Permutation::empty();
+        assert_eq!(perm.count(), 0);
+        // Insert slots at alternating ranks.
+        let (p1, s1) = perm.insert_at(0);
+        perm = p1;
+        let (p2, s2) = perm.insert_at(0);
+        perm = p2;
+        let (p3, s3) = perm.insert_at(2);
+        perm = p3;
+        assert_eq!(perm.count(), 3);
+        assert_ne!(s1, s2);
+        assert_ne!(s2, s3);
+        assert_eq!(perm.slot(0), s2);
+        assert_eq!(perm.slot(1), s1);
+        assert_eq!(perm.slot(2), s3);
+        // Every slot index appears exactly once across the word.
+        let mut seen = [false; LEAF_WIDTH];
+        for p in 0..LEAF_WIDTH {
+            let s = perm.slot(p);
+            assert!(!seen[s]);
+            seen[s] = true;
+        }
+        // Remove the middle entry; its slot goes to the very back.
+        let (p4, freed) = perm.remove_at(1);
+        assert_eq!(freed, s1);
+        assert_eq!(p4.count(), 2);
+        assert_eq!(p4.slot(0), s2);
+        assert_eq!(p4.slot(1), s3);
+        assert_eq!(p4.slot(LEAF_WIDTH - 1), s1);
+    }
+
+    #[test]
+    fn permutation_freed_slots_reused_last() {
+        let mut perm = Permutation::empty();
+        for _ in 0..3 {
+            perm = perm.insert_at(0).0;
+        }
+        let (after_remove, freed) = perm.remove_at(0);
+        // The next two inserts must pick other free slots before the freed
+        // one comes back around.
+        let (p1, s1) = after_remove.insert_at(0);
+        assert_ne!(s1, freed);
+        let (_, s2) = p1.insert_at(0);
+        assert_ne!(s2, freed);
+    }
+
+    #[test]
     fn leaf_insert_search_remove() {
         let leaf_ptr = LeafNode::allocate();
         // SAFETY: single-threaded exclusive access in this test.
         let leaf = unsafe { &*leaf_ptr };
         for (i, k) in [b"bb".as_ref(), b"dd", b"ff"].iter().enumerate() {
-            let pos = match leaf.search(k).unwrap() {
-                LeafSearch::NotFound(p) => p,
-                LeafSearch::Found(_) => panic!("unexpected"),
+            let (slice, class) = keyslice(k);
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("unexpected"),
             };
-            leaf.insert_at(pos, KeyBuf::allocate(k), i as u64 + 10);
+            leaf.insert_entry(perm, rank, slice, class, std::ptr::null_mut(), i as u64 + 10);
         }
-        assert_eq!(leaf.header.nkeys(), 3);
-        assert_eq!(leaf.search(b"dd").unwrap(), LeafSearch::Found(1));
-        assert_eq!(leaf.value(1), 11);
-        assert_eq!(leaf.search(b"cc").unwrap(), LeafSearch::NotFound(1));
-        let (kptr, v) = leaf.remove_at(1);
-        assert_eq!(v, 11);
-        // SAFETY: the buffer was never shared beyond this test.
-        unsafe { KeyBuf::free(kptr) };
-        assert_eq!(leaf.search(b"dd").unwrap(), LeafSearch::NotFound(1));
-        assert_eq!(leaf.header.nkeys(), 2);
-        // SAFETY: exclusive access.
-        unsafe { LeafNode::free(leaf_ptr) };
+        assert_eq!(leaf.permutation().count(), 3);
+        let (slice, class) = keyslice(b"dd");
+        match leaf.search(leaf.permutation(), slice, class) {
+            LeafSearch::Found { rank, slot } => {
+                assert_eq!(rank, 1);
+                assert_eq!(leaf.value(slot), 11);
+            }
+            LeafSearch::NotFound { .. } => panic!("dd must be present"),
+        }
+        let (slice, class) = keyslice(b"cc");
+        assert_eq!(
+            leaf.search(leaf.permutation(), slice, class),
+            LeafSearch::NotFound { rank: 1 }
+        );
+        let (_, suffix, value) = leaf.remove_entry(leaf.permutation(), 1);
+        assert!(suffix.is_null());
+        assert_eq!(value, 11);
+        let (slice, class) = keyslice(b"dd");
+        assert_eq!(
+            leaf.search(leaf.permutation(), slice, class),
+            LeafSearch::NotFound { rank: 1 }
+        );
+        assert_eq!(leaf.permutation().count(), 2);
+        // SAFETY: exclusive access; no suffixes were allocated.
+        unsafe { drop(Box::from_raw(leaf_ptr)) };
+    }
+
+    #[test]
+    fn leaf_orders_same_slice_by_length_then_bucket() {
+        let leaf_ptr = LeafNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let leaf = unsafe { &*leaf_ptr };
+        // "a", "a\0\0" (3 bytes), and a long key sharing the slice.
+        let keys: [&[u8]; 3] = [b"a\x00\x00", b"a", b"a\x00\x00\x00\x00\x00\x00\x00xyz"];
+        for (i, k) in keys.iter().enumerate() {
+            let (slice, class) = keyslice(k);
+            let suffix = if class == KLEN_SUFFIX {
+                KeyBuf::allocate(&k[8..])
+            } else {
+                std::ptr::null_mut()
+            };
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("distinct keys"),
+            };
+            leaf.insert_entry(perm, rank, slice, class, suffix, i as u64);
+        }
+        let perm = leaf.permutation();
+        assert_eq!(perm.count(), 3);
+        // Sorted order: "a" (len 1), "a\0\0" (len 3), long key (bucket).
+        assert_eq!(leaf.value(perm.slot(0)), 1);
+        assert_eq!(leaf.value(perm.slot(1)), 0);
+        assert_eq!(leaf.value(perm.slot(2)), 2);
+        assert_eq!(leaf.klen(perm.slot(2)), KLEN_SUFFIX);
+        // SAFETY: exclusive access; free the one suffix then the leaf.
+        unsafe {
+            KeyBuf::free(leaf.suffix(perm.slot(2)));
+            drop(Box::from_raw(leaf_ptr));
+        }
     }
 
     #[test]
@@ -576,28 +951,101 @@ mod tests {
         let leaf_ptr = LeafNode::allocate();
         // SAFETY: single-threaded exclusive access in this test.
         let leaf = unsafe { &*leaf_ptr };
-        for i in 0..FANOUT {
+        for i in 0..LEAF_WIDTH {
             let key = format!("key{:03}", i);
-            leaf.insert_at(i, KeyBuf::allocate(key.as_bytes()), i as u64);
+            let (slice, class) = keyslice(key.as_bytes());
+            let perm = leaf.permutation();
+            leaf.insert_entry(perm, i, slice, class, std::ptr::null_mut(), i as u64);
         }
         assert!(leaf.is_full());
         leaf.header.lock();
         let (sep, right_ptr) = leaf.split();
         // SAFETY: right sibling freshly created by split.
         let right = unsafe { &*right_ptr };
-        assert_eq!(leaf.header.nkeys(), FANOUT / 2);
-        assert_eq!(right.header.nkeys(), FANOUT - FANOUT / 2);
-        // SAFETY: separator allocated by split.
-        let sep_bytes = unsafe { (*sep).bytes().to_vec() };
-        assert_eq!(sep_bytes, format!("key{:03}", FANOUT / 2).into_bytes());
+        let left_n = leaf.permutation().count();
+        let right_n = right.permutation().count();
+        assert_eq!(left_n + right_n, LEAF_WIDTH);
+        assert!(left_n > 0 && right_n > 0);
+        let expected = keyslice(format!("key{:03}", left_n).as_bytes()).0;
+        assert_eq!(sep, expected);
         assert_eq!(leaf.next(), right_ptr);
+        // Every left entry's slice < sep <= every right entry's slice.
+        for r in 0..left_n {
+            assert!(leaf.slice(leaf.permutation().slot(r)) < sep);
+        }
+        for r in 0..right_n {
+            assert!(right.slice(right.permutation().slot(r)) >= sep);
+        }
         leaf.header.unlock_with_increment();
         right.header.unlock_with_increment();
-        // SAFETY: exclusive access; separator not installed anywhere.
+        // SAFETY: exclusive access; no suffixes in play.
         unsafe {
-            KeyBuf::free(sep);
-            LeafNode::free(leaf_ptr);
-            LeafNode::free(right_ptr);
+            drop(Box::from_raw(leaf_ptr));
+            drop(Box::from_raw(right_ptr));
+        }
+    }
+
+    #[test]
+    fn leaf_split_keeps_equal_slices_together() {
+        let leaf_ptr = LeafNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let leaf = unsafe { &*leaf_ptr };
+        // 10 entries share the all-zero slice (prefixes of zeros pad to the
+        // same slice: lengths 0..=8, plus the suffix bucket — the worst
+        // case), the rest use larger slices: the boundary must fall between.
+        let shared = &[0u8; 8];
+        let mut i = 0u64;
+        for len in 0..=8usize {
+            let key = &shared[..len];
+            let (slice, class) = keyslice(key);
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("distinct lengths"),
+            };
+            leaf.insert_entry(perm, rank, slice, class, std::ptr::null_mut(), i);
+            i += 1;
+        }
+        // One suffix-bucket entry for the shared slice.
+        {
+            let key = b"\x00\x00\x00\x00\x00\x00\x00\x00ZZ";
+            let (slice, class) = keyslice(key);
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("bucket empty"),
+            };
+            leaf.insert_entry(perm, rank, slice, class, KeyBuf::allocate(&key[8..]), i);
+            i += 1;
+        }
+        for extra in 0..(LEAF_WIDTH - 10) {
+            let key = format!("zz{extra:03}");
+            let (slice, class) = keyslice(key.as_bytes());
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("distinct"),
+            };
+            leaf.insert_entry(perm, rank, slice, class, std::ptr::null_mut(), i);
+            i += 1;
+        }
+        assert!(leaf.is_full());
+        leaf.header.lock();
+        let (sep, right_ptr) = leaf.split();
+        // SAFETY: right sibling freshly created by split.
+        let right = unsafe { &*right_ptr };
+        let shared_slice = keyslice(shared).0;
+        assert!(sep > shared_slice, "shared-slice run must stay in the left leaf");
+        assert_eq!(leaf.permutation().count(), 10);
+        assert_eq!(right.permutation().count(), LEAF_WIDTH - 10);
+        leaf.header.unlock_with_increment();
+        right.header.unlock_with_increment();
+        // SAFETY: exclusive access; the one suffix is owned by the left leaf.
+        unsafe {
+            let perm = leaf.permutation();
+            KeyBuf::free(leaf.suffix(perm.slot(9)));
+            drop(Box::from_raw(leaf_ptr));
+            drop(Box::from_raw(right_ptr));
         }
     }
 
@@ -608,22 +1056,25 @@ mod tests {
         let inner = unsafe { &*inner_ptr };
         let left = LeafNode::allocate();
         let right = LeafNode::allocate();
-        inner.init_root(
-            KeyBuf::allocate(b"mm"),
-            left as *mut NodeHeader,
-            right as *mut NodeHeader,
-        );
-        assert_eq!(inner.route(b"aa"), Some(0));
-        assert_eq!(inner.route(b"mm"), Some(1));
-        assert_eq!(inner.route(b"zz"), Some(1));
+        let (mm, _) = keyslice(b"mm");
+        inner.init_root(mm, left as *mut NodeHeader, right as *mut NodeHeader);
+        assert_eq!(inner.route(keyslice(b"aa").0), 0);
+        assert_eq!(inner.route(mm), 1);
+        assert_eq!(inner.route(keyslice(b"zz").0), 1);
         let far_right = LeafNode::allocate();
-        inner.insert_separator(1, KeyBuf::allocate(b"tt"), far_right as *mut NodeHeader);
-        assert_eq!(inner.header.nkeys(), 2);
-        assert_eq!(inner.route(b"zz"), Some(2));
-        assert_eq!(inner.route(b"nn"), Some(1));
+        let (tt, _) = keyslice(b"tt");
+        inner.insert_separator(1, tt, far_right as *mut NodeHeader);
+        assert_eq!(inner.nkeys(), 2);
+        assert_eq!(inner.route(keyslice(b"zz").0), 2);
+        assert_eq!(inner.route(keyslice(b"nn").0), 1);
         assert_eq!(inner.child(2), far_right as *mut NodeHeader);
-        // SAFETY: exclusive access; frees the whole two-level structure.
-        unsafe { InnerNode::free_subtree(inner_ptr) };
+        // SAFETY: exclusive teardown.
+        unsafe {
+            drop(Box::from_raw(left));
+            drop(Box::from_raw(right));
+            drop(Box::from_raw(far_right));
+            drop(Box::from_raw(inner_ptr));
+        }
     }
 
     #[test]
@@ -631,31 +1082,34 @@ mod tests {
         let inner_ptr = InnerNode::allocate();
         // SAFETY: single-threaded exclusive access in this test.
         let inner = unsafe { &*inner_ptr };
-        // Build a full inner node with FANOUT separators and FANOUT+1 leaf children.
+        let mut children = Vec::new();
         let first_child = LeafNode::allocate();
-        inner.children[0].store(first_child as *mut NodeHeader, Ordering::Release);
+        children.push(first_child);
+        inner
+            .children[0]
+            .store(first_child as *mut NodeHeader, Ordering::Release);
         for i in 0..FANOUT {
-            let key = format!("sep{:03}", i);
             let child = LeafNode::allocate();
-            inner.insert_separator(i, KeyBuf::allocate(key.as_bytes()), child as *mut NodeHeader);
+            children.push(child);
+            inner.insert_separator(i, 1000 + i as u64, child as *mut NodeHeader);
         }
         assert!(inner.is_full());
         inner.header.lock();
         let (promoted, right_ptr) = inner.split();
-        // SAFETY: promoted separator allocated earlier in this test.
-        let promoted_bytes = unsafe { (*promoted).bytes().to_vec() };
-        assert_eq!(promoted_bytes, format!("sep{:03}", FANOUT / 2).into_bytes());
+        assert_eq!(promoted, 1000 + (FANOUT / 2) as u64);
         // SAFETY: right sibling freshly created by split.
         let right = unsafe { &*right_ptr };
-        assert_eq!(inner.header.nkeys(), FANOUT / 2);
-        assert_eq!(right.header.nkeys(), FANOUT - FANOUT / 2 - 1);
+        assert_eq!(inner.nkeys(), FANOUT / 2);
+        assert_eq!(right.nkeys(), FANOUT - FANOUT / 2 - 1);
         inner.header.unlock_with_increment();
         right.header.unlock_with_increment();
-        // SAFETY: exclusive teardown of both halves plus the promoted key.
+        // SAFETY: exclusive teardown of everything allocated above.
         unsafe {
-            KeyBuf::free(promoted);
-            InnerNode::free_subtree(inner_ptr);
-            InnerNode::free_subtree(right_ptr);
+            for c in children {
+                drop(Box::from_raw(c));
+            }
+            drop(Box::from_raw(inner_ptr));
+            drop(Box::from_raw(right_ptr));
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Unit, stress, and property-based tests for the concurrent B+-tree.
+//! Unit, stress, and property-based tests for the Masstree-style index.
 
 use super::*;
 use std::collections::BTreeMap;
@@ -62,6 +62,9 @@ fn many_inserts_cause_splits_and_remain_retrievable() {
         assert_eq!(t.get(&key(i)), Some(i), "key {i} lost");
     }
     assert_eq!(t.get(&key(n)), None);
+    let stats = t.stats();
+    assert_eq!(stats.entries, n);
+    assert!(stats.splits > 0, "10k inserts must split");
 }
 
 #[test]
@@ -143,13 +146,14 @@ fn upsert_inserts_then_overwrites() {
 #[test]
 fn insert_node_changes_cover_splits() {
     let t = Tree::new();
-    // Fill one leaf exactly.
-    for i in 0..FANOUT as u64 {
+    // `key(i)` keys share their first 8 bytes, so they occupy one trie layer
+    // below the root: fill that layer's leaf exactly.
+    for i in 0..LEAF_WIDTH as u64 {
         t.insert_if_absent(&key(i), i);
     }
-    // The next insert must split: expect at least the updated left leaf, the
-    // created right leaf and a created root.
-    match t.insert_if_absent(&key(FANOUT as u64), 0) {
+    // The next insert must split: expect at least one updated leaf and two
+    // created nodes (the new right leaf and the layer's new interior root).
+    match t.insert_if_absent(&key(LEAF_WIDTH as u64), 0) {
         InsertOutcome::Inserted { node_changes } => {
             let updated = node_changes
                 .iter()
@@ -288,6 +292,248 @@ fn variable_length_and_binary_keys() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Trie-of-trees behaviour
+// ---------------------------------------------------------------------------
+
+/// The §3 single-slice fast path: looking up keys of at most 8 bytes must
+/// never dereference an out-of-line suffix buffer, even when the leaf also
+/// holds suffix entries.
+#[test]
+fn short_key_gets_never_dereference_suffixes() {
+    let t = Tree::new();
+    let short: Vec<&[u8]> = vec![b"", b"a", b"ab", b"abc", b"abcdefgh", b"zzzzzzz"];
+    let long: Vec<&[u8]> = vec![b"abcdefghTAIL", b"zzzzzzzz-long", b"abcdefgh\x00"];
+    for (i, k) in short.iter().chain(long.iter()).enumerate() {
+        t.insert_if_absent(k, i as u64);
+    }
+    let _ = deref_audit::take();
+    for (i, k) in short.iter().enumerate() {
+        assert_eq!(t.get(k), Some(i as u64));
+    }
+    // Also a short miss that shares a slice with suffix entries.
+    assert_eq!(t.get(b"abcdefg"), None);
+    assert_eq!(
+        deref_audit::take(),
+        0,
+        "single-slice lookups must not chase KeyBuf pointers"
+    );
+    // Sanity: a lookup of a key whose tail lives out of line does touch its
+    // suffix ("abcdefgh…" keys converted to a layer with *inline* tails, so
+    // use the un-collided long key).
+    assert_eq!(t.get(b"zzzzzzzz-long"), Some(short.len() as u64 + 1));
+    assert!(deref_audit::take() > 0);
+}
+
+#[test]
+fn shared_prefixes_build_trie_layers() {
+    let t = Tree::new();
+    // 8-, 16- and 24-byte shared prefixes with divergent tails.
+    let keys: Vec<Vec<u8>> = vec![
+        b"PPPPPPPPa".to_vec(),
+        b"PPPPPPPPb".to_vec(),
+        b"PPPPPPPPQQQQQQQQa".to_vec(),
+        b"PPPPPPPPQQQQQQQQbb".to_vec(),
+        b"PPPPPPPPQQQQQQQQRRRRRRRRx".to_vec(),
+        b"PPPPPPPPQQQQQQQQRRRRRRRRyyyy".to_vec(),
+        b"PPPPPPPP".to_vec(),
+        b"PPPPPPPPQQQQQQQQ".to_vec(),
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        assert!(matches!(
+            t.insert_if_absent(k, i as u64),
+            InsertOutcome::Inserted { .. }
+        ));
+    }
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.get(k), Some(i as u64), "key {i}");
+    }
+    let mut sorted = keys.clone();
+    sorted.sort();
+    let r = t.scan(b"", None, None);
+    assert_eq!(
+        r.entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+        sorted
+    );
+    let stats = t.stats();
+    assert!(stats.layers >= 3, "expected nested layers: {stats:?}");
+    assert!(stats.max_trie_depth >= 3, "{stats:?}");
+    assert_eq!(stats.entries, keys.len() as u64);
+    assert!(stats.layer_creations >= 2);
+    // Bounded scans across layer boundaries ('R' < 'a', so the deepest
+    // layer's keys sort between the 16-byte key and the short-tailed ones).
+    let r = t.scan(b"PPPPPPPPQQQQQQQQ", Some(b"PPPPPPPPQQQQQQQQc"), None);
+    assert_eq!(
+        r.entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+        vec![
+            b"PPPPPPPPQQQQQQQQ".to_vec(),
+            b"PPPPPPPPQQQQQQQQRRRRRRRRx".to_vec(),
+            b"PPPPPPPPQQQQQQQQRRRRRRRRyyyy".to_vec(),
+            b"PPPPPPPPQQQQQQQQa".to_vec(),
+            b"PPPPPPPPQQQQQQQQbb".to_vec(),
+        ]
+    );
+}
+
+/// Deep-prefix collisions create a chain of layers in one insert; both keys
+/// must land correctly and the conversion must report every created leaf.
+#[test]
+fn deep_shared_prefix_creates_layer_chain() {
+    let t = Tree::new();
+    let a = vec![7u8; 40]; // 5 slices of 0x07
+    let mut b = vec![7u8; 40];
+    b[39] = 9; // diverges in the final slice
+    t.insert_if_absent(&a, 1);
+    let (_, leaf, v0) = t.get_tracked(&b);
+    match t.insert_if_absent(&b, 2) {
+        InsertOutcome::Inserted { node_changes } => {
+            let created: Vec<_> = node_changes
+                .iter()
+                .filter(|c| matches!(c, NodeChange::Created { .. }))
+                .collect();
+            assert!(
+                created.len() >= 4,
+                "one leaf per extra shared slice: {node_changes:?}"
+            );
+        }
+        InsertOutcome::Exists { .. } => panic!("b was absent"),
+    }
+    // The conversion must invalidate the node-set entry that proved `b`
+    // absent (phantom protection across the conversion).
+    assert_ne!(t.node_version(leaf), v0);
+    assert_eq!(t.get(&a), Some(1));
+    assert_eq!(t.get(&b), Some(2));
+    let r = t.scan(b"", None, None);
+    assert_eq!(r.entries.len(), 2);
+    assert_eq!(r.entries[0].0, a);
+    assert_eq!(r.entries[1].0, b);
+}
+
+/// Absence proofs must stay phantom-safe no matter which trie shape the
+/// later insert takes: new suffix entry, suffix→layer conversion, or a
+/// descent into an existing layer.
+#[test]
+fn absent_key_tracking_across_layer_shapes() {
+    // (a) Key absent, no bucket: insert adds a suffix entry to the same leaf.
+    let t = Tree::new();
+    let k1 = b"AAAAAAAAtail1";
+    let (v, leaf, version) = t.get_tracked(k1);
+    assert_eq!(v, None);
+    t.insert_if_absent(k1, 1);
+    assert_ne!(t.node_version(leaf), version);
+
+    // (b) Key absent, bucket holds another suffix: insert converts it.
+    let k2 = b"AAAAAAAAtail2";
+    let (v, leaf, version) = t.get_tracked(k2);
+    assert_eq!(v, None);
+    t.insert_if_absent(k2, 2);
+    assert_ne!(t.node_version(leaf), version, "conversion must bump the leaf");
+
+    // (c) Key absent, bucket is a layer: the proof lives in the sub-layer
+    // leaf, which the insert modifies.
+    let k3 = b"AAAAAAAAtail3";
+    let (v, leaf, version) = t.get_tracked(k3);
+    assert_eq!(v, None);
+    t.insert_if_absent(k3, 3);
+    assert_ne!(t.node_version(leaf), version);
+    assert_eq!(t.get(k1), Some(1));
+    assert_eq!(t.get(k2), Some(2));
+    assert_eq!(t.get(k3), Some(3));
+}
+
+/// Keys with an enormous shared prefix build one trie layer per 8 shared
+/// bytes. Every operation — insert (which builds the whole chain at once),
+/// get, scan, stats, remove, and drop — must traverse the chain iteratively;
+/// recursing once per layer would overflow the thread stack (regression:
+/// scan/stats/drop were originally recursive and crashed here).
+#[test]
+fn very_deep_layer_chains_do_not_overflow_the_stack() {
+    let t = Tree::new();
+    // 64 KiB shared prefix = 8192 nested layers.
+    let a = vec![0x41u8; 65_536 + 2];
+    let mut b = a.clone();
+    *b.last_mut().unwrap() = 0x42;
+    assert!(matches!(
+        t.insert_if_absent(&a, 1),
+        InsertOutcome::Inserted { .. }
+    ));
+    match t.insert_if_absent(&b, 2) {
+        InsertOutcome::Inserted { node_changes } => {
+            let created = node_changes
+                .iter()
+                .filter(|c| matches!(c, NodeChange::Created { .. }))
+                .count();
+            assert!(created >= 8000, "one leaf per shared slice: {created}");
+        }
+        InsertOutcome::Exists { .. } => panic!("b was absent"),
+    }
+    assert_eq!(t.get(&a), Some(1));
+    assert_eq!(t.get(&b), Some(2));
+    let r = t.scan(b"", None, None);
+    assert_eq!(
+        r.entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+        vec![a.clone(), b.clone()]
+    );
+    // Bounded scan that descends the whole chain and stops at `b`.
+    let r = t.scan(&a, Some(&b), None);
+    assert_eq!(r.entries.len(), 1);
+    let stats = t.stats();
+    assert!(stats.max_trie_depth >= 8192, "{stats:?}");
+    assert_eq!(stats.entries, 2);
+    assert_eq!(t.remove(&a).map(|e| e.value), Some(1));
+    assert_eq!(t.get(&b), Some(2));
+    drop(t); // frees the 8192-layer chain without recursing
+}
+
+#[test]
+fn removes_inside_layers_and_suffix_ownership() {
+    let t = Tree::new();
+    let keys: Vec<Vec<u8>> = vec![
+        b"BBBBBBBBone".to_vec(),
+        b"BBBBBBBBtwo".to_vec(),
+        b"BBBBBBBBthree-with-a-long-tail".to_vec(),
+        b"BBBBBBBB".to_vec(),
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        t.insert_if_absent(k, i as u64);
+    }
+    // Remove a deep suffix entry; the RemovedEntry owns its suffix buffer.
+    let removed = t.remove(b"BBBBBBBBthree-with-a-long-tail").expect("present");
+    assert_eq!(removed.value, 2);
+    drop(removed); // single-threaded: immediate drop is fine
+    assert_eq!(t.get(b"BBBBBBBBthree-with-a-long-tail"), None);
+    // Remove an inline entry in the sub-layer and the 8-byte inline key.
+    assert_eq!(t.remove(b"BBBBBBBBone").map(|r| r.value), Some(0));
+    assert_eq!(t.remove(b"BBBBBBBB").map(|r| r.value), Some(3));
+    assert_eq!(t.get(b"BBBBBBBBtwo"), Some(1));
+    assert_eq!(t.len(), 1);
+    // Re-insert through the (now sparse) layer.
+    t.insert_if_absent(b"BBBBBBBBone", 9);
+    assert_eq!(t.get(b"BBBBBBBBone"), Some(9));
+}
+
+#[test]
+fn stats_report_structure() {
+    let t = Tree::new();
+    assert_eq!(t.stats().layers, 1);
+    for i in 0..100u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    let stats = t.stats();
+    assert_eq!(stats.entries, 100);
+    assert!(stats.layers >= 2, "key() keys share an 8-byte prefix");
+    assert!(stats.leaves >= 2);
+    assert_eq!(
+        stats.nodes_per_level.iter().sum::<u64>(),
+        stats.leaves + stats.inners
+    );
+    assert!(stats.max_btree_depth >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
 #[test]
 fn concurrent_disjoint_inserts() {
     let t = Arc::new(Tree::new());
@@ -345,6 +591,39 @@ fn concurrent_inserts_of_same_keys_keep_first_value() {
         let v = t.get(&key(i)).unwrap();
         assert!(v < threads, "value must come from one of the writers");
     }
+}
+
+/// Concurrent inserts of colliding long keys: every thread races to convert
+/// the same suffix buckets into layers.
+#[test]
+fn concurrent_layer_conversions() {
+    let t = Arc::new(Tree::new());
+    let threads = 4u64;
+    let buckets = 64u64;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            for b in 0..buckets {
+                // All threads' keys for bucket `b` share 16 bytes.
+                let k = format!("bk{:06}shared__t{}", b, tid).into_bytes();
+                t.insert_if_absent(&k, tid * buckets + b);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(t.len(), (threads * buckets) as usize);
+    for tid in 0..threads {
+        for b in 0..buckets {
+            let k = format!("bk{:06}shared__t{}", b, tid).into_bytes();
+            assert_eq!(t.get(&k), Some(tid * buckets + b));
+        }
+    }
+    let r = t.scan(b"", None, None);
+    assert_eq!(r.entries.len(), (threads * buckets) as usize);
+    assert!(t.stats().layer_creations >= buckets);
 }
 
 #[test]
@@ -459,82 +738,139 @@ mod proptests {
         vec(prop::num::u8::ANY, 0..6)
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
+    /// Adversarial keys for the trie layout: a shared prefix of 0, 8, 16 or
+    /// 24 bytes drawn from a tiny set (so different keys collide on whole
+    /// slices), then a short low-entropy tail — producing empty keys, keys
+    /// equal to a prefix of other keys, keys differing only in length, and
+    /// deep layer chains.
+    fn arb_trie_key() -> impl Strategy<Value = Vec<u8>> {
+        let prefix = prop_oneof![
+            Just(Vec::new()),
+            prop::sample::select(vec![b"AAAAAAAA".to_vec(), b"BBBBBBBB".to_vec()]),
+            prop::sample::select(vec![
+                b"AAAAAAAABBBBBBBB".to_vec(),
+                b"AAAAAAAACCCCCCCC".to_vec(),
+            ]),
+            Just(b"AAAAAAAABBBBBBBBCCCCCCCC".to_vec()),
+        ];
+        (prefix, vec(prop::sample::select(vec![0u8, 1, 65]), 0..4)).prop_map(
+            |(mut p, tail)| {
+                p.extend(tail);
+                p
+            },
+        )
+    }
+
+    fn arb_op<S: Strategy<Value = Vec<u8>> + 'static>(
+        keys: impl Fn() -> S,
+    ) -> impl Strategy<Value = Op> {
         prop_oneof![
-            (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-            (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
-            arb_key().prop_map(Op::Remove),
-            arb_key().prop_map(Op::Get),
-            (arb_key(), proptest::option::of(arb_key()), proptest::option::of(0usize..50))
+            (keys(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (keys(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+            keys().prop_map(Op::Remove),
+            keys().prop_map(Op::Get),
+            (
+                keys(),
+                proptest::option::of(keys()),
+                proptest::option::of(0usize..50)
+            )
                 .prop_map(|(s, e, l)| Op::Scan(s, e, l)),
         ]
+    }
+
+    fn check_ops_against_model(ops: Vec<Op>, check_versions: bool) -> Result<(), TestCaseError> {
+        let tree = Tree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    // Membership tracking: the (leaf, version) pair that
+                    // proves `k`'s current state must be invalidated by any
+                    // membership change — this is Silo's §4.6 contract.
+                    let (_, leaf, version) = tree.get_tracked(&k);
+                    let outcome = tree.insert_if_absent(&k, v);
+                    match model.entry(k) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            let inserted = matches!(outcome, InsertOutcome::Inserted { .. });
+                            prop_assert!(inserted, "expected insertion of a new key");
+                            e.insert(v);
+                            if check_versions {
+                                prop_assert_ne!(
+                                    tree.node_version(leaf),
+                                    version,
+                                    "insert must invalidate the absence proof"
+                                );
+                            }
+                        }
+                        std::collections::btree_map::Entry::Occupied(e) => match outcome {
+                            InsertOutcome::Exists { value, .. } => {
+                                prop_assert_eq!(value, *e.get());
+                            }
+                            InsertOutcome::Inserted { .. } => {
+                                return Err(TestCaseError::fail("inserted over existing key"));
+                            }
+                        },
+                    }
+                }
+                Op::Upsert(k, v) => {
+                    let old = tree.upsert(&k, v);
+                    let model_old = model.insert(k, v);
+                    prop_assert_eq!(old, model_old);
+                }
+                Op::Remove(k) => {
+                    let (_, leaf, version) = tree.get_tracked(&k);
+                    let removed = tree.remove(&k);
+                    let model_removed = model.remove(&k);
+                    prop_assert_eq!(removed.as_ref().map(|r| r.value), model_removed);
+                    if check_versions && model_removed.is_some() {
+                        prop_assert_ne!(
+                            tree.node_version(leaf),
+                            version,
+                            "remove must invalidate the presence proof"
+                        );
+                    }
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k).copied());
+                }
+                Op::Scan(start, end, limit) => {
+                    if let Some(e) = &end {
+                        if e < &start {
+                            continue;
+                        }
+                    }
+                    let r = tree.scan(&start, end.as_deref(), limit);
+                    let expected: Vec<(Vec<u8>, u64)> = model
+                        .range(start.clone()..)
+                        .filter(|(k, _)| end.as_ref().map_or(true, |e| *k < e))
+                        .take(limit.unwrap_or(usize::MAX))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    prop_assert_eq!(r.entries, expected);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final full-scan equivalence.
+        let r = tree.scan(b"", None, None);
+        let expected: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(r.entries, expected);
+        Ok(())
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         #[test]
-        fn prop_tree_matches_btreemap_model(ops in vec(arb_op(), 1..400)) {
-            let tree = Tree::new();
-            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
-            for op in ops {
-                match op {
-                    Op::Insert(k, v) => {
-                        let outcome = tree.insert_if_absent(&k, v);
-                        match model.entry(k) {
-                            std::collections::btree_map::Entry::Vacant(e) => {
-                                let inserted = matches!(outcome, InsertOutcome::Inserted { .. });
-                                prop_assert!(inserted, "expected insertion of a new key");
-                                e.insert(v);
-                            }
-                            std::collections::btree_map::Entry::Occupied(e) => {
-                                match outcome {
-                                    InsertOutcome::Exists { value, .. } => {
-                                        prop_assert_eq!(value, *e.get());
-                                    }
-                                    InsertOutcome::Inserted { .. } => {
-                                        return Err(TestCaseError::fail("inserted over existing key"));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Op::Upsert(k, v) => {
-                        let old = tree.upsert(&k, v);
-                        let model_old = model.insert(k, v);
-                        prop_assert_eq!(old, model_old);
-                    }
-                    Op::Remove(k) => {
-                        let removed = tree.remove(&k);
-                        let model_removed = model.remove(&k);
-                        prop_assert_eq!(removed.map(|r| r.value), model_removed);
-                    }
-                    Op::Get(k) => {
-                        prop_assert_eq!(tree.get(&k), model.get(&k).copied());
-                    }
-                    Op::Scan(start, end, limit) => {
-                        if let Some(e) = &end {
-                            if e < &start {
-                                continue;
-                            }
-                        }
-                        let r = tree.scan(&start, end.as_deref(), limit);
-                        let expected: Vec<(Vec<u8>, u64)> = model
-                            .range(start.clone()..)
-                            .filter(|(k, _)| end.as_ref().map_or(true, |e| *k < e))
-                            .take(limit.unwrap_or(usize::MAX))
-                            .map(|(k, v)| (k.clone(), *v))
-                            .collect();
-                        prop_assert_eq!(r.entries, expected);
-                    }
-                }
-                prop_assert_eq!(tree.len(), model.len());
-            }
-            // Final full-scan equivalence.
-            let r = tree.scan(b"", None, None);
-            let expected: Vec<(Vec<u8>, u64)> =
-                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
-            prop_assert_eq!(r.entries, expected);
+        fn prop_tree_matches_btreemap_model(ops in vec(arb_op(arb_key), 1..400)) {
+            check_ops_against_model(ops, false)?;
+        }
+
+        #[test]
+        fn prop_trie_layout_matches_model_with_version_tracking(
+            ops in vec(arb_op(arb_trie_key), 1..300)
+        ) {
+            check_ops_against_model(ops, true)?;
         }
 
         #[test]

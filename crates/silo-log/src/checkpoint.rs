@@ -67,6 +67,12 @@ pub struct CheckpointConfig {
     /// How long to wait for the checkpoint epoch to become durable before
     /// abandoning the checkpoint.
     pub durable_timeout: Duration,
+    /// Rate limit for the table walk, in serialized bytes per second summed
+    /// across all writer threads (0 = unthrottled). On machines where the
+    /// walk competes with workers for CPU, pacing keeps the checkpoint from
+    /// starving commit throughput — at the cost of a longer walk, so budget
+    /// it well above `database size / checkpoint interval`.
+    pub max_walk_bytes_per_sec: u64,
 }
 
 impl CheckpointConfig {
@@ -79,6 +85,7 @@ impl CheckpointConfig {
             writers: 2,
             chunk: 1024,
             durable_timeout: Duration::from_secs(30),
+            max_walk_bytes_per_sec: 0,
         }
     }
 }
@@ -306,6 +313,12 @@ fn run_once(shared: &CheckpointerShared) -> std::io::Result<Option<u64>> {
     let writers = shared.config.writers.clamp(1, tables.len().max(1));
     let next_table = AtomicUsize::new(0);
     let chunk = shared.config.chunk;
+    // One pacer shared by every writer: the configured rate is a global
+    // budget for the whole walk, not per-thread.
+    let pacer = match shared.config.max_walk_bytes_per_sec {
+        0 => None,
+        rate => Some(silo_core::WalkPacer::new(rate)),
+    };
     let mut slices: Vec<(u64, u64)> = Vec::with_capacity(writers); // (bytes, records)
     let results: Vec<std::io::Result<(u64, u64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(writers);
@@ -313,6 +326,7 @@ fn run_once(shared: &CheckpointerShared) -> std::io::Result<Option<u64>> {
             let db = &shared.db;
             let tables = &tables;
             let next_table = &next_table;
+            let pacer = pacer.as_ref();
             let path = slice_path(&dir, w);
             handles.push(scope.spawn(move || -> std::io::Result<(u64, u64)> {
                 let file = std::fs::File::create(&path)?;
@@ -326,7 +340,7 @@ fn run_once(shared: &CheckpointerShared) -> std::io::Result<Option<u64>> {
                     let Some(&table) = tables.get(i) else { break };
                     let mut snap = worker.begin_snapshot_at(ce);
                     let mut io_err: Option<std::io::Error> = None;
-                    records += snap.scan_versions_into(table, chunk, |key, tid, value| {
+                    records += snap.scan_versions_paced(table, chunk, pacer, |key, tid, value| {
                         if io_err.is_some() {
                             return;
                         }
@@ -338,6 +352,9 @@ fn run_once(shared: &CheckpointerShared) -> std::io::Result<Option<u64>> {
                         staging.extend_from_slice(&(value.len() as u32).to_le_bytes());
                         staging.extend_from_slice(value);
                         bytes += staging.len() as u64;
+                        if let Some(p) = pacer {
+                            p.note(staging.len() as u64);
+                        }
                         if let Err(e) = out.write_all(&staging) {
                             io_err = Some(e);
                         }

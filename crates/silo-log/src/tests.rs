@@ -521,7 +521,7 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
     // Recover into a fresh database: schema first, then checkpoint + tail.
     let db2 = Database::open(SiloConfig::for_testing());
     let t2 = db2.create_table("t").unwrap();
-    let report = recover_directory(&db2, &dir, &RecoveryOptions { replay_threads: 3 }).unwrap();
+    let report = recover_directory(&db2, &dir, &RecoveryOptions { replay_threads: 3, ..Default::default() }).unwrap();
     assert_eq!(report.checkpoint_epoch, ckpt_epoch);
     assert_eq!(report.checkpoint_records, 280);
     assert!(report.durable_epoch > ckpt_epoch);
@@ -532,6 +532,19 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
     );
     assert_eq!(full_scan(&db2, t2), expected);
 
+    // The tail's delete of a checkpointed key left an absent record that the
+    // post-replay sweep must have unhooked: the index holds exactly the live
+    // keys, not live keys + tombstones.
+    assert!(
+        report.tombstones_reclaimed >= 1,
+        "the ka299 delete tombstone must be swept: {report:?}"
+    );
+    assert_eq!(
+        db2.table(t2).approximate_len(),
+        expected.len(),
+        "no absent records may stay hooked after recovery"
+    );
+
     // Post-recovery, the epochs are past the recovered horizon: new commits
     // get TIDs that sort after everything recovered.
     let mut w = db2.register_worker();
@@ -539,6 +552,64 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
     txn.write(t2, b"post", b"recovery").unwrap();
     let tid = txn.commit().unwrap();
     assert!(tid.epoch() > report.durable_epoch);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn paced_checkpoint_is_throttled_but_complete() {
+    let dir = std::env::temp_dir().join(format!("silo-ckpt-paced-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (db, logger) = logged_db(LogConfig::to_directory(&dir, 1));
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut last = silo_core::Tid::ZERO;
+    for i in 0..300u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("k{i:03}").as_bytes(), &[b'x'; 64]).unwrap();
+        last = txn.commit().unwrap();
+    }
+    drop(w);
+    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(10)));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while db.epochs().global_snapshot_epoch() <= last.epoch() {
+        assert!(std::time::Instant::now() < deadline, "snapshot epoch stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // ~25 KB of slice data at 100 KB/s: the walk alone must take ≥ 200 ms
+    // (the unpaced walk finishes in single-digit milliseconds).
+    let ckpt = Checkpointer::spawn(
+        Arc::clone(&db),
+        Arc::clone(&logger),
+        CheckpointConfig {
+            interval: Duration::from_secs(3600),
+            writers: 2,
+            chunk: 32,
+            max_walk_bytes_per_sec: 100_000,
+            ..CheckpointConfig::new(&dir)
+        },
+    );
+    let started = std::time::Instant::now();
+    let epoch = ckpt.run_now().unwrap().expect("checkpoint written");
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "paced walk finished too fast: {:?}",
+        started.elapsed()
+    );
+    let stats = ckpt.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.last_records, 300);
+
+    // The paced checkpoint is just as usable: recover from it.
+    let expected = full_scan(&db, t);
+    ckpt.shutdown();
+    logger.shutdown();
+    db.stop_epoch_advancer();
+    let db2 = Database::open(SiloConfig::for_testing());
+    let t2 = db2.create_table("t").unwrap();
+    let report = recover_directory(&db2, &dir, &RecoveryOptions::default()).unwrap();
+    assert_eq!(report.checkpoint_epoch, epoch);
+    assert_eq!(full_scan(&db2, t2), expected);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -655,7 +726,7 @@ mod checkpoint_equivalence {
     fn recover_scan(dir: &std::path::Path) -> Vec<(Vec<u8>, Vec<u8>)> {
         let db = Database::open(SiloConfig::for_testing());
         let t = db.create_table("t").unwrap();
-        recover_directory(&db, dir, &RecoveryOptions { replay_threads: 2 }).unwrap();
+        recover_directory(&db, dir, &RecoveryOptions { replay_threads: 2, ..Default::default() }).unwrap();
         full_scan(&db, t)
     }
 

@@ -119,6 +119,10 @@ pub struct RunResult {
     /// Checkpointer counters at the end of the run (`None` when the run had
     /// no checkpointer).
     pub checkpoint_stats: Option<CheckpointStats>,
+    /// Index statistics (node counts, trie layers, splits, reader retries),
+    /// filled in by the benchmark binaries after the run from
+    /// `Database::index_stats()` (or the Key-Value store's tree).
+    pub index_stats: Option<silo_core::IndexStats>,
 }
 
 impl RunResult {
@@ -290,6 +294,7 @@ pub fn run_workload_durable(
         threads: config.threads,
         logger_stats: logger.map(|l| l.stats()),
         checkpoint_stats: checkpointer.map(|c| c.stats()),
+        index_stats: None,
     }
 }
 

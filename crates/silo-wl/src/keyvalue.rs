@@ -42,6 +42,11 @@ impl KeyValueStore {
         self.tree.len()
     }
 
+    /// Index statistics of the underlying tree (for the benchmark harness).
+    pub fn index_stats(&self) -> silo_index::IndexStats {
+        self.tree.stats()
+    }
+
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
