@@ -13,9 +13,20 @@ the current results merged over the old rows — to `<results>/baseline.json`
 instead of failing, and CI uploads it with the other bench artifacts;
 download it and commit it as `bench/baseline.json`.
 
+Thread-scaling floor: with `--scaling-floor-pct N` (disabled when 0, the
+default), every result row with `threads > 1` is additionally checked
+against the *same run's* 1-thread row of the same `(bench, series)`: total
+throughput must stay at or above N% of the 1-thread figure. This catches a
+series that collapses under concurrency (e.g. a reader path that starts
+bouncing a shared cache line) even when every per-thread-count baseline
+comparison still passes. N is deliberately below 100 because CI runners
+oversubscribe: more worker threads than cores must not *collapse*, but
+cannot be expected to speed up.
+
 Usage:
     ci/check_bench_regression.py --baseline bench/baseline.json \
-        --results <dir with BENCH_*.json> [--max-drop-pct 30]
+        --results <dir with BENCH_*.json> [--max-drop-pct 30] \
+        [--scaling-floor-pct 50]
 """
 
 import argparse
@@ -40,6 +51,7 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--results", required=True)
     parser.add_argument("--max-drop-pct", type=float, default=30.0)
+    parser.add_argument("--scaling-floor-pct", type=float, default=0.0)
     args = parser.parse_args()
 
     result_files = sorted(glob.glob(os.path.join(args.results, "BENCH_*.json")))
@@ -82,6 +94,31 @@ def main():
         checked += 1
         if new < floor:
             failures.append(label)
+
+    if args.scaling_floor_pct > 0:
+        singles = {
+            (b, s): row
+            for (b, s, t), row in results.items()
+            if t == 1
+        }
+        scaled = 0
+        for (b, s, t), row in sorted(results.items(), key=str):
+            if t == 1 or (b, s) not in singles:
+                continue
+            one = singles[(b, s)]["throughput_txns_per_s"]
+            new = row["throughput_txns_per_s"]
+            floor = one * args.scaling_floor_pct / 100.0
+            label = f"{b}/{s}/threads={t}"
+            ratio = new / one * 100.0 if one else 0.0
+            status = "OK" if new >= floor else "SCALING COLLAPSE"
+            print(
+                f"  {status}: {label} {new:.0f} txn/s = {ratio:.0f}% of the "
+                f"1-thread {one:.0f} (floor {args.scaling_floor_pct:.0f}%)"
+            )
+            scaled += 1
+            if new < floor:
+                failures.append(f"{label} (scaling)")
+        print(f"scaling-floor check covered {scaled} multi-thread rows")
 
     if failures:
         print(

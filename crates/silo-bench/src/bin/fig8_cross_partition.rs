@@ -58,6 +58,7 @@ fn main() {
             cross_pct,
             result.throughput()
         );
+        emit_bench_json("fig8", &format!("MemSilo+Split remote={remote}"), threads, &result);
         db.stop_epoch_advancer();
 
         // MemSilo (shared trees).
@@ -72,6 +73,8 @@ fn main() {
             cross_pct,
             result.throughput()
         );
+        emit_bench_json("fig8", &format!("MemSilo remote={remote}"), threads, &result);
         db.stop_epoch_advancer();
     }
+    write_bench_json("fig8");
 }

@@ -44,6 +44,8 @@ fn main() {
         let tables = load(&db, &cfg);
         let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
         print_row("MemSilo", t, &result);
+        print_index_stats(&result);
+        emit_bench_json("fig9", "MemSilo", t, &result);
         db.stop_epoch_advancer();
     }
 
@@ -53,6 +55,8 @@ fn main() {
         let tables = load(&db, &cfg);
         let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
         print_row("MemSilo+FastIds", t, &result);
+        emit_bench_json("fig9", "MemSilo+FastIds", t, &result);
         db.stop_epoch_advancer();
     }
+    write_bench_json("fig9");
 }

@@ -22,6 +22,9 @@
 //!   `E − e_w ≤ 1` for every active worker.
 //! * [`ReclamationQueue`] — a per-worker list of deferred destructors tagged
 //!   with reclamation epochs.
+//! * [`shared_write_audit`] — a test-only (debug-build) counter of writes to
+//!   cross-thread shared memory, used to pin the paper's §3 rule that
+//!   read-only transactions never write to shared memory.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +32,9 @@
 mod advancer;
 mod manager;
 mod reclaim;
+
+#[path = "audit.rs"]
+pub mod shared_write_audit;
 
 pub use advancer::EpochAdvancer;
 pub use manager::{EpochConfig, EpochManager, WorkerEpochHandle, QUIESCENT};

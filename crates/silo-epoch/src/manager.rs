@@ -1,13 +1,13 @@
 //! The global epoch manager and per-worker epoch handles.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
-use crate::snap;
+use crate::{shared_write_audit, snap};
 
 /// Sentinel value stored in a worker's local epoch while the worker is
 /// *quiescent* (not inside any transaction and holding no references to
@@ -56,6 +56,44 @@ impl WorkerSlot {
     }
 }
 
+/// Worker slots per registry chunk. Chunks are append-only and never freed,
+/// so scans can walk them without synchronizing with registration.
+const REGISTRY_CHUNK: usize = 64;
+
+/// One chunk of the append-only, lock-free worker registry.
+///
+/// Registration (rare: worker startup) fills `slots` strictly left to right
+/// under [`EpochManager::register_lock`] and chains a fresh chunk into `next`
+/// when full. Scans — the epoch advancer's min-epoch computation and, more
+/// importantly, every worker's GC-path reclamation-epoch reads — walk the
+/// `OnceLock`s with plain acquire loads: the first unset slot is the end of
+/// the registry. The previous design kept the slots in a `Mutex<Vec<_>>`,
+/// which made every garbage-collection check a *write* to a shared cache
+/// line (the mutex word) that all workers bounced on.
+struct RegistryChunk {
+    slots: [OnceLock<Arc<WorkerSlot>>; REGISTRY_CHUNK],
+    next: OnceLock<Box<RegistryChunk>>,
+}
+
+impl std::fmt::Debug for RegistryChunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.slots.iter().take_while(|s| s.get().is_some()).count();
+        f.debug_struct("RegistryChunk")
+            .field("filled", &filled)
+            .field("chained", &self.next.get().is_some())
+            .finish()
+    }
+}
+
+impl RegistryChunk {
+    fn new() -> Box<RegistryChunk> {
+        Box::new(RegistryChunk {
+            slots: [const { OnceLock::new() }; REGISTRY_CHUNK],
+            next: OnceLock::new(),
+        })
+    }
+}
+
 /// The global epoch state: `E`, `SE`, and all registered workers.
 ///
 /// A single `EpochManager` is shared (via `Arc`) by every worker thread, the
@@ -69,10 +107,15 @@ pub struct EpochManager {
     global_epoch: CachePadded<AtomicU64>,
     /// The global snapshot epoch `SE = snap(E - k)`.
     global_snapshot_epoch: CachePadded<AtomicU64>,
-    /// Registered worker slots. Registration is rare (worker startup), so a
-    /// mutex-protected vector is fine; hot-path readers go through the
-    /// `Arc<WorkerSlot>` they hold directly.
-    workers: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Head of the append-only worker registry. Scans (min-epoch
+    /// computations on the advancer *and* on every worker's GC path) walk it
+    /// lock-free; only registration takes `register_lock`.
+    workers: Box<RegistryChunk>,
+    /// Number of registered slots (monotone; inactive slots stay counted
+    /// here and are filtered by the `active` flag during scans).
+    registered: AtomicUsize,
+    /// Serializes registration (worker startup only — never on a hot path).
+    register_lock: Mutex<()>,
 }
 
 impl EpochManager {
@@ -85,7 +128,9 @@ impl EpochManager {
             config,
             global_epoch: CachePadded::new(AtomicU64::new(1)),
             global_snapshot_epoch: CachePadded::new(AtomicU64::new(0)),
-            workers: Mutex::new(Vec::new()),
+            workers: RegistryChunk::new(),
+            registered: AtomicUsize::new(0),
+            register_lock: Mutex::new(()),
         })
     }
 
@@ -114,11 +159,21 @@ impl EpochManager {
     /// The worker starts quiescent; it must call [`WorkerEpochHandle::refresh`]
     /// at the start of each transaction (or batch of transactions).
     pub fn register_worker(self: &Arc<Self>) -> WorkerEpochHandle {
+        shared_write_audit::note();
         let slot = Arc::new(WorkerSlot::new());
-        let mut workers = self.workers.lock();
-        let id = workers.len();
-        workers.push(Arc::clone(&slot));
-        drop(workers);
+        let guard = self.register_lock.lock();
+        let id = self.registered.load(Ordering::Relaxed);
+        let mut chunk = &*self.workers;
+        for _ in 0..id / REGISTRY_CHUNK {
+            chunk = chunk.next.get_or_init(RegistryChunk::new);
+        }
+        chunk.slots[id % REGISTRY_CHUNK]
+            .set(Arc::clone(&slot))
+            .unwrap_or_else(|_| unreachable!("registry slot {id} filled twice"));
+        // Publish the count only after the slot is set, so lock-free scans
+        // never see a gap.
+        self.registered.store(id + 1, Ordering::Release);
+        drop(guard);
         WorkerEpochHandle {
             manager: Arc::clone(self),
             slot,
@@ -126,37 +181,67 @@ impl EpochManager {
         }
     }
 
+    /// Walks every registered worker slot, lock-free. The registry is
+    /// append-only: the first unset slot terminates the walk.
+    fn for_each_slot(&self, mut f: impl FnMut(&WorkerSlot)) {
+        let mut chunk = &*self.workers;
+        loop {
+            for slot in &chunk.slots {
+                match slot.get() {
+                    Some(w) => f(w),
+                    None => return,
+                }
+            }
+            match chunk.next.get() {
+                Some(next) => chunk = next,
+                None => return,
+            }
+        }
+    }
+
     /// Number of registered workers (including quiescent but not dropped ones).
     pub fn worker_count(&self) -> usize {
-        self.workers
-            .lock()
-            .iter()
-            .filter(|w| w.active.load(Ordering::Acquire))
-            .count()
+        let mut n = 0;
+        self.for_each_slot(|w| {
+            if w.active.load(Ordering::Acquire) {
+                n += 1;
+            }
+        });
+        n
     }
 
     /// The minimum local epoch over all active, non-quiescent workers, or
     /// `None` if every worker is quiescent.
+    ///
+    /// Read-only: called from every worker's GC path, so it must not touch a
+    /// shared lock (see [`RegistryChunk`]).
     fn min_worker_epoch(&self) -> Option<u64> {
-        self.workers
-            .lock()
-            .iter()
-            .filter(|w| w.active.load(Ordering::Acquire))
-            .map(|w| w.local_epoch.load(Ordering::Acquire))
-            .filter(|&e| e != QUIESCENT)
-            .min()
+        let mut min: Option<u64> = None;
+        self.for_each_slot(|w| {
+            if w.active.load(Ordering::Acquire) {
+                let e = w.local_epoch.load(Ordering::Acquire);
+                if e != QUIESCENT {
+                    min = Some(min.map_or(e, |m: u64| m.min(e)));
+                }
+            }
+        });
+        min
     }
 
     /// The minimum local snapshot epoch over all active, non-quiescent
-    /// workers, or `None` if every worker is quiescent.
+    /// workers, or `None` if every worker is quiescent. Read-only, like
+    /// [`EpochManager::min_worker_epoch`].
     fn min_worker_snapshot_epoch(&self) -> Option<u64> {
-        self.workers
-            .lock()
-            .iter()
-            .filter(|w| w.active.load(Ordering::Acquire))
-            .map(|w| w.local_snapshot_epoch.load(Ordering::Acquire))
-            .filter(|&e| e != QUIESCENT)
-            .min()
+        let mut min: Option<u64> = None;
+        self.for_each_slot(|w| {
+            if w.active.load(Ordering::Acquire) {
+                let e = w.local_snapshot_epoch.load(Ordering::Acquire);
+                if e != QUIESCENT {
+                    min = Some(min.map_or(e, |m: u64| m.min(e)));
+                }
+            }
+        });
+        min
     }
 
     /// Attempts to advance the global epoch by one, maintaining the invariant
@@ -177,6 +262,7 @@ impl EpochManager {
             None => true,
         };
         let new_e = if may_advance {
+            shared_write_audit::note();
             // Only the advancer thread calls this concurrently with readers,
             // so a plain store (no CAS loop) is sufficient; `fetch_add` keeps
             // it correct even if multiple advancers are ever used.
@@ -194,6 +280,7 @@ impl EpochManager {
         // Snapshot epochs only move forward.
         let cur = self.global_snapshot_epoch.load(Ordering::Acquire);
         if se > cur {
+            shared_write_audit::note();
             self.global_snapshot_epoch.store(se, Ordering::Release);
         }
     }
@@ -216,6 +303,7 @@ impl EpochManager {
             self.min_worker_epoch().is_none(),
             "advance_to with non-quiescent workers"
         );
+        shared_write_audit::note();
         self.global_epoch.fetch_max(target, Ordering::AcqRel);
         self.refresh_snapshot_epoch(self.global_epoch());
     }
@@ -291,6 +379,10 @@ impl WorkerEpochHandle {
     /// enforced by the advancer's own check.
     ///
     /// Returns `(e_w, se_w)`.
+    ///
+    /// Not a [`shared_write_audit`] site: the stores land in this worker's
+    /// own cache-line-padded slot, the sanctioned per-worker pattern — no
+    /// other thread's writes ever touch that line.
     pub fn refresh(&self) -> (u64, u64) {
         loop {
             let e = self.manager.global_epoch();

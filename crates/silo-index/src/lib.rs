@@ -50,17 +50,32 @@
 //!   stores a pointer to the record header there, and updates it only when a
 //!   record is superseded by a new version (not on in-place overwrites).
 //!
-//! Remaining simplifications vs. Masstree: interior nodes still shift their
-//! (inline, tear-tolerant) separator arrays instead of being
-//! permutation-ordered, nodes are never merged or freed before the tree
-//! drops, and empty trie layers are left in place after removals. None of
-//! these affect the concurrency-control behaviour the paper evaluates.
+//! Two multicore-readiness rules are enforced on top (paper §3):
+//!
+//! * **Reads write nothing shared.** The read path performs no store to any
+//!   cache line another thread reads. Even the reader-retry statistic is
+//!   sharded into per-thread cache-line-padded cells (merged lazily by
+//!   [`Tree::stats`]), so a retrying reader bumps a line it owns instead of
+//!   bouncing a tree-global counter. The invariant is pinned by tests via
+//!   [`silo_epoch::shared_write_audit`].
+//! * **Permutation-ordered interior nodes** (matching the leaves since this
+//!   PR). An interior insert writes one free key/child slot and publishes
+//!   with a single atomic permutation store, so descending readers never
+//!   observe a separator array mid-shift. Leaf slice search is a branchless
+//!   SIMD compare on x86-64 (see `node::LeafNode::find`).
+//!
+//! Remaining simplifications vs. Masstree: nodes are never merged or freed
+//! before the tree drops, and empty trie layers are left in place after
+//! removals. Neither affects the concurrency-control behaviour the paper
+//! evaluates.
 
 #![warn(missing_docs)]
 
 use std::ops::Bound;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use silo_epoch::shared_write_audit;
 
 mod node;
 
@@ -69,7 +84,7 @@ pub use node::{
     NODE_LEAF_BIT, NODE_LOCK_BIT, NODE_VERSION_INC,
 };
 
-use node::{prefetch, InnerNode, LeafNode, LeafSearch, NodeHeader};
+use node::{prefetch, prefetch_line, InnerNode, LeafNode, LeafSearch, NodeHeader};
 
 // ---------------------------------------------------------------------------
 // Suffix-dereference audit (test builds only)
@@ -225,9 +240,11 @@ pub struct ScanResult {
 /// Structure counts come from a read-only walk and are approximate under
 /// concurrent writes. Activity counters are exact relaxed atomics: splits
 /// and layer creations are bumped on paths that already write shared
-/// memory; `reader_retries` is the one exception — a retrying reader bumps
-/// a shared counter, but only after observing interference (a version
-/// mismatch or torn read), i.e. after the contended line bounced already.
+/// memory, while `reader_retries` is kept in per-thread cache-line-padded
+/// cells so the read path never writes a shared line — [`Tree::stats`]
+/// merges the cells (each exactly once, including cells whose owning
+/// threads have exited) into the single `reader_retries` figure reported
+/// here.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IndexStats {
     /// Leaf nodes across all trie layers.
@@ -281,17 +298,69 @@ impl IndexStats {
     }
 }
 
+/// Number of reader-retry cells. More shards than typical worker counts so
+/// round-robin assignment rarely doubles threads up on one line.
+const RETRY_SHARDS: usize = 32;
+
+/// One cache-line-padded counter cell. 128-byte alignment covers the
+/// adjacent-line ("spatial") prefetcher on modern x86, which otherwise pulls
+/// the neighbouring 64-byte line into the same coherence traffic.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCounter(AtomicU64);
+
+/// Returns the calling thread's retry-shard index.
+///
+/// Assigned round-robin from a process-global counter the first time a
+/// thread retries anywhere; cached in a thread-local afterwards. The
+/// one-time assignment is the only shared write on this path and is noted
+/// with the audit (it is registration, like a worker slot — not a per-read
+/// cost).
+fn retry_shard() -> usize {
+    use std::cell::Cell;
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let cached = s.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        shared_write_audit::note();
+        let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % RETRY_SHARDS;
+        s.set(assigned);
+        assigned
+    })
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     splits: AtomicU64,
     layer_creations: AtomicU64,
-    reader_retries: AtomicU64,
+    /// Reader-retry counts, sharded per thread (paper §3: reads must not
+    /// write shared memory — not even to report that they had to retry).
+    /// The cells outlive any particular worker thread, so retries from
+    /// threads that exited mid-run still show up in [`Tree::stats`].
+    reader_retries: [PaddedCounter; RETRY_SHARDS],
 }
 
 impl Counters {
     #[inline(always)]
     fn note_retry(&self) {
-        self.reader_retries.fetch_add(1, Ordering::Relaxed);
+        // Relaxed add to a line owned (modulo shard collisions) by this
+        // thread: no cross-thread cacheline bounce on the retry path.
+        self.reader_retries[retry_shard()].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sums the per-thread retry cells. Each cell is read exactly once, so
+    /// the merged figure counts every retry exactly once regardless of how
+    /// many threads (live or exited) shared a cell.
+    fn reader_retries_total(&self) -> u64 {
+        self.reader_retries
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -339,8 +408,15 @@ impl Layer {
                 }
                 // SAFETY: the LEAF bit told us this is an interior node.
                 let inner_ref = unsafe { &*(node as *const InnerNode) };
-                let idx = inner_ref.route(slice);
-                let child = inner_ref.child(idx);
+                // Route and fetch the child under ONE permutation snapshot:
+                // a concurrent insert publishing a new permutation between
+                // the two calls could otherwise pair a rank from the old
+                // ordering with a child from the new one. (Any remaining
+                // inconsistency with the key/child slots themselves is
+                // caught by the version re-check below.)
+                let perm = inner_ref.permutation();
+                let idx = inner_ref.route_at(perm, slice);
+                let child = inner_ref.child_at(perm, idx);
                 // Start pulling the child in while we validate the routing
                 // decision against the version we held.
                 prefetch(child);
@@ -400,6 +476,21 @@ impl Default for Tree {
         Self::new()
     }
 }
+
+/// The outcome of [`Tree::locate`]: the terminal leaf for a key (at
+/// whatever trie layer the descent ended) and the version under which the
+/// outcome was validated. `entry` is `Some((rank, slot, value))` when the
+/// key is present.
+struct Located {
+    leaf: *const LeafNode,
+    version: u64,
+    entry: Option<(usize, usize, u64)>,
+}
+
+/// How many entries ahead of the scan cursor value/suffix/layer prefetches
+/// are issued: far enough to cover a memory round-trip at typical
+/// per-entry processing cost, near enough not to thrash the L1.
+const SCAN_PREFETCH_DISTANCE: usize = 3;
 
 /// One validated leaf entry captured during a scan, processed only after the
 /// leaf version check passed.
@@ -478,6 +569,7 @@ impl Tree {
 
     fn retire_suffix(&self, suffix: *mut KeyBuf) {
         if !suffix.is_null() {
+            shared_write_audit::note();
             self.retired
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -502,6 +594,13 @@ impl Tree {
     /// key is detected at commit time (§4.6): the leaf is the one — at
     /// whatever trie layer the descent ended — that such an insert must
     /// modify (adding an entry, or converting a suffix entry into a layer).
+    ///
+    /// This is the one point operation that keeps its own descent loop
+    /// instead of delegating to [`Tree::locate`] (which `try_replace` and
+    /// `remove` share): reads are the throughput-critical path, and keeping
+    /// the value load inside the retry loop — rather than round-tripping
+    /// through a `Located` — measured faster and lets the loop return as
+    /// soon as a single version validates.
     pub fn get_tracked(&self, key: &[u8]) -> (Option<u64>, NodeRef, u64) {
         let mut layer: &Layer = &self.root;
         let mut rem: &[u8] = key;
@@ -513,6 +612,11 @@ impl Tree {
                 let leaf_ref = unsafe { &*leaf };
                 let node_ref = NodeRef::from_ptr(leaf as *const NodeHeader);
                 let perm = leaf_ref.permutation();
+                // The read path keeps the rank-ordered scalar scan: the
+                // vectorized probe (`LeafNode::find`) measured neutral here
+                // — descent memory-level parallelism dominates and the leaf
+                // probe touches only ~2 cache lines — and the scan's early
+                // exit keeps the version re-check's latency shadow short.
                 match leaf_ref.search(perm, slice, class) {
                     LeafSearch::NotFound { .. } => {
                         if leaf_ref.header.version_raw() != version {
@@ -522,9 +626,6 @@ impl Tree {
                         return (None, node_ref, version);
                     }
                     LeafSearch::Found { slot, .. } if class <= 8 => {
-                        // Inline entries match completely on (slice, klen):
-                        // no pointer is chased for keys of ≤ 8 bytes per
-                        // layer — the paper's single-slice fast path.
                         let value = leaf_ref.value(slot);
                         if leaf_ref.header.version_raw() != version {
                             self.counters.note_retry();
@@ -566,12 +667,105 @@ impl Tree {
                             return (matches.then_some(value), node_ref, version);
                         }
                         _ => {
-                            // Torn (slot mid-rewrite): the version check
-                            // cannot pass.
                             self.counters.note_retry();
                             continue 'retry;
                         }
                     },
+                }
+            }
+        }
+    }
+
+    /// The optimistic descent shared by every point operation: walks the
+    /// trie layers to the terminal leaf for `key` and resolves whether the
+    /// key is present, retrying on interference until the outcome has been
+    /// validated under a single leaf version. Writes nothing shared (the
+    /// paper's §3 rule); lock-taking callers upgrade afterwards with
+    /// [`NodeHeader::try_upgrade_lock`], whose success proves the returned
+    /// rank/slot are still exact.
+    fn locate(&self, key: &[u8]) -> Located {
+        let mut layer: &Layer = &self.root;
+        let mut rem: &[u8] = key;
+        'layer: loop {
+            let (slice, class) = keyslice(rem);
+            'retry: loop {
+                let (leaf_ptr, version) = layer.find_leaf(slice, &self.counters);
+                // SAFETY: leaves are never freed while the tree is alive.
+                let leaf = unsafe { &*leaf_ptr };
+                let perm = leaf.permutation();
+                // `Located` hits never need an insertion rank, so this probe
+                // uses the vectorized leaf compare: one SSE2 equality pass
+                // over all slice slots (see `LeafNode::find`) instead of the
+                // rank-ordered chain of permutation-indexed loads.
+                let Some((rank, slot)) = leaf.find(perm, slice, class) else {
+                    if leaf.header.version_raw() != version {
+                        self.counters.note_retry();
+                        continue 'retry;
+                    }
+                    return Located {
+                        leaf: leaf_ptr,
+                        version,
+                        entry: None,
+                    };
+                };
+                if class <= 8 {
+                    // Inline entries match completely on (slice, klen): no
+                    // pointer is chased for keys of ≤ 8 bytes per layer —
+                    // the paper's single-slice fast path.
+                    let value = leaf.value(slot);
+                    if leaf.header.version_raw() != version {
+                        self.counters.note_retry();
+                        continue 'retry;
+                    }
+                    return Located {
+                        leaf: leaf_ptr,
+                        version,
+                        entry: Some((rank, slot, value)),
+                    };
+                }
+                match leaf.klen(slot) {
+                    KLEN_LAYER => {
+                        let value = leaf.value(slot);
+                        if leaf.header.version_raw() != version {
+                            self.counters.note_retry();
+                            continue 'retry;
+                        }
+                        // SAFETY: the version check validated the
+                        // (klen, value) pair, and layers are never freed
+                        // while the tree is alive.
+                        let next = unsafe { &*(value as *const Layer) };
+                        prefetch(next.root.load(Ordering::Acquire));
+                        layer = next;
+                        rem = &rem[8..];
+                        continue 'layer;
+                    }
+                    KLEN_SUFFIX => {
+                        let sp = leaf.suffix(slot);
+                        if sp.is_null() {
+                            self.counters.note_retry();
+                            continue 'retry;
+                        }
+                        // SAFETY: non-null suffix pointers in a node are
+                        // dereferenceable (immutable buffers, deferred
+                        // reclamation).
+                        let matches = unsafe { suffix_bytes(sp) } == &rem[8..];
+                        let value = leaf.value(slot);
+                        if leaf.header.version_raw() != version {
+                            self.counters.note_retry();
+                            continue 'retry;
+                        }
+                        return Located {
+                            leaf: leaf_ptr,
+                            version,
+                            entry: matches.then_some((rank, slot, value)),
+                        };
+                    }
+                    _ => {
+                        // Torn (slot mid-rewrite): the version check cannot
+                        // pass.
+                        self.counters.note_retry();
+                        continue 'retry;
+                    }
                 }
             }
         }
@@ -711,6 +905,21 @@ impl Tree {
                 };
                 let mut step = None;
                 while frame.idx < frame.items.len() {
+                    // Start pulling in what the cursor will touch a few
+                    // entries from now: values are record-header pointers in
+                    // Silo, and suffix/layer entries chase a pointer of
+                    // their own. Prefetch is a hint — harmless when a value
+                    // is not actually an address.
+                    if let Some(ahead) = frame.items.get(frame.idx + SCAN_PREFETCH_DISTANCE) {
+                        match ahead {
+                            ScanItem::Inline { value, .. } => prefetch_line(*value as *const u8),
+                            ScanItem::Suffix { suffix, value, .. } => {
+                                prefetch_line(*suffix as *const u8);
+                                prefetch_line(*value as *const u8);
+                            }
+                            ScanItem::Layer { layer, .. } => prefetch_line(*layer as *const u8),
+                        }
+                    }
                     let item = &frame.items[frame.idx];
                     frame.idx += 1;
                     match item {
@@ -1016,6 +1225,7 @@ impl Tree {
                                 let displaced =
                                     leaf_ref.convert_to_layer(slot, new_layer as u64);
                                 self.retire_suffix(displaced);
+                                shared_write_audit::note();
                                 self.counters
                                     .layer_creations
                                     .fetch_add(created.len() as u64, Ordering::Relaxed);
@@ -1045,6 +1255,7 @@ impl Tree {
                                         split_from: NodeRef::from_ptr(leaf_hdr),
                                     });
                                 }
+                                shared_write_audit::note();
                                 self.len.fetch_add(1, Ordering::Relaxed);
                                 return InsertOutcome::Inserted {
                                     node_changes: changes,
@@ -1082,6 +1293,7 @@ impl Tree {
                                 // SAFETY: we hold these locks.
                                 unsafe { (*anc).unlock() };
                             }
+                            shared_write_audit::note();
                             self.len.fetch_add(1, Ordering::Relaxed);
                             return InsertOutcome::Inserted {
                                 node_changes: changes,
@@ -1092,6 +1304,7 @@ impl Tree {
                         self.insert_with_splits(
                             layer, slice, klen, suffix, value, &chain, &mut changes,
                         );
+                        shared_write_audit::note();
                         self.len.fetch_add(1, Ordering::Relaxed);
                         return InsertOutcome::Inserted {
                             node_changes: changes,
@@ -1134,6 +1347,7 @@ impl Tree {
         // SAFETY: leaf at the end of the chain, lock held.
         let leaf_ref = unsafe { &*leaf };
         let (mut sep, right_leaf) = leaf_ref.split();
+        shared_write_audit::note();
         self.counters.splits.fetch_add(1, Ordering::Relaxed);
         // SAFETY: split returns a live, locked right sibling.
         let right_leaf_ref = unsafe { &*right_leaf };
@@ -1186,6 +1400,7 @@ impl Tree {
             // The ancestor is full too: split it, insert the separator into
             // the correct half, and keep propagating the promoted slice.
             let (promoted, anc_right) = anc_ref.split();
+            shared_write_audit::note();
             self.counters.splits.fetch_add(1, Ordering::Relaxed);
             // SAFETY: split returns a live, locked right sibling.
             let anc_right_ref = unsafe { &*anc_right };
@@ -1237,78 +1452,21 @@ impl Tree {
     /// not alter key membership, so concurrent scans' node-sets stay valid
     /// (record-level validation catches value conflicts instead).
     fn try_replace(&self, key: &[u8], value: u64) -> Option<u64> {
-        let mut layer: &Layer = &self.root;
-        let mut rem: &[u8] = key;
-        'layer: loop {
-            let (slice, class) = keyslice(rem);
-            'retry: loop {
-                let (leaf_ptr, version) = layer.find_leaf(slice, &self.counters);
-                // SAFETY: leaves are never freed while the tree is alive.
-                let leaf = unsafe { &*leaf_ptr };
-                let perm = leaf.permutation();
-                match leaf.search(perm, slice, class) {
-                    LeafSearch::NotFound { .. } => {
-                        if leaf.header.version_raw() != version {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                        return None;
-                    }
-                    LeafSearch::Found { slot, .. } if class <= 8 => {
-                        if !leaf.header.try_upgrade_lock(version) {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                        let old = leaf.value(slot);
-                        leaf.set_value(slot, value);
-                        leaf.header.unlock();
-                        return Some(old);
-                    }
-                    LeafSearch::Found { slot, .. } => match leaf.klen(slot) {
-                        KLEN_LAYER => {
-                            let v = leaf.value(slot);
-                            if leaf.header.version_raw() != version {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            // SAFETY: validated (klen, value) pair; layers
-                            // live as long as the tree.
-                            layer = unsafe { &*(v as *const Layer) };
-                            rem = &rem[8..];
-                            continue 'layer;
-                        }
-                        KLEN_SUFFIX => {
-                            let sp = leaf.suffix(slot);
-                            if sp.is_null() {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            // SAFETY: suffix buffers are immutable and
-                            // reclamation-deferred.
-                            let matches = unsafe { suffix_bytes(sp) } == &rem[8..];
-                            if !matches {
-                                if leaf.header.version_raw() != version {
-                                    self.counters.note_retry();
-                                    continue 'retry;
-                                }
-                                return None;
-                            }
-                            if !leaf.header.try_upgrade_lock(version) {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            let old = leaf.value(slot);
-                            leaf.set_value(slot, value);
-                            leaf.header.unlock();
-                            return Some(old);
-                        }
-                        _ => {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                    },
-                }
+        loop {
+            let loc = self.locate(key);
+            let (_, slot, _) = loc.entry?;
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*loc.leaf };
+            if !leaf.header.try_upgrade_lock(loc.version) {
+                // Interference since `locate` validated: restart the whole
+                // descent (the leaf may no longer even cover the key).
+                self.counters.note_retry();
+                continue;
             }
+            let old = leaf.value(slot);
+            leaf.set_value(slot, value);
+            leaf.header.unlock();
+            return Some(old);
         }
     }
 
@@ -1342,82 +1500,24 @@ impl Tree {
     /// interior-node policy — so node-set entries stay valid. See
     /// [`RemovedEntry`] for the reclamation contract on the suffix buffer.
     pub fn remove(&self, key: &[u8]) -> Option<RemovedEntry> {
-        let mut layer: &Layer = &self.root;
-        let mut rem: &[u8] = key;
-        'layer: loop {
-            let (slice, class) = keyslice(rem);
-            'retry: loop {
-                let (leaf_ptr, version) = layer.find_leaf(slice, &self.counters);
-                // SAFETY: leaves are never freed while the tree is alive.
-                let leaf = unsafe { &*leaf_ptr };
-                let perm = leaf.permutation();
-                match leaf.search(perm, slice, class) {
-                    LeafSearch::NotFound { .. } => {
-                        if leaf.header.version_raw() != version {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                        return None;
-                    }
-                    LeafSearch::Found { rank, .. } if class <= 8 => {
-                        if !leaf.header.try_upgrade_lock(version) {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                        // The upgrade proved the leaf unchanged since the
-                        // version read, so the permutation and rank are
-                        // still exact.
-                        let (_, suffix, value) = leaf.remove_entry(perm, rank);
-                        leaf.header.unlock_with_increment();
-                        self.len.fetch_sub(1, Ordering::Relaxed);
-                        debug_assert!(suffix.is_null());
-                        return Some(RemovedEntry { value, suffix });
-                    }
-                    LeafSearch::Found { rank, slot } => match leaf.klen(slot) {
-                        KLEN_LAYER => {
-                            let v = leaf.value(slot);
-                            if leaf.header.version_raw() != version {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            // SAFETY: validated (klen, value) pair; layers
-                            // live as long as the tree.
-                            layer = unsafe { &*(v as *const Layer) };
-                            rem = &rem[8..];
-                            continue 'layer;
-                        }
-                        KLEN_SUFFIX => {
-                            let sp = leaf.suffix(slot);
-                            if sp.is_null() {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            // SAFETY: suffix buffers are immutable and
-                            // reclamation-deferred.
-                            let matches = unsafe { suffix_bytes(sp) } == &rem[8..];
-                            if !matches {
-                                if leaf.header.version_raw() != version {
-                                    self.counters.note_retry();
-                                    continue 'retry;
-                                }
-                                return None;
-                            }
-                            if !leaf.header.try_upgrade_lock(version) {
-                                self.counters.note_retry();
-                                continue 'retry;
-                            }
-                            let (_, suffix, value) = leaf.remove_entry(perm, rank);
-                            leaf.header.unlock_with_increment();
-                            self.len.fetch_sub(1, Ordering::Relaxed);
-                            return Some(RemovedEntry { value, suffix });
-                        }
-                        _ => {
-                            self.counters.note_retry();
-                            continue 'retry;
-                        }
-                    },
-                }
+        loop {
+            let loc = self.locate(key);
+            let (rank, _, _) = loc.entry?;
+            // SAFETY: leaves are never freed while the tree is alive.
+            let leaf = unsafe { &*loc.leaf };
+            if !leaf.header.try_upgrade_lock(loc.version) {
+                self.counters.note_retry();
+                continue;
             }
+            // The upgrade proved the leaf unchanged since `locate`'s version
+            // read, so the permutation re-read under the lock is the one the
+            // lookup was validated against and `rank` is still exact.
+            let perm = leaf.permutation();
+            let (_, suffix, value) = leaf.remove_entry(perm, rank);
+            leaf.header.unlock_with_increment();
+            shared_write_audit::note();
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            return Some(RemovedEntry { value, suffix });
         }
     }
 
@@ -1434,7 +1534,7 @@ impl Tree {
         let mut stats = IndexStats {
             splits: self.counters.splits.load(Ordering::Relaxed),
             layer_creations: self.counters.layer_creations.load(Ordering::Relaxed),
-            reader_retries: self.counters.reader_retries.load(Ordering::Relaxed),
+            reader_retries: self.counters.reader_retries_total(),
             ..Default::default()
         };
         // SAFETY: nodes and layers are never freed while the tree is alive;

@@ -51,8 +51,21 @@
 //! with a single atomic store instead of shifting arrays while readers
 //! retry. Freed slots go to the back of the free list so they are reused as
 //! late as possible.
+//!
+//! Interior nodes use the same permutation word for their separator slices
+//! (since PR 6): installing a separator writes one key slot and one child
+//! slot and publishes a new permutation with a single store, instead of
+//! shifting up to 15 keys and 16 children while readers spin on the locked
+//! version — the writer-side version-bump window shrinks to two stores.
+//!
+//! Leaf point lookups go through [`LeafNode::find`], which compares the
+//! probe slice against all 15 slice slots with one vector compare (SSE2 on
+//! x86-64, a branch-free autovectorizable loop elsewhere) instead of walking
+//! the permutation through a chain of dependent loads.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+
+use silo_epoch::shared_write_audit;
 
 /// Maximum number of entries per leaf (limited by the 64-bit permutation
 /// word: 4 bits of count plus 15 slot indices).
@@ -107,6 +120,30 @@ pub fn prefetch<T>(ptr: *const T) {
             _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(64));
             _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(128));
             _mm_prefetch::<_MM_HINT_T0>(p.wrapping_add(192));
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Prefetches a single cache line. For small objects reached through scan
+/// cursors (record headers behind value words, suffix buffers) the 4-line
+/// node prefetch of [`prefetch`] would cost four prefetch slots and pollute
+/// the L1 with lines the scan never touches.
+#[inline(always)]
+pub fn prefetch_line<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if ptr.is_null() {
+            return;
+        }
+        // SAFETY: prefetch is a hint; it cannot fault even on dangling
+        // addresses.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(ptr as *const i8);
         }
     }
     #[cfg(not(target_arch = "x86_64"))]
@@ -185,6 +222,13 @@ impl KeyBuf {
 pub struct Permutation(u64);
 
 impl Permutation {
+    /// The nibble list of every identity permutation (`slot(p) == p` for all
+    /// 15 positions), i.e. `raw() >> 4` of [`Permutation::empty`] and of
+    /// [`Permutation::identity`] for any count. Comparing a permutation's
+    /// shifted word against this constant is a one-instruction test for
+    /// "rank order equals physical slot order over the dense prefix".
+    pub const IDENTITY_TAIL: u64 = 0x0EDC_BA98_7654_3210;
+
     /// The empty permutation: no active entries, free list `0, 1, …, 14`.
     pub fn empty() -> Permutation {
         let mut word = 0u64;
@@ -272,6 +316,44 @@ impl Permutation {
         debug_assert!(count <= self.count());
         Permutation((self.0 & !0xF) | count as u64)
     }
+
+    /// The identity permutation (`slot(i) == i`) with the given active
+    /// count — what a split publishes in a freshly filled right sibling.
+    pub fn identity(count: usize) -> Permutation {
+        debug_assert!(count <= LEAF_WIDTH);
+        Permutation((Permutation::empty().0 & !0xF) | count as u64)
+    }
+
+    /// Bitmask of the active slots: bit `s` is set iff slot `s` appears in
+    /// the first [`Permutation::count`] positions. Pure register arithmetic
+    /// (no memory loads), used to filter vector-compare results.
+    #[inline(always)]
+    pub fn active_mask(self) -> u32 {
+        let mut m = 0u32;
+        let mut word = self.0 >> 4;
+        for _ in 0..self.count() {
+            m |= 1 << (word & 0xF);
+            word >>= 4;
+        }
+        m
+    }
+
+    /// The rank of `slot` in the active order, or `None` if it is free.
+    ///
+    /// Branchless: XORs a nibble-broadcast of `slot` against the slot word
+    /// so the sought nibble becomes `0`, then finds the lowest zero nibble
+    /// with the classic `(x - 1s) & !x & 8s` trick — no serial
+    /// shift-and-compare walk. Each slot appears at most once in a valid
+    /// permutation, so the lowest match is the only match.
+    #[inline(always)]
+    pub fn rank_of(self, slot: usize) -> Option<usize> {
+        const LOW: u64 = 0x0111_1111_1111_1111; // 15 nibbles of 0x1
+        const HIGH: u64 = LOW << 3; // 15 nibbles of 0x8
+        let x = (self.0 >> 4) ^ (slot as u64 * LOW);
+        let zero = x.wrapping_sub(LOW) & !x & HIGH;
+        let rank = (zero.trailing_zeros() / 4) as usize;
+        (rank < self.count()).then_some(rank)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +423,9 @@ impl NodeHeader {
                     )
                     .is_ok()
             {
+                // Every node mutation starts here: one audit note covers the
+                // whole locked section (reads-write-nothing rule, §3).
+                shared_write_audit::note();
                 return;
             }
             spins = spins.wrapping_add(1);
@@ -358,14 +443,20 @@ impl NodeHeader {
     /// the lock and knows the node has not changed since it was read.
     pub fn try_upgrade_lock(&self, expected_version: u64) -> bool {
         debug_assert_eq!(expected_version & NODE_LOCK_BIT, 0);
-        self.version
+        let locked = self
+            .version
             .compare_exchange(
                 expected_version,
                 expected_version | NODE_LOCK_BIT,
                 Ordering::Acquire,
                 Ordering::Relaxed,
             )
-            .is_ok()
+            .is_ok();
+        if locked {
+            // See `lock()`: one audit note per acquired node lock.
+            shared_write_audit::note();
+        }
+        locked
     }
 
     /// Releases the write lock without changing the version counter (the node
@@ -391,22 +482,51 @@ impl NodeHeader {
 // Interior nodes
 // ---------------------------------------------------------------------------
 
-/// An interior (routing) node: `nkeys` separator keyslices — stored inline
-/// as `u64`s, so routing is pure register compares — and `nkeys + 1`
-/// children. `children[i]` covers slices `< keys[i]`; `children[nkeys]`
-/// covers slices `≥ keys[nkeys - 1]`.
+/// An interior (routing) node: up to [`FANOUT`] separator keyslices — stored
+/// inline as `u64`s in fixed slots, so routing is pure register compares —
+/// ordered by a packed [`Permutation`] word, plus `nkeys + 1` children.
 ///
-/// Interior inserts still shift arrays (splits are orders of magnitude rarer
-/// than leaf inserts), but with inline slices a torn optimistic read can at
-/// worst route to a sibling — which the version re-check catches — rather
-/// than dereference a half-written pointer.
+/// In rank order, the child *before* the rank-0 separator is `child0`; the
+/// child *after* the rank-`i` separator is `rights[perm.slot(i)]` (each key
+/// slot carries its right child in the matching child slot). Installing a
+/// separator therefore writes one key slot and one child slot and publishes
+/// a new permutation with a **single atomic store** — optimistic readers see
+/// either the old or the new routing table, never a mid-shift state, and the
+/// writer's version-bump window shrinks from a 15-element array shift to two
+/// stores. (The version still bumps: a reader that routed by the old table
+/// must retry, because the old left child no longer covers the split-off
+/// range.)
+/// Dense-slot invariant: the active key slots are exactly `0..nkeys`.
+/// Separators are never removed individually, [`Permutation::insert_at`]
+/// hands out free slots in ascending order (every interior permutation
+/// descends from `empty()`/`identity()`, whose free regions list `n..14`
+/// in order), and [`InnerNode::split`] compacts the surviving lower half
+/// back into slots `0..mid`. [`InnerNode::route_at`] relies on this to
+/// route by *counting* over the dense prefix instead of chasing
+/// permutation nibbles — see its docs. As a debugging aid the free tail
+/// `nkeys..` additionally always holds `u64::MAX`.
 #[repr(C)]
 pub struct InnerNode {
     /// Version word (see [`NodeHeader`]).
     pub header: NodeHeader,
-    nkeys: AtomicUsize,
+    /// Separator ordering, same packed format as leaf permutations.
+    permutation: AtomicU64,
+    /// Separator keyslices. Directly after the header words so the first
+    /// cache line holds the version, the permutation, and the first six
+    /// separators — the whole hot read set of a sorted-scan route.
     keys: [AtomicU64; FANOUT],
-    children: [AtomicPtr<NodeHeader>; FANOUT + 1],
+    /// The leftmost child: covers slices below the rank-0 separator.
+    ///
+    /// `child0` is deliberately laid out immediately before `rights`
+    /// (`repr(C)`, both 8-aligned, no padding), so the two form one
+    /// contiguous 16-pointer array: routing index `idx` maps to the pointer
+    /// at `(&child0).add(idx)`. [`InnerNode::child_at`] indexes that way on
+    /// the identity-permutation fast path, exactly like a shifting design's
+    /// `children[idx]` — no branch on `idx == 0`, no nibble extraction.
+    child0: AtomicPtr<NodeHeader>,
+    /// `rights[s]` is the child to the right of the separator in key slot
+    /// `s` (covers slices `≥ keys[s]` up to the next separator).
+    rights: [AtomicPtr<NodeHeader>; FANOUT],
 }
 
 impl InnerNode {
@@ -414,67 +534,155 @@ impl InnerNode {
     pub fn allocate() -> *mut InnerNode {
         Box::into_raw(Box::new(InnerNode {
             header: NodeHeader::new(false),
-            nkeys: AtomicUsize::new(0),
-            keys: [const { AtomicU64::new(0) }; FANOUT],
-            children: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT + 1],
+            permutation: AtomicU64::new(Permutation::empty().raw()),
+            child0: AtomicPtr::new(std::ptr::null_mut()),
+            keys: [const { AtomicU64::new(u64::MAX) }; FANOUT],
+            rights: [const { AtomicPtr::new(std::ptr::null_mut()) }; FANOUT],
         }))
+    }
+
+    /// The current separator permutation word.
+    #[inline(always)]
+    pub fn permutation(&self) -> Permutation {
+        Permutation::from_raw(self.permutation.load(Ordering::Acquire))
     }
 
     /// Number of separator slices currently in the node.
     #[inline(always)]
     pub fn nkeys(&self) -> usize {
-        self.nkeys.load(Ordering::Acquire)
+        self.permutation().count()
     }
 
-    /// The child pointer stored at `idx`.
+    /// The child pointer at routing index `idx` (0 = leftmost) under a fresh
+    /// permutation snapshot. Prefer [`InnerNode::child_at`] when the caller
+    /// already holds a snapshot from [`InnerNode::route_at`].
     #[inline(always)]
     pub fn child(&self, idx: usize) -> *mut NodeHeader {
-        self.children[idx].load(Ordering::Acquire)
+        self.child_at(self.permutation(), idx)
     }
 
-    /// Finds the index of the child that covers `slice`.
+    /// The child pointer at routing index `idx` under the permutation
+    /// snapshot `perm`.
+    ///
+    /// When `perm` is an identity permutation (always true after a
+    /// sequential build or a split, see [`Permutation::IDENTITY_TAIL`]),
+    /// slot `idx - 1` *is* `idx - 1`, and `child0`/`rights` are contiguous —
+    /// so the child is a single indexed load off the routing index. That
+    /// keeps the descent's serialized child-address chain as short as a
+    /// plain sorted-array `children[idx]` fetch: no nibble extraction, no
+    /// `idx == 0` branch. The compiler CSEs the identity test with the one
+    /// in [`InnerNode::route_at`] when both run on the same snapshot.
+    #[inline(always)]
+    pub fn child_at(&self, perm: Permutation, idx: usize) -> *mut NodeHeader {
+        if perm.raw() >> 4 == Permutation::IDENTITY_TAIL {
+            debug_assert!(idx <= FANOUT);
+            // SAFETY: `child0` and `rights` are adjacent `repr(C)` fields of
+            // the same type with no padding between them (both 8-byte
+            // aligned), forming 16 contiguous `AtomicPtr`s; `idx` is a
+            // routing index, bounded by the permutation count (≤ 15).
+            let base = &raw const self.child0;
+            return unsafe { (*base.add(idx)).load(Ordering::Acquire) };
+        }
+        if idx == 0 {
+            self.child0.load(Ordering::Acquire)
+        } else {
+            self.rights[perm.slot(idx - 1)].load(Ordering::Acquire)
+        }
+    }
+
+    /// Finds the routing index of the child that covers `slice` under a
+    /// fresh permutation snapshot.
+    #[inline(always)]
+    pub fn route(&self, slice: u64) -> usize {
+        self.route_at(self.permutation(), slice)
+    }
+
+    /// Finds the routing index of the child that covers `slice` under the
+    /// permutation snapshot `perm`.
     ///
     /// Works both under the node lock and optimistically (in the latter case
     /// the result is only meaningful if the version validates afterwards).
+    ///
+    /// The scan walks separators in rank order and exits at the first one
+    /// `> slice`. The early exit is deliberately a *predictable branch*
+    /// rather than a branchless count: descents serialize on the routed
+    /// child address, and a branchy exit lets the CPU speculate the child
+    /// load several levels deep (memory-level parallelism a `cmp/sbb`
+    /// accumulator chain forfeits — measured ~10% on value-chasing reads).
+    ///
+    /// Fast path: a node whose permutation is the *identity* (rank `r` in
+    /// slot `r` — one register compare against [`Permutation::IDENTITY_TAIL`])
+    /// is physically sorted over its dense prefix, so the scan indexes
+    /// `keys[idx]` directly with zero per-step permutation work — exactly
+    /// the sorted-array loop of a shifting design, without the shifting.
+    /// Freshly split nodes (compaction rebuilds rank order — see
+    /// [`InnerNode::split`]) and nodes only ever appended to on the right
+    /// (sequential loads, monotonic workloads) keep identity permutations,
+    /// so this is the overwhelmingly common case. Mid-rank inserts break
+    /// identity until the next split and take the counting fallback.
+    ///
+    /// Fallback: for a non-identity permutation, the dense-slot invariant
+    /// (active slots are exactly `0..n`, in *some* order) means the routing
+    /// index is simply the number of active separators `≤ slice` — so the
+    /// fallback counts over `keys[0..n]` without touching the permutation
+    /// word at all. That compiles to a short `cmp/sbb` accumulator over
+    /// adjacent slots instead of a serial nibble-extract chain
+    /// (`shr %cl` + dependent gather per rank), which matters on
+    /// insert-heavy workloads (e.g. TPC-C) where interleaved key ranges
+    /// keep interior permutations out of identity form between splits.
+    ///
+    /// Under a *stale* permutation snapshot the result is still exact for
+    /// that snapshot's separator set: the scan only reads slots the
+    /// snapshot references, and slots are never rewritten outside a split.
+    /// A reader can still race a splitting writer mid-compaction and see
+    /// torn slices — the same torn-route hazard the optimistic protocol
+    /// already handles: interior writers hold the node lock and unlock with
+    /// a version increment, so the descent's version re-check
+    /// (`Layer::find_leaf`) discards any route that overlapped a writer.
     #[inline(always)]
-    pub fn route(&self, slice: u64) -> usize {
-        let n = self.nkeys().min(FANOUT);
-        let mut idx = 0;
-        while idx < n && slice >= self.keys[idx].load(Ordering::Acquire) {
-            idx += 1;
+    pub fn route_at(&self, perm: Permutation, slice: u64) -> usize {
+        let n = perm.count();
+        let mut idx = 0usize;
+        if perm.raw() >> 4 == Permutation::IDENTITY_TAIL {
+            while idx < n && slice >= self.keys[idx].load(Ordering::Acquire) {
+                idx += 1;
+            }
+            return idx;
+        }
+        // Dense-slot invariant: counting matches over the unordered dense
+        // prefix yields the rank directly. A torn read under a racing
+        // writer can only produce a route the version re-check throws away.
+        for slot in 0..n {
+            idx += usize::from(slice >= self.keys[slot].load(Ordering::Acquire));
         }
         idx
     }
 
-    /// Inserts separator `slice` with right child `right` at position `idx`,
-    /// shifting subsequent entries. Caller must hold the node lock and
+    /// Inserts separator `slice` with right child `right` at rank `rank`
+    /// (the routing index returned by [`InnerNode::route`] for `slice`).
+    /// Writes one free key slot and its child slot, then publishes the new
+    /// permutation with a single store. Caller must hold the node lock and
     /// guarantee the node is not full.
-    pub fn insert_separator(&self, idx: usize, slice: u64, right: *mut NodeHeader) {
-        let n = self.nkeys();
-        debug_assert!(n < FANOUT);
-        debug_assert!(idx <= n);
-        // Shift from the top down so concurrent optimistic readers always
-        // see initialized slots.
-        let mut i = n;
-        while i > idx {
-            let k = self.keys[i - 1].load(Ordering::Relaxed);
-            self.keys[i].store(k, Ordering::Release);
-            let c = self.children[i].load(Ordering::Relaxed);
-            self.children[i + 1].store(c, Ordering::Release);
-            i -= 1;
-        }
-        self.keys[idx].store(slice, Ordering::Release);
-        self.children[idx + 1].store(right, Ordering::Release);
-        self.nkeys.store(n + 1, Ordering::Release);
+    pub fn insert_separator(&self, rank: usize, slice: u64, right: *mut NodeHeader) {
+        let perm = self.permutation();
+        debug_assert!(perm.count() < FANOUT && rank <= perm.count());
+        let (new_perm, slot) = perm.insert_at(rank);
+        self.keys[slot].store(slice, Ordering::Release);
+        self.rights[slot].store(right, Ordering::Release);
+        // The permutation store publishes the separator: readers that see
+        // the new word also see the slot contents (release/acquire pairing
+        // on the word).
+        self.permutation.store(new_perm.raw(), Ordering::Release);
     }
 
     /// Initializes a fresh root with a single separator and two children.
     /// Caller owns the node exclusively.
     pub fn init_root(&self, slice: u64, left: *mut NodeHeader, right: *mut NodeHeader) {
-        self.keys[0].store(slice, Ordering::Release);
-        self.children[0].store(left, Ordering::Release);
-        self.children[1].store(right, Ordering::Release);
-        self.nkeys.store(1, Ordering::Release);
+        let (perm, slot) = Permutation::empty().insert_at(0);
+        self.keys[slot].store(slice, Ordering::Release);
+        self.child0.store(left, Ordering::Release);
+        self.rights[slot].store(right, Ordering::Release);
+        self.permutation.store(perm.raw(), Ordering::Release);
     }
 
     /// Whether inserting one more separator would overflow the node.
@@ -490,26 +698,58 @@ impl InnerNode {
     /// node's lock; the right sibling is returned locked so the caller can
     /// publish it before any other writer touches it.
     pub fn split(&self) -> (u64, *mut InnerNode) {
-        let n = self.nkeys();
+        let perm = self.permutation();
+        let n = perm.count();
         debug_assert_eq!(n, FANOUT);
         let mid = n / 2;
         let right = InnerNode::allocate();
         // SAFETY: freshly allocated, exclusively owned until published.
         let right_ref = unsafe { &*right };
         right_ref.header.lock();
-        let promoted = self.keys[mid].load(Ordering::Relaxed);
+        let promoted = self.keys[perm.slot(mid)].load(Ordering::Relaxed);
+        // The promoted separator's right child becomes the sibling's
+        // leftmost child.
+        right_ref.child0.store(
+            self.rights[perm.slot(mid)].load(Ordering::Relaxed),
+            Ordering::Release,
+        );
         let mut j = 0;
-        for i in (mid + 1)..n {
-            let k = self.keys[i].load(Ordering::Relaxed);
-            right_ref.keys[j].store(k, Ordering::Release);
-            let c = self.children[i].load(Ordering::Relaxed);
-            right_ref.children[j].store(c, Ordering::Release);
+        for rank in (mid + 1)..n {
+            let slot = perm.slot(rank);
+            right_ref
+                .keys[j]
+                .store(self.keys[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref
+                .rights[j]
+                .store(self.rights[slot].load(Ordering::Relaxed), Ordering::Release);
             j += 1;
         }
-        let last_child = self.children[n].load(Ordering::Relaxed);
-        right_ref.children[j].store(last_child, Ordering::Release);
-        right_ref.nkeys.store(j, Ordering::Release);
-        self.nkeys.store(mid, Ordering::Release);
+        right_ref
+            .permutation
+            .store(Permutation::identity(j).raw(), Ordering::Release);
+        // Compact the surviving lower half into slots `0..mid` in rank
+        // order, restoring the dense-slots invariant `route_at` counts on
+        // (a plain truncate would leave the survivors scattered). We hold
+        // the lock and will unlock with a version increment, so readers
+        // racing the rewrite are discarded by their version re-check like
+        // any other torn route.
+        let mut low_keys = [0u64; FANOUT];
+        let mut low_rights = [std::ptr::null_mut(); FANOUT];
+        for (rank, (k, r)) in low_keys.iter_mut().zip(&mut low_rights).enumerate().take(mid) {
+            let slot = perm.slot(rank);
+            *k = self.keys[slot].load(Ordering::Relaxed);
+            *r = self.rights[slot].load(Ordering::Relaxed);
+        }
+        for (slot, (k, r)) in low_keys.iter().zip(&low_rights).enumerate().take(mid) {
+            self.keys[slot].store(*k, Ordering::Release);
+            self.rights[slot].store(*r, Ordering::Release);
+        }
+        // Re-poison the freed tail so free slots keep holding `u64::MAX`.
+        for slot in mid..FANOUT {
+            self.keys[slot].store(u64::MAX, Ordering::Release);
+        }
+        self.permutation
+            .store(Permutation::identity(mid).raw(), Ordering::Release);
         (promoted, right)
     }
 }
@@ -649,6 +889,89 @@ impl LeafNode {
         LeafSearch::NotFound { rank: n }
     }
 
+    /// Equality bitmask of `slice` against all [`LEAF_WIDTH`] slice slots
+    /// (bit `s` set iff `slices[s] == slice`), active or not.
+    ///
+    /// On x86-64 this is four SSE2 compares over unaligned 128-bit loads; a
+    /// raw vector load of slots concurrently being rewritten may tear, which
+    /// can only produce a false bit (either polarity) that the caller's
+    /// version re-check discards — the same benign-race argument the whole
+    /// optimistic read path rests on. Visibility of a slot published by a
+    /// permutation store is ordered by the caller's acquire load of the
+    /// permutation word, not by these loads. Other architectures use a
+    /// branch-free loop over relaxed atomic loads that LLVM can vectorize.
+    #[inline]
+    fn slice_eq_mask(&self, slice: u64) -> u32 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: all loads are in bounds of `self.slices`; racy reads
+            // are validated by the version protocol (see above).
+            unsafe {
+                use core::arch::x86_64::{
+                    _mm_and_si128, _mm_castsi128_pd, _mm_cmpeq_epi32, _mm_loadu_si128,
+                    _mm_movemask_pd, _mm_set1_epi64x, _mm_shuffle_epi32,
+                };
+                let key = _mm_set1_epi64x(slice as i64);
+                let base = self.slices.as_ptr();
+                let mut mask = 0u32;
+                let mut i = 0;
+                while i + 2 <= LEAF_WIDTH {
+                    let v = _mm_loadu_si128(base.add(i) as *const _);
+                    // SSE2 has no 64-bit compare: AND the 32-bit equality
+                    // lanes with their swapped pair, then take the per-64-bit
+                    // sign bits.
+                    let eq32 = _mm_cmpeq_epi32(v, key);
+                    let eq64 = _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, 0b1011_0001));
+                    mask |= (_mm_movemask_pd(_mm_castsi128_pd(eq64)) as u32) << i;
+                    i += 2;
+                }
+                let last = self.slices[LEAF_WIDTH - 1].load(Ordering::Relaxed);
+                mask |= ((last == slice) as u32) << (LEAF_WIDTH - 1);
+                mask
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut mask = 0u32;
+            for (s, cell) in self.slices.iter().enumerate() {
+                mask |= ((cell.load(Ordering::Relaxed) == slice) as u32) << s;
+            }
+            mask
+        }
+    }
+
+    /// Point lookup on the read path: the `(rank, slot)` of the active entry
+    /// matching `(slice, class)`, or `None` if no such entry is active.
+    ///
+    /// Semantically [`LeafNode::search`] restricted to what lookups need (no
+    /// insertion rank on a miss), but instead of walking the permutation
+    /// through a chain of dependent loads it vector-compares the probe
+    /// against every slice slot at once and filters the candidates by the
+    /// permutation's active mask. At most one active entry can match a
+    /// `(slice, class)` pair; a torn read can surface a spurious candidate,
+    /// which the caller's version re-check discards like any other torn
+    /// state. Optimistic callers must validate the leaf version before
+    /// trusting the result.
+    #[inline]
+    pub fn find(&self, perm: Permutation, slice: u64, class: u8) -> Option<(usize, usize)> {
+        let mut m = self.slice_eq_mask(slice);
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            m &= m - 1;
+            // `rank_of` returns `None` for slots outside the permutation's
+            // active prefix, so stale (freed or mid-insert) slots that
+            // happen to hold a matching slice are filtered here — no
+            // separate active-mask pass over all 15 nibbles is needed for
+            // the common single-candidate case.
+            if klen_class(self.klens[slot].load(Ordering::Acquire)) == class {
+                if let Some(rank) = perm.rank_of(slot) {
+                    return Some((rank, slot));
+                }
+            }
+        }
+        None
+    }
+
     /// Writes a full entry into `slot` and publishes the permutation placing
     /// it at `rank`. Caller must hold the leaf lock and pass the current
     /// permutation; the leaf must not be full. Returns the new permutation.
@@ -760,9 +1083,7 @@ impl LeafNode {
             j += 1;
         }
         // Identity permutation over the copied entries.
-        let mut right_perm = Permutation::empty();
-        right_perm = Permutation::from_raw((right_perm.raw() & !0xF) | j as u64);
-        right_ref.set_permutation(right_perm);
+        right_ref.set_permutation(Permutation::identity(j));
         right_ref
             .next
             .store(self.next.load(Ordering::Relaxed), Ordering::Release);
@@ -820,6 +1141,23 @@ mod tests {
         assert_eq!(keyslice(b"abcdefgh").1, 8);
         assert_eq!(keyslice(b"abcdefghi").1, KLEN_SUFFIX);
         assert_eq!(keyslice(b"").1, 0);
+    }
+
+    #[test]
+    fn identity_tail_matches_constructors() {
+        assert_eq!(Permutation::empty().raw() >> 4, Permutation::IDENTITY_TAIL);
+        for n in 0..=LEAF_WIDTH {
+            assert_eq!(Permutation::identity(n).raw() >> 4, Permutation::IDENTITY_TAIL);
+        }
+        // Rightmost appends preserve the identity tail; a mid-rank insert
+        // breaks it (and with it the sorted-scan fast path in `route_at`).
+        let mut perm = Permutation::empty();
+        for rank in 0..4 {
+            perm = perm.insert_at(rank).0;
+            assert_eq!(perm.raw() >> 4, Permutation::IDENTITY_TAIL);
+        }
+        let (mid, _) = perm.insert_at(2);
+        assert_ne!(mid.raw() >> 4, Permutation::IDENTITY_TAIL);
     }
 
     #[test]
@@ -1078,6 +1416,203 @@ mod tests {
     }
 
     #[test]
+    fn permutation_active_mask_and_rank_of() {
+        let mut perm = Permutation::empty();
+        assert_eq!(perm.active_mask(), 0);
+        let mut active = Vec::new();
+        for rank in 0..LEAF_WIDTH {
+            let (p, slot) = perm.insert_at(rank / 2);
+            perm = p;
+            active.push(slot);
+            let mask = perm.active_mask();
+            assert_eq!(mask.count_ones() as usize, rank + 1);
+            for s in 0..LEAF_WIDTH {
+                assert_eq!(mask & (1 << s) != 0, active.contains(&s), "slot {s}");
+                match perm.rank_of(s) {
+                    Some(r) => assert_eq!(perm.slot(r), s),
+                    None => assert!(!active.contains(&s)),
+                }
+            }
+        }
+        let (p, freed) = perm.remove_at(3);
+        assert_eq!(p.active_mask() & (1 << freed), 0);
+        assert_eq!(p.rank_of(freed), None);
+    }
+
+    #[test]
+    fn leaf_find_matches_search() {
+        let leaf_ptr = LeafNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let leaf = unsafe { &*leaf_ptr };
+        // A mix of short, exact-slice and long keys, including shared slices.
+        let keys: Vec<Vec<u8>> = vec![
+            b"a".to_vec(),
+            b"a\x00\x00".to_vec(),
+            b"abcdefgh".to_vec(),
+            b"abcdefghZZ".to_vec(),
+            b"m".to_vec(),
+            b"zzzzzzz".to_vec(),
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            let (slice, class) = keyslice(k);
+            let suffix = if class == KLEN_SUFFIX {
+                KeyBuf::allocate(&k[8..])
+            } else {
+                std::ptr::null_mut()
+            };
+            let perm = leaf.permutation();
+            let rank = match leaf.search(perm, slice, class) {
+                LeafSearch::NotFound { rank } => rank,
+                LeafSearch::Found { .. } => panic!("distinct keys"),
+            };
+            leaf.insert_entry(perm, rank, slice, class, suffix, i as u64);
+        }
+        let perm = leaf.permutation();
+        // Probe every inserted key plus misses sharing slices with hits.
+        let mut probes: Vec<(u64, u8)> = keys.iter().map(|k| keyslice(k)).collect();
+        probes.push(keyslice(b"ab"));
+        probes.push(keyslice(b"a\x00"));
+        probes.push(keyslice(b"nope-missing"));
+        probes.push((keyslice(b"a").0, 4));
+        for &(slice, class) in &probes {
+            let expected = match leaf.search(perm, slice, class) {
+                LeafSearch::Found { rank, slot } => Some((rank, slot)),
+                LeafSearch::NotFound { .. } => None,
+            };
+            assert_eq!(
+                leaf.find(perm, slice, class),
+                expected,
+                "find/search disagree on ({slice:#x}, {class})"
+            );
+        }
+        // Removal deactivates the slot for find as well.
+        let (slice, class) = keyslice(b"m");
+        let (rank, slot) = leaf.find(perm, slice, class).expect("m present");
+        let (_, _, value) = leaf.remove_entry(perm, rank);
+        assert_eq!(value, 4);
+        let perm = leaf.permutation();
+        assert_eq!(leaf.find(perm, slice, class), None);
+        // The stale slot still holds the slice: prove the active mask is what
+        // filtered it out.
+        assert_ne!(leaf.slice_eq_mask(slice) & (1 << slot), 0);
+        // SAFETY: exclusive access; free the one suffix, then the leaf.
+        unsafe {
+            let (s, c) = keyslice(b"abcdefghZZ");
+            if let Some((_, slot)) = leaf.find(leaf.permutation(), s, c) {
+                KeyBuf::free(leaf.suffix(slot));
+            }
+            drop(Box::from_raw(leaf_ptr));
+        }
+    }
+
+    #[test]
+    fn inner_insert_publishes_without_shifting_slots() {
+        let inner_ptr = InnerNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let inner = unsafe { &*inner_ptr };
+        let mut children: Vec<*mut LeafNode> = Vec::new();
+        let left = LeafNode::allocate();
+        children.push(left);
+        // Insert separators in descending order so a shifting implementation
+        // would move every existing slot each time.
+        let seps: Vec<u64> = (0..FANOUT as u64).rev().map(|i| 100 + i * 10).collect();
+        inner.init_root(seps[0], left as *mut NodeHeader, {
+            let c = LeafNode::allocate();
+            children.push(c);
+            c as *mut NodeHeader
+        });
+        for &sep in &seps[1..] {
+            let c = LeafNode::allocate();
+            children.push(c);
+            let idx = inner.route(sep);
+            inner.insert_separator(idx, sep, c as *mut NodeHeader);
+        }
+        assert!(inner.is_full());
+        // Routing walks the separators in sorted order even though they were
+        // written to slots in insertion order.
+        let perm = inner.permutation();
+        let mut prev = 0;
+        for rank in 0..perm.count() {
+            let key = inner.keys[perm.slot(rank)].load(Ordering::Relaxed);
+            assert!(key > prev, "separators must be sorted in rank order");
+            prev = key;
+        }
+        for &sep in &seps {
+            let idx = inner.route_at(perm, sep);
+            assert!(idx > 0);
+            assert_eq!(inner.keys[perm.slot(idx - 1)].load(Ordering::Relaxed), sep);
+            assert!(!inner.child_at(perm, idx).is_null());
+        }
+        assert_eq!(inner.route_at(perm, 0), 0);
+        assert_eq!(inner.child_at(perm, 0), left as *mut NodeHeader);
+        // SAFETY: exclusive teardown.
+        unsafe {
+            for c in children {
+                drop(Box::from_raw(c));
+            }
+            drop(Box::from_raw(inner_ptr));
+        }
+    }
+
+    #[test]
+    fn inner_split_partitions_children_by_rank() {
+        let inner_ptr = InnerNode::allocate();
+        // SAFETY: single-threaded exclusive access in this test.
+        let inner = unsafe { &*inner_ptr };
+        let mut children = Vec::new();
+        let first = LeafNode::allocate();
+        children.push(first);
+        inner.child0.store(first as *mut NodeHeader, Ordering::Release);
+        for i in 0..FANOUT {
+            let c = LeafNode::allocate();
+            children.push(c);
+            inner.insert_separator(i, 1000 + i as u64, c as *mut NodeHeader);
+        }
+        inner.header.lock();
+        let (promoted, right_ptr) = inner.split();
+        // SAFETY: right sibling freshly created by split.
+        let right = unsafe { &*right_ptr };
+        // children[i + 1] is the right child of separator 1000 + i.
+        // Left keeps child0 + children of separators below the promoted one.
+        let lperm = inner.permutation();
+        assert_eq!(inner.child_at(lperm, 0), first as *mut NodeHeader);
+        for rank in 0..lperm.count() {
+            assert_eq!(
+                inner.child_at(lperm, rank + 1),
+                children[rank + 1] as *mut NodeHeader
+            );
+        }
+        // Right's child0 is the promoted separator's right child, then the
+        // children of every separator above it.
+        let promoted_idx = (promoted - 1000) as usize;
+        let rperm = right.permutation();
+        assert_eq!(
+            right.child_at(rperm, 0),
+            children[promoted_idx + 1] as *mut NodeHeader
+        );
+        for rank in 0..rperm.count() {
+            assert_eq!(
+                right.keys[rperm.slot(rank)].load(Ordering::Relaxed),
+                1000 + (promoted_idx + 1 + rank) as u64
+            );
+            assert_eq!(
+                right.child_at(rperm, rank + 1),
+                children[promoted_idx + 2 + rank] as *mut NodeHeader
+            );
+        }
+        inner.header.unlock_with_increment();
+        right.header.unlock_with_increment();
+        // SAFETY: exclusive teardown.
+        unsafe {
+            for c in children {
+                drop(Box::from_raw(c));
+            }
+            drop(Box::from_raw(inner_ptr));
+            drop(Box::from_raw(right_ptr));
+        }
+    }
+
+    #[test]
     fn inner_split_promotes_middle_separator() {
         let inner_ptr = InnerNode::allocate();
         // SAFETY: single-threaded exclusive access in this test.
@@ -1086,7 +1621,7 @@ mod tests {
         let first_child = LeafNode::allocate();
         children.push(first_child);
         inner
-            .children[0]
+            .child0
             .store(first_child as *mut NodeHeader, Ordering::Release);
         for i in 0..FANOUT {
             let child = LeafNode::allocate();

@@ -716,6 +716,145 @@ fn concurrent_updates_and_reads() {
 }
 
 // ---------------------------------------------------------------------------
+// Reads-write-nothing (paper §3) and sharded statistics
+// ---------------------------------------------------------------------------
+
+/// The merged `reader_retries` figure must count every per-thread cell
+/// exactly once — including cells whose owning threads exited before
+/// `stats()` ran — and match a serial recount of the bumps that were made.
+#[test]
+fn sharded_retry_stats_merge_counts_exited_workers() {
+    let t = Arc::new(Tree::new());
+    let threads = 8u64;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            // A known, per-thread-distinct number of retry bumps.
+            for _ in 0..(tid + 1) * 10 {
+                t.counters.note_retry();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every worker has exited; their cells live on the tree.
+    let expected: u64 = (1..=threads).map(|n| n * 10).sum();
+    assert_eq!(t.stats().reader_retries, expected);
+    // stats() must not consume or double-count the cells.
+    assert_eq!(t.stats().reader_retries, expected);
+
+    // And the current thread's bumps land in a (possibly shared) cell that
+    // is still summed exactly once.
+    t.counters.note_retry();
+    assert_eq!(t.stats().reader_retries, expected + 1);
+
+    // IndexStats::merge adds the per-tree totals.
+    let other = Tree::new();
+    other.counters.note_retry();
+    other.counters.note_retry();
+    let mut merged = t.stats();
+    merged.merge(&other.stats());
+    assert_eq!(merged.reader_retries, expected + 3);
+}
+
+/// The §3 rule, pinned end-to-end for the index: a warmed read-only
+/// operation mix (point hits and misses across inline, suffix, and layer
+/// entries, plus scans) performs **zero** writes to shared memory. The
+/// audit counter is live in debug builds; in release it reads 0 and the
+/// test degenerates to a smoke check.
+#[test]
+fn read_only_operations_write_nothing_shared() {
+    use silo_epoch::shared_write_audit;
+
+    let t = Tree::new();
+    // Warm with a mix that exercises every entry kind: short inline keys,
+    // long suffix keys, and colliding keys that force trie layers.
+    for i in 0..2000u64 {
+        t.insert_if_absent(&key(i), i);
+    }
+    for i in 0..64u64 {
+        let long = format!("sharedprefix-{:04}-plus-a-long-suffix", i).into_bytes();
+        t.insert_if_absent(&long, 10_000 + i);
+        let sibling = format!("sharedprefix-{:04}-plus-another-tail", i).into_bytes();
+        t.insert_if_absent(&sibling, 20_000 + i);
+    }
+    let _ = shared_write_audit::take();
+
+    for i in (0..2000u64).step_by(7) {
+        assert_eq!(t.get(&key(i)), Some(i));
+        let (v, _, _) = t.get_tracked(&key(i));
+        assert_eq!(v, Some(i));
+    }
+    assert_eq!(t.get(b"missing-entirely"), None);
+    assert_eq!(t.get(b"sharedprefix-0004-plus-a-long-MISS"), None);
+    assert_eq!(
+        t.get(b"sharedprefix-0011-plus-a-long-suffix"),
+        Some(10_011)
+    );
+    let r = t.scan(&key(100), Some(&key(400)), None);
+    assert_eq!(r.entries.len(), 300);
+    let r = t.scan(b"sharedprefix-", None, Some(50));
+    assert_eq!(r.entries.len(), 50);
+
+    assert_eq!(
+        shared_write_audit::take(),
+        0,
+        "read-only index operations must not write to shared memory"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Interior-node permutation publish ordering
+// ---------------------------------------------------------------------------
+
+/// Readers racing interior separator inserts and splits: short (inline,
+/// single-slice) keys inserted in an adversarial order drive constant
+/// interior-node mutation while readers validate every observed value. A
+/// shifting separator array would let a reader route on a half-moved key
+/// and return a wrong (yet present-looking) entry; permutation publishing
+/// plus version validation must never let that surface.
+#[test]
+fn concurrent_readers_during_interior_splits_see_consistent_routing() {
+    let t = Arc::new(Tree::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let n = 6000u64;
+    // 8-byte keys, bit-reversed insertion order: neighbouring inserts land
+    // in distant leaves, maximizing distinct interior-insert sites.
+    let enc = |i: u64| (i.reverse_bits() >> 48) ^ (i << 16);
+
+    let mut readers = Vec::new();
+    for r in 0..2 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut hits = 0u64;
+            while !stop.load(AO::Relaxed) {
+                for i in (r..n).step_by(61) {
+                    if let Some(v) = t.get(&enc(i).to_be_bytes()) {
+                        assert_eq!(v, i, "reader observed a misrouted entry");
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        }));
+    }
+    for i in 0..n {
+        t.insert_if_absent(&enc(i).to_be_bytes(), i);
+    }
+    stop.store(true, AO::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(t.stats().inners > 1, "workload must have split interior nodes");
+    for i in 0..n {
+        assert_eq!(t.get(&enc(i).to_be_bytes()), Some(i));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Property-based model tests
 // ---------------------------------------------------------------------------
 
@@ -884,6 +1023,84 @@ mod proptests {
             for (k, v) in &model {
                 prop_assert_eq!(tree.get(k), Some(*v));
             }
+        }
+
+        /// Interior permutation publish ordering, model-checked against the
+        /// contract the optimistic descent relies on:
+        ///
+        /// * under the **current** permutation, routing and the chosen child
+        ///   are exact after every insert (a slot-shifting implementation
+        ///   breaks this mid-shift);
+        /// * under any **stale** snapshot, the child table is frozen — every
+        ///   routing index that was valid for the snapshot still maps to
+        ///   exactly the child it was published with (later inserts only
+        ///   touch free slots), and `route_at` stays within the snapshot's
+        ///   bounds. Stale routes may be *imprecise* (the counting scan sees
+        ///   newer separators) — that is the torn-route case the version
+        ///   re-check discards — but they can never reach a child pointer
+        ///   the snapshot never published.
+        #[test]
+        fn prop_inner_permutation_snapshots_survive_later_inserts(
+            raw_seps in vec(1u64..1_000_000, 2..=crate::node::FANOUT),
+            probes in vec(0u64..1_001_000, 0..24),
+        ) {
+            use crate::node::{InnerNode, NodeHeader};
+
+            let mut seen = std::collections::HashSet::new();
+            let seps: Vec<u64> = raw_seps.into_iter().filter(|s| seen.insert(*s)).collect();
+            // Children are opaque identities to route_at/child_at: use
+            // distinct fake pointers, never dereferenced.
+            let fake = |i: usize| ((i + 1) * 0x100) as *mut NodeHeader;
+
+            let inner_ptr = InnerNode::allocate();
+            // SAFETY: single-threaded exclusive access in this test.
+            let inner = unsafe { &*inner_ptr };
+            inner.init_root(seps[0], fake(0), fake(1));
+
+            // (permutation snapshot, sorted separator model at that time).
+            let mut model: Vec<(u64, *mut NodeHeader)> = vec![(seps[0], fake(1))];
+            let mut snapshots = vec![(inner.permutation(), model.clone())];
+            for (j, &sep) in seps.iter().enumerate().skip(1) {
+                let idx = inner.route(sep);
+                inner.insert_separator(idx, sep, fake(j + 1));
+                model.push((sep, fake(j + 1)));
+                model.sort_by_key(|&(s, _)| s);
+                snapshots.push((inner.permutation(), model.clone()));
+            }
+
+            // Exactness under the current permutation.
+            let (cur_perm, cur_model) = snapshots.last().unwrap();
+            let cur_probes = cur_model
+                .iter()
+                .flat_map(|&(s, _)| [s.saturating_sub(1), s, s + 1]);
+            for p in probes.iter().copied().chain(cur_probes) {
+                let expected_idx = cur_model.iter().filter(|&&(s, _)| s <= p).count();
+                let expected_child = if expected_idx == 0 {
+                    fake(0)
+                } else {
+                    cur_model[expected_idx - 1].1
+                };
+                prop_assert_eq!(inner.route_at(*cur_perm, p), expected_idx);
+                prop_assert_eq!(inner.child_at(*cur_perm, expected_idx), expected_child);
+            }
+
+            // Stale snapshots: frozen child table, bounded routes.
+            for (perm, model) in &snapshots {
+                for idx in 0..=model.len() {
+                    let expected_child = if idx == 0 { fake(0) } else { model[idx - 1].1 };
+                    prop_assert_eq!(inner.child_at(*perm, idx), expected_child);
+                }
+                for p in probes.iter().copied() {
+                    // Later inserts only append at slots >= the snapshot's
+                    // count, which the bounded counting scan never reads —
+                    // so a stale snapshot routes *exactly* per its own
+                    // separator set.
+                    let expected = model.iter().filter(|&&(s, _)| s <= p).count();
+                    prop_assert_eq!(inner.route_at(*perm, p), expected);
+                }
+            }
+            // SAFETY: exclusive teardown; children are fake pointers.
+            unsafe { drop(Box::from_raw(inner_ptr)) };
         }
     }
 }

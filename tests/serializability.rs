@@ -17,6 +17,15 @@ fn fast_config() -> SiloConfig {
     }
 }
 
+/// Worker-thread count for concurrency tests: `SILO_TEST_THREADS` if set
+/// (the oversubscribed-stress runs use 4 on a 1-core box), else `default`.
+fn test_threads(default: usize) -> usize {
+    std::env::var("SILO_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[test]
 fn transfer_invariant_under_heavy_contention() {
     let db = Database::open(fast_config());
@@ -31,7 +40,7 @@ fn transfer_invariant_under_heavy_contention() {
         txn.commit().unwrap();
     }
     let mut handles = Vec::new();
-    for seed in 0..4u64 {
+    for seed in 0..test_threads(4) as u64 {
         let db = Arc::clone(&db);
         handles.push(std::thread::spawn(move || {
             let mut w = db.register_worker();
@@ -143,7 +152,7 @@ fn read_only_transactions_scale_without_aborts() {
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
-    for _ in 0..3 {
+    for _ in 0..test_threads(3) {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {

@@ -10,6 +10,15 @@ use silo_wl::driver::{run_workload, DriverConfig};
 use silo_wl::tpcc::check::check_consistency;
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
+/// Worker-thread count for concurrency tests: `SILO_TEST_THREADS` if set
+/// (the oversubscribed-stress runs use 4 on a 1-core box), else `default`.
+fn test_threads(default: usize) -> usize {
+    std::env::var("SILO_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[test]
 fn tpcc_consistency_conditions_after_concurrent_mix() {
     let db = Database::open(SiloConfig {
@@ -32,7 +41,10 @@ fn tpcc_consistency_conditions_after_concurrent_mix() {
         &db,
         Arc::new(TpccWorkload::new(cfg.clone(), tables.clone())),
         DriverConfig {
-            threads: 3,
+            // Overridable so the oversubscribed-stress sweep can pin 4
+            // workers onto 1 core: catches parking/spin pathologies that a
+            // thread-per-core run never exercises.
+            threads: test_threads(3),
             duration: Duration::from_millis(500),
             ..Default::default()
         },
