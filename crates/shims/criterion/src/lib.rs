@@ -32,7 +32,10 @@ pub struct Criterion {
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,

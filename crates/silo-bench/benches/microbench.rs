@@ -57,7 +57,13 @@ fn bench_index_ops(c: &mut Criterion) {
         });
     });
     group.bench_function("index/scan_100", |b| {
-        b.iter(|| std::hint::black_box(tree.scan(&500u64.to_be_bytes(), None, Some(100)).entries.len()));
+        b.iter(|| {
+            std::hint::black_box(
+                tree.scan(&500u64.to_be_bytes(), None, Some(100))
+                    .entries
+                    .len(),
+            )
+        });
     });
     group.finish();
 }
@@ -121,7 +127,13 @@ fn bench_commit_protocol(c: &mut Criterion) {
 fn bench_log_encoding(c: &mut Criterion) {
     let mut group = quick(c);
     let writes: Vec<(u32, &[u8], Option<&[u8]>)> = (0..10)
-        .map(|_| (1u32, b"some-order-line-key-0001".as_ref(), Some([7u8; 100].as_ref())))
+        .map(|_| {
+            (
+                1u32,
+                b"some-order-line-key-0001".as_ref(),
+                Some([7u8; 100].as_ref()),
+            )
+        })
         .collect();
     group.bench_function("log/encode_txn_10_writes", |b| {
         let mut buf = Vec::with_capacity(4096);

@@ -15,7 +15,12 @@ use silo_log::{LogConfig, LogMode, SiloLogger};
 use silo_wl::driver::run_workload;
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
-fn tpcc_run(db: &Arc<Database>, warehouses: u32, threads: usize, logger: Option<Arc<SiloLogger>>) -> f64 {
+fn tpcc_run(
+    db: &Arc<Database>,
+    warehouses: u32,
+    threads: usize,
+    logger: Option<Arc<SiloLogger>>,
+) -> f64 {
     let cfg = TpccConfig::scaled(warehouses, bench_scale());
     let tables = load(db, &cfg);
     let result = run_workload(
@@ -56,7 +61,11 @@ fn main() {
         ..base.clone()
     };
     let db = Database::open(simple.clone());
-    report("Simple", "Regular", tpcc_run(&db, warehouses, threads, None));
+    report(
+        "Simple",
+        "Regular",
+        tpcc_run(&db, warehouses, threads, None),
+    );
     db.stop_epoch_advancer();
 
     let with_alloc = SiloConfig {
@@ -64,7 +73,11 @@ fn main() {
         ..simple
     };
     let db = Database::open(with_alloc.clone());
-    report("+Allocator", "Regular", tpcc_run(&db, warehouses, threads, None));
+    report(
+        "+Allocator",
+        "Regular",
+        tpcc_run(&db, warehouses, threads, None),
+    );
     db.stop_epoch_advancer();
 
     let with_overwrites = SiloConfig {
@@ -72,7 +85,11 @@ fn main() {
         ..with_alloc
     };
     let db = Database::open(with_overwrites.clone());
-    report("+Overwrites", "Regular", tpcc_run(&db, warehouses, threads, None));
+    report(
+        "+Overwrites",
+        "Regular",
+        tpcc_run(&db, warehouses, threads, None),
+    );
     db.stop_epoch_advancer();
 
     let no_snapshots = SiloConfig {
@@ -80,7 +97,11 @@ fn main() {
         ..with_overwrites
     };
     let db = Database::open(no_snapshots.clone());
-    report("+NoSnapshots", "Regular", tpcc_run(&db, warehouses, threads, None));
+    report(
+        "+NoSnapshots",
+        "Regular",
+        tpcc_run(&db, warehouses, threads, None),
+    );
     db.stop_epoch_advancer();
 
     let no_gc = SiloConfig {
@@ -94,7 +115,11 @@ fn main() {
     // ----- Persistence group (cumulative) -----
     baseline.set(None);
     let db = Database::open(base.clone());
-    report("MemSilo", "Persistence", tpcc_run(&db, warehouses, threads, None));
+    report(
+        "MemSilo",
+        "Persistence",
+        tpcc_run(&db, warehouses, threads, None),
+    );
     db.stop_epoch_advancer();
 
     let log_dir = std::env::temp_dir().join(format!("silo-fig11-log-{}", std::process::id()));
@@ -106,7 +131,8 @@ fn main() {
             ..LogConfig::to_directory(&log_dir, 2)
         },
         &db,
-    );
+    )
+    .expect("install logger");
     report(
         "+SmallRecs",
         "Persistence",
@@ -116,7 +142,8 @@ fn main() {
     db.stop_epoch_advancer();
 
     let db = Database::open(base.clone());
-    let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 2), &db);
+    let logger =
+        SiloLogger::install(LogConfig::to_directory(&log_dir, 2), &db).expect("install logger");
     report(
         "+FullRecs",
         "Persistence",
@@ -132,7 +159,8 @@ fn main() {
             ..LogConfig::to_directory(&log_dir, 2)
         },
         &db,
-    );
+    )
+    .expect("install logger");
     report(
         "+Compress",
         "Persistence",

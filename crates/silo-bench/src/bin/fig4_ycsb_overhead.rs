@@ -17,7 +17,11 @@ fn main() {
         keys,
         ..Default::default()
     };
-    println!("# Figure 4 — YCSB variant, {} keys, {}s per point", keys, bench_seconds().as_secs());
+    println!(
+        "# Figure 4 — YCSB variant, {} keys, {}s per point",
+        keys,
+        bench_seconds().as_secs()
+    );
     println!("# series                 threads     throughput        per-core      aborts      allocs/txn aborts/txn");
 
     for &t in &threads {

@@ -38,7 +38,8 @@ fn main() {
     let log_dir = std::env::temp_dir().join(format!("silo-fig5-log-{}", std::process::id()));
     for &t in &threads {
         let db = open_memsilo();
-        let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 4.min(t.max(1))), &db);
+        let logger = SiloLogger::install(LogConfig::to_directory(&log_dir, 4.min(t.max(1))), &db)
+            .expect("install logger");
         let cfg = TpccConfig::scaled(t as u32, scale);
         let tables = load(&db, &cfg);
         let mut result = run_workload(

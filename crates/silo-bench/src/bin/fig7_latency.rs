@@ -16,12 +16,14 @@ fn main() {
         "# Figure 7 — TPC-C durable latency, scale {scale}, {}s per point",
         bench_seconds().as_secs()
     );
-    println!("# series            threads   mean(ms)    p50(ms)    p99(ms)    max(ms)   throughput");
+    println!(
+        "# series            threads   mean(ms)    p50(ms)    p99(ms)    max(ms)   throughput"
+    );
 
     let run = |label: &str, make_log: &dyn Fn(usize) -> LogConfig| {
         for &t in &threads {
             let db = open_memsilo();
-            let logger = SiloLogger::install(make_log(t), &db);
+            let logger = SiloLogger::install(make_log(t), &db).expect("install logger");
             let cfg = TpccConfig::scaled(t as u32, scale);
             let tables = load(&db, &cfg);
             let mut driver = driver_config(t);

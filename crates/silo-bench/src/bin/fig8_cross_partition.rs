@@ -50,7 +50,12 @@ fn main() {
         let db = open_memsilo();
         let cfg = base(remote, TableSplit::PerWarehouse);
         let tables = load(&db, &cfg);
-        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(threads), None);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(threads),
+            None,
+        );
         println!(
             "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
             "MemSilo+Split",
@@ -58,14 +63,24 @@ fn main() {
             cross_pct,
             result.throughput()
         );
-        emit_bench_json("fig8", &format!("MemSilo+Split remote={remote}"), threads, &result);
+        emit_bench_json(
+            "fig8",
+            &format!("MemSilo+Split remote={remote}"),
+            threads,
+            &result,
+        );
         db.stop_epoch_advancer();
 
         // MemSilo (shared trees).
         let db = open_memsilo();
         let cfg = base(remote, TableSplit::Shared);
         let tables = load(&db, &cfg);
-        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(threads), None);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(threads),
+            None,
+        );
         println!(
             "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
             "MemSilo",
@@ -73,7 +88,12 @@ fn main() {
             cross_pct,
             result.throughput()
         );
-        emit_bench_json("fig8", &format!("MemSilo remote={remote}"), threads, &result);
+        emit_bench_json(
+            "fig8",
+            &format!("MemSilo remote={remote}"),
+            threads,
+            &result,
+        );
         db.stop_epoch_advancer();
     }
     write_bench_json("fig8");

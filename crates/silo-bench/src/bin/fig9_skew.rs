@@ -42,7 +42,12 @@ fn main() {
         let db = open_memsilo();
         let cfg = base(false);
         let tables = load(&db, &cfg);
-        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(t),
+            None,
+        );
         print_row("MemSilo", t, &result);
         print_index_stats(&result);
         emit_bench_json("fig9", "MemSilo", t, &result);
@@ -53,7 +58,12 @@ fn main() {
         let db = open_memsilo();
         let cfg = base(true);
         let tables = load(&db, &cfg);
-        let result = run_workload(&db, Arc::new(TpccWorkload::new(cfg, tables)), driver_config(t), None);
+        let result = run_workload(
+            &db,
+            Arc::new(TpccWorkload::new(cfg, tables)),
+            driver_config(t),
+            None,
+        );
         print_row("MemSilo+FastIds", t, &result);
         emit_bench_json("fig9", "MemSilo+FastIds", t, &result);
         db.stop_epoch_advancer();

@@ -121,11 +121,12 @@ fn start_persistent(
     // The logger must be installed *before* the loader so the initial
     // population is itself recoverable (a crash before the first checkpoint
     // otherwise loses the base state).
-    let logger = SiloLogger::install(log_config(dir, threads), &db);
+    let logger = SiloLogger::install(log_config(dir, threads), &db).expect("install logger");
     let cfg = TpccConfig::scaled(threads as u32, scale);
     write_run_meta(dir, cfg.warehouses, scale);
     let tables = load(&db, &cfg);
-    let checkpointer = Checkpointer::spawn(Arc::clone(&db), Arc::clone(&logger), checkpoint_config(dir));
+    let checkpointer =
+        Checkpointer::spawn(Arc::clone(&db), Arc::clone(&logger), checkpoint_config(dir));
     // Base checkpoint: the bulk load is large relative to the workload's
     // per-second write volume, so fold it into the checkpoint immediately
     // rather than leaving it as permanent log tail.
@@ -185,8 +186,12 @@ fn mode_run(dir: &Path) {
 /// Shared by `recover` mode and the default benchmark: rebuild from `dir`,
 /// verify, report. Returns the restart-to-ready time in microseconds.
 fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) -> u64 {
-    let (warehouses, scale) = read_run_meta(dir)
-        .unwrap_or_else(|| (bench_threads().first().copied().unwrap_or(1) as u32, bench_scale()));
+    let (warehouses, scale) = read_run_meta(dir).unwrap_or_else(|| {
+        (
+            bench_threads().first().copied().unwrap_or(1) as u32,
+            bench_scale(),
+        )
+    });
     let cfg = TpccConfig::scaled(warehouses, scale);
 
     let started = Instant::now();
@@ -356,7 +361,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("run") => {
-            let dir = args.get(2).map(PathBuf::from).expect("usage: fig_recovery run <dir>");
+            let dir = args
+                .get(2)
+                .map(PathBuf::from)
+                .expect("usage: fig_recovery run <dir>");
             mode_run(&dir);
         }
         Some("recover") => {

@@ -68,7 +68,10 @@ fn run_threads(
             .collect();
         std::thread::sleep(bench_seconds());
         stop.store(true, Ordering::Relaxed);
-        handles.into_iter().map(|h| h.join().expect("bench thread")).sum::<u64>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .sum::<u64>()
     });
     (total, started.elapsed())
 }

@@ -32,7 +32,10 @@ fn main() {
     let table = load_silo(&db, &cfg);
     let baseline = CountingAllocator::allocated();
     CountingAllocator::reset_peak();
-    println!("database size after load : {:>12.1} MiB", baseline as f64 / (1024.0 * 1024.0));
+    println!(
+        "database size after load : {:>12.1} MiB",
+        baseline as f64 / (1024.0 * 1024.0)
+    );
 
     let result = run_workload(
         &db,
@@ -43,7 +46,10 @@ fn main() {
 
     let peak = CountingAllocator::peak();
     let growth = peak.saturating_sub(baseline);
-    println!("peak size during run     : {:>12.1} MiB", peak as f64 / (1024.0 * 1024.0));
+    println!(
+        "peak size during run     : {:>12.1} MiB",
+        peak as f64 / (1024.0 * 1024.0)
+    );
     println!(
         "growth (snapshot versions): {:>11.1} MiB ({:.1}% of the loaded database)",
         growth as f64 / (1024.0 * 1024.0),

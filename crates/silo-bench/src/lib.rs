@@ -41,7 +41,8 @@ thread_local! {
 // SAFETY: delegates to the system allocator; the bookkeeping is lock-free.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let now = ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        let now =
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
         PEAK.fetch_max(now, Ordering::Relaxed);
         // `with` may fail during thread teardown; allocation counting is
         // best-effort there.
@@ -82,12 +83,18 @@ impl CountingAllocator {
 
 /// Reads an environment variable as `u64`, with a default.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Reads an environment variable as `f64`, with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The per-point measurement duration.
@@ -233,7 +240,7 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
     }
     if let Some(log) = &result.logger_stats {
         row.push_str(&format!(
-            ",\"log_buffers_published\":{},\"log_steal_publishes\":{},\"log_pool_hits\":{},\"log_pool_misses\":{},\"log_sync_calls\":{},\"log_bytes_published\":{},\"log_bytes_written\":{},\"log_segments_rotated\":{},\"log_segments_deleted\":{},\"log_bytes_truncated\":{}",
+            ",\"log_buffers_published\":{},\"log_steal_publishes\":{},\"log_pool_hits\":{},\"log_pool_misses\":{},\"log_sync_calls\":{},\"log_bytes_published\":{},\"log_bytes_written\":{},\"log_segments_rotated\":{},\"log_segments_deleted\":{},\"log_bytes_truncated\":{},\"log_retries\":{},\"log_backoff_micros\":{},\"log_failures\":{},\"log_checksum_blocks\":{},\"log_faults_injected\":{}",
             log.buffers_published,
             log.steal_publishes,
             log.pool_hits,
@@ -244,6 +251,11 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
             log.segments_rotated,
             log.segments_deleted,
             log.bytes_truncated,
+            log.retries,
+            log.backoff_micros,
+            log.logger_failures,
+            log.checksum_blocks,
+            log.faults_injected,
         ));
     }
     if let Some(idx) = &result.index_stats {

@@ -149,7 +149,8 @@ fn warmed_worker_with_logger_commits_without_heap_allocation() {
             ..LogConfig::in_memory(1)
         },
         &db,
-    );
+    )
+    .expect("install logger");
     let table = db.create_table("ycsb").unwrap();
     let mut worker = db.register_worker();
 

@@ -48,12 +48,7 @@ pub enum BulkOutcome {
 /// `(table, key)` (distinct keys are fine — the index handles concurrent
 /// structural changes). A superseded record that no longer fits its new value
 /// is freed immediately, which is only sound under this contract.
-pub unsafe fn bulk_apply(
-    table: &Table,
-    key: &[u8],
-    tid: Tid,
-    value: Option<&[u8]>,
-) -> BulkOutcome {
+pub unsafe fn bulk_apply(table: &Table, key: &[u8], tid: Tid, value: Option<&[u8]>) -> BulkOutcome {
     let tree = table.tree();
     loop {
         match tree.get(key) {
@@ -271,7 +266,11 @@ mod tests {
         let mut w = db.register_worker();
         let mut txn = w.begin();
         assert_eq!(txn.read(t, b"k").unwrap(), Some(b"back".to_vec()));
-        assert_eq!(txn.read(t, b"nope").unwrap(), None, "tombstone must hide the key");
+        assert_eq!(
+            txn.read(t, b"nope").unwrap(),
+            None,
+            "tombstone must hide the key"
+        );
         txn.commit().unwrap();
     }
 

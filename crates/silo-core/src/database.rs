@@ -116,6 +116,26 @@ impl CommitWrites for [CommitWrite<'_>] {
     }
 }
 
+/// The durability subsystem's backpressure signal (see
+/// [`CommitHook::durability_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityHealth {
+    /// Durability is keeping up with the global epoch.
+    Healthy,
+    /// The durable epoch is lagging the global epoch beyond the configured
+    /// watermark (a stalled or backlogged log device). Commits still succeed
+    /// but their durability acknowledgements are delayed; callers should
+    /// shed load or slow down.
+    Degraded {
+        /// How many epochs the durable epoch trails the global epoch by.
+        lag_epochs: u64,
+    },
+    /// Durability has failed permanently (e.g. a logger exhausted its retry
+    /// budget on a dead device). Commits still execute in memory but will
+    /// never be acknowledged durable.
+    Failed,
+}
+
 /// Hook invoked by workers when a transaction commits, used by the durability
 /// subsystem (`silo-log`) to build redo log records without the engine
 /// depending on it.
@@ -127,6 +147,13 @@ pub trait CommitHook: Send + Sync {
 
     /// Called when a worker finishes (used to flush partial buffers).
     fn on_worker_finish(&self, _worker_id: usize) {}
+
+    /// The hook's current durability health, for backpressure. Hooks that
+    /// cannot fail (or do not track failure) report
+    /// [`DurabilityHealth::Healthy`].
+    fn durability_health(&self) -> DurabilityHealth {
+        DurabilityHealth::Healthy
+    }
 }
 
 /// The Silo database: configuration, epoch subsystem, and table catalog.
@@ -204,6 +231,15 @@ impl Database {
     /// The installed commit hook, if any.
     pub(crate) fn commit_hook(&self) -> Option<&Arc<dyn CommitHook>> {
         self.commit_hook.get()
+    }
+
+    /// The durability subsystem's backpressure signal. A database without a
+    /// commit hook is always [`DurabilityHealth::Healthy`] — it never
+    /// promised durability in the first place.
+    pub fn durability_health(&self) -> DurabilityHealth {
+        self.commit_hook
+            .get()
+            .map_or(DurabilityHealth::Healthy, |h| h.durability_health())
     }
 
     /// Creates a new table, returning its id.

@@ -79,10 +79,18 @@ mod tests {
 
     #[test]
     fn display_strings_are_informative() {
-        assert!(Abort(AbortReason::ReadValidation).to_string().contains("read-set"));
-        assert!(Abort(AbortReason::NodeValidation).to_string().contains("node-set"));
-        assert!(CatalogError::TableExists("t".into()).to_string().contains("t"));
-        assert!(CatalogError::NoSuchTable("x".into()).to_string().contains("x"));
+        assert!(Abort(AbortReason::ReadValidation)
+            .to_string()
+            .contains("read-set"));
+        assert!(Abort(AbortReason::NodeValidation)
+            .to_string()
+            .contains("node-set"));
+        assert!(CatalogError::TableExists("t".into())
+            .to_string()
+            .contains("t"));
+        assert!(CatalogError::NoSuchTable("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -118,7 +118,12 @@ impl RecordPool {
 
     /// Allocates a record with the given data and TID word and a capacity of
     /// at least `min_capacity`, recycling a pooled allocation when possible.
-    pub(crate) fn allocate(&mut self, data: &[u8], word: TidWord, min_capacity: usize) -> *mut Record {
+    pub(crate) fn allocate(
+        &mut self,
+        data: &[u8],
+        word: TidWord,
+        min_capacity: usize,
+    ) -> *mut Record {
         let needed = data.len().max(min_capacity);
         if self.enabled {
             if let Some(class) = Self::class_index(needed) {

@@ -64,7 +64,9 @@ pub mod worker;
 
 pub use bulk::{bulk_apply, sweep_absent, BulkOutcome};
 pub use config::SiloConfig;
-pub use database::{CommitHook, CommitWrite, CommitWrites, Database, Table, TableId};
+pub use database::{
+    CommitHook, CommitWrite, CommitWrites, Database, DurabilityHealth, Table, TableId,
+};
 pub use error::{Abort, AbortReason, CatalogError};
 pub use silo_epoch::{EpochConfig, EpochManager};
 pub use silo_index::IndexStats;

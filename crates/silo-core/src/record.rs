@@ -425,8 +425,12 @@ mod tests {
             rec.tid().lock();
             // SAFETY: lock held, data fits.
             unsafe { rec.overwrite(&pattern) };
-            rec.tid()
-                .store_and_unlock(TidWord::new(Tid::new(1, (i % 2_000_000) + 1), false, true, false));
+            rec.tid().store_and_unlock(TidWord::new(
+                Tid::new(1, (i % 2_000_000) + 1),
+                false,
+                true,
+                false,
+            ));
         }
         stop.store(true, Ordering::Relaxed);
         for t in readers {

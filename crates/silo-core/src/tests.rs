@@ -143,8 +143,12 @@ fn scan_returns_sorted_committed_data() {
 
     let mut txn = w.begin();
     for i in 0..50u32 {
-        txn.write(t, format!("key{:03}", i).as_bytes(), format!("val{}", i).as_bytes())
-            .unwrap();
+        txn.write(
+            t,
+            format!("key{:03}", i).as_bytes(),
+            format!("val{}", i).as_bytes(),
+        )
+        .unwrap();
     }
     txn.commit().unwrap();
 
@@ -267,7 +271,9 @@ fn phantom_protection_on_scans() {
     {
         let mut setup = w1.begin();
         for i in 0..20u32 {
-            setup.write(t, format!("k{:02}", i).as_bytes(), b"v").unwrap();
+            setup
+                .write(t, format!("k{:02}", i).as_bytes(), b"v")
+                .unwrap();
         }
         setup.commit().unwrap();
     }
@@ -333,7 +339,9 @@ fn own_insert_does_not_invalidate_own_scan() {
 
     let mut setup = w.begin();
     for i in 0..10u32 {
-        setup.write(t, format!("k{:02}", i).as_bytes(), b"v").unwrap();
+        setup
+            .write(t, format!("k{:02}", i).as_bytes(), b"v")
+            .unwrap();
     }
     setup.commit().unwrap();
 
@@ -688,8 +696,12 @@ fn concurrent_bank_transfers_preserve_total_balance() {
         let mut w = db.register_worker();
         let mut txn = w.begin();
         for a in 0..accounts {
-            txn.write(t, format!("acct{:02}", a).as_bytes(), &initial.to_be_bytes())
-                .unwrap();
+            txn.write(
+                t,
+                format!("acct{:02}", a).as_bytes(),
+                &initial.to_be_bytes(),
+            )
+            .unwrap();
         }
         txn.commit().unwrap();
     }
@@ -704,7 +716,9 @@ fn concurrent_bank_transfers_preserve_total_balance() {
             let mut committed = 0u64;
             let mut state = 0x243F6A8885A308D3u64 ^ (tid as u64);
             for _ in 0..transfers_per_thread {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let from = (state >> 33) as u32 % accounts;
                 let to = (state >> 13) as u32 % accounts;
                 if from == to {
@@ -744,7 +758,10 @@ fn concurrent_bank_transfers_preserve_total_balance() {
     let mut txn = w.begin();
     let mut sum = 0u64;
     for a in 0..accounts {
-        let v = txn.read(t, format!("acct{:02}", a).as_bytes()).unwrap().unwrap();
+        let v = txn
+            .read(t, format!("acct{:02}", a).as_bytes())
+            .unwrap()
+            .unwrap();
         sum += u64::from_be_bytes(v.try_into().unwrap());
     }
     txn.commit().unwrap();
@@ -829,7 +846,10 @@ fn concurrent_inserts_of_same_key_commit_exactly_once() {
         }));
     }
     let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    assert_eq!(total_wins, 100, "each key committed by exactly one inserter");
+    assert_eq!(
+        total_wins, 100,
+        "each key committed by exactly one inserter"
+    );
     db.stop_epoch_advancer();
 }
 
@@ -909,7 +929,9 @@ fn read_only_transactions_write_nothing_shared() {
     txn.commit().unwrap();
     let mut txn = w.begin();
     assert!(txn.read(t, b"warm00000001").unwrap().is_some());
-    let _ = txn.scan(t, b"warm00000100", Some(b"warm00000200"), None).unwrap();
+    let _ = txn
+        .scan(t, b"warm00000100", Some(b"warm00000200"), None)
+        .unwrap();
     txn.commit().unwrap();
 
     let _ = shared_write_audit::take();
@@ -919,7 +941,10 @@ fn read_only_transactions_write_nothing_shared() {
     let mut txn = w.begin();
     for i in (0..500u64).step_by(13) {
         let k = format!("warm{i:08}");
-        assert_eq!(txn.read(t, k.as_bytes()).unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(
+            txn.read(t, k.as_bytes()).unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
     }
     assert_eq!(txn.read(t, b"warm-absent-key").unwrap(), None);
     assert_eq!(
@@ -928,7 +953,10 @@ fn read_only_transactions_write_nothing_shared() {
             .as_deref(),
         Some(&b"v"[..])
     );
-    assert_eq!(txn.read(t, b"longprefix-shared-0007-with-a-MISS").unwrap(), None);
+    assert_eq!(
+        txn.read(t, b"longprefix-shared-0007-with-a-MISS").unwrap(),
+        None
+    );
     let r = txn
         .scan(t, b"warm00000100", Some(b"warm00000200"), None)
         .unwrap();

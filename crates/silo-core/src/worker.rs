@@ -174,9 +174,7 @@ impl Worker {
 
     fn on_txn_boundary(&mut self) {
         self.txns_since_gc += 1;
-        if self.db.config().enable_gc
-            && self.txns_since_gc >= self.db.config().gc_interval_txns
-        {
+        if self.db.config().enable_gc && self.txns_since_gc >= self.db.config().gc_interval_txns {
             self.txns_since_gc = 0;
             self.collect_garbage();
         }
@@ -248,7 +246,8 @@ impl Worker {
         let mut ready = std::mem::take(&mut self.gc_scratch);
 
         ready.clear();
-        self.snapshot_garbage.take_ready_into(snapshot_reclaim, &mut ready);
+        self.snapshot_garbage
+            .take_ready_into(snapshot_reclaim, &mut ready);
         for (_, garbage) in ready.drain(..) {
             match garbage {
                 Garbage::Record(ptr) => {
@@ -330,8 +329,14 @@ impl Worker {
         if !tid.try_lock() {
             // A committing transaction holds the record; try again at the
             // next collection round.
-            self.snapshot_garbage
-                .push(current_epoch, Garbage::Unhook { table: table_id, key, record });
+            self.snapshot_garbage.push(
+                current_epoch,
+                Garbage::Unhook {
+                    table: table_id,
+                    key,
+                    record,
+                },
+            );
             return;
         }
         let word = tid.load();

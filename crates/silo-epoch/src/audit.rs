@@ -72,9 +72,7 @@ mod tests {
     fn counter_is_thread_local() {
         let _ = take();
         note();
-        std::thread::spawn(|| assert_eq!(take(), 0))
-            .join()
-            .unwrap();
+        std::thread::spawn(|| assert_eq!(take(), 0)).join().unwrap();
         assert_eq!(take(), 1);
     }
 }

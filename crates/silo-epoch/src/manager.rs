@@ -558,7 +558,7 @@ mod tests {
         w1.refresh();
         w2.refresh();
         m.advance_n(1); // E = 2 (both at 1)
-        // min e_w = 1 -> tree reclamation epoch 0
+                        // min e_w = 1 -> tree reclamation epoch 0
         assert_eq!(m.tree_reclamation_epoch(), 0);
         w1.refresh();
         w2.refresh(); // both at 2

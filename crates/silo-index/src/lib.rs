@@ -350,7 +350,9 @@ impl Counters {
     fn note_retry(&self) {
         // Relaxed add to a line owned (modulo shard collisions) by this
         // thread: no cross-thread cacheline bounce on the retry path.
-        self.reader_retries[retry_shard()].0.fetch_add(1, Ordering::Relaxed);
+        self.reader_retries[retry_shard()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sums the per-thread retry cells. Each cell is read exactly once, so
@@ -495,9 +497,20 @@ const SCAN_PREFETCH_DISTANCE: usize = 3;
 /// One validated leaf entry captured during a scan, processed only after the
 /// leaf version check passed.
 enum ScanItem {
-    Inline { slice: u64, klen: u8, value: u64 },
-    Suffix { slice: u64, suffix: *mut KeyBuf, value: u64 },
-    Layer { slice: u64, layer: u64 },
+    Inline {
+        slice: u64,
+        klen: u8,
+        value: u64,
+    },
+    Suffix {
+        slice: u64,
+        suffix: *mut KeyBuf,
+        value: u64,
+    },
+    Layer {
+        slice: u64,
+        layer: u64,
+    },
 }
 
 /// Per-trie-layer scan state (one per layer on the current descent path;
@@ -842,9 +855,10 @@ impl Tree {
                 frame.version = leaf.header.stable_version();
                 continue;
             }
-            result
-                .nodes
-                .push((NodeRef::from_ptr(frame.leaf as *const NodeHeader), frame.version));
+            result.nodes.push((
+                NodeRef::from_ptr(frame.leaf as *const NodeHeader),
+                frame.version,
+            ));
             return;
         }
     }
@@ -894,7 +908,9 @@ impl Tree {
 
         loop {
             let step = {
-                let Some(frame) = frames.last_mut() else { return };
+                let Some(frame) = frames.last_mut() else {
+                    return;
+                };
                 let local_start: &[u8] = match frame.start {
                     Some(off) => &start[off..],
                     None => b"",
@@ -929,9 +945,7 @@ impl Tree {
                             if kb < local_start {
                                 continue;
                             }
-                            if local_end.is_some_and(|e| kb >= e)
-                                || result.entries.len() >= limit
-                            {
+                            if local_end.is_some_and(|e| kb >= e) || result.entries.len() >= limit {
                                 step = Some(ScanStep::Done);
                                 break;
                             }
@@ -973,20 +987,17 @@ impl Tree {
                                 step = Some(ScanStep::Done);
                                 break;
                             }
-                            let sub_start: Option<usize> = if local_start.len() > 8
-                                && local_start[..8] == sb
-                            {
-                                frame.start.map(|off| off + 8)
-                            } else if local_start <= &sb[..] {
-                                None
-                            } else {
-                                // `local_start` routes past this subtree.
-                                continue;
-                            };
+                            let sub_start: Option<usize> =
+                                if local_start.len() > 8 && local_start[..8] == sb {
+                                    frame.start.map(|off| off + 8)
+                                } else if local_start <= &sb[..] {
+                                    None
+                                } else {
+                                    // `local_start` routes past this subtree.
+                                    continue;
+                                };
                             let sub_end: Option<usize> = match local_end {
-                                Some(e) if e.len() > 8 && e[..8] == sb => {
-                                    frame.end.map(|o| o + 8)
-                                }
+                                Some(e) if e.len() > 8 && e[..8] == sb => frame.end.map(|o| o + 8),
                                 // `end` > `sb` and not an extension: the
                                 // whole subtree is below it.
                                 _ => None,
@@ -1275,8 +1286,7 @@ impl Tree {
                         let klen = class; // inline length, or KLEN_SUFFIX
                         let mut changes = Vec::new();
                         if perm.count() < LEAF_WIDTH {
-                            let (_, old_version) =
-                                *chain.last().expect("chain contains the leaf");
+                            let (_, old_version) = *chain.last().expect("chain contains the leaf");
                             leaf_ref.insert_entry(perm, rank, slice, klen, suffix, value);
                             let new_version = leaf_ref.header.unlock_with_increment();
                             changes.push(NodeChange::Updated {
@@ -1302,7 +1312,13 @@ impl Tree {
                         // Leaf is full: split and propagate up the locked
                         // chain.
                         self.insert_with_splits(
-                            layer, slice, klen, suffix, value, &chain, &mut changes,
+                            layer,
+                            slice,
+                            klen,
+                            suffix,
+                            value,
+                            &chain,
+                            &mut changes,
                         );
                         shared_write_audit::note();
                         self.len.fetch_add(1, Ordering::Relaxed);
@@ -1353,7 +1369,11 @@ impl Tree {
         let right_leaf_ref = unsafe { &*right_leaf };
         // Insert the new entry into whichever half now covers its slice
         // (equal slices all moved to one side, so this is unambiguous).
-        let target: &LeafNode = if slice < sep { leaf_ref } else { right_leaf_ref };
+        let target: &LeafNode = if slice < sep {
+            leaf_ref
+        } else {
+            right_leaf_ref
+        };
         let perm = target.permutation();
         match target.search(perm, slice, klen_class(klen)) {
             LeafSearch::NotFound { rank } => {
@@ -1378,7 +1398,11 @@ impl Tree {
                 // SAFETY: freshly allocated root, exclusively owned until
                 // published via the store below.
                 unsafe {
-                    (*root).init_root(sep, old_top as *mut NodeHeader, right_node as *mut NodeHeader);
+                    (*root).init_root(
+                        sep,
+                        old_top as *mut NodeHeader,
+                        right_node as *mut NodeHeader,
+                    );
                 }
                 layer.root.store(root as *mut NodeHeader, Ordering::Release);
                 new_root = root as *const NodeHeader;
@@ -1404,7 +1428,11 @@ impl Tree {
             self.counters.splits.fetch_add(1, Ordering::Relaxed);
             // SAFETY: split returns a live, locked right sibling.
             let anc_right_ref = unsafe { &*anc_right };
-            let target: &InnerNode = if sep < promoted { anc_ref } else { anc_right_ref };
+            let target: &InnerNode = if sep < promoted {
+                anc_ref
+            } else {
+                anc_right_ref
+            };
             let idx = target.route(sep);
             target.insert_separator(idx, sep, right_node as *mut NodeHeader);
             updated.push((anc_hdr, anc_old_version));

@@ -716,12 +716,8 @@ impl InnerNode {
         let mut j = 0;
         for rank in (mid + 1)..n {
             let slot = perm.slot(rank);
-            right_ref
-                .keys[j]
-                .store(self.keys[slot].load(Ordering::Relaxed), Ordering::Release);
-            right_ref
-                .rights[j]
-                .store(self.rights[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref.keys[j].store(self.keys[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref.rights[j].store(self.rights[slot].load(Ordering::Relaxed), Ordering::Release);
             j += 1;
         }
         right_ref
@@ -735,7 +731,12 @@ impl InnerNode {
         // any other torn route.
         let mut low_keys = [0u64; FANOUT];
         let mut low_rights = [std::ptr::null_mut(); FANOUT];
-        for (rank, (k, r)) in low_keys.iter_mut().zip(&mut low_rights).enumerate().take(mid) {
+        for (rank, (k, r)) in low_keys
+            .iter_mut()
+            .zip(&mut low_rights)
+            .enumerate()
+            .take(mid)
+        {
             let slot = perm.slot(rank);
             *k = self.keys[slot].load(Ordering::Relaxed);
             *r = self.rights[slot].load(Ordering::Relaxed);
@@ -1076,9 +1077,10 @@ impl LeafNode {
             // left slot keeps a stale copy, but it sits in the free region
             // after the truncation below, so only the right sibling ever
             // frees it.
-            right_ref
-                .suffixes[j]
-                .store(self.suffixes[slot].load(Ordering::Relaxed), Ordering::Release);
+            right_ref.suffixes[j].store(
+                self.suffixes[slot].load(Ordering::Relaxed),
+                Ordering::Release,
+            );
             right_ref.values[j].store(self.values[slot].load(Ordering::Relaxed), Ordering::Release);
             j += 1;
         }
@@ -1147,7 +1149,10 @@ mod tests {
     fn identity_tail_matches_constructors() {
         assert_eq!(Permutation::empty().raw() >> 4, Permutation::IDENTITY_TAIL);
         for n in 0..=LEAF_WIDTH {
-            assert_eq!(Permutation::identity(n).raw() >> 4, Permutation::IDENTITY_TAIL);
+            assert_eq!(
+                Permutation::identity(n).raw() >> 4,
+                Permutation::IDENTITY_TAIL
+            );
         }
         // Rightmost appends preserve the identity tail; a mid-rank insert
         // breaks it (and with it the sorted-scan fast path in `route_at`).
@@ -1220,7 +1225,14 @@ mod tests {
                 LeafSearch::NotFound { rank } => rank,
                 LeafSearch::Found { .. } => panic!("unexpected"),
             };
-            leaf.insert_entry(perm, rank, slice, class, std::ptr::null_mut(), i as u64 + 10);
+            leaf.insert_entry(
+                perm,
+                rank,
+                slice,
+                class,
+                std::ptr::null_mut(),
+                i as u64 + 10,
+            );
         }
         assert_eq!(leaf.permutation().count(), 3);
         let (slice, class) = keyslice(b"dd");
@@ -1373,7 +1385,10 @@ mod tests {
         // SAFETY: right sibling freshly created by split.
         let right = unsafe { &*right_ptr };
         let shared_slice = keyslice(shared).0;
-        assert!(sep > shared_slice, "shared-slice run must stay in the left leaf");
+        assert!(
+            sep > shared_slice,
+            "shared-slice run must stay in the left leaf"
+        );
         assert_eq!(leaf.permutation().count(), 10);
         assert_eq!(right.permutation().count(), LEAF_WIDTH - 10);
         leaf.header.unlock_with_increment();
@@ -1562,7 +1577,9 @@ mod tests {
         let mut children = Vec::new();
         let first = LeafNode::allocate();
         children.push(first);
-        inner.child0.store(first as *mut NodeHeader, Ordering::Release);
+        inner
+            .child0
+            .store(first as *mut NodeHeader, Ordering::Release);
         for i in 0..FANOUT {
             let c = LeafNode::allocate();
             children.push(c);

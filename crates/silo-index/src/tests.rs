@@ -164,7 +164,10 @@ fn insert_node_changes_cover_splits() {
                 .filter(|c| matches!(c, NodeChange::Created { .. }))
                 .count();
             assert!(updated >= 1, "expected an updated leaf: {node_changes:?}");
-            assert!(created >= 2, "expected new leaf + new root: {node_changes:?}");
+            assert!(
+                created >= 2,
+                "expected new leaf + new root: {node_changes:?}"
+            );
             // Reported new versions must match the live tree.
             for change in &node_changes {
                 match change {
@@ -427,7 +430,11 @@ fn absent_key_tracking_across_layer_shapes() {
     let (v, leaf, version) = t.get_tracked(k2);
     assert_eq!(v, None);
     t.insert_if_absent(k2, 2);
-    assert_ne!(t.node_version(leaf), version, "conversion must bump the leaf");
+    assert_ne!(
+        t.node_version(leaf),
+        version,
+        "conversion must bump the leaf"
+    );
 
     // (c) Key absent, bucket is a layer: the proof lives in the sub-layer
     // leaf, which the insert modifies.
@@ -498,7 +505,9 @@ fn removes_inside_layers_and_suffix_ownership() {
         t.insert_if_absent(k, i as u64);
     }
     // Remove a deep suffix entry; the RemovedEntry owns its suffix buffer.
-    let removed = t.remove(b"BBBBBBBBthree-with-a-long-tail").expect("present");
+    let removed = t
+        .remove(b"BBBBBBBBthree-with-a-long-tail")
+        .expect("present");
     assert_eq!(removed.value, 2);
     drop(removed); // single-threaded: immediate drop is fine
     assert_eq!(t.get(b"BBBBBBBBthree-with-a-long-tail"), None);
@@ -789,10 +798,7 @@ fn read_only_operations_write_nothing_shared() {
     }
     assert_eq!(t.get(b"missing-entirely"), None);
     assert_eq!(t.get(b"sharedprefix-0004-plus-a-long-MISS"), None);
-    assert_eq!(
-        t.get(b"sharedprefix-0011-plus-a-long-suffix"),
-        Some(10_011)
-    );
+    assert_eq!(t.get(b"sharedprefix-0011-plus-a-long-suffix"), Some(10_011));
     let r = t.scan(&key(100), Some(&key(400)), None);
     assert_eq!(r.entries.len(), 300);
     let r = t.scan(b"sharedprefix-", None, Some(50));
@@ -848,7 +854,10 @@ fn concurrent_readers_during_interior_splits_see_consistent_routing() {
     for r in readers {
         r.join().unwrap();
     }
-    assert!(t.stats().inners > 1, "workload must have split interior nodes");
+    assert!(
+        t.stats().inners > 1,
+        "workload must have split interior nodes"
+    );
     for i in 0..n {
         assert_eq!(t.get(&enc(i).to_be_bytes()), Some(i));
     }
@@ -892,12 +901,10 @@ mod proptests {
             ]),
             Just(b"AAAAAAAABBBBBBBBCCCCCCCC".to_vec()),
         ];
-        (prefix, vec(prop::sample::select(vec![0u8, 1, 65]), 0..4)).prop_map(
-            |(mut p, tail)| {
-                p.extend(tail);
-                p
-            },
-        )
+        (prefix, vec(prop::sample::select(vec![0u8, 1, 65]), 0..4)).prop_map(|(mut p, tail)| {
+            p.extend(tail);
+            p
+        })
     }
 
     fn arb_op<S: Strategy<Value = Vec<u8>> + 'static>(

@@ -1,0 +1,492 @@
+//! Deterministic fault injection for the durability pipeline.
+//!
+//! A [`FaultPlan`] is a seeded failpoint registry: it schedules faults (by
+//! kind) at specific operation counts of specific [`FaultSite`]s. Sinks are
+//! wrapped in a [`FaultSink`] only when a plan is configured through
+//! [`crate::LogConfig::fault`], so production configurations pay nothing —
+//! the hot path never even branches on a disabled plan.
+//!
+//! Plans are either built explicitly ([`FaultPlan::new`] + [`FaultPlan::fail_at`],
+//! for unit tests that need one precise fault) or derived from a seed
+//! ([`FaultPlan::from_seed`] / [`FaultPlan::profile`], for the fault-matrix
+//! suite: the same seed always yields the same schedule, so every CI failure
+//! is reproducible from the printed seed alone).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::sink::{LogSink, SinkError, TruncateOutcome};
+
+/// Where in the durability pipeline a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A logger thread appending one group-commit round to its sink.
+    Append,
+    /// A logger thread syncing its sink.
+    Sync,
+    /// A logger thread rotating to a fresh log segment.
+    Rotate,
+    /// A checkpoint slice writer, between tables (mid-checkpoint).
+    CkptSlice,
+    /// The checkpointer, after the slices are durable but before the
+    /// `MANIFEST` temp file is renamed into place.
+    CkptBeforeManifest,
+    /// The checkpointer, right after the `MANIFEST` rename (checkpoint is
+    /// complete on disk, nothing else has happened).
+    CkptAfterManifest,
+    /// The checkpointer, after the manifest directory sync but before the log
+    /// is truncated against the new checkpoint.
+    CkptBeforeTruncate,
+}
+
+/// Number of distinct [`FaultSite`]s (sizing the per-site counters).
+const N_SITES: usize = 7;
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Append => 0,
+            FaultSite::Sync => 1,
+            FaultSite::Rotate => 2,
+            FaultSite::CkptSlice => 3,
+            FaultSite::CkptBeforeManifest => 4,
+            FaultSite::CkptAfterManifest => 5,
+            FaultSite::CkptBeforeTruncate => 6,
+        }
+    }
+}
+
+/// What kind of failure to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient I/O error: the operation fails without side effects and a
+    /// retry may succeed.
+    Transient,
+    /// A permanent I/O error: the operation fails and retries cannot help
+    /// (dead device).
+    Permanent,
+    /// The device is out of space (`ENOSPC`). Retryable — log truncation can
+    /// free space.
+    NoSpace,
+    /// A short (torn) write: only a prefix of the data reaches the sink, then
+    /// the device dies. Models a crash tearing the last append.
+    ShortWrite,
+    /// Silent corruption: one bit of the appended data is flipped and the
+    /// write then *succeeds*. Only checksums can catch this.
+    BitFlip {
+        /// Which bit of the payload to flip (taken modulo the payload size).
+        bit: u64,
+    },
+    /// The sync succeeds, but only after stalling this long (slow disk).
+    SyncStall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Abort the enclosing operation in place, without cleanup — the
+    /// checkpointer's crash points use this to simulate `kill -9` at
+    /// protocol-critical instants.
+    Crash,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    site: FaultSite,
+    /// Fire on the `at`-th operation at `site` (1-based).
+    at: u64,
+    kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, shared by every sink and the
+/// checkpointer of one logging subsystem.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    scheduled: Mutex<Vec<Scheduled>>,
+    ops: [AtomicU64; N_SITES],
+    injected: AtomicU64,
+    crashes: AtomicU64,
+}
+
+/// xorshift64* — deterministic, dependency-free PRNG for seeded schedules.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultPlan {
+    /// An empty plan (schedule faults with [`FaultPlan::fail_at`]).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` to fire on the `nth` operation (1-based) at `site`.
+    pub fn fail_at(self, site: FaultSite, nth: u64, kind: FaultKind) -> FaultPlan {
+        self.scheduled.lock().push(Scheduled {
+            site,
+            at: nth.max(1),
+            kind,
+        });
+        self
+    }
+
+    /// A random mixed schedule derived from `seed`: a handful of faults of
+    /// random kinds at random early operation counts.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut state = seed | 1;
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        let faults = 1 + (xorshift(&mut state) % 4);
+        for _ in 0..faults {
+            let site = match xorshift(&mut state) % 5 {
+                0 => FaultSite::Append,
+                1 => FaultSite::Sync,
+                2 => FaultSite::Rotate,
+                3 => FaultSite::CkptSlice,
+                _ => FaultSite::CkptBeforeManifest,
+            };
+            let at = 1 + (xorshift(&mut state) % 24);
+            let kind = Self::random_kind(&mut state, site);
+            plan = plan.fail_at(site, at, kind);
+        }
+        plan
+    }
+
+    /// A schedule of one fault *family* (so tests can assert family-specific
+    /// invariants) with seed-determined positions:
+    ///
+    /// | profile | injected faults |
+    /// |---|---|
+    /// | `transient` | bursts of retryable errors on append/sync |
+    /// | `permanent` | one permanent error on append or sync |
+    /// | `torn` | one short (torn) write on append |
+    /// | `corrupt` | one silent bit flip on append |
+    /// | `enospc` | `ENOSPC` on rotate and append |
+    /// | `stall` | sync stalls |
+    /// | `crash` | one checkpointer crash point |
+    pub fn profile(profile: &str, seed: u64) -> FaultPlan {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15 | 1;
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        let pick = |state: &mut u64, range: u64| 1 + (xorshift(state) % range);
+        match profile {
+            "transient" => {
+                // A burst: several consecutive appends/syncs fail transiently,
+                // exercising the backoff loop more than once per round.
+                let start = pick(&mut state, 12);
+                for i in 0..1 + (xorshift(&mut state) % 3) {
+                    plan = plan.fail_at(FaultSite::Append, start + i, FaultKind::Transient);
+                }
+                plan = plan.fail_at(FaultSite::Sync, pick(&mut state, 12), FaultKind::Transient);
+            }
+            "permanent" => {
+                let site = if xorshift(&mut state) % 2 == 0 {
+                    FaultSite::Append
+                } else {
+                    FaultSite::Sync
+                };
+                plan = plan.fail_at(site, pick(&mut state, 16), FaultKind::Permanent);
+            }
+            "torn" => {
+                plan = plan.fail_at(
+                    FaultSite::Append,
+                    pick(&mut state, 16),
+                    FaultKind::ShortWrite,
+                );
+            }
+            "corrupt" => {
+                plan = plan.fail_at(
+                    FaultSite::Append,
+                    pick(&mut state, 16),
+                    FaultKind::BitFlip {
+                        bit: xorshift(&mut state),
+                    },
+                );
+            }
+            "enospc" => {
+                plan = plan
+                    .fail_at(FaultSite::Rotate, 1, FaultKind::NoSpace)
+                    .fail_at(FaultSite::Append, pick(&mut state, 12), FaultKind::NoSpace);
+            }
+            "stall" => {
+                plan = plan
+                    .fail_at(
+                        FaultSite::Sync,
+                        pick(&mut state, 8),
+                        FaultKind::SyncStall {
+                            millis: 5 + xorshift(&mut state) % 40,
+                        },
+                    )
+                    .fail_at(
+                        FaultSite::Sync,
+                        8 + pick(&mut state, 8),
+                        FaultKind::SyncStall {
+                            millis: 5 + xorshift(&mut state) % 40,
+                        },
+                    );
+            }
+            "crash" => {
+                let site = match xorshift(&mut state) % 4 {
+                    0 => FaultSite::CkptSlice,
+                    1 => FaultSite::CkptBeforeManifest,
+                    2 => FaultSite::CkptAfterManifest,
+                    _ => FaultSite::CkptBeforeTruncate,
+                };
+                plan = plan.fail_at(site, pick(&mut state, 3), FaultKind::Crash);
+            }
+            other => panic!("unknown fault profile {other:?}"),
+        }
+        plan
+    }
+
+    fn random_kind(state: &mut u64, site: FaultSite) -> FaultKind {
+        match site {
+            FaultSite::CkptSlice
+            | FaultSite::CkptBeforeManifest
+            | FaultSite::CkptAfterManifest
+            | FaultSite::CkptBeforeTruncate => FaultKind::Crash,
+            _ => match xorshift(state) % 6 {
+                0 => FaultKind::Transient,
+                1 => FaultKind::Permanent,
+                2 => FaultKind::NoSpace,
+                3 => FaultKind::ShortWrite,
+                4 => FaultKind::BitFlip {
+                    bit: xorshift(state),
+                },
+                _ => FaultKind::SyncStall {
+                    millis: 1 + xorshift(state) % 20,
+                },
+            },
+        }
+    }
+
+    /// The seed the plan was derived from (0 for explicitly built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counts one operation at `site` and returns the fault scheduled for it,
+    /// if any. Each scheduled fault fires at most once.
+    pub fn next_fault(&self, site: FaultSite) -> Option<FaultKind> {
+        let count = self.ops[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut scheduled = self.scheduled.lock();
+        let hit = scheduled
+            .iter()
+            .position(|s| s.site == site && s.at == count)?;
+        let fault = scheduled.swap_remove(hit);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if fault.kind == FaultKind::Crash {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(fault.kind)
+    }
+
+    /// Counts one operation at a crash-point `site` and reports whether an
+    /// injected crash is scheduled there.
+    pub fn crash_at(&self, site: FaultSite) -> bool {
+        matches!(self.next_fault(site), Some(FaultKind::Crash))
+    }
+
+    /// Total faults injected so far (including crash points).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Injected crash points fired so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+}
+
+/// The error payload of an injected checkpoint crash, so callers can tell an
+/// injected abort (skip cleanup — simulate `kill -9`) from a real I/O error.
+#[derive(Debug)]
+pub struct InjectedCrash(pub FaultSite);
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected crash at {:?}", self.0)
+    }
+}
+
+impl std::error::Error for InjectedCrash {}
+
+/// Whether an I/O error is an injected checkpoint crash.
+pub fn is_injected_crash(e: &std::io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<InjectedCrash>())
+}
+
+/// A [`LogSink`] wrapper that injects the faults a [`FaultPlan`] schedules.
+///
+/// Fault semantics preserve the sink contract ([`LogSink::append`]): a
+/// *transient* failure (including `ENOSPC`) is injected **before** any byte
+/// reaches the inner sink, so a retry is safe; a *torn* write appends a
+/// prefix and then fails permanently (the tail stays torn, exactly like a
+/// crash mid-append); a *bit flip* silently corrupts the data and reports
+/// success.
+pub struct FaultSink {
+    inner: Box<dyn LogSink + Send>,
+    plan: std::sync::Arc<FaultPlan>,
+}
+
+impl FaultSink {
+    /// Wraps `inner`, injecting the faults `plan` schedules.
+    pub fn new(inner: Box<dyn LogSink + Send>, plan: std::sync::Arc<FaultPlan>) -> FaultSink {
+        FaultSink { inner, plan }
+    }
+}
+
+impl LogSink for FaultSink {
+    fn append(&mut self, data: &[u8]) -> Result<(), SinkError> {
+        match self.plan.next_fault(FaultSite::Append) {
+            None | Some(FaultKind::Crash) => self.inner.append(data),
+            Some(FaultKind::Transient) => Err(SinkError::injected("append", true)),
+            Some(FaultKind::Permanent) => Err(SinkError::injected("append", false)),
+            Some(FaultKind::NoSpace) => Err(SinkError::no_space("append", true)),
+            Some(FaultKind::ShortWrite) => {
+                // A torn write: a prefix lands, then the device dies. The
+                // inner result is irrelevant — the sink is failed either way.
+                let torn = data.len() / 2;
+                let _ = self.inner.append(&data[..torn]);
+                Err(SinkError::injected_torn("append", torn, data.len()))
+            }
+            Some(FaultKind::BitFlip { bit }) => {
+                if data.is_empty() {
+                    return self.inner.append(data);
+                }
+                let mut corrupted = data.to_vec();
+                let pos = (bit / 8) as usize % corrupted.len();
+                corrupted[pos] ^= 1 << (bit % 8);
+                self.inner.append(&corrupted)
+            }
+            Some(FaultKind::SyncStall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.append(data)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), SinkError> {
+        match self.plan.next_fault(FaultSite::Sync) {
+            None | Some(FaultKind::Crash) | Some(FaultKind::BitFlip { .. }) => self.inner.sync(),
+            Some(FaultKind::Transient) => Err(SinkError::injected("sync", true)),
+            Some(FaultKind::Permanent) | Some(FaultKind::ShortWrite) => {
+                Err(SinkError::injected("sync", false))
+            }
+            Some(FaultKind::NoSpace) => Err(SinkError::no_space("sync", true)),
+            Some(FaultKind::SyncStall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.sync()
+            }
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn observe_epoch(&mut self, epoch: u64) {
+        self.inner.observe_epoch(epoch);
+    }
+
+    fn should_rotate(&self) -> bool {
+        self.inner.should_rotate()
+    }
+
+    fn rotate(&mut self) -> Result<bool, SinkError> {
+        match self.plan.next_fault(FaultSite::Rotate) {
+            None | Some(FaultKind::Crash) | Some(FaultKind::BitFlip { .. }) => self.inner.rotate(),
+            Some(FaultKind::Transient) => Err(SinkError::injected("rotate", true)),
+            Some(FaultKind::Permanent) | Some(FaultKind::ShortWrite) => {
+                Err(SinkError::injected("rotate", false))
+            }
+            Some(FaultKind::NoSpace) => Err(SinkError::no_space("rotate", true)),
+            Some(FaultKind::SyncStall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.rotate()
+            }
+        }
+    }
+
+    fn truncate_obsolete(&mut self, ckpt_epoch: u64) -> TruncateOutcome {
+        self.inner.truncate_obsolete(ckpt_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_fault_fires_exactly_once_at_its_count() {
+        let plan = FaultPlan::new().fail_at(FaultSite::Append, 3, FaultKind::Transient);
+        assert_eq!(plan.next_fault(FaultSite::Append), None);
+        assert_eq!(plan.next_fault(FaultSite::Append), None);
+        assert_eq!(
+            plan.next_fault(FaultSite::Append),
+            Some(FaultKind::Transient)
+        );
+        assert_eq!(plan.next_fault(FaultSite::Append), None);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let plan = FaultPlan::new()
+            .fail_at(FaultSite::Append, 1, FaultKind::Permanent)
+            .fail_at(FaultSite::Sync, 2, FaultKind::NoSpace);
+        assert_eq!(plan.next_fault(FaultSite::Sync), None);
+        assert_eq!(
+            plan.next_fault(FaultSite::Append),
+            Some(FaultKind::Permanent)
+        );
+        assert_eq!(plan.next_fault(FaultSite::Sync), Some(FaultKind::NoSpace));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in [1u64, 7, 0xDEAD_BEEF] {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            let fmt = |p: &FaultPlan| format!("{:?}", p.scheduled.lock());
+            assert_eq!(fmt(&a), fmt(&b), "seed {seed} must reproduce its schedule");
+        }
+        for profile in [
+            "transient",
+            "permanent",
+            "torn",
+            "corrupt",
+            "enospc",
+            "stall",
+            "crash",
+        ] {
+            let a = FaultPlan::profile(profile, 42);
+            let b = FaultPlan::profile(profile, 42);
+            assert_eq!(
+                format!("{:?}", a.scheduled.lock()),
+                format!("{:?}", b.scheduled.lock()),
+                "profile {profile} must be deterministic"
+            );
+            assert!(
+                !a.scheduled.lock().is_empty(),
+                "profile {profile} schedules something"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_points_report_through_crash_at() {
+        let plan = FaultPlan::new().fail_at(FaultSite::CkptBeforeManifest, 1, FaultKind::Crash);
+        assert!(plan.crash_at(FaultSite::CkptBeforeManifest));
+        assert!(!plan.crash_at(FaultSite::CkptBeforeManifest));
+        assert_eq!(plan.crashes(), 1);
+    }
+}

@@ -40,18 +40,21 @@
 
 pub mod checkpoint;
 pub mod compress;
+pub mod fault;
 pub mod record;
 mod recovery;
 mod sink;
 
 pub use checkpoint::{
-    latest_checkpoint, CheckpointConfig, CheckpointInfo, CheckpointStats, Checkpointer,
+    complete_checkpoints, latest_checkpoint, verify_checkpoint, CheckpointConfig, CheckpointInfo,
+    CheckpointStats, Checkpointer,
 };
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use recovery::{
-    apply_recovered, recover_directory, recover_into, scan_directory, scan_streams,
-    RecoveredState, RecoveryError, RecoveryOptions, RecoveryReport,
+    apply_recovered, recover_directory, recover_into, scan_directory, scan_streams, RecoveredState,
+    RecoveryError, RecoveryOptions, RecoveryReport,
 };
-pub use sink::{FileSink, LogSink, MemorySink};
+pub use sink::{FileSink, LogSink, MemorySink, SinkError, SinkErrorKind, TruncateOutcome};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,7 +64,7 @@ use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use silo_core::{CommitHook, CommitWrites, Database, Tid};
+use silo_core::{CommitHook, CommitWrites, Database, DurabilityHealth, Tid};
 
 use record::{encode_compressed_into, encode_epoch_marker, encode_txn_writes};
 
@@ -119,6 +122,20 @@ pub struct LogConfig {
     /// bytes (directory destinations only). Smaller segments let checkpoints
     /// truncate the log at a finer grain; each rotation costs one fsync.
     pub segment_bytes: u64,
+    /// Initial backoff after a transient sink error; doubles per consecutive
+    /// retry (capped at 64× this value).
+    pub retry_backoff: Duration,
+    /// Total backoff a logger may accumulate for one operation before it
+    /// gives up, marks itself failed, and freezes its durable epoch.
+    pub retry_budget: Duration,
+    /// Durable-epoch lag (global epoch − durable epoch) beyond which
+    /// [`SiloLogger::durability_health`] reports
+    /// [`DurabilityHealth::Degraded`] — the backpressure watermark a stalled
+    /// disk trips.
+    pub max_durable_lag_epochs: u64,
+    /// Fault-injection plan for tests; `None` (the default) adds no wrapper
+    /// and no per-operation cost.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for LogConfig {
@@ -132,6 +149,10 @@ impl Default for LogConfig {
             buffer_capacity: 64 * 1024,
             pool_buffers: 16,
             segment_bytes: 64 << 20,
+            retry_backoff: Duration::from_micros(500),
+            retry_budget: Duration::from_secs(2),
+            max_durable_lag_epochs: 128,
+            fault: None,
         }
     }
 }
@@ -153,6 +174,27 @@ impl LogConfig {
             num_loggers: num_loggers.max(1),
             ..Default::default()
         }
+    }
+}
+
+/// The outcome of [`SiloLogger::wait_for_durable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableWait {
+    /// The requested epoch became durable.
+    Durable,
+    /// The timeout elapsed before the epoch became durable. Durability may
+    /// still be making (slow) progress.
+    Timeout,
+    /// A logger thread failed permanently (exhausted its retry budget or hit
+    /// an unrecoverable sink error): its local durable epoch is frozen, so
+    /// the requested epoch can never become durable.
+    Failed,
+}
+
+impl DurableWait {
+    /// Whether the epoch became durable.
+    pub fn is_durable(self) -> bool {
+        self == DurableWait::Durable
     }
 }
 
@@ -185,13 +227,30 @@ pub struct LoggerStats {
     pub segments_deleted: u64,
     /// Bytes reclaimed by deleting redundant log segments.
     pub bytes_truncated: u64,
+    /// Sink operations retried after a transient error.
+    pub retries: u64,
+    /// Total microseconds logger threads spent backing off before retries —
+    /// the durability stall time a flaky or overloaded device caused.
+    pub backoff_micros: u64,
+    /// Logger threads that exhausted their retry budget (or hit a permanent
+    /// error) and froze their durable epoch. Non-zero means durability is
+    /// degraded; the process keeps running.
+    pub logger_failures: u64,
+    /// Segment deletions that failed during truncation (retried on the next
+    /// round).
+    pub truncate_failures: u64,
+    /// CRC32-sealed envelopes written to the sinks (one per group-commit
+    /// round or rotation stamp).
+    pub checksum_blocks: u64,
+    /// Faults the configured [`FaultPlan`] injected (0 without a plan).
+    pub faults_injected: u64,
 }
 
 impl std::fmt::Display for LoggerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written, {} rotations, {} segments / {} B truncated",
+            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written, {} rotations, {} segments / {} B truncated, {} retries ({} µs backoff), {} failed loggers, {} checksummed rounds, {} faults injected",
             self.buffers_published,
             self.steal_publishes,
             self.pool_hits,
@@ -202,6 +261,11 @@ impl std::fmt::Display for LoggerStats {
             self.segments_rotated,
             self.segments_deleted,
             self.bytes_truncated,
+            self.retries,
+            self.backoff_micros,
+            self.logger_failures,
+            self.checksum_blocks,
+            self.faults_injected,
         )
     }
 }
@@ -219,6 +283,11 @@ struct Counters {
     segments_rotated: AtomicU64,
     segments_deleted: AtomicU64,
     bytes_truncated: AtomicU64,
+    retries: AtomicU64,
+    backoff_micros: AtomicU64,
+    logger_failures: AtomicU64,
+    truncate_failures: AtomicU64,
+    checksum_blocks: AtomicU64,
 }
 
 /// The recycled buffer pool (paper §4.10: "it recycles [the buffers] to
@@ -411,6 +480,8 @@ pub struct SiloLogger {
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Memory sinks (one per logger) when the destination is `Memory`.
     memory_sinks: Vec<Arc<Mutex<Vec<u8>>>>,
+    /// The database's epoch manager, for the durable-lag watermark.
+    epochs: Arc<silo_core::EpochManager>,
 }
 
 impl std::fmt::Debug for SiloLogger {
@@ -423,29 +494,36 @@ impl std::fmt::Debug for SiloLogger {
 }
 
 impl SiloLogger {
-    /// Creates the logging subsystem and spawns its logger threads.
-    pub fn new(config: LogConfig, epochs: Arc<silo_core::EpochManager>) -> Arc<SiloLogger> {
+    /// Creates the logging subsystem and spawns its logger threads. Setup
+    /// failures (log directory or first segment cannot be created, thread
+    /// spawn fails) are returned as typed errors instead of panicking.
+    pub fn new(
+        config: LogConfig,
+        epochs: Arc<silo_core::EpochManager>,
+    ) -> Result<Arc<SiloLogger>, SinkError> {
         let num_loggers = config.num_loggers.max(1);
 
         // Build the per-logger sinks before spawning threads.
         let mut memory_sinks = Vec::new();
         let mut sinks: Vec<Box<dyn LogSink + Send>> = Vec::new();
         for i in 0..num_loggers {
-            match &config.destination {
-                LogDestination::Directory(dir) => {
-                    sinks.push(Box::new(FileSink::segmented(
-                        dir,
-                        i,
-                        num_loggers,
-                        config.fsync,
-                        config.segment_bytes,
-                    )));
-                }
+            let sink: Box<dyn LogSink + Send> = match &config.destination {
+                LogDestination::Directory(dir) => Box::new(FileSink::segmented(
+                    dir,
+                    i,
+                    num_loggers,
+                    config.fsync,
+                    config.segment_bytes,
+                )?),
                 LogDestination::Memory => {
                     let buf = Arc::new(Mutex::new(Vec::new()));
                     memory_sinks.push(Arc::clone(&buf));
-                    sinks.push(Box::new(MemorySink::new(buf)));
+                    Box::new(MemorySink::new(buf))
                 }
+            };
+            match &config.fault {
+                Some(plan) => sinks.push(Box::new(fault::FaultSink::new(sink, Arc::clone(plan)))),
+                None => sinks.push(sink),
             }
         }
 
@@ -468,32 +546,58 @@ impl SiloLogger {
 
         let mut handles = Vec::new();
         for (i, mut sink) in sinks.into_iter().enumerate() {
-            let shared = Arc::clone(&shared);
-            let epochs = Arc::clone(&epochs);
-            let handle = std::thread::Builder::new()
+            let thread_shared = Arc::clone(&shared);
+            let thread_epochs = Arc::clone(&epochs);
+            let spawned = std::thread::Builder::new()
                 .name(format!("silo-logger-{i}"))
                 .spawn(move || {
-                    logger_thread(i, shared, sink.as_mut(), epochs);
-                })
-                .expect("spawn logger thread");
-            handles.push(handle);
+                    logger_thread(i, thread_shared, sink.as_mut(), thread_epochs);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind: stop the loggers already running before
+                    // reporting the failure.
+                    shared.stop.store(true, Ordering::Release);
+                    for inbox in &shared.inboxes {
+                        let _guard = lock(&inbox.queue);
+                        inbox.cv.notify_all();
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(SinkError::setup(
+                        "spawn",
+                        format!("cannot spawn logger thread {i}: {e}"),
+                    ));
+                }
+            }
         }
 
-        Arc::new(SiloLogger {
+        Ok(Arc::new(SiloLogger {
             shared,
             handles: Mutex::new(handles),
             memory_sinks,
-        })
+            epochs,
+        }))
     }
 
     /// Convenience constructor: creates the logger and installs it as the
-    /// database's commit hook.
-    pub fn install(config: LogConfig, db: &Arc<Database>) -> Arc<SiloLogger> {
-        let logger = SiloLogger::new(config, Arc::clone(db.epochs()));
-        db.set_commit_hook(Arc::clone(&logger) as Arc<dyn CommitHook>)
-            .ok()
-            .expect("a commit hook was already installed");
-        logger
+    /// database's commit hook. Setup failures (including a commit hook
+    /// already being installed) are returned as typed errors.
+    pub fn install(config: LogConfig, db: &Arc<Database>) -> Result<Arc<SiloLogger>, SinkError> {
+        let logger = SiloLogger::new(config, Arc::clone(db.epochs()))?;
+        if db
+            .set_commit_hook(Arc::clone(&logger) as Arc<dyn CommitHook>)
+            .is_err()
+        {
+            logger.shutdown();
+            return Err(SinkError::setup(
+                "install",
+                "a commit hook was already installed".to_string(),
+            ));
+        }
+        Ok(logger)
     }
 
     /// The logging configuration.
@@ -508,17 +612,22 @@ impl SiloLogger {
     }
 
     /// Blocks until the durable epoch reaches `epoch` (with a timeout).
-    /// Returns whether the epoch became durable.
     ///
     /// Waiters park on a condvar that the logger threads signal whenever the
-    /// global durable epoch advances, so this costs no CPU while parked.
-    pub fn wait_for_durable(&self, epoch: u64, timeout: Duration) -> bool {
+    /// global durable epoch advances, so this costs no CPU while parked. If a
+    /// logger fails permanently while callers wait, they are woken and get
+    /// [`DurableWait::Failed`] instead of blocking until the timeout: the
+    /// frozen local durable epoch means the wait could never succeed.
+    pub fn wait_for_durable(&self, epoch: u64, timeout: Duration) -> DurableWait {
         let deadline = std::time::Instant::now() + timeout;
         let mut durable = lock(&self.shared.durable);
         while *durable < epoch {
+            if self.shared.counters.logger_failures.load(Ordering::Acquire) > 0 {
+                return DurableWait::Failed;
+            }
             let now = std::time::Instant::now();
             if now >= deadline {
-                return false;
+                return DurableWait::Timeout;
             }
             durable = self
                 .shared
@@ -527,7 +636,30 @@ impl SiloLogger {
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
-        true
+        DurableWait::Durable
+    }
+
+    /// The durability subsystem's health, for backpressure:
+    ///
+    /// * [`DurabilityHealth::Failed`] — a logger failed permanently; the
+    ///   durable epoch is frozen and new commits will never be acknowledged.
+    /// * [`DurabilityHealth::Degraded`] — the durable epoch lags the global
+    ///   epoch by more than [`LogConfig::max_durable_lag_epochs`] (a stalled
+    ///   or backlogged device). Callers should shed or slow down.
+    /// * [`DurabilityHealth::Healthy`] — otherwise.
+    pub fn durability_health(&self) -> DurabilityHealth {
+        if self.shared.counters.logger_failures.load(Ordering::Acquire) > 0 {
+            return DurabilityHealth::Failed;
+        }
+        let lag = self
+            .epochs
+            .global_epoch()
+            .saturating_sub(self.shared.durable_epoch());
+        if lag > self.shared.config.max_durable_lag_epochs {
+            DurabilityHealth::Degraded { lag_epochs: lag }
+        } else {
+            DurabilityHealth::Healthy
+        }
     }
 
     /// Whether the transaction with this TID is durable.
@@ -554,6 +686,17 @@ impl SiloLogger {
             segments_rotated: c.segments_rotated.load(Ordering::Relaxed),
             segments_deleted: c.segments_deleted.load(Ordering::Relaxed),
             bytes_truncated: c.bytes_truncated.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            backoff_micros: c.backoff_micros.load(Ordering::Relaxed),
+            logger_failures: c.logger_failures.load(Ordering::Relaxed),
+            truncate_failures: c.truncate_failures.load(Ordering::Relaxed),
+            checksum_blocks: c.checksum_blocks.load(Ordering::Relaxed),
+            faults_injected: self
+                .shared
+                .config
+                .fault
+                .as_ref()
+                .map_or(0, |plan| plan.injected()),
         }
     }
 
@@ -669,6 +812,10 @@ impl CommitHook for SiloLogger {
         drop(buffer);
         state.finished.store(true, Ordering::Release);
     }
+
+    fn durability_health(&self) -> DurabilityHealth {
+        SiloLogger::durability_health(self)
+    }
 }
 
 impl Drop for SiloLogger {
@@ -685,19 +832,109 @@ struct Compressor {
     heads: Vec<usize>,
 }
 
-/// Body of each logger thread (§4.10).
+/// Retries `op` after transient failures with capped exponential backoff.
+///
+/// The backoff starts at [`LogConfig::retry_backoff`], doubles per
+/// consecutive failure (capped at 64×), and the total sleep is bounded by
+/// [`LogConfig::retry_budget`]. A permanent error, or a transient one that
+/// outlives the budget, is returned to the caller — which fails the logger.
+fn with_retry(
+    shared: &LoggerShared,
+    mut op: impl FnMut() -> Result<(), SinkError>,
+) -> Result<(), SinkError> {
+    let mut backoff = shared.config.retry_backoff.max(Duration::from_micros(1));
+    let cap = backoff * 64;
+    let mut slept = Duration::ZERO;
+    loop {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() && slept < shared.config.retry_budget => {
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .backoff_micros
+                    .fetch_add(backoff.as_micros() as u64, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                slept += backoff;
+                backoff = (backoff * 2).min(cap);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Body of each logger thread: runs the group-commit loop and, should the
+/// sink fail permanently, degrades instead of aborting the process — the
+/// failure is counted (so [`SiloLogger::wait_for_durable`] reports
+/// [`DurableWait::Failed`] and health reports [`DurabilityHealth::Failed`]),
+/// waiters are woken, and the thread keeps draining its mailbox so workers
+/// never block or leak on a dead logger.
 fn logger_thread(
     logger_index: usize,
     shared: Arc<LoggerShared>,
     sink: &mut dyn LogSink,
     epochs: Arc<silo_core::EpochManager>,
 ) {
+    let Err(e) = logger_loop(logger_index, &shared, sink, &epochs) else {
+        return;
+    };
+    eprintln!("silo-logger-{logger_index}: durability failed, degrading: {e}");
+    shared
+        .counters
+        .logger_failures
+        .fetch_add(1, Ordering::Release);
+    {
+        // Wake durability waiters under the cache mutex so none can park
+        // between reading the failure flag and blocking.
+        let _cached = lock(&shared.durable);
+        shared.durable_cv.notify_all();
+    }
+    // Degraded mode: drain and recycle published buffers until shutdown.
+    // Their records can never become durable (this logger's durable epoch is
+    // frozen), but accepting them keeps workers running at full speed.
+    let inbox = &shared.inboxes[logger_index];
+    let mut drained: Vec<(u64, Vec<u8>)> = Vec::new();
+    loop {
+        {
+            let queue = lock(&inbox.queue);
+            if queue.is_empty() {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut queue = inbox
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                std::mem::swap(&mut *queue, &mut drained);
+            } else {
+                let mut queue = queue;
+                std::mem::swap(&mut *queue, &mut drained);
+            }
+        }
+        for (_, bytes) in drained.drain(..) {
+            shared.pool.put(bytes);
+        }
+    }
+}
+
+/// The fallible group-commit loop of one logger thread (§4.10); an `Err`
+/// means the sink is unusable and the logger must degrade.
+fn logger_loop(
+    logger_index: usize,
+    shared: &Arc<LoggerShared>,
+    sink: &mut dyn LogSink,
+    epochs: &Arc<silo_core::EpochManager>,
+) -> Result<(), SinkError> {
     let num_loggers = shared.inboxes.len();
     let inbox = &shared.inboxes[logger_index];
     let my_durable = &shared.durable_epochs[logger_index];
     // Idle loggers wake once per epoch tick: the durable epoch can only move
     // when the global epoch does, so there is nothing to recompute sooner.
-    let tick = epochs.config().epoch_interval.max(Duration::from_micros(100));
+    let tick = epochs
+        .config()
+        .epoch_interval
+        .max(Duration::from_micros(100));
     // Checkpoint epoch this logger last truncated its segments against.
     let mut last_truncated = 0u64;
 
@@ -782,7 +1019,10 @@ fn logger_thread(
                 if !buffer.is_empty() && buffer_epoch < e_now {
                     shared.publish(wid, &mut buffer, buffer_epoch);
                     state.pending_epoch.store(0, Ordering::Release);
-                    shared.counters.steal_publishes.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .steal_publishes
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 drop(buffer);
                 pending = state.pending_epoch.load(Ordering::Acquire);
@@ -828,9 +1068,11 @@ fn logger_thread(
 
         // Coalesce everything drained this round — published buffers
         // (compressed here in `+Compress` mode) followed by the durable-epoch
-        // marker — into one append + sync. The sink is told the largest epoch
-        // the round carries so segmented sinks can bound each segment.
+        // marker — into one CRC-sealed envelope, one append + sync. The sink
+        // is told the largest epoch the round carries so segmented sinks can
+        // bound each segment.
         round.clear();
+        let seal_header = record::begin_sealed(&mut round);
         let wrote = !drained.is_empty();
         let mut round_max_epoch = 0u64;
         for (epoch, bytes) in drained.drain(..) {
@@ -840,9 +1082,14 @@ fn logger_thread(
         let prev = my_durable.load(Ordering::Acquire);
         if wrote || local_durable > prev {
             encode_epoch_marker(&mut round, local_durable);
+            record::seal(&mut round, seal_header);
+            shared
+                .counters
+                .checksum_blocks
+                .fetch_add(1, Ordering::Relaxed);
             sink.observe_epoch(round_max_epoch.max(local_durable));
-            sink.append(&round);
-            sink.sync();
+            with_retry(shared, || sink.append(&round))?;
+            with_retry(shared, || sink.sync())?;
             shared
                 .counters
                 .bytes_written
@@ -874,29 +1121,57 @@ fn logger_thread(
         // segments the checkpoint made redundant.
         let trunc = shared.truncate_epoch.load(Ordering::Acquire);
         if trunc > last_truncated || sink.should_rotate() {
-            if sink.rotate() {
-                shared
-                    .counters
-                    .segments_rotated
-                    .fetch_add(1, Ordering::Relaxed);
-                round.clear();
-                let d = my_durable.load(Ordering::Acquire);
-                encode_epoch_marker(&mut round, d);
-                sink.observe_epoch(d);
-                sink.append(&round);
-                sink.sync();
+            match sink.rotate() {
+                Ok(true) => {
+                    shared
+                        .counters
+                        .segments_rotated
+                        .fetch_add(1, Ordering::Relaxed);
+                    round.clear();
+                    let stamp_header = record::begin_sealed(&mut round);
+                    let d = my_durable.load(Ordering::Acquire);
+                    encode_epoch_marker(&mut round, d);
+                    record::seal(&mut round, stamp_header);
+                    shared
+                        .counters
+                        .checksum_blocks
+                        .fetch_add(1, Ordering::Relaxed);
+                    sink.observe_epoch(d);
+                    with_retry(shared, || sink.append(&round))?;
+                    with_retry(shared, || sink.sync())?;
+                }
+                Ok(false) => {}
+                // A failed rotation (e.g. ENOSPC creating the successor
+                // segment) is not fatal: the current segment stays writable,
+                // logging continues, and the rotation is retried on a later
+                // round — by which time a checkpoint truncation may have
+                // freed space.
+                Err(_) => {}
             }
             if trunc > last_truncated {
-                let (segments, bytes) = sink.truncate_obsolete(trunc);
+                let outcome = sink.truncate_obsolete(trunc);
                 shared
                     .counters
                     .segments_deleted
-                    .fetch_add(segments, Ordering::Relaxed);
+                    .fetch_add(outcome.segments_deleted, Ordering::Relaxed);
                 shared
                     .counters
                     .bytes_truncated
-                    .fetch_add(bytes, Ordering::Relaxed);
-                last_truncated = trunc;
+                    .fetch_add(outcome.bytes_deleted, Ordering::Relaxed);
+                if outcome.delete_failures > 0 {
+                    shared
+                        .counters
+                        .truncate_failures
+                        .fetch_add(outcome.delete_failures, Ordering::Relaxed);
+                    eprintln!(
+                        "silo-logger-{logger_index}: {} segment deletion(s) failed during truncation to epoch {trunc}; will retry",
+                        outcome.delete_failures
+                    );
+                    // Leave `last_truncated` behind so the next round retries
+                    // the failed deletions.
+                } else {
+                    last_truncated = trunc;
+                }
             }
         }
 
@@ -904,6 +1179,7 @@ fn logger_thread(
             // One final drain so buffers published while this round was
             // being written still hit the sink.
             round.clear();
+            let final_header = record::begin_sealed(&mut round);
             {
                 let mut queue = lock(&inbox.queue);
                 std::mem::swap(&mut *queue, &mut drained);
@@ -913,17 +1189,21 @@ fn logger_thread(
                 final_max = final_max.max(epoch);
                 coalesce(&mut round, bytes, &mut compressor);
             }
-            if !round.is_empty() {
+            if record::seal(&mut round, final_header) {
+                shared
+                    .counters
+                    .checksum_blocks
+                    .fetch_add(1, Ordering::Relaxed);
                 sink.observe_epoch(final_max);
-                sink.append(&round);
-                sink.sync();
+                with_retry(shared, || sink.append(&round))?;
+                with_retry(shared, || sink.sync())?;
                 shared
                     .counters
                     .bytes_written
                     .fetch_add(round.len() as u64, Ordering::Relaxed);
                 shared.counters.sync_calls.fetch_add(1, Ordering::Relaxed);
             }
-            return;
+            return Ok(());
         }
     }
 }

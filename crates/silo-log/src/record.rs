@@ -12,11 +12,20 @@
 //! | 0x01 | transaction block: tid u64 | count u32 | writes...      |
 //! | 0x02 | durable-epoch marker: epoch u64                         |
 //! | 0x03 | compressed block: raw_len u32 | comp_len u32 | bytes    |
+//! | 0x04 | checksummed envelope: len u32 | crc32 u32 | blocks...   |
 //! +------+---------------------------------------------------------+
 //! ```
 //!
 //! each write being `table u32 | key_len u32 | key | tag u8 | [val_len u32 |
 //! value]` with `tag = 1` for a value and `tag = 0` for a delete.
+//!
+//! Loggers wrap each group-commit round in one `0x04` envelope: `len` and a
+//! CRC-32 (IEEE) over the inner blocks. Decoders verify the checksum before
+//! looking inside, so a flipped bit anywhere in a round is detected
+//! ([`DecodeError::BadChecksum`]) instead of silently replayed; an envelope
+//! torn by a crash (the stream ends before `len` bytes arrive) is
+//! end-of-stream, exactly like any other torn final block (§4.10). Streams
+//! of bare (un-enveloped) blocks from older builds still decode.
 //!
 //! The `SmallRecs` mode of the Figure 11 persistence analysis logs only the
 //! 8-byte TID (count = 0), giving an upper bound for any logging scheme.
@@ -30,6 +39,71 @@ pub const BLOCK_TXN: u8 = 0x01;
 pub const BLOCK_EPOCH_MARKER: u8 = 0x02;
 /// Block tag for a compressed region containing inner blocks.
 pub const BLOCK_COMPRESSED: u8 = 0x03;
+/// Block tag for a CRC-32-checksummed envelope containing inner blocks.
+pub const BLOCK_CHECKSUMMED: u8 = 0x04;
+
+/// Bytes of a checksummed-envelope header: tag, payload length, CRC-32.
+const SEAL_HEADER: usize = 1 + 4 + 4;
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
+/// compile time — no dependencies, no runtime initialization.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Reserves a checksummed-envelope header at the current end of `out` and
+/// returns its offset. Append inner blocks, then call [`seal`] with the
+/// returned offset to fill in the tag, length, and CRC in place — the
+/// zero-allocation path the logger threads use on their reusable round
+/// buffers.
+pub fn begin_sealed(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; SEAL_HEADER]);
+    at
+}
+
+/// Seals the envelope opened by [`begin_sealed`] at `header_at`: writes the
+/// tag, the payload length, and the CRC-32 of everything appended since.
+/// An empty envelope is removed instead (returns `false`).
+pub fn seal(out: &mut Vec<u8>, header_at: usize) -> bool {
+    let payload_start = header_at + SEAL_HEADER;
+    debug_assert!(payload_start <= out.len(), "seal without begin_sealed");
+    if out.len() == payload_start {
+        out.truncate(header_at);
+        return false;
+    }
+    let len = (out.len() - payload_start) as u32;
+    let crc = crc32(&out[payload_start..]);
+    out[header_at] = BLOCK_CHECKSUMMED;
+    out[header_at + 1..header_at + 5].copy_from_slice(&len.to_le_bytes());
+    out[header_at + 5..header_at + 9].copy_from_slice(&crc.to_le_bytes());
+    true
+}
 
 /// One logged write, owned (as read back by recovery).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +232,9 @@ pub enum DecodeError {
     BadTag(u8),
     /// A compressed block failed to decompress.
     BadCompression,
+    /// A checksummed envelope's CRC did not match its contents (bit
+    /// corruption), or a complete envelope held malformed inner blocks.
+    BadChecksum,
     /// Reading from the underlying source failed (streaming decode only).
     Io(std::io::ErrorKind),
 }
@@ -168,6 +245,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "log stream truncated mid-block"),
             DecodeError::BadTag(t) => write!(f, "unknown log block tag {t:#x}"),
             DecodeError::BadCompression => write!(f, "corrupt compressed log block"),
+            DecodeError::BadChecksum => write!(f, "log block checksum mismatch"),
             DecodeError::Io(kind) => write!(f, "log read error: {kind:?}"),
         }
     }
@@ -199,11 +277,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -264,6 +346,22 @@ pub fn decode_stream(data: &[u8]) -> Result<Vec<Block>, DecodeError> {
                         return Err(DecodeError::BadCompression);
                     }
                     let inner = decode_stream(&raw)?;
+                    blocks.extend(inner);
+                }
+                BLOCK_CHECKSUMMED => {
+                    let len = cur.u32()? as usize;
+                    let crc = cur.u32()?;
+                    let payload = cur.take(len)?;
+                    if crc32(payload) != crc {
+                        return Err(DecodeError::BadChecksum);
+                    }
+                    // The CRC matched, so the payload is exactly what the
+                    // logger sealed: any malformation inside is a writer bug
+                    // or checksum collision, not a torn write.
+                    let inner = decode_stream(payload).map_err(|e| match e {
+                        DecodeError::Io(k) => DecodeError::Io(k),
+                        _ => DecodeError::BadChecksum,
+                    })?;
                     blocks.extend(inner);
                 }
                 other => return Err(DecodeError::BadTag(other)),
@@ -395,30 +493,83 @@ impl<R: std::io::Read> StreamDecoder<R> {
                         // same bound as the uncompressed case. A truncated
                         // inner block cannot be a torn write (the compressed
                         // envelope was complete), so it is corruption.
-                        let mut inner_cur = Cursor {
-                            data: &raw,
-                            pos: 0,
-                        };
+                        let mut inner_cur = Cursor { data: &raw, pos: 0 };
                         let mut inner_blocks = Vec::new();
-                        let fixup =
-                            |e| match e {
-                                DecodeError::Truncated => DecodeError::BadCompression,
-                                other => other,
-                            };
+                        let fixup = |e| match e {
+                            DecodeError::Truncated => DecodeError::BadCompression,
+                            other => other,
+                        };
                         while inner_cur.remaining() > 0 {
                             match inner_cur.u8().map_err(fixup)? {
                                 BLOCK_TXN => inner_blocks.push(Block::Txn(
                                     decode_txn(&mut inner_cur, !self.skip_payload)
                                         .map_err(fixup)?,
                                 )),
-                                BLOCK_EPOCH_MARKER => inner_blocks.push(Block::EpochMarker(
-                                    inner_cur.u64().map_err(fixup)?,
-                                )),
+                                BLOCK_EPOCH_MARKER => inner_blocks
+                                    .push(Block::EpochMarker(inner_cur.u64().map_err(fixup)?)),
                                 // Compressed blocks do not nest.
                                 other => return Err(DecodeError::BadTag(other)),
                             }
                         }
                         self.pending.extend(inner_blocks);
+                        Ok(None)
+                    }
+                    BLOCK_CHECKSUMMED => {
+                        let len = cur.u32()? as usize;
+                        let crc = cur.u32()?;
+                        let payload = cur.take(len)?;
+                        if crc32(payload) != crc {
+                            return Err(DecodeError::BadChecksum);
+                        }
+                        // The CRC matched, so the payload is complete: any
+                        // malformation inside is corruption (a checksum
+                        // collision or writer bug), never a torn write.
+                        let fixup = |e| match e {
+                            DecodeError::Io(k) => DecodeError::Io(k),
+                            DecodeError::BadTag(t) => DecodeError::BadTag(t),
+                            _ => DecodeError::BadChecksum,
+                        };
+                        let mut blocks = Vec::new();
+                        let mut env_cur = Cursor {
+                            data: payload,
+                            pos: 0,
+                        };
+                        while env_cur.remaining() > 0 {
+                            match env_cur.u8().map_err(fixup)? {
+                                BLOCK_TXN => blocks.push(Block::Txn(
+                                    decode_txn(&mut env_cur, !self.skip_payload).map_err(fixup)?,
+                                )),
+                                BLOCK_EPOCH_MARKER => {
+                                    blocks.push(Block::EpochMarker(env_cur.u64().map_err(fixup)?))
+                                }
+                                BLOCK_COMPRESSED => {
+                                    let raw_len = env_cur.u32().map_err(fixup)? as usize;
+                                    let comp_len = env_cur.u32().map_err(fixup)? as usize;
+                                    let comp = env_cur.take(comp_len).map_err(fixup)?;
+                                    let raw = crate::compress::decompress(comp)
+                                        .map_err(|_| DecodeError::BadChecksum)?;
+                                    if raw.len() != raw_len {
+                                        return Err(DecodeError::BadChecksum);
+                                    }
+                                    let mut raw_cur = Cursor { data: &raw, pos: 0 };
+                                    while raw_cur.remaining() > 0 {
+                                        match raw_cur.u8().map_err(fixup)? {
+                                            BLOCK_TXN => blocks.push(Block::Txn(
+                                                decode_txn(&mut raw_cur, !self.skip_payload)
+                                                    .map_err(fixup)?,
+                                            )),
+                                            BLOCK_EPOCH_MARKER => blocks.push(Block::EpochMarker(
+                                                raw_cur.u64().map_err(fixup)?,
+                                            )),
+                                            // Compressed blocks do not nest.
+                                            other => return Err(DecodeError::BadTag(other)),
+                                        }
+                                    }
+                                }
+                                other => return Err(DecodeError::BadTag(other)),
+                            }
+                        }
+                        self.pending.extend(blocks);
                         Ok(None)
                     }
                     other => Err(DecodeError::BadTag(other)),
@@ -536,6 +687,103 @@ mod tests {
     #[test]
     fn empty_stream_decodes_to_nothing() {
         assert_eq!(decode_stream(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_envelope_roundtrip() {
+        let mut buf = Vec::new();
+        let header = begin_sealed(&mut buf);
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![(0, b"k", Some(b"v".as_ref()))];
+        encode_txn(&mut buf, Tid::new(3, 1), &writes, false);
+        encode_epoch_marker(&mut buf, 2);
+        assert!(seal(&mut buf, header));
+        assert_eq!(buf[0], BLOCK_CHECKSUMMED);
+
+        let blocks = decode_stream(&buf).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1], Block::EpochMarker(2));
+
+        let mut dec = StreamDecoder::new(std::io::Cursor::new(buf.clone()));
+        assert!(matches!(dec.next_block().unwrap(), Some(Block::Txn(_))));
+        assert_eq!(dec.next_block().unwrap(), Some(Block::EpochMarker(2)));
+        assert_eq!(dec.next_block().unwrap(), None);
+    }
+
+    #[test]
+    fn sealing_an_empty_envelope_removes_it() {
+        let mut buf = b"prefix".to_vec();
+        let header = begin_sealed(&mut buf);
+        assert!(!seal(&mut buf, header));
+        assert_eq!(buf, b"prefix");
+    }
+
+    #[test]
+    fn flipped_bit_in_sealed_payload_is_detected() {
+        let mut buf = Vec::new();
+        let header = begin_sealed(&mut buf);
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![(0, b"key", Some(b"val".as_ref()))];
+        encode_txn(&mut buf, Tid::new(3, 1), &writes, false);
+        assert!(seal(&mut buf, header));
+        // Flip one bit in the payload (past the 9-byte header).
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        assert_eq!(decode_stream(&buf), Err(DecodeError::BadChecksum));
+        let mut dec = StreamDecoder::new(std::io::Cursor::new(buf));
+        assert_eq!(dec.next_block(), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn torn_sealed_envelope_is_end_of_stream() {
+        let mut buf = Vec::new();
+        let header = begin_sealed(&mut buf);
+        let writes: Vec<(TableId, &[u8], Option<&[u8]>)> = vec![(0, b"k", Some(b"v".as_ref()))];
+        encode_txn(&mut buf, Tid::new(1, 1), &writes, false);
+        assert!(seal(&mut buf, header));
+        let whole = buf.clone();
+        let mut second = Vec::new();
+        let header = begin_sealed(&mut second);
+        encode_txn(&mut second, Tid::new(1, 2), &writes, false);
+        assert!(seal(&mut second, header));
+        buf.extend_from_slice(&second[..second.len() / 2]);
+
+        let blocks = decode_stream(&buf).unwrap();
+        assert_eq!(blocks.len(), 1, "the torn second envelope ends the stream");
+        let mut dec = StreamDecoder::new(std::io::Cursor::new(buf));
+        assert!(dec.next_block().unwrap().is_some());
+        assert_eq!(dec.next_block().unwrap(), None);
+        assert_eq!(dec.bytes_consumed(), whole.len() as u64);
+    }
+
+    #[test]
+    fn sealed_compressed_round_decodes_through_both_layers() {
+        let mut inner = Vec::new();
+        for i in 0..20u64 {
+            let key = format!("key{i:04}");
+            let value = vec![b'x'; 64];
+            let writes: Vec<(TableId, &[u8], Option<&[u8]>)> =
+                vec![(1, key.as_bytes(), Some(&value))];
+            encode_txn(&mut inner, Tid::new(2, i), &writes, false);
+        }
+        let mut buf = Vec::new();
+        let header = begin_sealed(&mut buf);
+        encode_compressed(&mut buf, &inner);
+        encode_epoch_marker(&mut buf, 1);
+        assert!(seal(&mut buf, header));
+
+        assert_eq!(decode_stream(&buf).unwrap().len(), 21);
+        let mut dec = StreamDecoder::new(std::io::Cursor::new(buf));
+        let mut n = 0;
+        while dec.next_block().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 21);
     }
 }
 

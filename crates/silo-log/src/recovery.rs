@@ -39,6 +39,10 @@ pub struct RecoveredState {
     /// The latest surviving write per (table, key): value (or `None` for a
     /// delete) together with the TID that produced it.
     pub latest: HashMap<(TableId, Vec<u8>), (Tid, Option<Vec<u8>>)>,
+    /// Streams that ended at a malformed block (failed checksum, bad tag)
+    /// rather than a clean or torn-tail end. The malformed suffix is treated
+    /// as the torn tail of §4.10 — ignored, never replayed.
+    pub corrupt_tails: u64,
 }
 
 /// Errors produced during recovery.
@@ -77,16 +81,38 @@ impl From<std::io::Error> for RecoveryError {
     }
 }
 
-/// The largest durable-epoch marker a stream of blocks contains. Transaction
-/// payloads are parsed but not materialized.
-fn stream_durable(mut decoder: StreamDecoder<impl std::io::Read>) -> Result<u64, RecoveryError> {
+/// Decodes the next block leniently: a malformed block (failed checksum, bad
+/// length, unknown tag) ends the stream — it is the corrupt tail of §4.10,
+/// everything durably acknowledged precedes it — instead of failing recovery.
+/// Real I/O errors still propagate; corruption is recorded in `corrupt`.
+fn next_block_lenient<R: std::io::Read>(
+    decoder: &mut StreamDecoder<R>,
+    corrupt: &mut bool,
+) -> Result<Option<Block>, RecoveryError> {
+    match decoder.next_block() {
+        Ok(block) => Ok(block),
+        Err(e @ DecodeError::Io(_)) => Err(e.into()),
+        Err(_) => {
+            *corrupt = true;
+            Ok(None)
+        }
+    }
+}
+
+/// The largest durable-epoch marker a stream of blocks contains, plus whether
+/// the stream ended at a corrupt block. Transaction payloads are parsed but
+/// not materialized.
+fn stream_durable(
+    mut decoder: StreamDecoder<impl std::io::Read>,
+) -> Result<(u64, bool), RecoveryError> {
     let mut durable = 0u64;
-    while let Some(block) = decoder.next_block()? {
+    let mut corrupt = false;
+    while let Some(block) = next_block_lenient(&mut decoder, &mut corrupt)? {
         if let Block::EpochMarker(e) = block {
             durable = durable.max(e);
         }
     }
-    Ok(durable)
+    Ok((durable, corrupt))
 }
 
 /// Folds one stream's transactions (with `epoch ≤ durable_epoch`) into the
@@ -96,7 +122,10 @@ fn fold_stream(
     durable_epoch: u64,
     state: &mut RecoveredState,
 ) -> Result<(), RecoveryError> {
-    while let Some(block) = decoder.next_block()? {
+    // Corruption was already counted by the horizon pre-scan over the same
+    // stream; here it just ends the fold.
+    let mut corrupt = false;
+    while let Some(block) = next_block_lenient(&mut decoder, &mut corrupt)? {
         let Block::Txn(txn) = block else { continue };
         if txn.tid.epoch() > durable_epoch {
             state.skipped_txns += 1;
@@ -125,19 +154,25 @@ fn fold_stream(
 /// durable-epoch marker; transactions from later epochs are ignored, and log
 /// records for the same key are resolved in TID order.
 pub fn scan_streams(streams: &[Vec<u8>]) -> Result<RecoveredState, RecoveryError> {
-    let durable_epoch = streams
-        .iter()
-        .map(|s| stream_durable(StreamDecoder::new_skipping(s.as_slice())))
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .min()
-        .unwrap_or(0);
+    let mut corrupt_tails = 0u64;
+    let mut min_marker: Option<u64> = None;
+    for stream in streams {
+        let (durable, corrupt) = stream_durable(StreamDecoder::new_skipping(stream.as_slice()))?;
+        corrupt_tails += corrupt as u64;
+        min_marker = Some(min_marker.map_or(durable, |m: u64| m.min(durable)));
+    }
+    let durable_epoch = min_marker.unwrap_or(0);
     let mut state = RecoveredState {
         durable_epoch,
+        corrupt_tails,
         ..Default::default()
     };
     for stream in streams {
-        fold_stream(StreamDecoder::new(stream.as_slice()), durable_epoch, &mut state)?;
+        fold_stream(
+            StreamDecoder::new(stream.as_slice()),
+            durable_epoch,
+            &mut state,
+        )?;
     }
     Ok(state)
 }
@@ -153,7 +188,10 @@ fn log_streams(dir: &Path) -> Result<Vec<(usize, Vec<PathBuf>)>, std::io::Error>
         let Some(name) = name.to_str() else { continue };
         if let Some((logger, seq)) = parse_segment_name(name) {
             // Sequence numbers start at 0; the legacy file sorts before them.
-            by_logger.entry(logger).or_default().push((seq + 1, entry.path()));
+            by_logger
+                .entry(logger)
+                .or_default()
+                .push((seq + 1, entry.path()));
         } else if let Some(logger) = parse_legacy_name(name) {
             by_logger.entry(logger).or_default().push((0, entry.path()));
         }
@@ -210,17 +248,19 @@ impl std::io::Read for ChainedFiles {
 /// logical stream.
 pub fn scan_directory(dir: &Path) -> Result<RecoveredState, RecoveryError> {
     let streams = log_streams(dir)?;
-    let durable_epoch = streams
-        .iter()
-        .map(|(_, paths)| {
-            stream_durable(StreamDecoder::new_skipping(ChainedFiles::new(paths.clone())))
-        })
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .min()
-        .unwrap_or(0);
+    let mut corrupt_tails = 0u64;
+    let mut min_marker: Option<u64> = None;
+    for (_, paths) in &streams {
+        let (durable, corrupt) = stream_durable(StreamDecoder::new_skipping(ChainedFiles::new(
+            paths.clone(),
+        )))?;
+        corrupt_tails += corrupt as u64;
+        min_marker = Some(min_marker.map_or(durable, |m: u64| m.min(durable)));
+    }
+    let durable_epoch = min_marker.unwrap_or(0);
     let mut state = RecoveredState {
         durable_epoch,
+        corrupt_tails,
         ..Default::default()
     };
     for (_, paths) in streams {
@@ -267,7 +307,10 @@ pub fn apply_recovered(db: &Arc<Database>, state: &RecoveredState) -> Result<u64
 }
 
 /// One-call recovery: scan `streams` and apply the surviving writes to `db`.
-pub fn recover_into(db: &Arc<Database>, streams: &[Vec<u8>]) -> Result<RecoveredState, RecoveryError> {
+pub fn recover_into(
+    db: &Arc<Database>,
+    streams: &[Vec<u8>],
+) -> Result<RecoveredState, RecoveryError> {
     let state = scan_streams(streams)?;
     apply_recovered(db, &state)?;
     Ok(state)
@@ -334,6 +377,12 @@ pub struct RecoveryReport {
     /// Absent records (delete tombstones, superseded deleted keys) unhooked
     /// and freed by the post-replay sweep.
     pub tombstones_reclaimed: u64,
+    /// Log streams whose tail was malformed (failed checksum, bad tag) and
+    /// treated as the torn tail of §4.10 — ignored past the last good block.
+    pub corrupt_log_tails: u64,
+    /// Complete-looking checkpoints that failed slice verification and were
+    /// skipped in favor of an older one.
+    pub checkpoints_skipped: u64,
 }
 
 /// One write routed from a log decoder to a shard applier.
@@ -379,15 +428,27 @@ pub fn recover_directory(
     let threads = options.replay_threads.max(1);
     let mut report = RecoveryReport::default();
 
-    // Phase 1: the checkpoint.
+    // Phase 1: the checkpoint. Checkpoints are tried newest first; one whose
+    // slices fail checksum verification is skipped in favor of the next
+    // complete one (the checkpointer keeps the previous complete checkpoint
+    // around as exactly this fallback) rather than loaded as garbage.
     let ckpt_start = Instant::now();
-    let checkpoint = crate::checkpoint::latest_checkpoint(dir);
-    if let Some(info) = &checkpoint {
-        let (records, bytes) = crate::checkpoint::load_checkpoint(db, info, threads)?;
+    for info in crate::checkpoint::complete_checkpoints(dir) {
+        if let Err(e) = crate::checkpoint::verify_checkpoint(&info) {
+            eprintln!(
+                "silo-log: checkpoint at epoch {} failed verification ({e}); \
+                 falling back to an older checkpoint",
+                info.epoch
+            );
+            report.checkpoints_skipped += 1;
+            continue;
+        }
+        let (records, bytes) = crate::checkpoint::load_checkpoint(db, &info, threads)?;
         report.checkpoint_epoch = info.epoch;
         report.checkpoint_records = records;
         report.checkpoint_bytes = bytes;
         report.checkpoint_micros = ckpt_start.elapsed().as_micros() as u64;
+        break;
     }
     let ce = report.checkpoint_epoch;
 
@@ -397,7 +458,7 @@ pub fn recover_directory(
     report.log_files = streams.iter().map(|(_, paths)| paths.len() as u64).sum();
 
     // Horizon pre-scan (parallel, skipping payloads): per-stream max marker.
-    let per_stream: Vec<Result<u64, RecoveryError>> = std::thread::scope(|scope| {
+    let per_stream: Vec<Result<(u64, bool), RecoveryError>> = std::thread::scope(|scope| {
         streams
             .iter()
             .map(|(_, paths)| {
@@ -412,8 +473,9 @@ pub fn recover_directory(
             .collect()
     });
     let mut min_marker: Option<u64> = None;
-    for durable in per_stream {
-        let durable = durable?;
+    for result in per_stream {
+        let (durable, corrupt) = result?;
+        report.corrupt_log_tails += corrupt as u64;
         min_marker = Some(min_marker.map_or(durable, |m: u64| m.min(durable)));
     }
     let durable_epoch = min_marker.unwrap_or(0).max(ce);
@@ -465,9 +527,13 @@ pub fn recover_directory(
             let bytes_scanned = &bytes_scanned;
             decoder_handles.push(scope.spawn(move || -> Result<(), RecoveryError> {
                 let mut decoder = StreamDecoder::new(ChainedFiles::new(paths));
-                let mut batches: Vec<Vec<ReplayOp>> =
-                    (0..senders.len()).map(|_| Vec::with_capacity(BATCH)).collect();
-                while let Some(block) = decoder.next_block()? {
+                let mut batches: Vec<Vec<ReplayOp>> = (0..senders.len())
+                    .map(|_| Vec::with_capacity(BATCH))
+                    .collect();
+                // Corruption was counted by the pre-scan; here it ends replay
+                // of this stream at the same point the pre-scan stopped.
+                let mut corrupt = false;
+                while let Some(block) = next_block_lenient(&mut decoder, &mut corrupt)? {
                     let Block::Txn(txn) = block else { continue };
                     let epoch = txn.tid.epoch();
                     if epoch <= ce {
@@ -488,10 +554,8 @@ pub fn recover_directory(
                             value: write.value,
                         });
                         if batches[shard].len() >= BATCH {
-                            let batch = std::mem::replace(
-                                &mut batches[shard],
-                                Vec::with_capacity(BATCH),
-                            );
+                            let batch =
+                                std::mem::replace(&mut batches[shard], Vec::with_capacity(BATCH));
                             let _ = senders[shard].send(batch);
                         }
                     }
@@ -546,7 +610,9 @@ pub fn recover_directory(
                 let db = Arc::clone(db);
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    let Some(&table) = table_ids.get(i) else { break };
+                    let Some(&table) = table_ids.get(i) else {
+                        break;
+                    };
                     let table = db.table(table);
                     // SAFETY: recovery-mode exclusivity — replay finished and
                     // no transactional workers run yet; each table is swept
@@ -783,6 +849,90 @@ mod tests {
         // the min over streams: 0 for the torn one.
         assert_eq!(state.durable_epoch, 0);
         assert_eq!(state.skipped_txns, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_block_ends_the_stream_instead_of_failing_recovery() {
+        // A malformed block mid-stream (here: an unknown tag, as a flipped
+        // bit in a tag byte would produce) is the corrupt tail of §4.10:
+        // everything before it is replayed, everything after it is not, and
+        // recovery reports rather than errors.
+        let mut s = Vec::new();
+        s.extend(txn_block(Tid::new(2, 1), 0, b"good", Some(b"v")));
+        encode_epoch_marker(&mut s, 2);
+        s.push(0x7F);
+        s.extend(txn_block(Tid::new(2, 2), 0, b"lost", Some(b"w")));
+
+        let state = scan_streams(&[s]).unwrap();
+        assert_eq!(state.durable_epoch, 2);
+        assert_eq!(state.replayed_txns, 1);
+        assert_eq!(state.corrupt_tails, 1);
+        assert!(state.latest.contains_key(&(0, b"good".to_vec())));
+        assert!(
+            !state.latest.contains_key(&(0, b"lost".to_vec())),
+            "nothing past the corrupt block may be resurrected"
+        );
+    }
+
+    #[test]
+    fn recovery_falls_back_past_a_corrupt_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("silo-ckpt-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+
+        let slice_record = |tid: Tid, key: &[u8], value: &[u8]| {
+            let mut rec = Vec::new();
+            rec.extend_from_slice(&0u32.to_le_bytes());
+            rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            rec.extend_from_slice(key);
+            rec.extend_from_slice(&tid.raw().to_le_bytes());
+            rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            rec.extend_from_slice(value);
+            rec
+        };
+        let framed_slice = |payload: &[u8]| {
+            let mut slice = b"SILOSLC2".to_vec();
+            slice.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            slice.extend_from_slice(&crate::record::crc32(payload).to_le_bytes());
+            slice.extend_from_slice(payload);
+            slice
+        };
+        let write_ckpt = |epoch: u64, slice: &[u8]| {
+            let d = dir.join("checkpoints").join(format!("ckpt-{epoch:016x}"));
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("slice-0.bin"), slice).unwrap();
+            std::fs::write(
+                d.join("MANIFEST"),
+                format!(
+                    "silo-checkpoint v2\nepoch {epoch}\nslices 1\nslice 0 {} 1\nend\n",
+                    slice.len()
+                ),
+            )
+            .unwrap();
+        };
+
+        write_ckpt(
+            3,
+            &framed_slice(&slice_record(Tid::new(3, 1), b"k", b"good")),
+        );
+        // The newer checkpoint has one payload bit flipped (length intact, so
+        // the manifest alone cannot tell).
+        let mut corrupt = framed_slice(&slice_record(Tid::new(5, 1), b"k", b"evil"));
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        write_ckpt(5, &corrupt);
+
+        let db = Database::open(SiloConfig::for_testing());
+        db.create_table("t").unwrap();
+        let report = recover_directory(&db, &dir, &RecoveryOptions::default()).unwrap();
+        assert_eq!(report.checkpoints_skipped, 1);
+        assert_eq!(report.checkpoint_epoch, 3);
+
+        let mut w = db.register_worker();
+        let mut txn = w.begin();
+        assert_eq!(txn.read(0, b"k").unwrap(), Some(b"good".to_vec()));
+        txn.commit().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

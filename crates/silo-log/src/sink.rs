@@ -6,19 +6,169 @@
 //! for [`FileSink`] with fsync enabled, one `fdatasync`) per round, however
 //! many workers published in it.
 //!
+//! Every fallible operation returns a typed [`SinkError`] instead of
+//! panicking. Errors carry a *transient* bit: loggers retry transient
+//! failures with capped exponential backoff and treat permanent ones as the
+//! death of their sink (the logger marks itself failed; the process keeps
+//! running). [`LogSink::append`] is atomic at this layer: on error, either no
+//! byte of `data` reached the sink (safe to retry) or the error is permanent
+//! (torn tail — recovery's end-of-stream handling takes over, §4.10).
+//!
 //! [`FileSink`] writes *segments* (`silo-log-<logger>-seg<seq>.bin`) and
 //! tracks the largest record epoch each closed segment contains. Once a
 //! checkpoint at epoch `ce` is durable, every segment whose records all have
 //! epochs `≤ ce` is redundant (the checkpoint already covers those
 //! transactions) and [`LogSink::truncate_obsolete`] deletes it — this is what
-//! bounds log growth between checkpoints.
+//! bounds log growth between checkpoints. Segments whose deletion fails stay
+//! registered and are retried on the next truncation round.
 
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// The category of a [`SinkError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkErrorKind {
+    /// A real I/O error from the operating system.
+    Io(std::io::ErrorKind),
+    /// The device is out of space (`ENOSPC`). Transient from the logger's
+    /// point of view: checkpoint-driven log truncation can free space.
+    NoSpace,
+    /// An error injected by a [`crate::fault::FaultPlan`].
+    Injected,
+    /// A setup failure (creating the log directory or the first segment)
+    /// surfaced by [`crate::SiloLogger::install`].
+    Setup,
+}
+
+/// A typed sink failure: what operation failed, why, and whether retrying
+/// can help.
+#[derive(Debug, Clone)]
+pub struct SinkError {
+    op: &'static str,
+    kind: SinkErrorKind,
+    transient: bool,
+    detail: String,
+}
+
+impl SinkError {
+    /// Classifies a real I/O error from operation `op`.
+    ///
+    /// `Interrupted`/`WouldBlock`/`TimedOut` are retryable; `StorageFull`
+    /// maps to [`SinkErrorKind::NoSpace`] (retryable, truncation may free
+    /// space); everything else is permanent.
+    pub fn io(op: &'static str, e: &std::io::Error) -> SinkError {
+        use std::io::ErrorKind as K;
+        let (kind, transient) = match e.kind() {
+            K::StorageFull => (SinkErrorKind::NoSpace, true),
+            K::Interrupted | K::WouldBlock | K::TimedOut => (SinkErrorKind::Io(e.kind()), true),
+            other => (SinkErrorKind::Io(other), false),
+        };
+        SinkError {
+            op,
+            kind,
+            transient,
+            detail: e.to_string(),
+        }
+    }
+
+    /// A setup failure (directory/file creation) with context.
+    pub fn setup(op: &'static str, detail: String) -> SinkError {
+        SinkError {
+            op,
+            kind: SinkErrorKind::Setup,
+            transient: false,
+            detail,
+        }
+    }
+
+    /// An injected error (fault plan).
+    pub fn injected(op: &'static str, transient: bool) -> SinkError {
+        SinkError {
+            op,
+            kind: SinkErrorKind::Injected,
+            transient,
+            detail: "injected fault".to_string(),
+        }
+    }
+
+    /// An injected torn write: `torn` of `total` bytes reached the sink and
+    /// the device then died. Permanent — retrying would duplicate the prefix.
+    pub fn injected_torn(op: &'static str, torn: usize, total: usize) -> SinkError {
+        SinkError {
+            op,
+            kind: SinkErrorKind::Injected,
+            transient: false,
+            detail: format!("injected torn write ({torn} of {total} bytes)"),
+        }
+    }
+
+    /// An injected or real `ENOSPC`.
+    pub fn no_space(op: &'static str, transient: bool) -> SinkError {
+        SinkError {
+            op,
+            kind: SinkErrorKind::NoSpace,
+            transient,
+            detail: "no space left on device".to_string(),
+        }
+    }
+
+    /// Whether a retry (after backoff) may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+
+    /// The failed operation (`"append"`, `"sync"`, ...).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> SinkErrorKind {
+        self.kind
+    }
+
+    /// Downgrades a transient error to permanent (e.g. when a failed append
+    /// could not be rolled back, so a retry would corrupt the stream).
+    fn permanent(mut self) -> SinkError {
+        self.transient = false;
+        self
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "log {} failed ({}): {:?}: {}",
+            self.op,
+            if self.transient {
+                "transient"
+            } else {
+                "permanent"
+            },
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// The result of one [`LogSink::truncate_obsolete`] round.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TruncateOutcome {
+    /// Segments successfully deleted.
+    pub segments_deleted: u64,
+    /// Bytes reclaimed by those deletions (measured before deleting).
+    pub bytes_deleted: u64,
+    /// Deletions that failed; the segments stay registered and are retried
+    /// on the next round.
+    pub delete_failures: u64,
+}
 
 /// Destination for log bytes. Each logger thread owns one sink.
 ///
@@ -26,9 +176,14 @@ use parking_lot::Mutex;
 /// sinks keep working unchanged.
 pub trait LogSink {
     /// Appends `data` to the log (one call per group-commit round).
-    fn append(&mut self, data: &[u8]);
+    ///
+    /// Atomicity contract: on a *transient* error, no byte of `data` reached
+    /// the sink and the same call may be retried; a *permanent* error means
+    /// the sink is unusable (its tail may be torn — recovery treats a torn
+    /// tail as end-of-stream).
+    fn append(&mut self, data: &[u8]) -> Result<(), SinkError>;
     /// Makes previously appended data stable (fsync for files).
-    fn sync(&mut self);
+    fn sync(&mut self) -> Result<(), SinkError>;
     /// Bytes written so far.
     fn bytes_written(&self) -> u64;
     /// Tells the sink the largest epoch (transaction or durable-marker) it is
@@ -40,15 +195,17 @@ pub trait LogSink {
         false
     }
     /// Closes the current segment and opens the next one. Returns whether a
-    /// rotation actually happened.
-    fn rotate(&mut self) -> bool {
-        false
+    /// rotation actually happened. A rotation failure leaves the current
+    /// segment writable, so the caller can simply keep appending and retry
+    /// the rotation later.
+    fn rotate(&mut self) -> Result<bool, SinkError> {
+        Ok(false)
     }
     /// Deletes closed segments made redundant by a durable checkpoint at
-    /// `ckpt_epoch` (every epoch they contain is `≤ ckpt_epoch`). Returns
-    /// `(segments_deleted, bytes_deleted)`.
-    fn truncate_obsolete(&mut self, _ckpt_epoch: u64) -> (u64, u64) {
-        (0, 0)
+    /// `ckpt_epoch` (every epoch they contain is `≤ ckpt_epoch`). Failed
+    /// deletions are counted in the outcome and retried next round.
+    fn truncate_obsolete(&mut self, _ckpt_epoch: u64) -> TruncateOutcome {
+        TruncateOutcome::default()
     }
 }
 
@@ -68,6 +225,10 @@ pub struct FileSink {
     path: PathBuf,
     fsync: bool,
     written: u64,
+    /// Stable length of the current file: bytes of fully appended rounds.
+    /// A failed append rolls the file back to this offset so a retry cannot
+    /// duplicate a partial write.
+    file_len: u64,
     /// Segmentation state; `None` for the legacy single-file mode used by
     /// tests ([`FileSink::create`]).
     segmented: Option<Segmented>,
@@ -105,20 +266,26 @@ pub(crate) fn parse_legacy_name(name: &str) -> Option<usize> {
 impl FileSink {
     /// Creates (truncates) a single log file at `path` — the legacy,
     /// non-segmented mode (no rotation, no truncation).
-    pub fn create(path: PathBuf, fsync: bool) -> Self {
+    pub fn create(path: PathBuf, fsync: bool) -> Result<Self, SinkError> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(&path)
-            .unwrap_or_else(|e| panic!("cannot create log file {}: {e}", path.display()));
-        FileSink {
+            .map_err(|e| {
+                SinkError::setup(
+                    "create",
+                    format!("cannot create log file {}: {e}", path.display()),
+                )
+            })?;
+        Ok(FileSink {
             file,
             path,
             fsync,
             written: 0,
+            file_len: 0,
             segmented: None,
-        }
+        })
     }
 
     /// Opens a segmented sink for `logger_index` (one of `num_loggers`
@@ -139,9 +306,13 @@ impl FileSink {
         num_loggers: usize,
         fsync: bool,
         segment_bytes: u64,
-    ) -> Self {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| panic!("cannot create log directory {}: {e}", dir.display()));
+    ) -> Result<Self, SinkError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            SinkError::setup(
+                "segmented",
+                format!("cannot create log directory {}: {e}", dir.display()),
+            )
+        })?;
         let num_loggers = num_loggers.max(1);
         let owns = |idx: usize| {
             idx == logger_index || (idx >= num_loggers && idx % num_loggers == logger_index)
@@ -175,12 +346,18 @@ impl FileSink {
             .create_new(true)
             .write(true)
             .open(&path)
-            .unwrap_or_else(|e| panic!("cannot create log segment {}: {e}", path.display()));
-        FileSink {
+            .map_err(|e| {
+                SinkError::setup(
+                    "segmented",
+                    format!("cannot create log segment {}: {e}", path.display()),
+                )
+            })?;
+        Ok(FileSink {
             file,
             path,
             fsync,
             written: 0,
+            file_len: 0,
             segmented: Some(Segmented {
                 dir: dir.to_path_buf(),
                 logger_index,
@@ -190,13 +367,27 @@ impl FileSink {
                 current_max_epoch: 0,
                 closed,
             }),
-        }
+        })
     }
 
     /// The path of the current log file / segment.
     #[allow(dead_code)]
     pub fn path(&self) -> &PathBuf {
         &self.path
+    }
+
+    /// Rolls the current file back to the last stable length after a failed
+    /// append, so a retry cannot duplicate a partial write. If the rollback
+    /// itself fails the error is escalated to permanent.
+    fn rollback_append(&mut self, err: SinkError) -> SinkError {
+        let restore = self
+            .file
+            .set_len(self.file_len)
+            .and_then(|()| self.file.seek(SeekFrom::Start(self.file_len)).map(|_| ()));
+        match restore {
+            Ok(()) => err,
+            Err(_) => err.permanent(),
+        }
     }
 }
 
@@ -207,8 +398,7 @@ fn scan_file_max_epoch(path: &Path) -> u64 {
     let Ok(file) = File::open(path) else {
         return u64::MAX;
     };
-    let mut decoder =
-        crate::record::StreamDecoder::new_skipping(std::io::BufReader::new(file));
+    let mut decoder = crate::record::StreamDecoder::new_skipping(std::io::BufReader::new(file));
     let mut max = 0u64;
     loop {
         match decoder.next_block() {
@@ -221,25 +411,27 @@ fn scan_file_max_epoch(path: &Path) -> u64 {
 }
 
 impl LogSink for FileSink {
-    fn append(&mut self, data: &[u8]) {
-        self.file
-            .write_all(data)
-            .unwrap_or_else(|e| panic!("log write to {} failed: {e}", self.path.display()));
+    fn append(&mut self, data: &[u8]) -> Result<(), SinkError> {
+        if let Err(e) = self.file.write_all(data) {
+            let err = SinkError::io("append", &e);
+            return Err(self.rollback_append(err));
+        }
+        self.file_len += data.len() as u64;
         self.written += data.len() as u64;
         if let Some(seg) = &mut self.segmented {
             seg.current_bytes += data.len() as u64;
         }
+        Ok(())
     }
 
-    fn sync(&mut self) {
-        self.file
-            .flush()
-            .unwrap_or_else(|e| panic!("log flush failed: {e}"));
+    fn sync(&mut self) -> Result<(), SinkError> {
+        self.file.flush().map_err(|e| SinkError::io("sync", &e))?;
         if self.fsync {
             self.file
                 .sync_data()
-                .unwrap_or_else(|e| panic!("log fsync failed: {e}"));
+                .map_err(|e| SinkError::io("sync", &e))?;
         }
+        Ok(())
     }
 
     fn bytes_written(&self) -> u64 {
@@ -258,43 +450,43 @@ impl LogSink for FileSink {
             .is_some_and(|seg| seg.current_bytes >= seg.segment_bytes)
     }
 
-    fn rotate(&mut self) -> bool {
+    fn rotate(&mut self) -> Result<bool, SinkError> {
         let Some(seg) = &mut self.segmented else {
-            return false;
+            return Ok(false);
         };
         if seg.current_bytes == 0 {
             // Nothing in the current segment; rotation would only litter.
-            return false;
+            return Ok(false);
         }
         // Make the outgoing segment fully stable before the cutover.
-        self.file
-            .flush()
-            .unwrap_or_else(|e| panic!("log flush failed: {e}"));
+        self.file.flush().map_err(|e| SinkError::io("rotate", &e))?;
         let _ = self.file.sync_data();
-        seg.closed.push(ClosedSegment {
-            path: self.path.clone(),
-            max_epoch: Some(seg.current_max_epoch),
-        });
+        // Open the successor before swapping anything, so a failure here
+        // leaves the current segment fully writable for a later retry.
         let path = seg.dir.join(segment_name(seg.logger_index, seg.next_seq));
         let file = OpenOptions::new()
             .create_new(true)
             .write(true)
             .open(&path)
-            .unwrap_or_else(|e| panic!("cannot create log segment {}: {e}", path.display()));
+            .map_err(|e| SinkError::io("rotate", &e))?;
+        seg.closed.push(ClosedSegment {
+            path: self.path.clone(),
+            max_epoch: Some(seg.current_max_epoch),
+        });
         seg.next_seq += 1;
         seg.current_bytes = 0;
         seg.current_max_epoch = 0;
         self.file = file;
         self.path = path;
-        true
+        self.file_len = 0;
+        Ok(true)
     }
 
-    fn truncate_obsolete(&mut self, ckpt_epoch: u64) -> (u64, u64) {
+    fn truncate_obsolete(&mut self, ckpt_epoch: u64) -> TruncateOutcome {
         let Some(seg) = &mut self.segmented else {
-            return (0, 0);
+            return TruncateOutcome::default();
         };
-        let mut deleted = 0u64;
-        let mut bytes = 0u64;
+        let mut outcome = TruncateOutcome::default();
         seg.closed.retain_mut(|closed| {
             let max_epoch = *closed
                 .max_epoch
@@ -302,17 +494,27 @@ impl LogSink for FileSink {
             if max_epoch > ckpt_epoch {
                 return true;
             }
-            let len = std::fs::metadata(&closed.path).map(|m| m.len()).unwrap_or(0);
+            // Measure before deleting: after a successful remove_file the
+            // metadata is gone and the reclaimed bytes would read as 0.
+            let len = std::fs::metadata(&closed.path).map(|m| m.len());
             match std::fs::remove_file(&closed.path) {
                 Ok(()) => {
-                    deleted += 1;
-                    bytes += len;
+                    outcome.segments_deleted += 1;
+                    outcome.bytes_deleted += len.unwrap_or(0);
                     false
                 }
-                Err(_) => true,
+                // Already gone (deleted by an adopting peer or an operator):
+                // nothing to reclaim, stop tracking it.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                // Deletion failed: keep the segment registered so the next
+                // truncation round retries it.
+                Err(_) => {
+                    outcome.delete_failures += 1;
+                    true
+                }
             }
         });
-        (deleted, bytes)
+        outcome
     }
 }
 
@@ -330,12 +532,15 @@ impl MemorySink {
 }
 
 impl LogSink for MemorySink {
-    fn append(&mut self, data: &[u8]) {
+    fn append(&mut self, data: &[u8]) -> Result<(), SinkError> {
         self.buffer.lock().extend_from_slice(data);
         self.written += data.len() as u64;
+        Ok(())
     }
 
-    fn sync(&mut self) {}
+    fn sync(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
 
     fn bytes_written(&self) -> u64 {
         self.written
@@ -353,9 +558,9 @@ mod tests {
     fn memory_sink_appends() {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let mut sink = MemorySink::new(Arc::clone(&buf));
-        sink.append(b"hello ");
-        sink.append(b"world");
-        sink.sync();
+        sink.append(b"hello ").unwrap();
+        sink.append(b"world").unwrap();
+        sink.sync().unwrap();
         assert_eq!(&*buf.lock(), b"hello world");
         assert_eq!(sink.bytes_written(), 11);
     }
@@ -366,23 +571,36 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sink-test.bin");
         {
-            let mut sink = FileSink::create(path.clone(), false);
-            sink.append(b"0123456789");
-            sink.sync();
+            let mut sink = FileSink::create(path.clone(), false).unwrap();
+            sink.append(b"0123456789").unwrap();
+            sink.sync().unwrap();
             assert_eq!(sink.bytes_written(), 10);
             // Legacy mode: no segmentation behaviour.
             assert!(!sink.should_rotate());
-            assert!(!sink.rotate());
-            assert_eq!(sink.truncate_obsolete(u64::MAX), (0, 0));
+            assert!(!sink.rotate().unwrap());
+            assert_eq!(sink.truncate_obsolete(u64::MAX), TruncateOutcome::default());
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
         {
-            let mut sink = FileSink::create(path.clone(), true);
-            sink.append(b"xy");
-            sink.sync();
+            let mut sink = FileSink::create(path.clone(), true).unwrap();
+            sink.append(b"xy").unwrap();
+            sink.sync().unwrap();
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"xy");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_in_missing_directory_is_a_typed_setup_error() {
+        let path = std::env::temp_dir()
+            .join(format!("silo-no-such-dir-{}", std::process::id()))
+            .join("log.bin");
+        let err = match FileSink::create(path, false) {
+            Ok(_) => panic!("creating a sink in a missing directory must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), SinkErrorKind::Setup);
+        assert!(!err.is_transient());
     }
 
     #[test]
@@ -407,27 +625,31 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("silo-seg-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut sink = FileSink::segmented(&dir, 0, 1, false, 64);
+            let mut sink = FileSink::segmented(&dir, 0, 1, false, 64).unwrap();
             // Segment 0: epochs up to 3.
             sink.observe_epoch(3);
-            sink.append(&txn_bytes(3, b"aaaa"));
-            sink.append(&[0u8; 0]);
+            sink.append(&txn_bytes(3, b"aaaa")).unwrap();
+            sink.append(&[0u8; 0]).unwrap();
             while !sink.should_rotate() {
-                sink.append(&txn_bytes(2, b"pad"));
+                sink.append(&txn_bytes(2, b"pad")).unwrap();
                 sink.observe_epoch(2);
             }
-            assert!(sink.rotate());
+            assert!(sink.rotate().unwrap());
             // Segment 1: epoch 9.
             sink.observe_epoch(9);
-            sink.append(&txn_bytes(9, b"bbbb"));
-            sink.sync();
+            sink.append(&txn_bytes(9, b"bbbb")).unwrap();
+            sink.sync().unwrap();
 
             // A checkpoint at epoch 5 covers segment 0 but not segment 1.
-            let (deleted, bytes) = sink.truncate_obsolete(5);
-            assert_eq!(deleted, 1);
-            assert!(bytes > 0);
-            let (deleted, _) = sink.truncate_obsolete(5);
-            assert_eq!(deleted, 0, "already truncated");
+            let outcome = sink.truncate_obsolete(5);
+            assert_eq!(outcome.segments_deleted, 1);
+            assert!(
+                outcome.bytes_deleted > 0,
+                "reclaimed bytes are measured before deletion"
+            );
+            assert_eq!(outcome.delete_failures, 0);
+            let outcome = sink.truncate_obsolete(5);
+            assert_eq!(outcome.segments_deleted, 0, "already truncated");
         }
         let names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
@@ -435,6 +657,22 @@ mod tests {
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .collect();
         assert_eq!(names, vec![segment_name(0, 1)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_stops_tracking_segments_already_deleted_externally() {
+        let dir = std::env::temp_dir().join(format!("silo-seg-gone-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = FileSink::segmented(&dir, 0, 1, false, 8).unwrap();
+        sink.observe_epoch(1);
+        sink.append(&txn_bytes(1, b"aaaaaaaa")).unwrap();
+        assert!(sink.rotate().unwrap());
+        // Someone else removes the closed segment out from under us.
+        std::fs::remove_file(dir.join(segment_name(0, 0))).unwrap();
+        let outcome = sink.truncate_obsolete(u64::MAX);
+        assert_eq!(outcome.segments_deleted, 0);
+        assert_eq!(outcome.delete_failures, 0, "NotFound is not a failure");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -452,11 +690,11 @@ mod tests {
         std::fs::write(dir.join(segment_name(3, 0)), &old).unwrap();
         std::fs::write(dir.join("silo-log-5.bin"), &old).unwrap(); // orphan legacy name
 
-        let mut sink0 = FileSink::segmented(&dir, 0, 2, false, 1 << 20);
-        let mut sink1 = FileSink::segmented(&dir, 1, 2, false, 1 << 20);
+        let mut sink0 = FileSink::segmented(&dir, 0, 2, false, 1 << 20).unwrap();
+        let mut sink1 = FileSink::segmented(&dir, 1, 2, false, 1 << 20).unwrap();
         // Logger 0 adopts stream 2; logger 1 adopts streams 3 and legacy 5.
-        assert_eq!(sink0.truncate_obsolete(3).0, 1);
-        assert_eq!(sink1.truncate_obsolete(3).0, 2);
+        assert_eq!(sink0.truncate_obsolete(3).segments_deleted, 1);
+        assert_eq!(sink1.truncate_obsolete(3).segments_deleted, 2);
         assert!(!dir.join(segment_name(2, 0)).exists());
         assert!(!dir.join(segment_name(3, 0)).exists());
         assert!(!dir.join("silo-log-5.bin").exists());
@@ -476,16 +714,23 @@ mod tests {
         // And an empty segment (crash right after rotation).
         std::fs::write(dir.join(segment_name(0, 1)), b"").unwrap();
 
-        let mut sink = FileSink::segmented(&dir, 0, 1, false, 1 << 20);
-        assert!(sink.path().ends_with(segment_name(0, 2)), "resumes after existing seq");
+        let mut sink = FileSink::segmented(&dir, 0, 1, false, 1 << 20).unwrap();
+        assert!(
+            sink.path().ends_with(segment_name(0, 2)),
+            "resumes after existing seq"
+        );
         sink.observe_epoch(10);
-        sink.append(&txn_bytes(10, b"new"));
-        sink.sync();
+        sink.append(&txn_bytes(10, b"new")).unwrap();
+        sink.sync().unwrap();
 
         // Truncating at epoch 3 keeps the old segment (its max epoch is 4);
         // truncating at 4 deletes it together with the empty one.
-        assert_eq!(sink.truncate_obsolete(3).0, 1, "only the empty segment goes");
-        assert_eq!(sink.truncate_obsolete(4).0, 1);
+        assert_eq!(
+            sink.truncate_obsolete(3).segments_deleted,
+            1,
+            "only the empty segment goes"
+        );
+        assert_eq!(sink.truncate_obsolete(4).segments_deleted, 1);
         assert!(dir.join(segment_name(0, 2)).exists());
         assert!(!dir.join(segment_name(0, 0)).exists());
         std::fs::remove_dir_all(&dir).unwrap();

@@ -13,7 +13,7 @@ fn logged_db(log_config: LogConfig) -> (Arc<Database>, Arc<SiloLogger>) {
         },
         ..SiloConfig::for_testing()
     });
-    let logger = SiloLogger::install(log_config, &db);
+    let logger = SiloLogger::install(log_config, &db).expect("install logger");
     (db, logger)
 }
 
@@ -26,7 +26,8 @@ fn committed_transactions_become_durable() {
     let mut last_tid = silo_core::Tid::ZERO;
     for i in 0..50u32 {
         let mut txn = w.begin();
-        txn.write(t, format!("key{i}").as_bytes(), b"value").unwrap();
+        txn.write(t, format!("key{i}").as_bytes(), b"value")
+            .unwrap();
         last_tid = txn.commit().unwrap();
     }
     // The worker is done; dropping it flushes its buffer and stops it from
@@ -35,7 +36,9 @@ fn committed_transactions_become_durable() {
     // The group-commit property: once the durable epoch passes the commit
     // epoch, the transaction is recoverable.
     assert!(
-        logger.wait_for_durable(last_tid.epoch(), Duration::from_secs(5)),
+        logger
+            .wait_for_durable(last_tid.epoch(), Duration::from_secs(5))
+            .is_durable(),
         "durable epoch never reached {} (currently {})",
         last_tid.epoch(),
         logger.durable_epoch()
@@ -58,7 +61,9 @@ fn durable_epoch_lags_commits_until_logged() {
     // because the epoch it belongs to is still open.
     assert!(logger.durable_epoch() <= tid.epoch());
     drop(w);
-    assert!(logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)));
+    assert!(logger
+        .wait_for_durable(tid.epoch(), Duration::from_secs(5))
+        .is_durable());
     db.stop_epoch_advancer();
 }
 
@@ -78,7 +83,9 @@ fn recovery_restores_exactly_the_durable_prefix() {
     txn.delete(t, b"acct007").unwrap();
     let delete_tid = txn.commit().unwrap();
     drop(w);
-    assert!(logger.wait_for_durable(delete_tid.epoch(), Duration::from_secs(5)));
+    assert!(logger
+        .wait_for_durable(delete_tid.epoch(), Duration::from_secs(5))
+        .is_durable());
     logger.shutdown();
     let logs = logger.memory_logs();
     db.stop_epoch_advancer();
@@ -95,8 +102,16 @@ fn recovery_restores_exactly_the_durable_prefix() {
     let mut txn = w2.begin();
     for i in 0..100u32 {
         let key = format!("acct{i:03}");
-        let expected = if i == 7 { None } else { Some(i.to_be_bytes().to_vec()) };
-        assert_eq!(txn.read(t2, key.as_bytes()).unwrap(), expected, "acct{i:03}");
+        let expected = if i == 7 {
+            None
+        } else {
+            Some(i.to_be_bytes().to_vec())
+        };
+        assert_eq!(
+            txn.read(t2, key.as_bytes()).unwrap(),
+            expected,
+            "acct{i:03}"
+        );
     }
     txn.commit().unwrap();
 }
@@ -107,11 +122,26 @@ fn recovery_ignores_epochs_after_the_durable_horizon() {
     // prefix must respect the *minimum* durable epoch.
     use record::{encode_epoch_marker, encode_txn};
     let mut fast = Vec::new();
-    encode_txn(&mut fast, silo_core::Tid::new(2, 1), &[(0, b"a".as_ref(), Some(b"1".as_ref()))], false);
-    encode_txn(&mut fast, silo_core::Tid::new(6, 1), &[(0, b"b".as_ref(), Some(b"2".as_ref()))], false);
+    encode_txn(
+        &mut fast,
+        silo_core::Tid::new(2, 1),
+        &[(0, b"a".as_ref(), Some(b"1".as_ref()))],
+        false,
+    );
+    encode_txn(
+        &mut fast,
+        silo_core::Tid::new(6, 1),
+        &[(0, b"b".as_ref(), Some(b"2".as_ref()))],
+        false,
+    );
     encode_epoch_marker(&mut fast, 6);
     let mut slow = Vec::new();
-    encode_txn(&mut slow, silo_core::Tid::new(3, 1), &[(0, b"c".as_ref(), Some(b"3".as_ref()))], false);
+    encode_txn(
+        &mut slow,
+        silo_core::Tid::new(3, 1),
+        &[(0, b"c".as_ref(), Some(b"3".as_ref()))],
+        false,
+    );
     encode_epoch_marker(&mut slow, 3);
 
     let db = Database::open(SiloConfig::for_testing());
@@ -147,7 +177,9 @@ fn file_destination_roundtrip() {
             last = txn.commit().unwrap();
         }
         drop(w);
-        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(5))
+            .is_durable());
         logger.shutdown();
         db.stop_epoch_advancer();
     }
@@ -174,12 +206,18 @@ fn small_records_mode_logs_less_but_recovers_nothing_useful() {
     let mut last = silo_core::Tid::ZERO;
     for i in 0..50u32 {
         let mut txn = w.begin();
-        txn.write(t, format!("key-with-a-long-name-{i}").as_bytes(), &[0u8; 100])
-            .unwrap();
+        txn.write(
+            t,
+            format!("key-with-a-long-name-{i}").as_bytes(),
+            &[0u8; 100],
+        )
+        .unwrap();
         last = txn.commit().unwrap();
     }
     drop(w);
-    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    assert!(logger
+        .wait_for_durable(last.epoch(), Duration::from_secs(5))
+        .is_durable());
     logger.shutdown();
     let small_bytes = logger.bytes_published();
     db.stop_epoch_advancer();
@@ -190,12 +228,18 @@ fn small_records_mode_logs_less_but_recovers_nothing_useful() {
     let mut last = silo_core::Tid::ZERO;
     for i in 0..50u32 {
         let mut txn = wf.begin();
-        txn.write(tf, format!("key-with-a-long-name-{i}").as_bytes(), &[0u8; 100])
-            .unwrap();
+        txn.write(
+            tf,
+            format!("key-with-a-long-name-{i}").as_bytes(),
+            &[0u8; 100],
+        )
+        .unwrap();
         last = txn.commit().unwrap();
     }
     drop(wf);
-    assert!(logger_full.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    assert!(logger_full
+        .wait_for_durable(last.epoch(), Duration::from_secs(5))
+        .is_durable());
     logger_full.shutdown();
     let full_bytes = logger_full.bytes_published();
     db_full.stop_epoch_advancer();
@@ -222,13 +266,20 @@ fn compressed_logs_shrink_and_recover_identically() {
         for i in 0..80u32 {
             let mut txn = w.begin();
             // Highly repetitive values, as OLTP records tend to be.
-            let value = format!("warehouse-{:04}-district-{:02}-padding-{}", i % 4, i % 10, "x".repeat(60));
+            let value = format!(
+                "warehouse-{:04}-district-{:02}-padding-{}",
+                i % 4,
+                i % 10,
+                "x".repeat(60)
+            );
             txn.write(t, format!("key{i:04}").as_bytes(), value.as_bytes())
                 .unwrap();
             last = txn.commit().unwrap();
         }
         drop(w);
-        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(5))
+            .is_durable());
         logger.shutdown();
         db.stop_epoch_advancer();
         let logs = logger.memory_logs();
@@ -274,7 +325,9 @@ fn idle_worker_partial_buffer_is_stolen_and_becomes_durable() {
     // can advance past the commit.
     w.quiesce();
     assert!(
-        logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)),
+        logger
+            .wait_for_durable(tid.epoch(), Duration::from_secs(5))
+            .is_durable(),
         "stolen partial buffer never became durable (durable epoch {})",
         logger.durable_epoch()
     );
@@ -307,7 +360,9 @@ fn compression_happens_on_the_logger_side() {
         last = txn.commit().unwrap();
     }
     drop(w);
-    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(5)));
+    assert!(logger
+        .wait_for_durable(last.epoch(), Duration::from_secs(5))
+        .is_durable());
     logger.shutdown();
     let stats = logger.stats();
     assert!(
@@ -407,7 +462,9 @@ fn worker_finish_flushes_partial_buffers() {
     // Nothing forces the buffer out except the epoch boundary / finish call.
     use silo_core::CommitHook;
     logger.on_worker_finish(w.id());
-    assert!(logger.wait_for_durable(tid.epoch(), Duration::from_secs(5)));
+    assert!(logger
+        .wait_for_durable(tid.epoch(), Duration::from_secs(5))
+        .is_durable());
     logger.shutdown();
     let state = recovery::scan_streams(&logger.memory_logs()).unwrap();
     assert!(state.latest.contains_key(&(t, b"solo".to_vec())));
@@ -446,7 +503,8 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
         let mut last = silo_core::Tid::ZERO;
         for i in 0..300u32 {
             let mut txn = w.begin();
-            txn.write(t, format!("ka{i:03}").as_bytes(), &[b'a'; 64]).unwrap();
+            txn.write(t, format!("ka{i:03}").as_bytes(), &[b'a'; 64])
+                .unwrap();
             last = txn.commit().unwrap();
         }
         for i in 0..20u32 {
@@ -455,12 +513,17 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
             last = txn.commit().unwrap();
         }
         drop(w);
-        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(10)));
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(10))
+            .is_durable());
         // The checkpoint scan walks the snapshot at `SE`; wait until that
         // snapshot covers the history above.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while db.epochs().global_snapshot_epoch() <= last.epoch() {
-            assert!(std::time::Instant::now() < deadline, "snapshot epoch stalled");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "snapshot epoch stalled"
+            );
             std::thread::sleep(Duration::from_millis(2));
         }
 
@@ -486,7 +549,8 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
         let mut w = db.register_worker();
         for i in 100..150u32 {
             let mut txn = w.begin();
-            txn.write(t, format!("ka{i:03}").as_bytes(), b"tail-overwrite").unwrap();
+            txn.write(t, format!("ka{i:03}").as_bytes(), b"tail-overwrite")
+                .unwrap();
             txn.commit().unwrap();
         }
         {
@@ -497,7 +561,9 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
             last = txn.commit().unwrap();
         }
         drop(w);
-        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(10)));
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(10))
+            .is_durable());
 
         // Truncation is asynchronous (logger threads act on their next
         // round): poll for it.
@@ -521,11 +587,22 @@ fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
     // Recover into a fresh database: schema first, then checkpoint + tail.
     let db2 = Database::open(SiloConfig::for_testing());
     let t2 = db2.create_table("t").unwrap();
-    let report = recover_directory(&db2, &dir, &RecoveryOptions { replay_threads: 3, ..Default::default() }).unwrap();
+    let report = recover_directory(
+        &db2,
+        &dir,
+        &RecoveryOptions {
+            replay_threads: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(report.checkpoint_epoch, ckpt_epoch);
     assert_eq!(report.checkpoint_records, 280);
     assert!(report.durable_epoch > ckpt_epoch);
-    assert!(report.replayed_txns >= 51, "the 51 tail transactions must replay");
+    assert!(
+        report.replayed_txns >= 51,
+        "the 51 tail transactions must replay"
+    );
     assert!(
         report.log_bytes_scanned > 0 && report.checkpoint_bytes > 0,
         "both sources must contribute"
@@ -565,14 +642,20 @@ fn paced_checkpoint_is_throttled_but_complete() {
     let mut last = silo_core::Tid::ZERO;
     for i in 0..300u32 {
         let mut txn = w.begin();
-        txn.write(t, format!("k{i:03}").as_bytes(), &[b'x'; 64]).unwrap();
+        txn.write(t, format!("k{i:03}").as_bytes(), &[b'x'; 64])
+            .unwrap();
         last = txn.commit().unwrap();
     }
     drop(w);
-    assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(10)));
+    assert!(logger
+        .wait_for_durable(last.epoch(), Duration::from_secs(10))
+        .is_durable());
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while db.epochs().global_snapshot_epoch() <= last.epoch() {
-        assert!(std::time::Instant::now() < deadline, "snapshot epoch stalled");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "snapshot epoch stalled"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
 
@@ -625,11 +708,14 @@ fn recovery_without_any_checkpoint_still_replays_the_whole_log() {
         let mut last = silo_core::Tid::ZERO;
         for i in 0..64u32 {
             let mut txn = w.begin();
-            txn.write(t, format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            txn.write(t, format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
             last = txn.commit().unwrap();
         }
         drop(w);
-        assert!(logger.wait_for_durable(last.epoch(), Duration::from_secs(10)));
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(10))
+            .is_durable());
         expected = full_scan(&db, t);
         logger.shutdown();
         db.stop_epoch_advancer();
@@ -641,6 +727,164 @@ fn recovery_without_any_checkpoint_still_replays_the_whole_log() {
     assert_eq!(report.checkpoint_records, 0);
     assert_eq!(report.replayed_txns, 64);
     assert_eq!(full_scan(&db2, t2), expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn transient_faults_are_retried_and_commits_stay_durable() {
+    let plan = Arc::new(
+        crate::fault::FaultPlan::new()
+            .fail_at(FaultSite::Append, 1, FaultKind::Transient)
+            .fail_at(FaultSite::Append, 3, FaultKind::Transient)
+            .fail_at(FaultSite::Sync, 2, FaultKind::Transient),
+    );
+    let (db, logger) = logged_db(LogConfig {
+        fault: Some(Arc::clone(&plan)),
+        retry_backoff: Duration::from_micros(50),
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let mut last = silo_core::Tid::ZERO;
+    for i in 0..200u32 {
+        let mut txn = w.begin();
+        txn.write(t, format!("k{i}").as_bytes(), b"v").unwrap();
+        last = txn.commit().unwrap();
+    }
+    drop(w);
+    assert!(logger
+        .wait_for_durable(last.epoch(), Duration::from_secs(10))
+        .is_durable());
+    assert_eq!(
+        logger.durability_health(),
+        silo_core::DurabilityHealth::Healthy
+    );
+    let stats = logger.stats();
+    assert!(
+        stats.retries >= 1,
+        "injected transient faults must be retried"
+    );
+    assert!(stats.backoff_micros > 0);
+    assert_eq!(stats.logger_failures, 0);
+    assert!(stats.faults_injected >= 1);
+    logger.shutdown();
+
+    // Every committed transaction survives the retried faults.
+    let db2 = Database::open(SiloConfig::for_testing());
+    db2.create_table("t").unwrap();
+    let state = recover_into(&db2, &logger.memory_logs()).unwrap();
+    assert!(state.durable_epoch >= last.epoch());
+    assert_eq!(state.replayed_txns, 200);
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn a_permanent_fault_degrades_the_logger_instead_of_aborting() {
+    let plan = Arc::new(crate::fault::FaultPlan::new().fail_at(
+        FaultSite::Append,
+        1,
+        FaultKind::Permanent,
+    ));
+    let (db, logger) = logged_db(LogConfig {
+        fault: Some(plan),
+        retry_budget: Duration::from_millis(50),
+        ..LogConfig::in_memory(1)
+    });
+    let t = db.create_table("t").unwrap();
+    let mut w = db.register_worker();
+    let tid = {
+        let mut txn = w.begin();
+        txn.write(t, b"doomed", b"v").unwrap();
+        txn.commit().unwrap()
+    };
+    drop(w);
+
+    // The first append fails permanently: the logger marks itself failed and
+    // the wait reports that as a typed outcome — the process never aborts.
+    assert_eq!(
+        logger.wait_for_durable(tid.epoch(), Duration::from_secs(10)),
+        DurableWait::Failed
+    );
+    assert_eq!(
+        logger.durability_health(),
+        silo_core::DurabilityHealth::Failed
+    );
+    assert_eq!(db.durability_health(), silo_core::DurabilityHealth::Failed);
+    assert_eq!(logger.stats().logger_failures, 1);
+
+    // Commits still complete (acknowledged-but-not-durable) and shutdown
+    // drains cleanly through the degraded logger.
+    let mut w = db.register_worker();
+    let mut txn = w.begin();
+    txn.write(t, b"after-failure", b"v").unwrap();
+    txn.commit().unwrap();
+    drop(w);
+    logger.shutdown();
+    db.stop_epoch_advancer();
+}
+
+#[test]
+fn enospc_on_rotation_keeps_the_current_segment_writable() {
+    let dir = std::env::temp_dir().join(format!("silo-log-enospc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let plan = Arc::new(crate::fault::FaultPlan::new().fail_at(
+            FaultSite::Rotate,
+            1,
+            FaultKind::NoSpace,
+        ));
+        let (db, logger) = logged_db(LogConfig {
+            segment_bytes: 4096,
+            fault: Some(Arc::clone(&plan)),
+            ..LogConfig::to_directory(&dir, 1)
+        });
+        let t = db.create_table("t").unwrap();
+        let mut last = silo_core::Tid::ZERO;
+        // Commit in waves (a fresh worker per wave, so each wave's partial
+        // buffer is published when it drops), waiting out each group-commit
+        // round, so the logger attempts rotation more than once — a single
+        // burst can coalesce into one round: one rotate attempt (the injected
+        // failure) and done.
+        let mut i = 0u32;
+        for _wave in 0..40 {
+            let mut w = db.register_worker();
+            for _ in 0..50 {
+                let mut txn = w.begin();
+                txn.write(t, format!("key{i:04}").as_bytes(), &[b'x'; 64])
+                    .unwrap();
+                last = txn.commit().unwrap();
+                i += 1;
+            }
+            drop(w);
+            assert!(logger
+                .wait_for_durable(last.epoch(), Duration::from_secs(10))
+                .is_durable());
+            if i >= 400 && logger.stats().segments_rotated >= 1 {
+                break;
+            }
+        }
+        let total = i;
+
+        // The failed rotation is non-fatal: the segment that was due to roll
+        // stays writable, durability keeps advancing, and a later round
+        // rotates successfully.
+        assert!(logger
+            .wait_for_durable(last.epoch(), Duration::from_secs(10))
+            .is_durable());
+        let stats = logger.stats();
+        assert_eq!(stats.logger_failures, 0);
+        assert_eq!(stats.faults_injected, 1);
+        assert!(stats.segments_rotated >= 1, "a later rotation must succeed");
+        logger.shutdown();
+        db.stop_epoch_advancer();
+
+        // Everything acknowledged recovers.
+        let db2 = Database::open(SiloConfig::for_testing());
+        let t2 = db2.create_table("t").unwrap();
+        let report = recover_directory(&db2, &dir, &RecoveryOptions::default()).unwrap();
+        assert!(report.durable_epoch >= last.epoch());
+        assert_eq!(full_scan(&db2, t2).len(), total as usize);
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -726,7 +970,15 @@ mod checkpoint_equivalence {
     fn recover_scan(dir: &std::path::Path) -> Vec<(Vec<u8>, Vec<u8>)> {
         let db = Database::open(SiloConfig::for_testing());
         let t = db.create_table("t").unwrap();
-        recover_directory(&db, dir, &RecoveryOptions { replay_threads: 2, ..Default::default() }).unwrap();
+        recover_directory(
+            &db,
+            dir,
+            &RecoveryOptions {
+                replay_threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         full_scan(&db, t)
     }
 

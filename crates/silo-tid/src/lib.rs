@@ -330,7 +330,8 @@ impl AtomicTidWord {
             self.load_relaxed().is_locked(),
             "store_and_unlock called on an unlocked record"
         );
-        self.0.store(word.with_locked(false).raw(), Ordering::Release);
+        self.0
+            .store(word.with_locked(false).raw(), Ordering::Release);
     }
 
     /// Spins until the lock bit is clear and returns the observed word.

@@ -201,14 +201,21 @@ pub fn run_workload_durable(
                         // The durable epoch is monotone, so samples (arriving
                         // in roughly epoch order) mostly return immediately
                         // once the first wait in their epoch completes.
-                        if logger.wait_for_durable(epoch, timeout) {
-                            latencies.push(begin.elapsed().as_micros() as u64);
-                            // The durable epoch caught up: resume real waits
-                            // so a transient stall doesn't discard the rest
-                            // of the run's samples.
-                            failed_at = None;
-                        } else if timeout > Duration::ZERO {
-                            failed_at = Some(failed_at.map_or(epoch, |f| f.min(epoch)));
+                        match logger.wait_for_durable(epoch, timeout) {
+                            silo_log::DurableWait::Durable => {
+                                latencies.push(begin.elapsed().as_micros() as u64);
+                                // The durable epoch caught up: resume real
+                                // waits so a transient stall doesn't discard
+                                // the rest of the run's samples.
+                                failed_at = None;
+                            }
+                            // A failed logger never becomes durable again:
+                            // poll every remaining sample instead of waiting.
+                            silo_log::DurableWait::Failed => failed_at = Some(0),
+                            silo_log::DurableWait::Timeout if timeout > Duration::ZERO => {
+                                failed_at = Some(failed_at.map_or(epoch, |f| f.min(epoch)));
+                            }
+                            silo_log::DurableWait::Timeout => {}
                         }
                     }
                     latencies
@@ -235,8 +242,7 @@ pub fn run_workload_durable(
             let mut committed = 0u64;
             let mut aborted = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let sample =
-                    sample_tx.is_some() && (committed + aborted) % sample_every == 0;
+                let sample = sample_tx.is_some() && (committed + aborted) % sample_every == 0;
                 let begin = if sample { Some(Instant::now()) } else { None };
                 let ok = workload.run_one(&mut worker, &mut rng, thread_index);
                 if ok {

@@ -86,7 +86,12 @@ impl KeyValueStore {
     }
 
     /// Range scan (ascending), at most `limit` entries.
-    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: Option<usize>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<usize>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.tree
             .scan(start, end, limit)
             .entries

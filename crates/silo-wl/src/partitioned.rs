@@ -74,7 +74,9 @@ impl PartitionedStore {
         let mut rng = SmallRng::seed_from_u64(0x9A127);
         let store = PartitionedStore {
             config: config.clone(),
-            partitions: (0..config.warehouses).map(|_| Mutex::new(Partition::new())).collect(),
+            partitions: (0..config.warehouses)
+                .map(|_| Mutex::new(Partition::new()))
+                .collect(),
         };
         for w in 1..=config.warehouses {
             let mut p = store.partitions[w as usize - 1].lock();
@@ -122,7 +124,11 @@ impl PartitionedStore {
                         credit: *b"GC",
                         data: String::new(),
                     };
-                    p.put(TpccTable::Customer, customer_key(w, d, c), customer.encode());
+                    p.put(
+                        TpccTable::Customer,
+                        customer_key(w, d, c),
+                        customer.encode(),
+                    );
                 }
             }
         }
@@ -183,7 +189,10 @@ impl PartitionedStore {
             .collect();
 
         // Everything below runs as in a single-threaded store.
-        let home_index = guards.iter().position(|(w, _)| *w == w_id).expect("home locked");
+        let home_index = guards
+            .iter()
+            .position(|(w, _)| *w == w_id)
+            .expect("home locked");
 
         if rollback {
             stats.rolled_back += 1;
@@ -192,12 +201,17 @@ impl PartitionedStore {
 
         let (o_id, customer_discount, warehouse_tax, district_tax) = {
             let home = &mut guards[home_index].1;
-            let warehouse = WarehouseRow::decode(home.get(TpccTable::Warehouse, &warehouse_key(w_id)).expect("warehouse"));
+            let warehouse = WarehouseRow::decode(
+                home.get(TpccTable::Warehouse, &warehouse_key(w_id))
+                    .expect("warehouse"),
+            );
             let customer = CustomerRow::decode(
-                home.get(TpccTable::Customer, &customer_key(w_id, d_id, c_id)).expect("customer"),
+                home.get(TpccTable::Customer, &customer_key(w_id, d_id, c_id))
+                    .expect("customer"),
             );
             let dk = district_key(w_id, d_id);
-            let mut district = DistrictRow::decode(home.get(TpccTable::District, &dk).expect("district"));
+            let mut district =
+                DistrictRow::decode(home.get(TpccTable::District, &dk).expect("district"));
             let o_id = district.next_o_id;
             district.next_o_id += 1;
             home.put(TpccTable::District, dk, district.encode());
@@ -208,22 +222,39 @@ impl PartitionedStore {
                 ol_cnt,
                 all_local: lines.iter().all(|(_, w, _)| *w == w_id),
             };
-            home.put(TpccTable::Order, order_key(w_id, d_id, o_id), order.encode());
-            home.put(TpccTable::NewOrder, new_order_key(w_id, d_id, o_id), Vec::new());
+            home.put(
+                TpccTable::Order,
+                order_key(w_id, d_id, o_id),
+                order.encode(),
+            );
+            home.put(
+                TpccTable::NewOrder,
+                new_order_key(w_id, d_id, o_id),
+                Vec::new(),
+            );
             home.put(
                 TpccTable::OrderCustomerIndex,
                 order_customer_key(w_id, d_id, c_id, o_id),
                 o_id.to_le_bytes().to_vec(),
             );
-            (o_id, customer.discount_bp, warehouse.tax_bp, district.tax_bp)
+            (
+                o_id,
+                customer.discount_bp,
+                warehouse.tax_bp,
+                district.tax_bp,
+            )
         };
 
         let mut total_cents = 0u64;
         for (ol_number, (i_id, supply_w, quantity)) in lines.iter().enumerate() {
-            let supply_index = guards.iter().position(|(w, _)| w == supply_w).expect("supply locked");
+            let supply_index = guards
+                .iter()
+                .position(|(w, _)| w == supply_w)
+                .expect("supply locked");
             let price_cents = {
                 let part = &guards[supply_index].1;
-                ItemRow::decode(part.get(TpccTable::Item, &item_key(*i_id)).expect("item")).price_cents
+                ItemRow::decode(part.get(TpccTable::Item, &item_key(*i_id)).expect("item"))
+                    .price_cents
             };
             {
                 let part = &mut guards[supply_index].1;
@@ -301,7 +332,10 @@ mod tests {
             store.new_order(&mut rng, 1, &mut stats);
         }
         assert!(stats.committed > 50);
-        assert!(stats.cross_partition > 0, "50% remote probability must cross partitions");
+        assert!(
+            stats.cross_partition > 0,
+            "50% remote probability must cross partitions"
+        );
         assert_eq!(store.total_orders() as u64, stats.committed);
     }
 

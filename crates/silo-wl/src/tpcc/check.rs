@@ -51,7 +51,10 @@ pub fn check_consistency(
     for w in 1..=cfg.warehouses {
         for d in 1..=cfg.districts_per_warehouse {
             let district_raw = txn
-                .read(tables.id(TpccTable::District, w), &schema::district_key(w, d))
+                .read(
+                    tables.id(TpccTable::District, w),
+                    &schema::district_key(w, d),
+                )
                 .map_err(|e| format!("district read aborted at w={w} d={d}: {e}"))?
                 .ok_or_else(|| format!("district row missing at w={w} d={d}"))?;
             let district = DistrictRow::decode(&district_raw);
@@ -91,7 +94,10 @@ pub fn check_consistency(
             for (no_key, _) in &pending {
                 let o_id = u32::from_be_bytes(no_key[no_key.len() - 4..].try_into().unwrap());
                 let order_raw = txn
-                    .read(tables.id(TpccTable::Order, w), &schema::order_key(w, d, o_id))
+                    .read(
+                        tables.id(TpccTable::Order, w),
+                        &schema::order_key(w, d, o_id),
+                    )
                     .map_err(|e| format!("order read aborted at w={w} d={d} o={o_id}: {e}"))?;
                 let Some(order_raw) = order_raw else {
                     return fail(format!(

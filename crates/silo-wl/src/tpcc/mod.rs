@@ -164,7 +164,8 @@ impl TpccMix {
     }
 
     fn pick(&self, rng: &mut SmallRng) -> TxnKind {
-        let total = self.new_order + self.payment + self.order_status + self.delivery + self.stock_level;
+        let total =
+            self.new_order + self.payment + self.order_status + self.delivery + self.stock_level;
         debug_assert_eq!(total, 100);
         let r = rng.gen_range(0..total);
         if r < self.new_order {
@@ -319,14 +320,19 @@ pub fn load(db: &Arc<Database>, config: &TpccConfig) -> TpccTables {
                 name: format!("item-{i}"),
                 price_cents: rng.gen_range(100..=10_000),
                 data: if rng.gen_bool(0.1) {
-                    format!("{}ORIGINAL{}", random_string(&mut rng, 4, 10), random_string(&mut rng, 4, 10))
+                    format!(
+                        "{}ORIGINAL{}",
+                        random_string(&mut rng, 4, 10),
+                        random_string(&mut rng, 4, 10)
+                    )
                 } else {
                     random_string(&mut rng, 26, 50)
                 },
             };
             match config.split {
                 TableSplit::Shared => {
-                    txn.write(tables.item_table(1), &item_key(i), &item.encode()).expect("load item");
+                    txn.write(tables.item_table(1), &item_key(i), &item.encode())
+                        .expect("load item");
                 }
                 TableSplit::PerWarehouse => {
                     for w in 1..=config.warehouses {
@@ -378,7 +384,11 @@ fn load_warehouse(
         tax_bp: rng.gen_range(0..=2000),
         ytd_cents: 30_000_000,
     };
-    put!(tables.id(TpccTable::Warehouse, w), warehouse_key(w), warehouse.encode());
+    put!(
+        tables.id(TpccTable::Warehouse, w),
+        warehouse_key(w),
+        warehouse.encode()
+    );
 
     // STOCK for every item.
     for i in 1..=config.items {
@@ -390,7 +400,11 @@ fn load_warehouse(
             dist_info: [b's'; 24],
             data: random_string(rng, 26, 50),
         };
-        put!(tables.id(TpccTable::Stock, w), stock_key(w, i), stock.encode());
+        put!(
+            tables.id(TpccTable::Stock, w),
+            stock_key(w, i),
+            stock.encode()
+        );
     }
 
     for d in 1..=config.districts_per_warehouse {
@@ -400,7 +414,11 @@ fn load_warehouse(
             ytd_cents: 3_000_000,
             next_o_id: config.initial_orders_per_district + 1,
         };
-        put!(tables.id(TpccTable::District, w), district_key(w, d), district.encode());
+        put!(
+            tables.id(TpccTable::District, w),
+            district_key(w, d),
+            district.encode()
+        );
 
         // Customers and the last-name index.
         for c in 1..=config.customers_per_district {
@@ -461,7 +479,11 @@ fn load_warehouse(
                 ol_cnt,
                 all_local: true,
             };
-            put!(tables.id(TpccTable::Order, w), order_key(w, d, o), order.encode());
+            put!(
+                tables.id(TpccTable::Order, w),
+                order_key(w, d, o),
+                order.encode()
+            );
             put!(
                 tables.id(TpccTable::OrderCustomerIndex, w),
                 order_customer_key(w, d, c_id, o),
@@ -480,7 +502,11 @@ fn load_warehouse(
                     supply_w_id: w,
                     delivery_d: if delivered { o as u64 } else { 0 },
                     quantity: 5,
-                    amount_cents: if delivered { 0 } else { rng.gen_range(1..=999_999) },
+                    amount_cents: if delivered {
+                        0
+                    } else {
+                        rng.gen_range(1..=999_999)
+                    },
                     dist_info: [b'd'; 24],
                 };
                 put!(

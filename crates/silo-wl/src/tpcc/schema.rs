@@ -68,7 +68,10 @@ impl TpccTable {
 
     /// Index of this table within [`ALL_TABLES`].
     pub fn index(&self) -> usize {
-        ALL_TABLES.iter().position(|t| t == self).expect("in table list")
+        ALL_TABLES
+            .iter()
+            .position(|t| t == self)
+            .expect("in table list")
     }
 }
 
@@ -548,7 +551,8 @@ mod tests {
         assert!(order_line_key(1, 1, 5, 15) < order_line_key(1, 1, 6, 1));
         assert!(new_order_key(3, 4, 100).starts_with(&new_order_district_prefix(3, 4)));
         assert!(order_customer_key(1, 2, 3, 9).starts_with(&order_customer_prefix(1, 2, 3)));
-        assert!(customer_name_key(1, 1, b"BARBAR", 7).starts_with(&customer_name_prefix(1, 1, b"BARBAR")));
+        assert!(customer_name_key(1, 1, b"BARBAR", 7)
+            .starts_with(&customer_name_prefix(1, 1, b"BARBAR")));
         assert!(customer_name_prefix(1, 1, b"BARBAR") < customer_name_prefix(1, 1, b"BARES"));
     }
 

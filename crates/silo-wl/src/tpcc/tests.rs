@@ -24,16 +24,25 @@ fn loader_populates_all_tables() {
     let cfg = TpccConfig::tiny();
     let tables = load(&db, &cfg);
 
-    assert_eq!(db.table(tables.id(TpccTable::Warehouse, 1)).approximate_len() as u32, cfg.warehouses);
     assert_eq!(
-        db.table(tables.id(TpccTable::District, 1)).approximate_len() as u32,
+        db.table(tables.id(TpccTable::Warehouse, 1))
+            .approximate_len() as u32,
+        cfg.warehouses
+    );
+    assert_eq!(
+        db.table(tables.id(TpccTable::District, 1))
+            .approximate_len() as u32,
         cfg.warehouses * cfg.districts_per_warehouse
     );
     assert_eq!(
-        db.table(tables.id(TpccTable::Customer, 1)).approximate_len() as u32,
+        db.table(tables.id(TpccTable::Customer, 1))
+            .approximate_len() as u32,
         cfg.warehouses * cfg.districts_per_warehouse * cfg.customers_per_district
     );
-    assert_eq!(db.table(tables.item_table(1)).approximate_len() as u32, cfg.items);
+    assert_eq!(
+        db.table(tables.item_table(1)).approximate_len() as u32,
+        cfg.items
+    );
     assert_eq!(
         db.table(tables.id(TpccTable::Stock, 1)).approximate_len() as u32,
         cfg.warehouses * cfg.items
@@ -43,7 +52,9 @@ fn loader_populates_all_tables() {
         cfg.warehouses * cfg.districts_per_warehouse * cfg.initial_orders_per_district
     );
     // A third of the initial orders are undelivered.
-    let new_orders = db.table(tables.id(TpccTable::NewOrder, 1)).approximate_len() as u32;
+    let new_orders = db
+        .table(tables.id(TpccTable::NewOrder, 1))
+        .approximate_len() as u32;
     assert_eq!(
         new_orders,
         cfg.warehouses * cfg.districts_per_warehouse * (cfg.initial_orders_per_district / 3)
@@ -64,8 +75,15 @@ fn per_warehouse_split_separates_tables() {
         tables.id(TpccTable::Stock, 2),
         "split mode must give each warehouse its own tree"
     );
-    assert_eq!(db.table(tables.id(TpccTable::Stock, 1)).approximate_len() as u32, cfg.items);
-    assert_eq!(db.table(tables.id(TpccTable::Warehouse, 2)).approximate_len(), 1);
+    assert_eq!(
+        db.table(tables.id(TpccTable::Stock, 1)).approximate_len() as u32,
+        cfg.items
+    );
+    assert_eq!(
+        db.table(tables.id(TpccTable::Warehouse, 2))
+            .approximate_len(),
+        1
+    );
     db.stop_epoch_advancer();
 }
 
@@ -93,7 +111,13 @@ fn new_order_creates_order_rows_and_bumps_district_counter() {
     let mut txn = worker.begin();
     let mut next_ids = 0u32;
     for d in 1..=cfg.districts_per_warehouse {
-        let raw = txn.read(tables.id(TpccTable::District, 1), &schema::district_key(1, d)).unwrap().unwrap();
+        let raw = txn
+            .read(
+                tables.id(TpccTable::District, 1),
+                &schema::district_key(1, d),
+            )
+            .unwrap()
+            .unwrap();
         next_ids += DistrictRow::decode(&raw).next_o_id - (cfg.initial_orders_per_district + 1);
     }
     txn.commit().unwrap();
@@ -111,7 +135,13 @@ fn payment_updates_balances_and_ytd() {
 
     let read_w_ytd = |worker: &mut silo_core::Worker| {
         let mut txn = worker.begin();
-        let raw = txn.read(tables.id(TpccTable::Warehouse, 1), &schema::warehouse_key(1)).unwrap().unwrap();
+        let raw = txn
+            .read(
+                tables.id(TpccTable::Warehouse, 1),
+                &schema::warehouse_key(1),
+            )
+            .unwrap()
+            .unwrap();
         let ytd = WarehouseRow::decode(&raw).ytd_cents;
         txn.commit().unwrap();
         ytd
@@ -179,7 +209,9 @@ fn delivery_consumes_new_orders() {
     let mut worker = db.register_worker();
     let mut r = rng();
 
-    let pending_before = db.table(tables.id(TpccTable::NewOrder, 1)).approximate_len();
+    let pending_before = db
+        .table(tables.id(TpccTable::NewOrder, 1))
+        .approximate_len();
     assert!(pending_before > 0);
     txns::delivery(&mut worker, &tables, &cfg, &mut r, 1).unwrap();
     // Deleted NEW-ORDER rows stay as absent records until GC, so count via a
@@ -268,7 +300,10 @@ fn consistency_invariants_hold_after_concurrent_mix() {
     for w in 1..=cfg.warehouses {
         for d in 1..=cfg.districts_per_warehouse {
             let raw = txn
-                .read(tables.id(TpccTable::District, w), &schema::district_key(w, d))
+                .read(
+                    tables.id(TpccTable::District, w),
+                    &schema::district_key(w, d),
+                )
                 .unwrap()
                 .unwrap();
             let district = DistrictRow::decode(&raw);
@@ -334,7 +369,11 @@ fn mix_percentages_select_all_kinds() {
     for _ in 0..2000 {
         seen.insert(mix.pick(&mut r));
     }
-    assert_eq!(seen.len(), 5, "standard mix must exercise all five transactions");
+    assert_eq!(
+        seen.len(),
+        5,
+        "standard mix must exercise all five transactions"
+    );
     let no_only = TpccMix::new_order_only();
     for _ in 0..100 {
         assert_eq!(no_only.pick(&mut r), TxnKind::NewOrder);

@@ -62,16 +62,30 @@ fn main() {
                 let mut txn = worker.begin();
                 let result = (|| -> Result<bool, silo::Abort> {
                     let from_balance = u64::from_be_bytes(
-                        txn.read(accounts, &account_key(from))?.unwrap().try_into().unwrap(),
+                        txn.read(accounts, &account_key(from))?
+                            .unwrap()
+                            .try_into()
+                            .unwrap(),
                     );
                     if from_balance < amount {
                         return Ok(false); // insufficient funds; nothing to do
                     }
                     let to_balance = u64::from_be_bytes(
-                        txn.read(accounts, &account_key(to))?.unwrap().try_into().unwrap(),
+                        txn.read(accounts, &account_key(to))?
+                            .unwrap()
+                            .try_into()
+                            .unwrap(),
                     );
-                    txn.write(accounts, &account_key(from), &(from_balance - amount).to_be_bytes())?;
-                    txn.write(accounts, &account_key(to), &(to_balance + amount).to_be_bytes())?;
+                    txn.write(
+                        accounts,
+                        &account_key(from),
+                        &(from_balance - amount).to_be_bytes(),
+                    )?;
+                    txn.write(
+                        accounts,
+                        &account_key(to),
+                        &(to_balance + amount).to_be_bytes(),
+                    )?;
                     Ok(true)
                 })();
                 match result {

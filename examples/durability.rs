@@ -14,7 +14,7 @@ use silo_log::recover_into;
 fn main() {
     // --- Phase 1: a database with logging -------------------------------
     let db = Database::open(SiloConfig::default());
-    let logger = SiloLogger::install(LogConfig::in_memory(2), &db);
+    let logger = SiloLogger::install(LogConfig::in_memory(2), &db).expect("install logger");
     let orders = db.create_table("orders").expect("create table");
 
     let mut worker = db.register_worker();
@@ -41,20 +41,30 @@ fn main() {
         "durable epoch reached {} (needed {}): {}",
         logger.durable_epoch(),
         delete_tid.epoch(),
-        if durable { "all transactions durable" } else { "timed out" }
+        if durable.is_durable() {
+            "all transactions durable"
+        } else {
+            "timed out"
+        }
     );
 
     // --- Phase 2: "crash" ------------------------------------------------
     logger.shutdown();
     let logs = logger.memory_logs();
     let log_bytes: usize = logs.iter().map(Vec::len).sum();
-    println!("simulating a crash; {} bytes of redo log survive", log_bytes);
+    println!(
+        "simulating a crash; {} bytes of redo log survive",
+        log_bytes
+    );
     drop(db);
 
     // --- Phase 3: recovery ----------------------------------------------
     let db2 = Database::open(SiloConfig::default());
     let orders2 = db2.create_table("orders").expect("recreate schema");
-    assert_eq!(orders2, orders, "schema must be recreated in the same order");
+    assert_eq!(
+        orders2, orders,
+        "schema must be recreated in the same order"
+    );
     let state = recover_into(&db2, &logs).expect("recovery");
     println!(
         "recovered to durable epoch {}: {} transactions replayed, {} beyond the horizon skipped",
@@ -69,7 +79,11 @@ fn main() {
     println!("orders visible after recovery : {}", rows.len());
     println!(
         "cancelled order order-00042   : {}",
-        if cancelled.is_none() { "absent (delete recovered)" } else { "present" }
+        if cancelled.is_none() {
+            "absent (delete recovered)"
+        } else {
+            "present"
+        }
     );
     db2.stop_epoch_advancer();
 }

@@ -24,7 +24,10 @@ fn main() {
             .expect("write");
     }
     let tid = txn.commit().expect("commit");
-    println!("loaded 3 records, commit TID = {tid} (epoch {})", tid.epoch());
+    println!(
+        "loaded 3 records, commit TID = {tid} (epoch {})",
+        tid.epoch()
+    );
 
     // Read-modify-write with read-your-own-writes semantics.
     let mut txn = worker.begin();

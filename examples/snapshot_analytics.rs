@@ -30,7 +30,8 @@ fn main() {
         let mut worker = db.register_worker();
         let mut txn = worker.begin();
         for p in 0..PRODUCTS {
-            txn.write(sales, &p.to_be_bytes(), &0u64.to_be_bytes()).expect("load");
+            txn.write(sales, &p.to_be_bytes(), &0u64.to_be_bytes())
+                .expect("load");
         }
         txn.commit().expect("load commit");
     }
@@ -87,6 +88,9 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
     let updates = writer.join().unwrap();
     println!("writer committed {updates} updates; reports never aborted and never blocked it");
-    assert!(totals.windows(2).all(|w| w[0] <= w[1]), "later snapshots see no fewer sales");
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "later snapshots see no fewer sales"
+    );
     db.stop_epoch_advancer();
 }

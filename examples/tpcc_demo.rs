@@ -13,8 +13,14 @@ use silo_wl::driver::{run_workload, DriverConfig};
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
 fn main() {
-    let threads: usize = std::env::var("THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
-    let seconds: u64 = std::env::var("SECONDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let threads: usize = std::env::var("THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let seconds: u64 = std::env::var("SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
 
     let db = Database::open(SiloConfig::default());
     let config = TpccConfig::scaled(threads as u32, 0.05);
@@ -41,10 +47,16 @@ fn main() {
 
     println!();
     println!("throughput        : {:>12.0} txn/s", result.throughput());
-    println!("per-core          : {:>12.0} txn/s/core", result.per_core_throughput());
+    println!(
+        "per-core          : {:>12.0} txn/s/core",
+        result.per_core_throughput()
+    );
     println!("committed         : {:>12}", result.committed);
     println!("aborted           : {:>12}", result.aborted);
-    println!("in-place writes   : {:>12}", result.stats.inplace_overwrites);
+    println!(
+        "in-place writes   : {:>12}",
+        result.stats.inplace_overwrites
+    );
     println!("new versions      : {:>12}", result.stats.new_versions);
     println!("records reclaimed : {:>12}", result.stats.records_reclaimed);
     println!(

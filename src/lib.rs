@@ -35,7 +35,10 @@ pub use silo_tid as tid;
 pub use silo_wl as wl;
 
 pub use silo_core::{
-    Abort, AbortReason, CommitHook, CommitWrite, CommitWrites, Database, EpochConfig, SiloConfig,
-    SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
+    Abort, AbortReason, CommitHook, CommitWrite, CommitWrites, Database, DurabilityHealth,
+    EpochConfig, SiloConfig, SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
 };
-pub use silo_log::{LogConfig, LogDestination, LogMode, SiloLogger};
+pub use silo_log::{
+    DurableWait, FaultKind, FaultPlan, FaultSite, LogConfig, LogDestination, LogMode,
+    RecoveryError, SiloLogger, SinkError, SinkErrorKind,
+};

@@ -17,7 +17,7 @@ fn concurrent_commits_survive_crash_and_recovery() {
         ..SiloConfig::default()
     };
     let db = Database::open(config.clone());
-    let logger = SiloLogger::install(LogConfig::in_memory(2), &db);
+    let logger = SiloLogger::install(LogConfig::in_memory(2), &db).expect("install logger");
     let t = db.create_table("ledger").unwrap();
 
     // Several threads append entries; each thread records what it committed.
@@ -44,12 +44,16 @@ fn concurrent_commits_survive_crash_and_recovery() {
             committed
         }));
     }
-    let committed: Vec<(String, silo::Tid)> =
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let committed: Vec<(String, silo::Tid)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
     assert_eq!(committed.len(), 600);
     let max_epoch = committed.iter().map(|(_, tid)| tid.epoch()).max().unwrap();
     assert!(
-        logger.wait_for_durable(max_epoch, Duration::from_secs(10)),
+        logger
+            .wait_for_durable(max_epoch, Duration::from_secs(10))
+            .is_durable(),
         "all commits should become durable once workers finish"
     );
     logger.shutdown();

@@ -35,7 +35,8 @@ fn transfer_invariant_under_heavy_contention() {
         let mut w = db.register_worker();
         let mut txn = w.begin();
         for a in 0..accounts {
-            txn.write(t, &a.to_be_bytes(), &100u64.to_be_bytes()).unwrap();
+            txn.write(t, &a.to_be_bytes(), &100u64.to_be_bytes())
+                .unwrap();
         }
         txn.commit().unwrap();
     }
@@ -54,8 +55,15 @@ fn transfer_invariant_under_heavy_contention() {
                 }
                 let mut txn = w.begin();
                 let result = (|| -> Result<(), silo::Abort> {
-                    let f = u64::from_be_bytes(txn.read(t, &from.to_be_bytes())?.unwrap().try_into().unwrap());
-                    let g = u64::from_be_bytes(txn.read(t, &to.to_be_bytes())?.unwrap().try_into().unwrap());
+                    let f = u64::from_be_bytes(
+                        txn.read(t, &from.to_be_bytes())?
+                            .unwrap()
+                            .try_into()
+                            .unwrap(),
+                    );
+                    let g = u64::from_be_bytes(
+                        txn.read(t, &to.to_be_bytes())?.unwrap().try_into().unwrap(),
+                    );
                     if f == 0 {
                         return Ok(());
                     }
@@ -79,7 +87,13 @@ fn transfer_invariant_under_heavy_contention() {
     let mut txn = w.begin();
     let total: u64 = (0..accounts)
         .map(|a| {
-            u64::from_be_bytes(txn.read(t, &a.to_be_bytes()).unwrap().unwrap().try_into().unwrap())
+            u64::from_be_bytes(
+                txn.read(t, &a.to_be_bytes())
+                    .unwrap()
+                    .unwrap()
+                    .try_into()
+                    .unwrap(),
+            )
         })
         .sum();
     txn.commit().unwrap();
@@ -117,7 +131,8 @@ fn write_skew_and_phantoms_are_rejected_between_threads() {
             handles.push(std::thread::spawn(move || {
                 let mut w = db.register_worker();
                 let mut txn = w.begin();
-                let v = u64::from_be_bytes(txn.read(t, read_key).unwrap().unwrap().try_into().unwrap());
+                let v =
+                    u64::from_be_bytes(txn.read(t, read_key).unwrap().unwrap().try_into().unwrap());
                 barrier.wait();
                 let _ = txn.write(t, write_key, &(v + 1).to_be_bytes());
                 txn.commit().is_ok()

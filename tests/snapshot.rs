@@ -22,8 +22,10 @@ fn snapshots_are_consistent_and_never_abort_under_churn() {
         let mut w = db.register_worker();
         let mut txn = w.begin();
         for i in 0..pairs {
-            txn.write(t, format!("a{i:03}").as_bytes(), &0u64.to_be_bytes()).unwrap();
-            txn.write(t, format!("b{i:03}").as_bytes(), &0u64.to_be_bytes()).unwrap();
+            txn.write(t, format!("a{i:03}").as_bytes(), &0u64.to_be_bytes())
+                .unwrap();
+            txn.write(t, format!("b{i:03}").as_bytes(), &0u64.to_be_bytes())
+                .unwrap();
         }
         txn.commit().unwrap();
     }
@@ -44,7 +46,10 @@ fn snapshots_are_consistent_and_never_abort_under_churn() {
                 let mut txn = w.begin();
                 let result = (|| -> Result<(), silo::Abort> {
                     let a = u64::from_be_bytes(
-                        txn.read(t, format!("a{i:03}").as_bytes())?.unwrap().try_into().unwrap(),
+                        txn.read(t, format!("a{i:03}").as_bytes())?
+                            .unwrap()
+                            .try_into()
+                            .unwrap(),
                     );
                     txn.write(t, format!("a{i:03}").as_bytes(), &(a + 1).to_be_bytes())?;
                     txn.write(t, format!("b{i:03}").as_bytes(), &(a + 1).to_be_bytes())?;
@@ -68,9 +73,18 @@ fn snapshots_are_consistent_and_never_abort_under_churn() {
         let rows = snap.scan(t, b"", None, None);
         if rows.len() == (pairs * 2) as usize {
             for i in 0..pairs {
-                let a = rows.iter().find(|(k, _)| k == format!("a{i:03}").as_bytes()).unwrap();
-                let b = rows.iter().find(|(k, _)| k == format!("b{i:03}").as_bytes()).unwrap();
-                assert_eq!(a.1, b.1, "snapshot exposed a half-applied update of pair {i}");
+                let a = rows
+                    .iter()
+                    .find(|(k, _)| k == format!("a{i:03}").as_bytes())
+                    .unwrap();
+                let b = rows
+                    .iter()
+                    .find(|(k, _)| k == format!("b{i:03}").as_bytes())
+                    .unwrap();
+                assert_eq!(
+                    a.1, b.1,
+                    "snapshot exposed a half-applied update of pair {i}"
+                );
             }
             snapshots_taken += 1;
         }
@@ -82,7 +96,8 @@ fn snapshots_are_consistent_and_never_abort_under_churn() {
     }
     assert!(snapshots_taken > 0);
     assert_eq!(
-        w.stats().aborts, 0,
+        w.stats().aborts,
+        0,
         "snapshot transactions must never abort"
     );
     db.stop_epoch_advancer();
@@ -113,7 +128,10 @@ fn snapshot_lags_but_eventually_sees_new_data() {
         if visible {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "snapshot never caught up");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "snapshot never caught up"
+        );
         w.quiesce();
         std::thread::sleep(Duration::from_millis(10));
     }

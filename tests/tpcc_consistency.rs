@@ -53,7 +53,13 @@ fn tpcc_consistency_conditions_after_concurrent_mix() {
     assert!(result.committed > 0);
 
     let summary = check_consistency(&db, &cfg, &tables).expect("consistency violated");
-    assert_eq!(summary.districts, (cfg.warehouses * cfg.districts_per_warehouse) as u64);
-    assert!(summary.orders > 0, "the mix must have produced orders to check");
+    assert_eq!(
+        summary.districts,
+        (cfg.warehouses * cfg.districts_per_warehouse) as u64
+    );
+    assert!(
+        summary.orders > 0,
+        "the mix must have produced orders to check"
+    );
     db.stop_epoch_advancer();
 }

@@ -87,7 +87,10 @@ fn multi_worker_commit_loop_with_consistent_stats() {
     // Aggregate accounting: merge must be additive and match the cross-thread
     // commit total.
     assert_eq!(merged.commits, total_committed.load(Ordering::Relaxed));
-    assert_eq!(merged.commits + merged.aborts, (THREADS as u64) * TXNS_PER_THREAD);
+    assert_eq!(
+        merged.commits + merged.aborts,
+        (THREADS as u64) * TXNS_PER_THREAD
+    );
     assert_eq!(merged.abort_reasons.total(), merged.aborts);
 
     // The committed state must reflect exactly `commits` successful
