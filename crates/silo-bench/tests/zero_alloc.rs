@@ -10,8 +10,10 @@
 
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use silo_bench::CountingAllocator;
-use silo_core::{Database, EpochConfig, SiloConfig};
+use silo_core::{Database, EpochConfig, HistoryRecorder, SiloConfig};
 use silo_log::{LogConfig, SiloLogger};
 
 #[global_allocator]
@@ -115,6 +117,88 @@ fn warmed_worker_commits_without_heap_allocation() {
     let stats = worker.stats();
     assert!(stats.commits >= KEYS * 10);
     assert_eq!(stats.aborts, 0);
+}
+
+/// The same guarantee with a (disabled) [`HistoryRecorder`] installed: every
+/// worker binds a history session at registration, so the recorder's
+/// disabled state must cost exactly one relaxed atomic load per transaction
+/// — not a single byte of heap. This pins the recording hook added for the
+/// serializability checker out of the hot path.
+#[test]
+fn warmed_worker_with_disabled_recorder_commits_without_heap_allocation() {
+    let db = Database::open(SiloConfig {
+        epoch: EpochConfig {
+            epoch_interval: Duration::from_millis(1),
+            snapshot_interval_epochs: 5,
+        },
+        spawn_epoch_advancer: false,
+        gc_interval_txns: u64::MAX,
+        ..SiloConfig::default()
+    });
+    let recorder = Arc::new(HistoryRecorder::new_disabled());
+    db.set_history_recorder(Arc::clone(&recorder))
+        .expect("fresh database has no recorder");
+    let table = db.create_table("ycsb").unwrap();
+    let mut worker = db.register_worker();
+
+    // ---- Warm-up (same shape as the recorder-less test) --------------
+    let mut value = vec![0u8; RECORD_SIZE];
+    for i in 0..KEYS {
+        let mut txn = worker.begin();
+        value.fill(i as u8);
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+    for round in 0..8u64 {
+        for i in 0..KEYS {
+            let mut txn = worker.begin();
+            txn.read_into(table, &key(i + 1), &mut value).unwrap();
+            value.fill(round as u8);
+            txn.write(table, &key(i), &value).unwrap();
+            txn.commit().unwrap();
+        }
+        worker.quiesce();
+        db.epochs().advance_n(2);
+        worker.collect_garbage();
+    }
+    for i in 0..KEYS {
+        let mut txn = worker.begin();
+        value.fill(0xAB);
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+    assert!(
+        CountingAllocator::thread_allocs() > 0,
+        "counting allocator saw no warm-up allocations — not installed?"
+    );
+
+    // ---- Measure ----------------------------------------------------
+    let mut read_buf = vec![0u8; RECORD_SIZE];
+    let before = CountingAllocator::thread_allocs();
+    for i in 0..200u64 {
+        let mut txn = worker.begin();
+        let found = txn.read_into(table, &key(i + 7), &mut read_buf).unwrap();
+        assert!(found, "warm key must be present");
+        txn.read_into(table, &key(i), &mut value).unwrap();
+        for b in value.iter_mut() {
+            *b = b.wrapping_add(1);
+        }
+        txn.write(table, &key(i), &value).unwrap();
+        txn.commit().unwrap();
+    }
+    let allocs = CountingAllocator::thread_allocs() - before;
+
+    assert_eq!(
+        allocs, 0,
+        "a disabled history recorder must not add heap traffic to the hot \
+         path; {allocs} allocation(s) leaked in"
+    );
+
+    drop(worker);
+    assert!(
+        recorder.take_sessions().is_empty(),
+        "a disabled recorder must have recorded nothing"
+    );
 }
 
 /// The same guarantee with durability enabled: a warmed worker whose commits

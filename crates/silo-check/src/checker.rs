@@ -1,0 +1,661 @@
+//! The serializability checker.
+//!
+//! [`check_serializability`] rebuilds the multi-version serialization graph
+//! of a recorded history and decides whether the committed transactions admit
+//! a serial order:
+//!
+//! 1. **Version orders.** For each key, the committed writers ordered by
+//!    commit TID form the version order. This is sound for Silo histories:
+//!    a superseding writer's commit TID is always larger than the superseded
+//!    version's TID (Phase 2 includes the write-set's current TIDs in
+//!    `max_observed`), and the epoch occupies the TID's high bits, so even a
+//!    re-insert long after a delete orders correctly. Reads that observed a
+//!    TID no committed transaction produced (pre-population performed before
+//!    recording started) get a synthetic *external* writer node.
+//! 2. **Edges.** Per key: write→write between successive versions;
+//!    write→read from a version's writer to each transaction that observed
+//!    it; read→write (anti-dependency) from each reader of a version to the
+//!    writer of the *next* version. Same-transaction edges are skipped — a
+//!    read-modify-write is not a conflict with itself.
+//! 3. **TID-order invariants.** Write→read and write→write edges must agree
+//!    with TID order (a Silo reader's commit TID exceeds every TID it
+//!    observed). Only anti-dependencies may run against TID order — the
+//!    paper's §4.2 caveat — so a violation here is reported directly without
+//!    any cycle search.
+//! 4. **Cycles.** A saturating prefix-closure (Kahn's algorithm) peels every
+//!    transaction with no unordered predecessor; an empty residue proves the
+//!    history serializable (the peel order is a witness serial order). A
+//!    non-empty residue necessarily contains a cycle; an exhaustive
+//!    breadth-first search over the (small) residue then extracts a shortest
+//!    counterexample cycle to report.
+//!
+//! One recording caveat, inherited from the engine's deletion pipeline: after
+//! the garbage collector *unhooks* a deleted key (§4.9), a later reader finds
+//! the key missing from the index and records "initial version", which is
+//! indistinguishable from never-written — and a still-later re-insert would
+//! then produce a false cycle. Recorded workloads therefore run with GC
+//! disabled (`SiloConfig::without_gc()`), as the scenario fuzzer does.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use silo_tid::Tid;
+
+use crate::history::{SessionHistory, TableId};
+
+/// Statistics of a successful check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckReport {
+    /// Sessions in the history.
+    pub sessions: usize,
+    /// Transactions recorded (committed + aborted).
+    pub txns: usize,
+    /// Committed transactions (the graph's nodes).
+    pub committed: usize,
+    /// Aborted transactions (recorded, excluded from the graph).
+    pub aborted: usize,
+    /// Recorded reads across all transactions.
+    pub reads: usize,
+    /// Recorded writes across all transactions.
+    pub writes: usize,
+    /// Distinct `(table, key)` pairs touched.
+    pub keys: usize,
+    /// Distinct dependency edges in the serialization graph.
+    pub edges: usize,
+    /// Synthetic writer nodes for versions observed but not recorded
+    /// (pre-population before recording started).
+    pub external_versions: usize,
+}
+
+impl std::fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} txns ({} committed, {} aborted), {} reads, {} writes, \
+             {} keys, {} edges, {} external versions",
+            self.sessions,
+            self.txns,
+            self.committed,
+            self.aborted,
+            self.reads,
+            self.writes,
+            self.keys,
+            self.edges,
+            self.external_versions
+        )
+    }
+}
+
+/// Kind of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The destination read a version the source wrote.
+    WriteRead,
+    /// The destination wrote the version succeeding the source's.
+    WriteWrite,
+    /// Anti-dependency: the source read the version the destination's write
+    /// superseded.
+    ReadWrite,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeKind::WriteRead => write!(f, "wr"),
+            EdgeKind::WriteWrite => write!(f, "ww"),
+            EdgeKind::ReadWrite => write!(f, "rw"),
+        }
+    }
+}
+
+/// One hop of a counterexample cycle: a transaction plus the edge leading to
+/// the next transaction in the cycle.
+#[derive(Debug, Clone)]
+pub struct CycleStep {
+    /// Session of the transaction, or `None` for a synthetic external writer.
+    pub session: Option<usize>,
+    /// Transaction id within the session (0 for external writers).
+    pub txn_id: u64,
+    /// Commit TID (for external writers: the observed TID).
+    pub tid: Tid,
+    /// Kind of the edge to the next step.
+    pub edge: EdgeKind,
+    /// Table of the key the edge conflicts on.
+    pub table: TableId,
+    /// Key the edge conflicts on.
+    pub key: Vec<u8>,
+}
+
+/// A serializability violation, with enough detail to reproduce and debug.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// The serialization graph contains a cycle; `steps` is a shortest one.
+    Cycle {
+        /// The cycle, each step labelled with the edge to its successor (the
+        /// last step's edge leads back to the first).
+        steps: Vec<CycleStep>,
+    },
+    /// Two committed transactions produced the same version TID for one key —
+    /// impossible in a correct execution (the second writer's commit TID must
+    /// exceed the version it superseded).
+    DuplicateVersion {
+        /// Table of the duplicated version.
+        table: TableId,
+        /// Key of the duplicated version.
+        key: Vec<u8>,
+        /// The duplicated TID.
+        tid: Tid,
+    },
+    /// A reader committed with a TID not larger than a version it observed,
+    /// breaking the §4.2 rule that commit TIDs exceed every observed TID.
+    TidOrder {
+        /// Table of the offending read.
+        table: TableId,
+        /// Key of the offending read.
+        key: Vec<u8>,
+        /// Session of the reader.
+        session: usize,
+        /// Transaction id of the reader within its session.
+        txn_id: u64,
+        /// The reader's commit TID.
+        reader_tid: Tid,
+        /// The observed version's TID.
+        observed: Tid,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Cycle { steps } => {
+                writeln!(f, "serialization cycle of length {}:", steps.len())?;
+                for step in steps {
+                    let who = match step.session {
+                        Some(s) => format!("s{}/t{}", s, step.txn_id),
+                        None => "external".to_string(),
+                    };
+                    writeln!(
+                        f,
+                        "  {} (tid {}) --{}[{}:{}]-->",
+                        who,
+                        step.tid,
+                        step.edge,
+                        step.table,
+                        String::from_utf8_lossy(&step.key)
+                    )?;
+                }
+                Ok(())
+            }
+            Violation::DuplicateVersion { table, key, tid } => write!(
+                f,
+                "two committed writers produced version tid {} for {}:{}",
+                tid,
+                table,
+                String::from_utf8_lossy(key)
+            ),
+            Violation::TidOrder {
+                table,
+                key,
+                session,
+                txn_id,
+                reader_tid,
+                observed,
+            } => write!(
+                f,
+                "s{session}/t{txn_id} committed with tid {reader_tid} but observed \
+                 version tid {observed} of {table}:{} (commit TIDs must exceed \
+                 observed TIDs)",
+                String::from_utf8_lossy(key)
+            ),
+        }
+    }
+}
+
+/// A graph node: a committed transaction or a synthetic external writer.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    session: Option<usize>,
+    txn_id: u64,
+    tid: u64,
+}
+
+#[derive(Default)]
+struct KeyState {
+    /// Committed versions as `(raw tid, writer node)`.
+    versions: Vec<(u64, u32)>,
+    /// Reads as `(raw observed tid, reader node)`.
+    reads: Vec<(u64, u32)>,
+}
+
+/// Checks a recorded history for serializability.
+///
+/// Returns graph statistics on success, or a [`Violation`] carrying a minimal
+/// counterexample on failure.
+pub fn check_serializability(sessions: &[SessionHistory]) -> Result<CheckReport, Violation> {
+    let mut report = CheckReport {
+        sessions: sessions.len(),
+        ..Default::default()
+    };
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut keys: HashMap<(TableId, &[u8]), KeyState> = HashMap::new();
+
+    // Pass 1: nodes for committed transactions; per-key versions and reads.
+    for s in sessions {
+        for txn in s.txns() {
+            report.txns += 1;
+            report.reads += txn.reads().count();
+            report.writes += txn.writes().count();
+            if !txn.committed() {
+                report.aborted += 1;
+                continue;
+            }
+            report.committed += 1;
+            let node = nodes.len() as u32;
+            let tid = txn.tid().expect("committed txn has a tid").raw();
+            nodes.push(Node {
+                session: Some(s.session()),
+                txn_id: txn.txn_id(),
+                tid,
+            });
+            for r in txn.reads() {
+                keys.entry((r.table, r.key))
+                    .or_default()
+                    .reads
+                    .push((r.observed, node));
+            }
+            for w in txn.writes() {
+                keys.entry((w.table, w.key))
+                    .or_default()
+                    .versions
+                    .push((tid, node));
+            }
+        }
+    }
+    report.keys = keys.len();
+
+    // Pass 2: synthesize external writers for observed-but-unrecorded
+    // versions, order each key's versions by TID, and reject duplicates.
+    let mut external: HashMap<u64, u32> = HashMap::new();
+    for (&(table, key), state) in keys.iter_mut() {
+        state.versions.sort_unstable_by_key(|&(tid, _)| tid);
+        for &(observed, _) in &state.reads {
+            if observed == 0
+                || state
+                    .versions
+                    .binary_search_by_key(&observed, |&(tid, _)| tid)
+                    .is_ok()
+            {
+                continue;
+            }
+            let node = match external.entry(observed) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let node = nodes.len() as u32;
+                    nodes.push(Node {
+                        session: None,
+                        txn_id: 0,
+                        tid: observed,
+                    });
+                    report.external_versions += 1;
+                    *e.insert(node)
+                }
+            };
+            let pos = state
+                .versions
+                .binary_search_by_key(&observed, |&(tid, _)| tid)
+                .unwrap_err();
+            state.versions.insert(pos, (observed, node));
+        }
+        if let Some(w) = state.versions.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(Violation::DuplicateVersion {
+                table,
+                key: key.to_vec(),
+                tid: Tid::from_raw(w[0].0),
+            });
+        }
+    }
+
+    // Pass 3: build the dependency edges, checking the TID-order invariant
+    // for the write→read direction as we go.
+    let mut adj: Vec<HashMap<u32, (EdgeKind, u32)>> = vec![HashMap::new(); nodes.len()];
+    let mut edge_keys: Vec<(TableId, Vec<u8>)> = Vec::new();
+    for (&(table, key), state) in keys.iter() {
+        let mut key_idx: Option<u32> = None;
+        let mut add_edge = |adj: &mut Vec<HashMap<u32, (EdgeKind, u32)>>,
+                            edges: &mut usize,
+                            from: u32,
+                            to: u32,
+                            kind: EdgeKind| {
+            let idx = *key_idx.get_or_insert_with(|| {
+                edge_keys.push((table, key.to_vec()));
+                edge_keys.len() as u32 - 1
+            });
+            if let Entry::Vacant(e) = adj[from as usize].entry(to) {
+                e.insert((kind, idx));
+                *edges += 1;
+            }
+        };
+        for w in state.versions.windows(2) {
+            add_edge(&mut adj, &mut report.edges, w[0].1, w[1].1, EdgeKind::WriteWrite);
+        }
+        for &(observed, reader) in &state.reads {
+            if observed == 0 {
+                // Read of the initial version: anti-dependency against the
+                // first writer, if any.
+                if let Some(&(_, first)) = state.versions.first() {
+                    if first != reader {
+                        add_edge(&mut adj, &mut report.edges, reader, first, EdgeKind::ReadWrite);
+                    }
+                }
+                continue;
+            }
+            let idx = state
+                .versions
+                .binary_search_by_key(&observed, |&(tid, _)| tid)
+                .expect("external pass inserted every observed version");
+            let (_, writer) = state.versions[idx];
+            if writer != reader {
+                if nodes[reader as usize].tid <= observed {
+                    let r = nodes[reader as usize];
+                    return Err(Violation::TidOrder {
+                        table,
+                        key: key.to_vec(),
+                        session: r.session.unwrap_or(usize::MAX),
+                        txn_id: r.txn_id,
+                        reader_tid: Tid::from_raw(r.tid),
+                        observed: Tid::from_raw(observed),
+                    });
+                }
+                add_edge(&mut adj, &mut report.edges, writer, reader, EdgeKind::WriteRead);
+            }
+            if let Some(&(_, next)) = state.versions.get(idx + 1) {
+                if next != reader {
+                    add_edge(&mut adj, &mut report.edges, reader, next, EdgeKind::ReadWrite);
+                }
+            }
+        }
+    }
+
+    // Pass 4: saturating prefix-closure (Kahn). An empty residue is a proof
+    // of serializability; the peel order is a witness serial order.
+    let n = nodes.len();
+    let mut indegree = vec![0u32; n];
+    for out in &adj {
+        for &dst in out.keys() {
+            indegree[dst as usize] += 1;
+        }
+    }
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indegree[v as usize] == 0).collect();
+    let mut removed = vec![false; n];
+    while let Some(v) = queue.pop() {
+        removed[v as usize] = true;
+        for &dst in adj[v as usize].keys() {
+            indegree[dst as usize] -= 1;
+            if indegree[dst as usize] == 0 {
+                queue.push(dst);
+            }
+        }
+    }
+    let residue: Vec<u32> = (0..n as u32).filter(|&v| !removed[v as usize]).collect();
+    if residue.is_empty() {
+        return Ok(report);
+    }
+
+    // Pass 5: exhaustive search over the residue for a shortest cycle. Every
+    // cycle's nodes survive the closure, so searching from each residue node
+    // (stopping early at the minimum possible length) finds one.
+    let steps = shortest_cycle(&adj, &removed, &residue)
+        .expect("non-empty Kahn residue must contain a cycle");
+    let steps = steps
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let next = steps[(i + 1) % steps.len()];
+            let (kind, key_idx) = adj[v as usize][&next];
+            let (table, ref key) = edge_keys[key_idx as usize];
+            let node = nodes[v as usize];
+            CycleStep {
+                session: node.session,
+                txn_id: node.txn_id,
+                tid: Tid::from_raw(node.tid),
+                edge: kind,
+                table,
+                key: key.clone(),
+            }
+        })
+        .collect();
+    Err(Violation::Cycle { steps })
+}
+
+/// Finds a shortest cycle within the residue via breadth-first search from
+/// each residue node.
+fn shortest_cycle(
+    adj: &[HashMap<u32, (EdgeKind, u32)>],
+    removed: &[bool],
+    residue: &[u32],
+) -> Option<Vec<u32>> {
+    let n = adj.len();
+    let mut best: Option<Vec<u32>> = None;
+    let mut parent = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    for &start in residue {
+        if best.as_ref().is_some_and(|b| b.len() == 2) {
+            break;
+        }
+        for v in residue {
+            parent[*v as usize] = u32::MAX;
+            visited[*v as usize] = false;
+        }
+        visited[start as usize] = true;
+        let mut frontier = vec![start];
+        let mut found = None;
+        'bfs: while !frontier.is_empty() && found.is_none() {
+            let mut next_frontier = Vec::new();
+            for &v in &frontier {
+                for &dst in adj[v as usize].keys() {
+                    if removed[dst as usize] {
+                        continue;
+                    }
+                    if dst == start {
+                        found = Some(v);
+                        break 'bfs;
+                    }
+                    if !visited[dst as usize] {
+                        visited[dst as usize] = true;
+                        parent[dst as usize] = v;
+                        next_frontier.push(dst);
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+        if let Some(last) = found {
+            let mut cycle = vec![last];
+            let mut v = last;
+            while v != start {
+                v = parent[v as usize];
+                cycle.push(v);
+            }
+            cycle.reverse();
+            if best.as_ref().map_or(true, |b| cycle.len() < b.len()) {
+                best = Some(cycle);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::SessionHistory;
+
+    fn tid(epoch: u64, seq: u64) -> Tid {
+        Tid::new(epoch, seq)
+    }
+
+    /// A serial read/write history over two keys is accepted.
+    #[test]
+    fn serial_history_is_serializable() {
+        let mut s = SessionHistory::new(0);
+        s.push_txn(Some(tid(1, 0)), &[], &[(0, b"x", false), (0, b"y", false)]);
+        s.push_txn(
+            Some(tid(1, 1)),
+            &[(0, b"x", tid(1, 0).raw()), (0, b"y", tid(1, 0).raw())],
+            &[(0, b"x", false)],
+        );
+        s.push_txn(
+            Some(tid(2, 0)),
+            &[(0, b"x", tid(1, 1).raw())],
+            &[(0, b"x", true)],
+        );
+        let report = check_serializability(&[s]).expect("serial history");
+        assert_eq!(report.committed, 3);
+        assert_eq!(report.keys, 2);
+        assert_eq!(report.external_versions, 0);
+    }
+
+    /// Reads of versions written before recording started resolve to an
+    /// external writer instead of failing.
+    #[test]
+    fn external_versions_are_synthesized() {
+        let pre = tid(1, 5);
+        let mut a = SessionHistory::new(0);
+        a.push_txn(Some(tid(2, 0)), &[(0, b"x", pre.raw())], &[(0, b"x", false)]);
+        let mut b = SessionHistory::new(1);
+        b.push_txn(Some(tid(3, 0)), &[(0, b"x", tid(2, 0).raw())], &[]);
+        let report = check_serializability(&[a, b]).expect("linear history");
+        assert_eq!(report.external_versions, 1);
+    }
+
+    /// Aborted transactions contribute nothing to the graph.
+    #[test]
+    fn aborted_transactions_are_ignored() {
+        let mut s = SessionHistory::new(0);
+        s.push_txn(Some(tid(1, 0)), &[], &[(0, b"x", false)]);
+        // An aborted transaction whose edges would form a cycle if counted.
+        s.push_txn(None, &[(0, b"x", 0)], &[(0, b"x", false)]);
+        let report = check_serializability(&[s]).expect("aborts are invisible");
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.committed, 1);
+    }
+
+    /// Canned anomaly: **lost update**. Both transactions read the initial
+    /// version of `x` and both write it — one update is lost. The cycle is
+    /// T1 --ww--> T2 --rw--> T1.
+    #[test]
+    fn lost_update_is_rejected() {
+        let setup = tid(1, 0);
+        let mut a = SessionHistory::new(0);
+        a.push_txn(Some(setup), &[], &[(0, b"x", false)]);
+        a.push_txn(Some(tid(2, 0)), &[(0, b"x", setup.raw())], &[(0, b"x", false)]);
+        let mut b = SessionHistory::new(1);
+        b.push_txn(Some(tid(2, 1)), &[(0, b"x", setup.raw())], &[(0, b"x", false)]);
+        let violation = check_serializability(&[a, b]).expect_err("lost update");
+        let Violation::Cycle { steps } = violation else {
+            panic!("expected a cycle, got {violation}");
+        };
+        assert_eq!(steps.len(), 2, "minimal lost-update cycle has two nodes");
+        assert!(steps.iter().any(|s| s.edge == EdgeKind::ReadWrite));
+    }
+
+    /// Canned anomaly: **write skew**. T1 reads x and y, writes y; T2 reads
+    /// x and y, writes x. Neither sees the other's write: both must be first.
+    #[test]
+    fn write_skew_is_rejected() {
+        let setup = tid(1, 0);
+        let mut init = SessionHistory::new(0);
+        init.push_txn(Some(setup), &[], &[(0, b"x", false), (0, b"y", false)]);
+        let mut a = SessionHistory::new(1);
+        a.push_txn(
+            Some(tid(2, 0)),
+            &[(0, b"x", setup.raw()), (0, b"y", setup.raw())],
+            &[(0, b"y", false)],
+        );
+        let mut b = SessionHistory::new(2);
+        b.push_txn(
+            Some(tid(2, 1)),
+            &[(0, b"x", setup.raw()), (0, b"y", setup.raw())],
+            &[(0, b"x", false)],
+        );
+        let violation = check_serializability(&[init, a, b]).expect_err("write skew");
+        let Violation::Cycle { steps } = violation else {
+            panic!("expected a cycle, got {violation}");
+        };
+        assert_eq!(steps.len(), 2);
+        assert!(steps.iter().all(|s| s.edge == EdgeKind::ReadWrite));
+    }
+
+    /// Canned anomaly: **long fork** (the read-only anomaly). Two writers on
+    /// disjoint keys; one reader sees only the first write, another sees only
+    /// the second. No serial order satisfies both readers.
+    #[test]
+    fn long_fork_is_rejected() {
+        let t1 = tid(2, 0);
+        let t2 = tid(2, 1);
+        let mut w1 = SessionHistory::new(0);
+        w1.push_txn(Some(t1), &[], &[(0, b"x", false)]);
+        let mut w2 = SessionHistory::new(1);
+        w2.push_txn(Some(t2), &[], &[(0, b"y", false)]);
+        let mut r1 = SessionHistory::new(2);
+        r1.push_txn(Some(tid(3, 0)), &[(0, b"x", t1.raw()), (0, b"y", 0)], &[]);
+        let mut r2 = SessionHistory::new(3);
+        r2.push_txn(Some(tid(3, 1)), &[(0, b"x", 0), (0, b"y", t2.raw())], &[]);
+        let violation = check_serializability(&[w1, w2, r1, r2]).expect_err("long fork");
+        let Violation::Cycle { steps } = violation else {
+            panic!("expected a cycle, got {violation}");
+        };
+        assert_eq!(steps.len(), 4, "the long-fork cycle spans all four txns");
+    }
+
+    /// Two committed writers with the same version TID on one key are
+    /// reported as a duplicate version, not silently ordered.
+    #[test]
+    fn duplicate_versions_are_rejected() {
+        let t = tid(2, 0);
+        let mut a = SessionHistory::new(0);
+        a.push_txn(Some(t), &[], &[(0, b"x", false)]);
+        let mut b = SessionHistory::new(1);
+        b.push_txn(Some(t), &[], &[(0, b"x", false)]);
+        assert!(matches!(
+            check_serializability(&[a, b]),
+            Err(Violation::DuplicateVersion { .. })
+        ));
+    }
+
+    /// A reader whose commit TID does not exceed an observed version TID
+    /// breaks the §4.2 invariant and is reported directly.
+    #[test]
+    fn tid_order_violations_are_rejected() {
+        let w = tid(3, 0);
+        let mut a = SessionHistory::new(0);
+        a.push_txn(Some(w), &[], &[(0, b"x", false)]);
+        let mut b = SessionHistory::new(1);
+        b.push_txn(Some(tid(2, 0)), &[(0, b"x", w.raw())], &[]);
+        assert!(matches!(
+            check_serializability(&[a, b]),
+            Err(Violation::TidOrder { .. })
+        ));
+    }
+
+    /// Read-modify-write chains do not conflict with themselves.
+    #[test]
+    fn rmw_chain_is_serializable() {
+        let mut s = SessionHistory::new(0);
+        let mut prev = 0u64;
+        for i in 0..10u64 {
+            let t = tid(i + 1, 0);
+            s.push_txn(Some(t), &[(0, b"ctr", prev)], &[(0, b"ctr", false)]);
+            prev = t.raw();
+        }
+        let report = check_serializability(&[s]).expect("rmw chain");
+        assert_eq!(report.committed, 10);
+    }
+
+    /// The empty history is trivially serializable.
+    #[test]
+    fn empty_history_is_serializable() {
+        let report = check_serializability(&[]).expect("empty");
+        assert_eq!(report.txns, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # silo-check — black-box history recording and serializability checking
+//!
+//! The engine's headline claim is serializability under high concurrency
+//! (paper §3). This crate verifies that claim on *actual executions* rather
+//! than hand-picked invariants:
+//!
+//! * [`history`] — the recording side: a [`HistoryRecorder`] installed on a
+//!   database collects, per worker session, every transaction's reads (with
+//!   the TID of the version observed), writes, and commit/abort outcome.
+//!   Workers buffer locally and hand their whole session over when they
+//!   finish, so recording adds no shared-memory traffic to the hot path and
+//!   the *disabled* recorder costs one relaxed atomic load per transaction.
+//! * [`checker`] — the verification side: [`check_serializability`] rebuilds
+//!   the multi-version serialization graph from the recorded write-read
+//!   relationships plus TID order and reports either statistics or a minimal
+//!   counterexample cycle.
+//!
+//! The crate deliberately depends only on `silo-tid` so the engine
+//! (`silo-core`) can feed the recorder from inside its commit path without a
+//! dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod history;
+
+pub use checker::{
+    check_serializability, CheckReport, CycleStep, EdgeKind, Violation,
+};
+pub use history::{
+    dump_sessions, HistoryRecorder, HistorySession, ReadView, SessionHistory, TxnView, WriteView,
+};

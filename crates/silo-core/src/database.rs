@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
+use silo_check::HistoryRecorder;
 use silo_epoch::{EpochAdvancer, EpochManager};
 use silo_index::Tree;
 use silo_tid::{GlobalTidGenerator, Tid};
@@ -169,6 +170,7 @@ pub struct Database {
     by_name: RwLock<HashMap<String, TableId>>,
     global_tid: GlobalTidGenerator,
     commit_hook: OnceLock<Arc<dyn CommitHook>>,
+    history: OnceLock<Arc<HistoryRecorder>>,
     next_worker_id: AtomicUsize,
 }
 
@@ -198,6 +200,7 @@ impl Database {
             by_name: RwLock::new(HashMap::new()),
             global_tid: GlobalTidGenerator::new(),
             commit_hook: OnceLock::new(),
+            history: OnceLock::new(),
             next_worker_id: AtomicUsize::new(0),
         })
     }
@@ -231,6 +234,25 @@ impl Database {
     /// The installed commit hook, if any.
     pub(crate) fn commit_hook(&self) -> Option<&Arc<dyn CommitHook>> {
         self.commit_hook.get()
+    }
+
+    /// Installs a history recorder (at most once, before workers register:
+    /// only workers created *after* the install record). Each worker buffers
+    /// its session locally and submits it to the recorder when dropped; see
+    /// `silo_check::HistoryRecorder` for the collection side and
+    /// `silo_check::check_serializability` for what the histories are for.
+    ///
+    /// Returns `Err` with the recorder if one is already installed.
+    pub fn set_history_recorder(
+        &self,
+        recorder: Arc<HistoryRecorder>,
+    ) -> Result<(), Arc<HistoryRecorder>> {
+        self.history.set(recorder)
+    }
+
+    /// The installed history recorder, if any.
+    pub fn history_recorder(&self) -> Option<&Arc<HistoryRecorder>> {
+        self.history.get()
     }
 
     /// The durability subsystem's backpressure signal. A database without a

@@ -68,6 +68,7 @@ pub use database::{
     CommitHook, CommitWrite, CommitWrites, Database, DurabilityHealth, Table, TableId,
 };
 pub use error::{Abort, AbortReason, CatalogError};
+pub use silo_check::{check_serializability, CheckReport, HistoryRecorder, SessionHistory};
 pub use silo_epoch::{EpochConfig, EpochManager};
 pub use silo_index::IndexStats;
 pub use silo_tid::{Tid, TidWord};

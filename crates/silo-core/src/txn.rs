@@ -151,6 +151,11 @@ pub struct Txn<'w> {
     /// path whether it owns (and must release) those lock bits.
     locks_held: bool,
     finished: bool,
+    /// Whether this transaction records its reads/writes into the worker's
+    /// history session. Decided once at `begin` (one relaxed load of the
+    /// recorder's enabled flag) so the per-read check is a plain bool — and
+    /// constant `false` when no recorder is installed.
+    recording: bool,
     /// Keeps `Txn` `!Send`, as it was when the raw-pointer sets lived inline:
     /// a live transaction holds record and arena pointers and must stay on
     /// the thread that began it (`TxnContext`'s `Send` impl is only argued
@@ -172,12 +177,14 @@ impl<'w> std::fmt::Debug for Txn<'w> {
 impl<'w> Txn<'w> {
     pub(crate) fn new(worker: &'w mut Worker) -> Self {
         let ctx = std::mem::take(&mut worker.ctx);
+        let recording = worker.history.as_mut().is_some_and(|h| h.begin_txn());
         Txn {
             worker,
             ctx,
             poisoned: None,
             locks_held: false,
             finished: false,
+            recording,
             _not_send: std::marker::PhantomData,
         }
     }
@@ -221,6 +228,19 @@ impl<'w> Txn<'w> {
             self.poisoned = Some(reason);
         }
         Abort(reason)
+    }
+
+    /// Records one read into the worker's history session (when this
+    /// transaction is recording). `observed` is the raw TID of the version
+    /// the read returned; `0` stands for the initial (never-written) version,
+    /// recorded for keys missing from the index.
+    #[inline]
+    fn record_read(&mut self, table: TableId, key: &[u8], observed: u64) {
+        if self.recording {
+            if let Some(history) = self.worker.history.as_mut() {
+                history.record_read(table, key, observed);
+            }
+        }
     }
 
     fn find_write(&self, table: TableId, key: &[u8]) -> Option<usize> {
@@ -314,6 +334,7 @@ impl<'w> Txn<'w> {
                         node,
                         version,
                     });
+                    self.record_read(table_id, key, 0);
                     return Ok(ReadOutcome::Missing);
                 }
                 Some(ptr) => {
@@ -335,6 +356,9 @@ impl<'w> Txn<'w> {
                         record,
                         observed: word,
                     });
+                    // An absent record's TID is its deleting transaction's:
+                    // exactly the version this read observed.
+                    self.record_read(table_id, key, word.tid().raw());
                     if word.is_absent() {
                         return Ok(ReadOutcome::Absent);
                     }
@@ -396,6 +420,7 @@ impl<'w> Txn<'w> {
                 record,
                 observed: word,
             });
+            self.record_read(table_id, &key, word.tid().raw());
             if !word.is_absent() {
                 // Overlay this transaction's own pending update, if any.
                 if let Some(idx) = self.find_write(table_id, &key) {
@@ -537,6 +562,9 @@ impl<'w> Txn<'w> {
                         record,
                         observed: word,
                     });
+                    // The insert's implicit absence check observed the
+                    // delete's version (or 0 for a foreign placeholder).
+                    self.record_read(table_id, key, word.tid().raw());
                     let entry = WriteEntry {
                         table: table_id,
                         key: self.ctx.arena.alloc(key),
@@ -559,6 +587,9 @@ impl<'w> Txn<'w> {
                     record: placeholder,
                     observed: placeholder_word,
                 });
+                // A fresh insert's implicit absence check observed the
+                // initial (never-written) version.
+                self.record_read(table_id, key, 0);
                 let entry = WriteEntry {
                     table: table_id,
                     key: key_slice,
@@ -786,6 +817,23 @@ impl<'w> Txn<'w> {
             );
         }
 
+        // Close the recorded transaction: writes (keys still alive in the
+        // arena) plus the commit TID. Reads were recorded as they happened.
+        if self.recording {
+            if let Some(history) = self.worker.history.as_mut() {
+                for entry in &self.ctx.write_set {
+                    // SAFETY: arena slices are valid until the txn finishes.
+                    history.record_write(
+                        entry.table,
+                        unsafe { entry.key.as_slice() },
+                        entry.new_value.is_none(),
+                    );
+                }
+                history.finish_txn(Some(commit_tid), true);
+            }
+            self.recording = false;
+        }
+
         Ok(commit_tid)
     }
 
@@ -987,6 +1035,22 @@ impl<'w> Txn<'w> {
             let key = unsafe { key.as_slice() }.to_vec();
             self.worker
                 .defer_snapshot(snap_epoch, Garbage::Unhook { table, key, record });
+        }
+        // Close the recorded transaction as aborted, keeping its attempted
+        // writes for diagnostics (the checker ignores aborted transactions).
+        if self.recording {
+            if let Some(history) = self.worker.history.as_mut() {
+                for entry in &self.ctx.write_set {
+                    // SAFETY: arena slices are valid until the txn finishes.
+                    history.record_write(
+                        entry.table,
+                        unsafe { entry.key.as_slice() },
+                        entry.new_value.is_none(),
+                    );
+                }
+                history.finish_txn(None, false);
+            }
+            self.recording = false;
         }
         self.worker.stats.aborts += 1;
         self.worker.stats.abort_reasons.record(reason);

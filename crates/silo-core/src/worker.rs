@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use silo_check::HistorySession;
 use silo_epoch::WorkerEpochHandle;
 use silo_tid::{TidGenerator, TidWord};
 
@@ -39,6 +40,11 @@ pub struct Worker {
     gc_scratch: Vec<(u64, Garbage)>,
     table_cache: Vec<Option<Arc<Table>>>,
     txns_since_gc: u64,
+    /// The worker's history-recording handle, present when the database had a
+    /// recorder installed at registration time. All recording goes to this
+    /// worker-local buffer; the shared recorder is touched only by the
+    /// per-begin enabled check and the flush on drop.
+    pub(crate) history: Option<HistorySession>,
 }
 
 impl std::fmt::Debug for Worker {
@@ -55,6 +61,9 @@ impl Worker {
     pub(crate) fn new(db: Arc<Database>, id: usize) -> Self {
         let epoch = db.epochs().register_worker();
         let pool = RecordPool::new(db.config().per_worker_pool);
+        let history = db
+            .history_recorder()
+            .map(|r| HistorySession::new(Arc::clone(r), id));
         Worker {
             db,
             id,
@@ -68,6 +77,7 @@ impl Worker {
             gc_scratch: Vec::new(),
             table_cache: Vec::new(),
             txns_since_gc: 0,
+            history,
         }
     }
 
@@ -170,6 +180,16 @@ impl Worker {
     /// delays epoch advancement or garbage reclamation.
     pub fn quiesce(&self) {
         self.epoch.quiesce();
+    }
+
+    /// Hands this worker's buffered history to the database's recorder (a
+    /// no-op when no recorder is installed). Dropping the worker flushes
+    /// implicitly; long-lived workers call this so checkers see a complete
+    /// history mid-run.
+    pub fn flush_history(&mut self) {
+        if let Some(history) = &mut self.history {
+            history.flush();
+        }
     }
 
     fn on_txn_boundary(&mut self) {

@@ -419,6 +419,12 @@ impl LogSink for FaultSink {
     fn truncate_obsolete(&mut self, ckpt_epoch: u64) -> TruncateOutcome {
         self.inner.truncate_obsolete(ckpt_epoch)
     }
+
+    fn reopen(&mut self) -> Result<bool, SinkError> {
+        // Reopens are the *recovery* from an injected sync fault; injecting
+        // here would only mask the site under test.
+        self.inner.reopen()
+    }
 }
 
 #[cfg(test)]

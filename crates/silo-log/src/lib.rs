@@ -229,6 +229,11 @@ pub struct LoggerStats {
     pub bytes_truncated: u64,
     /// Sink operations retried after a transient error.
     pub retries: u64,
+    /// Sink files reopened after a *failed sync* before retrying ("fsyncgate"
+    /// recovery): a failed fsync may mark dirty pages clean, so re-syncing
+    /// the same descriptor could falsely succeed — the logger reopens the
+    /// segment, discards the unsynced tail, and rewrites the round instead.
+    pub sync_reopens: u64,
     /// Total microseconds logger threads spent backing off before retries —
     /// the durability stall time a flaky or overloaded device caused.
     pub backoff_micros: u64,
@@ -250,7 +255,7 @@ impl std::fmt::Display for LoggerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written, {} rotations, {} segments / {} B truncated, {} retries ({} µs backoff), {} failed loggers, {} checksummed rounds, {} faults injected",
+            "{} buffers ({} stolen), pool {}/{} hits/misses, {} syncs, {} B published, {} B written, {} rotations, {} segments / {} B truncated, {} retries ({} µs backoff, {} sync reopens), {} failed loggers, {} checksummed rounds, {} faults injected",
             self.buffers_published,
             self.steal_publishes,
             self.pool_hits,
@@ -263,6 +268,7 @@ impl std::fmt::Display for LoggerStats {
             self.bytes_truncated,
             self.retries,
             self.backoff_micros,
+            self.sync_reopens,
             self.logger_failures,
             self.checksum_blocks,
             self.faults_injected,
@@ -284,6 +290,7 @@ struct Counters {
     segments_deleted: AtomicU64,
     bytes_truncated: AtomicU64,
     retries: AtomicU64,
+    sync_reopens: AtomicU64,
     backoff_micros: AtomicU64,
     logger_failures: AtomicU64,
     truncate_failures: AtomicU64,
@@ -687,6 +694,7 @@ impl SiloLogger {
             segments_deleted: c.segments_deleted.load(Ordering::Relaxed),
             bytes_truncated: c.bytes_truncated.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
+            sync_reopens: c.sync_reopens.load(Ordering::Relaxed),
             backoff_micros: c.backoff_micros.load(Ordering::Relaxed),
             logger_failures: c.logger_failures.load(Ordering::Relaxed),
             truncate_failures: c.truncate_failures.load(Ordering::Relaxed),
@@ -857,6 +865,50 @@ fn with_retry(
                 std::thread::sleep(backoff);
                 slept += backoff;
                 backoff = (backoff * 2).min(cap);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes one coalesced round to the sink: append + sync, both retried on
+/// transient errors with the [`with_retry`] backoff policy.
+///
+/// A failed **sync**, however, is never retried on the same descriptor.
+/// After a failed fsync the kernel may mark the still-unwritten dirty pages
+/// clean, so a second fsync can report success without the data ever
+/// reaching the device ("fsyncgate" — the failure mode that corrupted
+/// PostgreSQL WALs for years). The only sound retry path reopens the file,
+/// discards the unsynced tail, re-appends the round, and syncs the fresh
+/// descriptor; sinks without descriptor semantics (in-memory, injected
+/// faults on a memory sink) fall back to a plain re-sync.
+fn write_round(
+    shared: &LoggerShared,
+    sink: &mut dyn LogSink,
+    round: &[u8],
+) -> Result<(), SinkError> {
+    with_retry(shared, || sink.append(round))?;
+    let mut backoff = shared.config.retry_backoff.max(Duration::from_micros(1));
+    let cap = backoff * 64;
+    let mut slept = Duration::ZERO;
+    loop {
+        match sink.sync() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() && slept < shared.config.retry_budget => {
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .backoff_micros
+                    .fetch_add(backoff.as_micros() as u64, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                slept += backoff;
+                backoff = (backoff * 2).min(cap);
+                if sink.reopen()? {
+                    shared.counters.sync_reopens.fetch_add(1, Ordering::Relaxed);
+                    // The reopen dropped the round along with the rest of the
+                    // unsynced tail; put it back before syncing again.
+                    with_retry(shared, || sink.append(round))?;
+                }
             }
             Err(e) => return Err(e),
         }
@@ -1088,8 +1140,7 @@ fn logger_loop(
                 .checksum_blocks
                 .fetch_add(1, Ordering::Relaxed);
             sink.observe_epoch(round_max_epoch.max(local_durable));
-            with_retry(shared, || sink.append(&round))?;
-            with_retry(shared, || sink.sync())?;
+            write_round(shared, sink, &round)?;
             shared
                 .counters
                 .bytes_written
@@ -1137,8 +1188,7 @@ fn logger_loop(
                         .checksum_blocks
                         .fetch_add(1, Ordering::Relaxed);
                     sink.observe_epoch(d);
-                    with_retry(shared, || sink.append(&round))?;
-                    with_retry(shared, || sink.sync())?;
+                    write_round(shared, sink, &round)?;
                 }
                 Ok(false) => {}
                 // A failed rotation (e.g. ENOSPC creating the successor
@@ -1195,8 +1245,7 @@ fn logger_loop(
                     .checksum_blocks
                     .fetch_add(1, Ordering::Relaxed);
                 sink.observe_epoch(final_max);
-                with_retry(shared, || sink.append(&round))?;
-                with_retry(shared, || sink.sync())?;
+                write_round(shared, sink, &round)?;
                 shared
                     .counters
                     .bytes_written

@@ -201,6 +201,23 @@ pub trait LogSink {
     fn rotate(&mut self) -> Result<bool, SinkError> {
         Ok(false)
     }
+    /// Re-establishes the sink's descriptor after a **failed sync**,
+    /// discarding any unsynced tail, so the caller can re-append the round
+    /// and sync again.
+    ///
+    /// This exists because retrying `fsync` on the same descriptor is
+    /// unsound ("fsyncgate"): after a failed fsync the kernel may mark the
+    /// still-unwritten dirty pages clean, so a second fsync can report
+    /// success without the data ever reaching the device. The only sound
+    /// retry reopens the file and rewrites everything past the last
+    /// *successfully synced* offset.
+    ///
+    /// Returns whether a reopen actually happened; sinks without descriptor
+    /// semantics (in-memory) return `Ok(false)` and the caller falls back to
+    /// a plain sync retry.
+    fn reopen(&mut self) -> Result<bool, SinkError> {
+        Ok(false)
+    }
     /// Deletes closed segments made redundant by a durable checkpoint at
     /// `ckpt_epoch` (every epoch they contain is `≤ ckpt_epoch`). Failed
     /// deletions are counted in the outcome and retried next round.
@@ -229,6 +246,11 @@ pub struct FileSink {
     /// A failed append rolls the file back to this offset so a retry cannot
     /// duplicate a partial write.
     file_len: u64,
+    /// Length of the current file known to be on the device: `file_len` as
+    /// of the last successful [`LogSink::sync`]. After a *failed* sync,
+    /// [`LogSink::reopen`] truncates back to this offset — anything beyond
+    /// it may or may not have reached the device and must be rewritten.
+    synced_len: u64,
     /// Segmentation state; `None` for the legacy single-file mode used by
     /// tests ([`FileSink::create`]).
     segmented: Option<Segmented>,
@@ -284,6 +306,7 @@ impl FileSink {
             fsync,
             written: 0,
             file_len: 0,
+            synced_len: 0,
             segmented: None,
         })
     }
@@ -358,6 +381,7 @@ impl FileSink {
             fsync,
             written: 0,
             file_len: 0,
+            synced_len: 0,
             segmented: Some(Segmented {
                 dir: dir.to_path_buf(),
                 logger_index,
@@ -431,6 +455,7 @@ impl LogSink for FileSink {
                 .sync_data()
                 .map_err(|e| SinkError::io("sync", &e))?;
         }
+        self.synced_len = self.file_len;
         Ok(())
     }
 
@@ -479,6 +504,29 @@ impl LogSink for FileSink {
         self.file = file;
         self.path = path;
         self.file_len = 0;
+        self.synced_len = 0;
+        Ok(true)
+    }
+
+    fn reopen(&mut self) -> Result<bool, SinkError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| SinkError::io("reopen", &e))?;
+        // Discard everything past the last successful sync: those bytes may
+        // have been dropped by the failed fsync (their dirty pages marked
+        // clean without reaching the device), so they must be rewritten.
+        file.set_len(self.synced_len)
+            .map_err(|e| SinkError::io("reopen", &e))?;
+        file.seek(SeekFrom::Start(self.synced_len))
+            .map_err(|e| SinkError::io("reopen", &e))?;
+        let lost = self.file_len.saturating_sub(self.synced_len);
+        self.written = self.written.saturating_sub(lost);
+        if let Some(seg) = &mut self.segmented {
+            seg.current_bytes = seg.current_bytes.saturating_sub(lost);
+        }
+        self.file_len = self.synced_len;
+        self.file = file;
         Ok(true)
     }
 
@@ -587,6 +635,32 @@ mod tests {
             sink.sync().unwrap();
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"xy");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_discards_the_unsynced_tail_and_resumes_at_the_synced_offset() {
+        let dir = std::env::temp_dir().join(format!("silo-reopen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.bin");
+        let mut sink = FileSink::create(path.clone(), false).unwrap();
+        sink.append(b"AAAA").unwrap();
+        sink.sync().unwrap();
+        // A round lands in the page cache but its sync fails: reopen must
+        // drop exactly that round and rewind the accounting.
+        sink.append(b"BBBB").unwrap();
+        assert_eq!(sink.bytes_written(), 8);
+        assert!(sink.reopen().unwrap());
+        assert_eq!(sink.bytes_written(), 4, "unsynced bytes are uncounted");
+        assert_eq!(std::fs::read(&path).unwrap(), b"AAAA");
+        // The retried round appends at the synced offset, not after the
+        // discarded tail.
+        sink.append(b"CCCC").unwrap();
+        sink.sync().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"AAAACCCC");
+        // Reopen right after a successful sync is a no-op on the contents.
+        assert!(sink.reopen().unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"AAAACCCC");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

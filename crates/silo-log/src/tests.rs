@@ -779,6 +779,65 @@ fn transient_faults_are_retried_and_commits_stay_durable() {
 }
 
 #[test]
+fn failed_syncs_reopen_the_segment_before_retrying() {
+    // fsyncgate: after a failed fsync the kernel may mark dirty pages clean,
+    // so retrying fsync on the same descriptor can falsely succeed. The
+    // logger must instead reopen the segment, discard the unsynced tail, and
+    // rewrite the round. Inject transient sync failures (plus a stall, which
+    // succeeds slowly and must NOT trigger a reopen) against a real file
+    // sink and verify both the reopen counter and that every commit is
+    // recoverable from the files afterwards.
+    let dir = std::env::temp_dir().join(format!("silo-log-fsyncgate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let expected;
+    let last;
+    {
+        let plan = Arc::new(
+            crate::fault::FaultPlan::new()
+                .fail_at(FaultSite::Sync, 1, FaultKind::Transient)
+                .fail_at(FaultSite::Sync, 3, FaultKind::SyncStall { millis: 5 })
+                .fail_at(FaultSite::Sync, 4, FaultKind::Transient),
+        );
+        let (db, logger) = logged_db(LogConfig {
+            fault: Some(Arc::clone(&plan)),
+            retry_backoff: Duration::from_micros(50),
+            ..LogConfig::to_directory(&dir, 1)
+        });
+        let t = db.create_table("t").unwrap();
+        let mut w = db.register_worker();
+        let mut tid = silo_core::Tid::ZERO;
+        for i in 0..200u32 {
+            let mut txn = w.begin();
+            txn.write(t, format!("k{i:03}").as_bytes(), b"v").unwrap();
+            tid = txn.commit().unwrap();
+        }
+        drop(w);
+        assert!(logger
+            .wait_for_durable(tid.epoch(), Duration::from_secs(10))
+            .is_durable());
+        let stats = logger.stats();
+        assert!(
+            stats.sync_reopens >= 1,
+            "a failed sync must reopen the segment, not re-sync the fd: {stats}"
+        );
+        assert!(stats.retries >= stats.sync_reopens);
+        assert_eq!(stats.logger_failures, 0);
+        expected = full_scan(&db, t);
+        last = tid;
+        logger.shutdown();
+        db.stop_epoch_advancer();
+    }
+    // The rewritten rounds must leave a clean, fully replayable log.
+    let db2 = Database::open(SiloConfig::for_testing());
+    let t2 = db2.create_table("t").unwrap();
+    let report = recover_directory(&db2, &dir, &RecoveryOptions::default()).unwrap();
+    assert!(report.durable_epoch >= last.epoch());
+    assert_eq!(report.replayed_txns, 200);
+    assert_eq!(full_scan(&db2, t2), expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn a_permanent_fault_degrades_the_logger_instead_of_aborting() {
     let plan = Arc::new(crate::fault::FaultPlan::new().fail_at(
         FaultSite::Append,

@@ -5,6 +5,9 @@
 //!
 //! * [`driver`] — the multi-threaded benchmark driver: per-thread workers,
 //!   fixed-duration runs, throughput / abort / latency accounting (§5.1).
+//! * [`fuzz`] — the adversarial-correctness scenario fuzzer: seeded random
+//!   multi-key transactions over a hot key space, recorded through
+//!   `silo-check` and verified serializable after every run.
 //! * [`ycsb`] — the paper's YCSB-A variant: 80/20 read / read-modify-write,
 //!   100-byte records, uniform keys (§5.2, §5.6).
 //! * [`keyvalue`] — the Key-Value baseline: the bare concurrent B+-tree with
@@ -22,9 +25,11 @@
 #![allow(clippy::type_complexity)]
 
 pub mod driver;
+pub mod fuzz;
 pub mod keyvalue;
 pub mod partitioned;
 pub mod tpcc;
 pub mod ycsb;
 
 pub use driver::{run_workload, DriverConfig, RunResult, Workload};
+pub use fuzz::{run_fuzz, run_fuzz_on, FuzzConfig, FuzzFailure, FuzzOutcome};

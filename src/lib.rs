@@ -10,7 +10,10 @@
 //! * [`epoch`] (`silo-epoch`) — epochs and epoch-based reclamation.
 //! * [`tid`] (`silo-tid`) — transaction ID words.
 //! * [`log`] (`silo-log`) — durability: redo logging, group commit, recovery.
-//! * [`wl`] (`silo-wl`) — workloads (YCSB, TPC-C), baselines and the driver.
+//! * [`check`] (`silo-check`) — history recording and the serializability
+//!   checker.
+//! * [`wl`] (`silo-wl`) — workloads (YCSB, TPC-C), baselines, the driver,
+//!   and the history-recording scenario fuzzer.
 //!
 //! The most commonly used types are re-exported at the crate root.
 //!
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub use silo_check as check;
 pub use silo_core as core;
 pub use silo_epoch as epoch;
 pub use silo_index as index;
@@ -37,6 +41,9 @@ pub use silo_wl as wl;
 pub use silo_core::{
     Abort, AbortReason, CommitHook, CommitWrite, CommitWrites, Database, DurabilityHealth,
     EpochConfig, SiloConfig, SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
+};
+pub use silo_check::{
+    check_serializability, CheckReport, HistoryRecorder, SessionHistory, Violation,
 };
 pub use silo_log::{
     DurableWait, FaultKind, FaultPlan, FaultSite, LogConfig, LogDestination, LogMode,
