@@ -30,8 +30,7 @@ fn main() {
         let result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(threads),
-            None,
+            run_options(threads),
         );
         println!(
             "{label:<20} {:>10.0} {:>14.0}",

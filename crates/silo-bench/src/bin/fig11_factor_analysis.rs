@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use silo_bench::*;
-use silo_core::{Database, SiloConfig};
+use silo_core::Database;
 use silo_log::{LogConfig, LogMode, SiloLogger};
 use silo_wl::driver::run_workload;
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
@@ -23,12 +23,11 @@ fn tpcc_run(
 ) -> f64 {
     let cfg = TpccConfig::scaled(warehouses, bench_scale());
     let tables = load(db, &cfg);
-    let result = run_workload(
-        db,
-        Arc::new(TpccWorkload::new(cfg, tables)),
-        driver_config(threads),
-        logger,
-    );
+    let mut options = run_options(threads);
+    if let Some(logger) = logger {
+        options = options.with_logger(logger);
+    }
+    let result = run_workload(db, Arc::new(TpccWorkload::new(cfg, tables)), options);
     result.throughput()
 }
 
@@ -55,11 +54,10 @@ fn main() {
     };
 
     // ----- Regular group (cumulative, left to right) -----
-    let simple = SiloConfig {
-        per_worker_pool: false,
-        overwrite_in_place: false,
-        ..base.clone()
-    };
+    let simple = base
+        .clone()
+        .with_per_worker_pool(false)
+        .with_overwrite_in_place(false);
     let db = Database::open(simple.clone());
     report(
         "Simple",
@@ -68,10 +66,7 @@ fn main() {
     );
     db.stop_epoch_advancer();
 
-    let with_alloc = SiloConfig {
-        per_worker_pool: true,
-        ..simple
-    };
+    let with_alloc = simple.with_per_worker_pool(true);
     let db = Database::open(with_alloc.clone());
     report(
         "+Allocator",
@@ -80,10 +75,7 @@ fn main() {
     );
     db.stop_epoch_advancer();
 
-    let with_overwrites = SiloConfig {
-        overwrite_in_place: true,
-        ..with_alloc
-    };
+    let with_overwrites = with_alloc.with_overwrite_in_place(true);
     let db = Database::open(with_overwrites.clone());
     report(
         "+Overwrites",
@@ -92,10 +84,7 @@ fn main() {
     );
     db.stop_epoch_advancer();
 
-    let no_snapshots = SiloConfig {
-        enable_snapshots: false,
-        ..with_overwrites
-    };
+    let no_snapshots = with_overwrites.with_snapshots(false);
     let db = Database::open(no_snapshots.clone());
     report(
         "+NoSnapshots",
@@ -104,10 +93,7 @@ fn main() {
     );
     db.stop_epoch_advancer();
 
-    let no_gc = SiloConfig {
-        enable_gc: false,
-        ..no_snapshots
-    };
+    let no_gc = no_snapshots.with_gc(false);
     let db = Database::open(no_gc);
     report("+NoGC", "Regular", tpcc_run(&db, warehouses, threads, None));
     db.stop_epoch_advancer();
@@ -126,10 +112,7 @@ fn main() {
 
     let db = Database::open(base.clone());
     let logger = SiloLogger::install(
-        LogConfig {
-            mode: LogMode::SmallRecords,
-            ..LogConfig::to_directory(&log_dir, 2)
-        },
+        LogConfig::to_directory(&log_dir, 2).with_mode(LogMode::SmallRecords),
         &db,
     )
     .expect("install logger");
@@ -154,10 +137,7 @@ fn main() {
 
     let db = Database::open(base);
     let logger = SiloLogger::install(
-        LogConfig {
-            compress: true,
-            ..LogConfig::to_directory(&log_dir, 2)
-        },
+        LogConfig::to_directory(&log_dir, 2).with_compress(true),
         &db,
     )
     .expect("install logger");

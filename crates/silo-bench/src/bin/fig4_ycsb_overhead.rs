@@ -32,8 +32,7 @@ fn main() {
         let mut result = run_workload(
             &db,
             Arc::new(YcsbKeyValue::new(cfg.clone(), Arc::clone(&kv))),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         result.index_stats = Some(kv.index_stats());
         print_row("Key-Value", t, &result);
@@ -48,8 +47,7 @@ fn main() {
         let mut result = run_workload(
             &db,
             Arc::new(YcsbSilo::new(cfg.clone(), table)),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         result.index_stats = Some(db.index_stats());
         print_row("MemSilo", t, &result);
@@ -64,8 +62,7 @@ fn main() {
         let mut result = run_workload(
             &db,
             Arc::new(YcsbSilo::new(cfg.clone(), table)),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         result.index_stats = Some(db.index_stats());
         print_row("MemSilo+GlobalTID", t, &result);

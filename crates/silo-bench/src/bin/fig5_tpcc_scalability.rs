@@ -25,8 +25,7 @@ fn main() {
         let mut result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         result.index_stats = Some(db.index_stats());
         print_row("MemSilo", t, &result);
@@ -45,8 +44,7 @@ fn main() {
         let mut result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(t),
-            Some(Arc::clone(&logger)),
+            run_options(t).with_logger(Arc::clone(&logger)),
         );
         result.index_stats = Some(db.index_stats());
         print_row("Silo (persistent)", t, &result);

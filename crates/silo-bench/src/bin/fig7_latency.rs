@@ -26,13 +26,12 @@ fn main() {
             let logger = SiloLogger::install(make_log(t), &db).expect("install logger");
             let cfg = TpccConfig::scaled(t as u32, scale);
             let tables = load(&db, &cfg);
-            let mut driver = driver_config(t);
-            driver.latency_sample_every = 32;
             let result = run_workload(
                 &db,
                 Arc::new(TpccWorkload::new(cfg, tables)),
-                driver,
-                Some(Arc::clone(&logger)),
+                run_options(t)
+                    .with_latency_sample_every(32)
+                    .with_logger(Arc::clone(&logger)),
             );
             println!(
                 "{label:<18} {t:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>11.0} txn/s",

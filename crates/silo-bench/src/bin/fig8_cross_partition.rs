@@ -53,8 +53,7 @@ fn main() {
         let result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(threads),
-            None,
+            run_options(threads),
         );
         println!(
             "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",
@@ -78,8 +77,7 @@ fn main() {
         let result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(threads),
-            None,
+            run_options(threads),
         );
         println!(
             "{:<20} {:>9.3} {:>12.1}% {:>14.0} txn/s",

@@ -45,8 +45,7 @@ fn main() {
         let result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         print_row("MemSilo", t, &result);
         print_index_stats(&result);
@@ -61,8 +60,7 @@ fn main() {
         let result = run_workload(
             &db,
             Arc::new(TpccWorkload::new(cfg, tables)),
-            driver_config(t),
-            None,
+            run_options(t),
         );
         print_row("MemSilo+FastIds", t, &result);
         emit_bench_json("fig9", "MemSilo+FastIds", t, &result);

@@ -37,7 +37,7 @@ use silo_core::Database;
 use silo_log::{
     recover_directory, CheckpointConfig, Checkpointer, LogConfig, RecoveryOptions, SiloLogger,
 };
-use silo_wl::driver::{run_workload_durable, DriverConfig};
+use silo_wl::driver::run_workload;
 use silo_wl::tpcc::check::check_consistency;
 use silo_wl::tpcc::{load, TpccConfig, TpccTables, TpccWorkload};
 
@@ -50,10 +50,8 @@ fn recovery_threads() -> usize {
 }
 
 fn log_config(dir: &Path, threads: usize) -> LogConfig {
-    LogConfig {
-        segment_bytes: env_u64("SILO_BENCH_SEGMENT_BYTES", 4 << 20).max(1),
-        ..LogConfig::to_directory(dir, 4.min(threads.max(1)))
-    }
+    LogConfig::to_directory(dir, 4.min(threads.max(1)))
+        .with_segment_bytes(env_u64("SILO_BENCH_SEGMENT_BYTES", 4 << 20).max(1))
 }
 
 fn checkpoint_config(dir: &Path) -> CheckpointConfig {
@@ -160,18 +158,15 @@ fn mode_run(dir: &Path) {
         });
     }
 
-    let result = run_workload_durable(
+    let result = run_workload(
         &db,
         Arc::new(TpccWorkload::new(cfg, tables)),
-        DriverConfig {
-            threads,
+        run_options(threads)
             // Run effectively forever; the CI gate kills the process long
             // before this, and a stand-alone invocation still terminates.
-            duration: Duration::from_secs(env_u64("SILO_BENCH_RUN_CAP_SECONDS", 600)),
-            ..Default::default()
-        },
-        Some(Arc::clone(&logger)),
-        Some(Arc::clone(&checkpointer)),
+            .with_duration(Duration::from_secs(env_u64("SILO_BENCH_RUN_CAP_SECONDS", 600)))
+            .with_logger(Arc::clone(&logger))
+            .with_checkpointer(Arc::clone(&checkpointer)),
     );
     // Only reached without a kill: report and shut down cleanly.
     print_row("TPC-C persistent", threads, &result);
@@ -215,17 +210,12 @@ fn recover_and_verify(dir: &Path, min_epoch: u64, total_log_bytes: Option<u64>) 
     // state.
     let summary = check_consistency(&db, &cfg, &tables)
         .unwrap_or_else(|e| panic!("recovered state violates TPC-C consistency: {e}"));
-    let post = run_workload_durable(
+    let post = run_workload(
         &db,
         Arc::new(TpccWorkload::new(cfg.clone(), tables)),
-        DriverConfig {
-            threads: 1,
-            duration: Duration::from_millis(200),
-            latency_sample_every: 0,
-            ..Default::default()
-        },
-        None,
-        None,
+        run_options(1)
+            .with_duration(Duration::from_millis(200))
+            .with_latency_sample_every(0),
     );
     assert!(
         post.committed > 0,
@@ -326,16 +316,13 @@ fn mode_bench() {
     );
 
     let (db, logger, checkpointer, cfg, tables) = start_persistent(&dir, threads, bench_scale());
-    let result = run_workload_durable(
+    let result = run_workload(
         &db,
         Arc::new(TpccWorkload::new(cfg, tables)),
-        DriverConfig {
-            threads,
-            duration: seconds,
-            ..Default::default()
-        },
-        Some(Arc::clone(&logger)),
-        Some(Arc::clone(&checkpointer)),
+        run_options(threads)
+            .with_duration(seconds)
+            .with_logger(Arc::clone(&logger))
+            .with_checkpointer(Arc::clone(&checkpointer)),
     );
     print_row("TPC-C persistent", threads, &result);
     print_logger_stats(&result);

@@ -40,8 +40,7 @@ fn main() {
     let result = run_workload(
         &db,
         Arc::new(YcsbRmwOnly::new(cfg, table)),
-        driver_config(threads),
-        None,
+        run_options(threads),
     );
 
     let peak = CountingAllocator::peak();

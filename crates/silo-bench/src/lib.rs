@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use silo_core::{Database, SiloConfig};
-use silo_wl::driver::{DriverConfig, RunResult};
+use silo_wl::driver::{RunOptions, RunResult};
 use silo_wl::partitioned::{PartitionedStats, PartitionedStore};
 
 /// A global allocator wrapper that tracks live and peak allocated bytes
@@ -126,13 +126,10 @@ pub fn ycsb_keys() -> u64 {
 /// otherwise), with a faster epoch tick so short bench runs cross enough
 /// epoch and snapshot boundaries to be representative.
 pub fn memsilo_config() -> SiloConfig {
-    SiloConfig {
-        epoch: silo_core::EpochConfig {
-            epoch_interval: Duration::from_millis(10),
-            snapshot_interval_epochs: 25,
-        },
-        ..SiloConfig::default()
-    }
+    SiloConfig::default().with_epoch(silo_core::EpochConfig {
+        epoch_interval: Duration::from_millis(10),
+        snapshot_interval_epochs: 25,
+    })
 }
 
 /// Opens a MemSilo database.
@@ -290,6 +287,16 @@ pub fn emit_bench_json(bench: &str, series: &str, threads: usize, result: &RunRe
     BENCH_JSON_ROWS.lock().unwrap().push(row);
 }
 
+/// Emits one pre-formatted `BENCH_JSON` row (a complete JSON object string)
+/// for benchmarks whose metrics don't come from a driver [`RunResult`] —
+/// e.g. `fig_net`, whose load generator measures wire latency client-side.
+/// The row should carry at least `bench`, `series`, `threads`, and
+/// `throughput_txns_per_s` so the regression gate can key and compare it.
+pub fn emit_bench_json_raw(row: String) {
+    println!("BENCH_JSON {row}");
+    BENCH_JSON_ROWS.lock().unwrap().push(row);
+}
+
 /// Writes every row emitted so far to `BENCH_<bench>.json` (a JSON array)
 /// under `SILO_BENCH_JSON_DIR`. Does nothing when the variable is unset, so
 /// ad-hoc runs don't litter the working directory.
@@ -343,13 +350,11 @@ pub fn run_partitioned(
     (committed, cross, start.elapsed())
 }
 
-/// Builds a driver configuration with the harness defaults.
-pub fn driver_config(threads: usize) -> DriverConfig {
-    DriverConfig {
-        threads,
-        duration: bench_seconds(),
-        ..Default::default()
-    }
+/// Builds run options with the harness defaults.
+pub fn run_options(threads: usize) -> RunOptions {
+    RunOptions::default()
+        .with_threads(threads)
+        .with_duration(bench_seconds())
 }
 
 #[cfg(test)]

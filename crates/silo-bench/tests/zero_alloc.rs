@@ -33,20 +33,18 @@ fn key(i: u64) -> [u8; 16] {
 
 #[test]
 fn warmed_worker_commits_without_heap_allocation() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
+    let db = Database::open(SiloConfig::default()
+        .with_epoch(EpochConfig {
             epoch_interval: Duration::from_millis(1),
             snapshot_interval_epochs: 5,
-        },
+        })
         // Deterministic epochs: advanced manually during warm-up only, so
         // every measured write lands in the same snapshot interval and takes
         // the in-place overwrite path.
-        spawn_epoch_advancer: false,
+        .with_spawn_epoch_advancer(false)
         // GC runs only when invoked explicitly below; the measured section
         // must not depend on how much garbage happens to be ready.
-        gc_interval_txns: u64::MAX,
-        ..SiloConfig::default()
-    });
+        .with_gc_interval_txns(u64::MAX));
     let table = db.create_table("ycsb").unwrap();
     let mut worker = db.register_worker();
 
@@ -126,15 +124,13 @@ fn warmed_worker_commits_without_heap_allocation() {
 /// serializability checker out of the hot path.
 #[test]
 fn warmed_worker_with_disabled_recorder_commits_without_heap_allocation() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
+    let db = Database::open(SiloConfig::default()
+        .with_epoch(EpochConfig {
             epoch_interval: Duration::from_millis(1),
             snapshot_interval_epochs: 5,
-        },
-        spawn_epoch_advancer: false,
-        gc_interval_txns: u64::MAX,
-        ..SiloConfig::default()
-    });
+        })
+        .with_spawn_epoch_advancer(false)
+        .with_gc_interval_txns(u64::MAX));
     let recorder = Arc::new(HistoryRecorder::new_disabled());
     db.set_history_recorder(Arc::clone(&recorder))
         .expect("fresh database has no recorder");
@@ -210,28 +206,24 @@ fn warmed_worker_with_disabled_recorder_commits_without_heap_allocation() {
 /// into pre-sized memory.
 #[test]
 fn warmed_worker_with_logger_commits_without_heap_allocation() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
+    let db = Database::open(SiloConfig::default()
+        .with_epoch(EpochConfig {
             epoch_interval: Duration::from_millis(1),
             // Never cross a snapshot boundary during the test: every measured
             // write takes the in-place overwrite path regardless of the
             // epoch advances that force log-buffer publishes.
             snapshot_interval_epochs: 1_000_000,
-        },
-        spawn_epoch_advancer: false,
-        gc_interval_txns: u64::MAX,
-        ..SiloConfig::default()
-    });
+        })
+        .with_spawn_epoch_advancer(false)
+        .with_gc_interval_txns(u64::MAX));
     // A small publish watermark so the measured section publishes several
     // buffers, and a pool deep enough that the pool can never run dry even
     // if the logger thread is descheduled the whole time (publishes during
     // the test ≪ 64 buffers in the pool).
     let logger = SiloLogger::install(
-        LogConfig {
-            buffer_capacity: 4096,
-            pool_buffers: 64,
-            ..LogConfig::in_memory(1)
-        },
+        LogConfig::in_memory(1)
+            .with_buffer_capacity(4096)
+            .with_pool_buffers(64),
         &db,
     )
     .expect("install logger");

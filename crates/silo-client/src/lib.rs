@@ -1,0 +1,417 @@
+//! # silo-client — a blocking, pipelining client for the silo-net protocol
+//!
+//! Two layers:
+//!
+//! * [`Connection`] — one TCP connection speaking the length-prefixed frame
+//!   protocol, with explicit **pipelining**: [`Connection::send`] queues a
+//!   request without waiting, [`Connection::recv`] takes the next response
+//!   (responses arrive in request order, so no ids are needed). Issue `N`,
+//!   then drain `N` — the server executes the whole burst as batches and one
+//!   group commit releases every write ack in it.
+//! * [`Session`] — the same session vocabulary the embedded
+//!   `silo_core::Session` API uses: `get`/`put`/`insert`/`delete`/`scan` as
+//!   single-operation transactions plus [`Session::transact`] for atomic
+//!   multi-operation transactions, each call synchronous (`send` + `flush` +
+//!   `recv`).
+//!
+//! ```no_run
+//! use silo_client::{Connection, Session};
+//!
+//! let mut session = Session::connect("127.0.0.1:4000").unwrap();
+//! let accounts = session.open_table("accounts").unwrap();
+//! session.put(accounts, b"alice", b"100").unwrap(); // acked once durable
+//! assert_eq!(session.get(accounts, b"alice").unwrap(), Some(b"100".to_vec()));
+//! ```
+//!
+//! A server shedding load surfaces as a typed [`ClientError::Server`] whose
+//! [`ErrorCode`] distinguishes `ServerBusy` (backlog — retry after backoff)
+//! from `DurabilityDegraded` (the log can't back new acks — probe
+//! [`Session::health`] and retry once healthy) from `Aborted` (OCC conflict —
+//! retry the transaction).
+
+#![warn(missing_docs)]
+
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use silo_net::protocol::{self, FrameError, Request, Response, TxnOp, DEFAULT_MAX_FRAME_BYTES};
+
+pub use silo_net::protocol::{ErrorCode, HealthStatus, ProtocolError};
+
+/// A typed error frame returned by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// The error class (retryability is encoded here).
+    pub code: ErrorCode,
+    /// Human-readable detail from the server.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Everything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (includes the server closing the connection
+    /// mid-frame).
+    Io(std::io::Error),
+    /// The server sent a frame this client could not decode, or a response
+    /// of an unexpected type for the request.
+    Protocol(String),
+    /// The connection was closed by the server while responses were still
+    /// outstanding.
+    Closed,
+    /// The server answered with a typed error frame.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+            ClientError::Closed => write!(f, "connection closed with responses outstanding"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether this is a typed shed/abort the caller should retry (possibly
+    /// after backoff or a health probe): `Aborted`, `ServerBusy`, or
+    /// `DurabilityDegraded`.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server(ServerError {
+                code: ErrorCode::Aborted | ErrorCode::ServerBusy | ErrorCode::DurabilityDegraded,
+                ..
+            })
+        )
+    }
+
+    /// The typed server error code, if this is a server error.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server(e) => Some(e.code),
+            _ => None,
+        }
+    }
+}
+
+/// One pipelined connection to a silo-net server.
+///
+/// [`Connection::send`] buffers a request and counts it as in-flight;
+/// [`Connection::flush`] pushes the burst onto the wire; [`Connection::recv`]
+/// reads the next response (flushing first if needed). [`Connection::call`]
+/// is the synchronous send-flush-recv convenience. The server answers in
+/// request order, so the `k`-th `recv` after a burst corresponds to the
+/// `k`-th `send`.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    in_flight: usize,
+    max_frame_bytes: usize,
+    encode_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Connection {
+            reader,
+            writer,
+            in_flight: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            encode_buf: Vec::new(),
+            frame_buf: Vec::new(),
+        })
+    }
+
+    /// Caps the size of response frames this client will accept.
+    pub fn set_max_frame_bytes(&mut self, bytes: usize) {
+        self.max_frame_bytes = bytes;
+    }
+
+    /// Queues one request into the connection's write buffer without
+    /// flushing. Pair each `send` with a later [`Connection::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.encode_buf.clear();
+        protocol::encode_request(&mut self.encode_buf, req);
+        protocol::write_frame(&mut self.writer, &self.encode_buf)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Pushes every buffered request onto the wire.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response, flushing buffered requests first. Returns
+    /// [`ClientError::Closed`] if the server hung up with responses
+    /// outstanding. A typed error frame is returned as `Ok(Response::Error)`
+    /// — use [`Connection::recv_result`] to turn those into
+    /// [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if self.in_flight == 0 {
+            return Err(ClientError::Protocol("recv with no request in flight".to_string()));
+        }
+        self.flush()?;
+        if !protocol::read_frame(&mut self.reader, &mut self.frame_buf, self.max_frame_bytes)? {
+            return Err(ClientError::Closed);
+        }
+        self.in_flight -= 1;
+        protocol::decode_response(&self.frame_buf)
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Like [`Connection::recv`], but converts a typed error frame into
+    /// [`ClientError::Server`].
+    pub fn recv_result(&mut self) -> Result<Response, ClientError> {
+        match self.recv()? {
+            Response::Error { code, detail } => {
+                Err(ClientError::Server(ServerError { code, detail }))
+            }
+            resp => Ok(resp),
+        }
+    }
+
+    /// Synchronous request: send, flush, receive (typed errors become
+    /// [`ClientError::Server`]).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv_result()
+    }
+
+    /// Requests sent but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.in_flight
+    }
+}
+
+/// A durability health report from [`Session::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server's durability classification.
+    pub health: HealthStatus,
+    /// Epochs the durable epoch trails the global epoch by.
+    pub lag_epochs: u64,
+    /// The server's durable epoch `D`.
+    pub durable_epoch: u64,
+    /// The server's global epoch `E`.
+    pub global_epoch: u64,
+}
+
+/// Key-value entries returned by [`Session::scan`], in key order.
+pub type ScanEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// The remote counterpart of the embedded `silo_core::Session`: each method
+/// is one transaction against the server, synchronous and in the same
+/// vocabulary (`get`/`put`/`insert`/`delete`/`scan`/`transact`).
+///
+/// For throughput, use [`Session::connection`]-level pipelining (or the
+/// `fig_net` load generator's pattern): issue a burst of `send`s, then drain
+/// with `recv`.
+pub struct Session {
+    conn: Connection,
+}
+
+impl Session {
+    /// Connects a new session.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Session, ClientError> {
+        Ok(Session { conn: Connection::connect(addr)? })
+    }
+
+    /// Wraps an existing connection.
+    pub fn from_connection(conn: Connection) -> Session {
+        Session { conn }
+    }
+
+    /// The underlying connection, for explicit pipelining.
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
+    /// Resolves a table name to an id, creating the table if missing.
+    pub fn open_table(&mut self, name: &str) -> Result<u32, ClientError> {
+        match self.conn.call(&Request::OpenTable { name: name.to_string() })? {
+            Response::TableId { id } => Ok(id),
+            other => Err(unexpected("TableId", &other)),
+        }
+    }
+
+    /// Reads one key (a single-operation transaction).
+    pub fn get(&mut self, table: u32, key: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.conn.call(&Request::Get { table, key: key.to_vec() })? {
+            Response::Value { value } => Ok(value),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Upserts one key. `Ok(())` means *durably committed* when the server
+    /// runs with a durability subsystem.
+    pub fn put(&mut self, table: u32, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
+        match self.conn.call(&Request::Put {
+            table,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Inserts one key; a duplicate key surfaces as a typed `Aborted` error.
+    pub fn insert(&mut self, table: u32, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
+        match self.conn.call(&Request::Insert {
+            table,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Deletes one key (idempotent).
+    pub fn delete(&mut self, table: u32, key: &[u8]) -> Result<(), ClientError> {
+        match self.conn.call(&Request::Delete { table, key: key.to_vec() })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Range scan `[start, end)`, at most `limit` entries (`None` = all).
+    pub fn scan(
+        &mut self,
+        table: u32,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<u32>,
+    ) -> Result<ScanEntries, ClientError> {
+        match self.conn.call(&Request::Scan {
+            table,
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+            limit: limit.unwrap_or(0),
+        })? {
+            Response::Entries { entries } => Ok(entries),
+            other => Err(unexpected("Entries", &other)),
+        }
+    }
+
+    /// Executes a multi-operation transaction atomically on the server and
+    /// returns the values observed by its `get`s, in operation order. If the
+    /// transaction wrote, success means the writes are durable.
+    ///
+    /// ```no_run
+    /// # use silo_client::{Session, TxnBuilder};
+    /// # let mut session = Session::connect("127.0.0.1:4000").unwrap();
+    /// # let accounts = session.open_table("accounts").unwrap();
+    /// let reads = session.transact(
+    ///     TxnBuilder::new()
+    ///         .get(accounts, b"alice")
+    ///         .put(accounts, b"bob", b"250"),
+    /// ).unwrap();
+    /// let alice = reads[0].as_deref();
+    /// # let _ = alice;
+    /// ```
+    pub fn transact(&mut self, txn: TxnBuilder) -> Result<Vec<Option<Vec<u8>>>, ClientError> {
+        match self.conn.call(&Request::Txn { ops: txn.ops })? {
+            Response::TxnOk { reads } => Ok(reads),
+            other => Err(unexpected("TxnOk", &other)),
+        }
+    }
+
+    /// Probes the server's durability health.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.conn.call(&Request::Health)? {
+            Response::Health { health, lag_epochs, durable_epoch, global_epoch } => {
+                Ok(HealthReport { health, lag_epochs, durable_epoch, global_epoch })
+            }
+            other => Err(unexpected("Health", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}
+
+/// Builds the operation list for [`Session::transact`].
+#[derive(Debug, Default, Clone)]
+pub struct TxnBuilder {
+    ops: Vec<TxnOp>,
+}
+
+impl TxnBuilder {
+    /// An empty transaction.
+    pub fn new() -> TxnBuilder {
+        TxnBuilder::default()
+    }
+
+    /// Adds a read; its result lands in the corresponding slot of the
+    /// vector [`Session::transact`] returns.
+    pub fn get(mut self, table: u32, key: &[u8]) -> Self {
+        self.ops.push(TxnOp::Get { table, key: key.to_vec() });
+        self
+    }
+
+    /// Adds an upsert.
+    pub fn put(mut self, table: u32, key: &[u8], value: &[u8]) -> Self {
+        self.ops.push(TxnOp::Put { table, key: key.to_vec(), value: value.to_vec() });
+        self
+    }
+
+    /// Adds an insert (duplicate key aborts the whole transaction).
+    pub fn insert(mut self, table: u32, key: &[u8], value: &[u8]) -> Self {
+        self.ops.push(TxnOp::Insert { table, key: key.to_vec(), value: value.to_vec() });
+        self
+    }
+
+    /// Adds a delete.
+    pub fn delete(mut self, table: u32, key: &[u8]) -> Self {
+        self.ops.push(TxnOp::Delete { table, key: key.to_vec() });
+        self
+    }
+
+    /// The operations queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}

@@ -8,7 +8,21 @@ use silo_epoch::EpochConfig;
 /// overwrites, snapshots, garbage collection and decentralized TIDs all
 /// enabled. The individual knobs reproduce the configurations of the factor
 /// analysis (Figure 11) and the `MemSilo+GlobalTID` variant (Figure 4).
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`Default`] or one of
+/// the named presets and refine it with the builder-style `with_*` methods,
+/// so new knobs are never a breaking change for downstream code:
+///
+/// ```
+/// use silo_core::SiloConfig;
+///
+/// let config = SiloConfig::default()
+///     .with_spawn_epoch_advancer(false)
+///     .with_read_retry_limit(8);
+/// assert!(!config.spawn_epoch_advancer);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SiloConfig {
     /// Epoch subsystem configuration (epoch period, snapshot interval `k`).
     pub epoch: EpochConfig,
@@ -100,6 +114,54 @@ impl SiloConfig {
     /// Returns a copy using the centralized TID counter (`MemSilo+GlobalTID`).
     pub fn with_global_tid(mut self) -> Self {
         self.global_tid = true;
+        self
+    }
+
+    /// Sets the epoch subsystem configuration (period, snapshot interval).
+    pub fn with_epoch(mut self, epoch: EpochConfig) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Enables or disables the background epoch-advancer thread.
+    pub fn with_spawn_epoch_advancer(mut self, spawn: bool) -> Self {
+        self.spawn_epoch_advancer = spawn;
+        self
+    }
+
+    /// Enables or disables in-place overwrites (`+Overwrites`).
+    pub fn with_overwrite_in_place(mut self, enable: bool) -> Self {
+        self.overwrite_in_place = enable;
+        self
+    }
+
+    /// Enables or disables snapshot version retention (§4.9).
+    pub fn with_snapshots(mut self, enable: bool) -> Self {
+        self.enable_snapshots = enable;
+        self
+    }
+
+    /// Enables or disables the epoch-based garbage collector (§4.8).
+    pub fn with_gc(mut self, enable: bool) -> Self {
+        self.enable_gc = enable;
+        self
+    }
+
+    /// Enables or disables the per-worker allocation pool (`+Allocator`).
+    pub fn with_per_worker_pool(mut self, enable: bool) -> Self {
+        self.per_worker_pool = enable;
+        self
+    }
+
+    /// Sets the unstable-read retry limit before a transaction aborts.
+    pub fn with_read_retry_limit(mut self, limit: usize) -> Self {
+        self.read_retry_limit = limit;
+        self
+    }
+
+    /// Sets how many transactions a worker runs between GC passes.
+    pub fn with_gc_interval_txns(mut self, interval: u64) -> Self {
+        self.gc_interval_txns = interval;
         self
     }
 }

@@ -57,6 +57,7 @@ pub mod database;
 pub mod error;
 mod gc;
 pub mod record;
+pub mod session;
 pub mod snapshot;
 pub mod stats;
 pub mod txn;
@@ -72,6 +73,7 @@ pub use silo_check::{check_serializability, CheckReport, HistoryRecorder, Sessio
 pub use silo_epoch::{EpochConfig, EpochManager};
 pub use silo_index::IndexStats;
 pub use silo_tid::{Tid, TidWord};
+pub use session::Session;
 pub use snapshot::{SnapshotTxn, WalkPacer};
 pub use stats::{AbortBreakdown, WorkerStats};
 pub use txn::Txn;

@@ -99,7 +99,22 @@ pub enum LogDestination {
 }
 
 /// Durability configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`Default`],
+/// [`LogConfig::to_directory`], or [`LogConfig::in_memory`] and refine it
+/// with the builder-style `with_*` methods, so new knobs are never a
+/// breaking change for downstream code:
+///
+/// ```
+/// use silo_log::LogConfig;
+///
+/// let config = LogConfig::to_directory("/tmp/silo-log", 2)
+///     .with_fsync(true)
+///     .with_max_durable_lag_epochs(32);
+/// assert!(config.fsync);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct LogConfig {
     /// Where to write the log.
     pub destination: LogDestination,
@@ -174,6 +189,78 @@ impl LogConfig {
             num_loggers: num_loggers.max(1),
             ..Default::default()
         }
+    }
+
+    /// Sets where log bytes go.
+    pub fn with_destination(mut self, destination: LogDestination) -> Self {
+        self.destination = destination;
+        self
+    }
+
+    /// Sets the number of logger threads.
+    pub fn with_num_loggers(mut self, num_loggers: usize) -> Self {
+        self.num_loggers = num_loggers.max(1);
+        self
+    }
+
+    /// Sets the record contents ([`LogMode`]).
+    pub fn with_mode(mut self, mode: LogMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables buffer compression (`+Compress`).
+    pub fn with_compress(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
+    }
+
+    /// Enables or disables `fsync` after each logger write batch.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the worker buffer fill level that triggers a publish.
+    pub fn with_buffer_capacity(mut self, bytes: usize) -> Self {
+        self.buffer_capacity = bytes;
+        self
+    }
+
+    /// Sets the number of pre-allocated pool buffers.
+    pub fn with_pool_buffers(mut self, buffers: usize) -> Self {
+        self.pool_buffers = buffers;
+        self
+    }
+
+    /// Sets the segment rotation threshold (directory destinations only).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the initial retry backoff after a transient sink error.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the total retry budget before a logger fails permanently.
+    pub fn with_retry_budget(mut self, budget: Duration) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the durable-epoch lag watermark for `Degraded` health.
+    pub fn with_max_durable_lag_epochs(mut self, epochs: u64) -> Self {
+        self.max_durable_lag_epochs = epochs;
+        self
+    }
+
+    /// Installs a fault-injection plan (tests).
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -642,6 +729,42 @@ impl SiloLogger {
                 .wait_timeout(durable, deadline - now)
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
+        }
+        DurableWait::Durable
+    }
+
+    /// Blocks until the durable epoch reaches `epoch`, with no timeout — the
+    /// group-commit wait. Returns [`DurableWait::Durable`] once `D ≥ epoch`,
+    /// or [`DurableWait::Failed`] if that can never happen: a logger thread
+    /// failed permanently, or [`SiloLogger::shutdown`] detached the logger
+    /// threads before the epoch was reached.
+    ///
+    /// This is the right call for batch acknowledgement (a network server
+    /// acking a pipeline of writes, the driver's latency sampler): many
+    /// callers waiting on the same epoch park on one condvar and are all
+    /// released by the single durable-epoch advance that covers them, so the
+    /// cost is one wait per *group*, not per transaction. Use
+    /// [`SiloLogger::wait_for_durable`] instead when the caller needs to
+    /// observe slow progress (timeouts) rather than only terminal states.
+    pub fn wait_for_durable_epoch(&self, epoch: u64) -> DurableWait {
+        // Fast path: the published durable epoch already covers the request;
+        // skip the mutex entirely (this is the common case for every
+        // transaction in a group after the first waiter was released).
+        if self.shared.durable_epoch() >= epoch {
+            return DurableWait::Durable;
+        }
+        let mut durable = lock(&self.shared.durable);
+        while *durable < epoch {
+            if self.shared.counters.logger_failures.load(Ordering::Acquire) > 0
+                || self.shared.detached.load(Ordering::Acquire)
+            {
+                return DurableWait::Failed;
+            }
+            durable = self
+                .shared
+                .durable_cv
+                .wait(durable)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         DurableWait::Durable
     }

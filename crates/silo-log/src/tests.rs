@@ -5,14 +5,14 @@ use silo_core::SiloConfig;
 use std::sync::Arc;
 
 fn logged_db(log_config: LogConfig) -> (Arc<Database>, Arc<SiloLogger>) {
-    let db = Database::open(SiloConfig {
-        spawn_epoch_advancer: true,
-        epoch: silo_core::EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::for_testing()
-    });
+    let db = Database::open(
+        SiloConfig::for_testing()
+            .with_spawn_epoch_advancer(true)
+            .with_epoch(silo_core::EpochConfig {
+                epoch_interval: Duration::from_millis(2),
+                snapshot_interval_epochs: 5,
+            }),
+    );
     let logger = SiloLogger::install(log_config, &db).expect("install logger");
     (db, logger)
 }

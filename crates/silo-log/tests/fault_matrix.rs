@@ -60,14 +60,14 @@ fn scratch_root() -> PathBuf {
 }
 
 fn open_db() -> Arc<Database> {
-    Database::open(SiloConfig {
-        spawn_epoch_advancer: true,
-        epoch: silo_core::EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::for_testing()
-    })
+    Database::open(
+        SiloConfig::for_testing()
+            .with_spawn_epoch_advancer(true)
+            .with_epoch(silo_core::EpochConfig {
+                epoch_interval: Duration::from_millis(2),
+                snapshot_interval_epochs: 5,
+            }),
+    )
 }
 
 /// Runs one wave of the workload: `WRITERS` threads, each committing
@@ -124,13 +124,11 @@ fn run_case(profile: &str, seed: u64) -> PathBuf {
     let committed = {
         let db = open_db();
         let logger = SiloLogger::install(
-            LogConfig {
-                segment_bytes: 16 * 1024,
-                fault: Some(Arc::clone(&plan)),
-                retry_backoff: Duration::from_micros(100),
-                retry_budget: Duration::from_millis(250),
-                ..LogConfig::to_directory(&dir, 2)
-            },
+            LogConfig::to_directory(&dir, 2)
+                .with_segment_bytes(16 * 1024)
+                .with_fault(Arc::clone(&plan))
+                .with_retry_backoff(Duration::from_micros(100))
+                .with_retry_budget(Duration::from_millis(250)),
             &db,
         )
         .expect("install logger");
@@ -327,10 +325,7 @@ mod bit_flips {
             std::fs::create_dir_all(&dir).unwrap();
             let db = open_db();
             let logger = SiloLogger::install(
-                LogConfig {
-                    segment_bytes: 8 * 1024,
-                    ..LogConfig::to_directory(&dir, 2)
-                },
+                LogConfig::to_directory(&dir, 2).with_segment_bytes(8 * 1024),
                 &db,
             )
             .expect("install logger");

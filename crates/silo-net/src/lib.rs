@@ -1,0 +1,32 @@
+//! # silo-net — the network front-end
+//!
+//! Serves a [`silo_core::Database`] over TCP with a simple length-prefixed,
+//! pipelined binary protocol (see [`protocol`]) and a batching server (see
+//! [`server`]) whose durable write acknowledgements ride the engine's epoch
+//! group commit: a client pipelines a burst of writes, the server executes
+//! them as transactions, and one durable-epoch advance — one `fsync` —
+//! releases every ack in the burst.
+//!
+//! The matching blocking client lives in the `silo-client` crate; both are
+//! re-exported from the `silo` facade.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use silo_core::{Database, SiloConfig};
+//! use silo_net::{Server, ServerConfig};
+//!
+//! let db = Database::open(SiloConfig::default());
+//! let server = Server::start(Arc::clone(&db), None, ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{
+    ErrorCode, FrameError, HealthStatus, ProtocolError, Request, Response, TxnOp,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+pub use server::{Server, ServerConfig, ServerStats};

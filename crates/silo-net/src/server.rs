@@ -1,0 +1,833 @@
+//! The batching server: a small thread pool of request executors riding the
+//! engine's epoch group commit.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  acceptor ──► per-connection reader ──► worker inbox (pinned by conn id)
+//!                                              │  drain ≤ batch_max per
+//!                                              │  iteration, execute as
+//!                                              ▼  transactions
+//!                                         per-connection outbox
+//!                                              │  writes tagged with their
+//!                                              ▼  commit epoch
+//!              per-connection writer ◄─────────┘
+//!              waits once per group for the durable epoch,
+//!              then flushes the whole pipelined burst
+//! ```
+//!
+//! Each worker thread owns a [`Worker`](silo_core::Worker) handle and drains
+//! a *batch* of decoded requests per iteration, executing each as a
+//! transaction. A connection's requests are pinned to one worker, so its
+//! responses come back in request order — which is what makes fire-N-drain-N
+//! pipelining work without request ids.
+//!
+//! # Durable acknowledgement
+//!
+//! A write's `Ok` frame is held back by the connection's writer thread until
+//! the write's commit epoch passes the logger's durable watermark
+//! ([`SiloLogger::wait_for_durable_epoch`]). Because the durable epoch is
+//! monotone, one condvar wake releases *every* write the group fsync covered
+//! — thousands of pipelined connections amortize a single `fsync` exactly as
+//! §4.10 of the paper intends. If durability fails while an ack is pending,
+//! the ack is rewritten into a typed [`ErrorCode::DurabilityDegraded`] frame
+//! rather than sent as a false positive.
+//!
+//! # Load shedding
+//!
+//! * **Backlog** — when a worker's inbox is over
+//!   [`ServerConfig::with_inbox_limit`], incoming *writes* are answered with
+//!   [`ErrorCode::ServerBusy`] without being executed (the rejection rides
+//!   the normal inbox path so response order is preserved).
+//! * **Durability degradation** — each batch checks
+//!   [`Database::durability_health`] once; while `Degraded`/`Failed`, writes
+//!   are answered with [`ErrorCode::DurabilityDegraded`] instead of being
+//!   executed. Reads keep flowing: the in-memory state is still consistent.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use silo_core::{Abort, AbortReason, Database, DurabilityHealth, Worker};
+use silo_log::{DurableWait, SiloLogger};
+
+use crate::protocol::{
+    self, ErrorCode, FrameError, Request, Response, TxnOp, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Configuration for [`Server::start`].
+///
+/// Non-exhaustive with builder-style `with_*` methods, so new server knobs
+/// never break downstream constructors:
+///
+/// ```
+/// use silo_net::ServerConfig;
+///
+/// let config = ServerConfig::default()
+///     .with_workers(4)
+///     .with_batch_max(128);
+/// assert_eq!(config.workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Address to listen on. Use port 0 to let the OS pick
+    /// (see [`Server::local_addr`]).
+    pub listen: String,
+    /// Number of request-executor threads, each owning one engine `Worker`.
+    pub workers: usize,
+    /// Maximum concurrent connections; the acceptor drops connections beyond
+    /// this without serving them.
+    pub max_connections: usize,
+    /// Maximum accepted frame payload, in bytes. Oversized frames are
+    /// answered with a `BadRequest` error and the connection is closed
+    /// (the stream can no longer be trusted to be frame-aligned).
+    pub max_frame_bytes: usize,
+    /// Maximum requests a worker drains and executes per iteration.
+    pub batch_max: usize,
+    /// Soft inbox backlog bound per worker; writes arriving beyond it are
+    /// shed with `ServerBusy`.
+    pub inbox_limit: usize,
+    /// Whether to shed writes with `DurabilityDegraded` while
+    /// [`Database::durability_health`] is not `Healthy`.
+    pub shed_on_degraded: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_connections: 1024,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            batch_max: 64,
+            inbox_limit: 4096,
+            shed_on_degraded: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the listen address (e.g. `"127.0.0.1:4000"`, port 0 = OS pick).
+    pub fn with_listen(mut self, listen: impl Into<String>) -> Self {
+        self.listen = listen.into();
+        self
+    }
+
+    /// Sets the number of request-executor threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the maximum number of concurrent connections.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Sets the maximum accepted frame payload size.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-iteration batch bound.
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Sets the per-worker inbox backlog bound for `ServerBusy` shedding.
+    pub fn with_inbox_limit(mut self, limit: usize) -> Self {
+        self.inbox_limit = limit.max(1);
+        self
+    }
+
+    /// Enables or disables `DurabilityDegraded` write shedding.
+    pub fn with_shed_on_degraded(mut self, shed: bool) -> Self {
+        self.shed_on_degraded = shed;
+        self
+    }
+}
+
+/// A snapshot of the server's counters (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted and served.
+    pub connections_accepted: u64,
+    /// Connections dropped because `max_connections` was reached.
+    pub connections_rejected: u64,
+    /// Requests executed (including rejected/shed ones).
+    pub requests: u64,
+    /// Frames that failed to decode, plus torn/oversized streams.
+    pub protocol_errors: u64,
+    /// Transactions committed on behalf of clients.
+    pub txns_committed: u64,
+    /// Transactions aborted (after retries, where applicable).
+    pub txns_aborted: u64,
+    /// Writes durably acknowledged (an `Ok` frame actually sent after the
+    /// durable-epoch wait).
+    pub writes_acked: u64,
+    /// Writes shed with `ServerBusy` (inbox backlog).
+    pub writes_shed_busy: u64,
+    /// Writes shed with `DurabilityDegraded` (health-based, including acks
+    /// rewritten after a failed durable wait).
+    pub writes_shed_degraded: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    txns_committed: AtomicU64,
+    txns_aborted: AtomicU64,
+    writes_acked: AtomicU64,
+    writes_shed_busy: AtomicU64,
+    writes_shed_degraded: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            writes_acked: self.writes_acked.load(Ordering::Relaxed),
+            writes_shed_busy: self.writes_shed_busy.load(Ordering::Relaxed),
+            writes_shed_degraded: self.writes_shed_degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A response queued for a connection's writer thread. `durable_epoch > 0`
+/// means "hold this frame until that epoch is durable".
+struct Outgoing {
+    durable_epoch: u64,
+    resp: Response,
+}
+
+/// Per-connection shared state between reader, workers, and writer.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    outbox: Mutex<VecDeque<Outgoing>>,
+    cv: Condvar,
+    /// Set once no more responses will ever be enqueued (the reader's
+    /// `Hangup` marker has drained through the worker); the writer exits
+    /// after emptying the outbox.
+    closed: AtomicBool,
+}
+
+impl Conn {
+    fn push(&self, out: Outgoing) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut q = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(out);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// Work routed to an executor thread. Everything a connection produces —
+/// including rejections and its end-of-stream marker — flows through the
+/// same pinned inbox, which is what keeps response order equal to request
+/// order.
+enum Job {
+    Request(Arc<Conn>, Request),
+    Reject(Arc<Conn>, ErrorCode, String),
+    /// The connection's reader is done; after this drains, no more responses
+    /// can be enqueued for the connection.
+    Hangup(Arc<Conn>),
+}
+
+#[derive(Default)]
+struct Inbox {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl Inbox {
+    fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        drop(q);
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    logger: Option<Arc<SiloLogger>>,
+    config: ServerConfig,
+    stats: StatsInner,
+    stop: AtomicBool,
+    inboxes: Vec<Inbox>,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    active_conns: AtomicUsize,
+    /// Reader/writer thread handles, appended by the acceptor.
+    io_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running network front-end over a [`Database`].
+///
+/// Start it with [`Server::start`], connect with `silo-client`, and stop it
+/// with [`Server::shutdown`] (also invoked on drop). Shut the server down
+/// *before* the logger: in-flight durable waits resolve against a live
+/// logger, while a detached one fails them (acks are then rewritten as
+/// `DurabilityDegraded`, never silently dropped).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listen address and spawns the acceptor and worker threads.
+    ///
+    /// `logger` should be the [`SiloLogger`] installed on `db` when the
+    /// server is to acknowledge durable writes; pass `None` for a purely
+    /// in-memory server (writes are acked on commit).
+    pub fn start(
+        db: Arc<Database>,
+        logger: Option<Arc<SiloLogger>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let inboxes = (0..config.workers.max(1)).map(|_| Inbox::default()).collect();
+        let shared = Arc::new(Shared {
+            db,
+            logger,
+            config,
+            stats: StatsInner::default(),
+            stop: AtomicBool::new(false),
+            inboxes,
+            conns: Mutex::new(Vec::new()),
+            active_conns: AtomicUsize::new(0),
+            io_threads: Mutex::new(Vec::new()),
+        });
+
+        let workers = (0..shared.inboxes.len())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("silo-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn server worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("silo-net-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawn server acceptor")
+        };
+
+        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound listen address (resolves port 0 to the OS-picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting, closes every connection, drains in-flight requests,
+    /// and joins every thread. In-flight durable acks are resolved (sent or
+    /// rewritten as errors) before the corresponding writer exits. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock every reader: readers observe EOF, push their Hangup
+        // marker, and exit.
+        for conn in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Workers drain what the readers enqueued (including the Hangups,
+        // which close the outboxes), then exit on the stop flag.
+        for inbox in &self.shared.inboxes {
+            inbox.cv.notify_all();
+        }
+        let mut io_threads: Vec<_> =
+            std::mem::take(&mut *self.shared.io_threads.lock().unwrap_or_else(|e| e.into_inner()));
+        // Join readers and writers *after* the workers so writers see their
+        // final responses; order within io_threads does not matter because
+        // every thread has an exit condition that is now satisfied.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Safety net: if a worker exited without processing a Hangup (it
+        // cannot, but a panic would), force-close every outbox so writers
+        // cannot park forever.
+        for conn in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            conn.close();
+        }
+        for t in io_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut next_conn_id = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.active_conns.load(Ordering::Acquire) >= shared.config.max_connections {
+                    shared.stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
+                let id = next_conn_id;
+                next_conn_id += 1;
+                if let Err(e) = spawn_connection(shared, stream, id) {
+                    // Accepted but could not serve (fd clone failure):
+                    // nothing to do but drop it.
+                    let _ = e;
+                    shared.stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let read_half = stream.try_clone()?;
+    let write_half = stream.try_clone()?;
+    let conn = Arc::new(Conn {
+        id,
+        stream,
+        outbox: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        closed: AtomicBool::new(false),
+    });
+    shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    shared.active_conns.fetch_add(1, Ordering::AcqRel);
+    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&conn));
+
+    let reader = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("silo-net-read-{id}"))
+            .spawn(move || reader_loop(&shared, &conn, read_half))?
+    };
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("silo-net-write-{id}"))
+            .spawn(move || writer_loop(&shared, &conn, write_half))?
+    };
+    let mut io_threads = shared.io_threads.lock().unwrap_or_else(|e| e.into_inner());
+    io_threads.push(reader);
+    io_threads.push(writer);
+    Ok(())
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
+    let inbox = &shared.inboxes[(conn.id as usize) % shared.inboxes.len()];
+    let mut r = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match protocol::read_frame(&mut r, &mut buf, shared.config.max_frame_bytes) {
+            Ok(true) => {}
+            Ok(false) => break, // clean EOF between frames
+            Err(FrameError::Torn) => {
+                // A crashed peer: nothing sensible to answer.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(FrameError::Oversized { len, max }) => {
+                // The stream is no longer frame-aligned: answer once (in
+                // order, through the inbox) and hang up.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                inbox.push(Job::Reject(
+                    Arc::clone(conn),
+                    ErrorCode::BadRequest,
+                    format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                ));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+        match protocol::decode_request(&buf) {
+            Ok(req) => {
+                // Backlog shedding: drop writes (only) while the pinned
+                // worker's inbox is over the watermark. The rejection rides
+                // the inbox so the response order still matches the request
+                // order.
+                if req.is_write() && inbox.len() >= shared.config.inbox_limit {
+                    shared.stats.writes_shed_busy.fetch_add(1, Ordering::Relaxed);
+                    inbox.push(Job::Reject(
+                        Arc::clone(conn),
+                        ErrorCode::ServerBusy,
+                        "worker inbox over backlog limit".to_string(),
+                    ));
+                } else {
+                    inbox.push(Job::Request(Arc::clone(conn), req));
+                }
+            }
+            Err(e) => {
+                // Framing is still intact after a payload-level decode
+                // error, so answer and keep the connection.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                inbox.push(Job::Reject(Arc::clone(conn), ErrorCode::BadRequest, e.to_string()));
+            }
+        }
+    }
+    let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+    inbox.push(Job::Hangup(Arc::clone(conn)));
+    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn writer_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let mut payload = Vec::new();
+    'outer: loop {
+        let next = {
+            let mut q = conn.outbox.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(out) = q.pop_front() {
+                    break out;
+                }
+                if conn.closed.load(Ordering::Acquire) {
+                    break 'outer;
+                }
+                // Nothing pending: flush the burst we just wrote before
+                // parking, so the client sees its pipeline drain.
+                drop(q);
+                if w.flush().is_err() {
+                    break 'outer;
+                }
+                q = conn.outbox.lock().unwrap_or_else(|e| e.into_inner());
+                if q.is_empty() && !conn.closed.load(Ordering::Acquire) {
+                    q = conn
+                        .cv
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        };
+        let mut resp = next.resp;
+        if next.durable_epoch > 0 {
+            if let Some(logger) = &shared.logger {
+                // The group-commit wait: parks until the batch's epoch is
+                // durable. Coalesces across the pipeline — once the epoch
+                // is durable every queued ack behind it passes the fast
+                // path without touching the condvar.
+                match logger.wait_for_durable_epoch(next.durable_epoch) {
+                    DurableWait::Durable => {
+                        shared.stats.writes_acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        // Never send a false ack: the write committed in
+                        // memory but its durability can no longer be
+                        // guaranteed.
+                        shared.stats.writes_shed_degraded.fetch_add(1, Ordering::Relaxed);
+                        resp = Response::Error {
+                            code: ErrorCode::DurabilityDegraded,
+                            detail: "durability failed before the write's epoch became durable"
+                                .to_string(),
+                        };
+                    }
+                }
+            } else {
+                shared.stats.writes_acked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        payload.clear();
+        protocol::encode_response(&mut payload, &resp);
+        if protocol::write_frame(&mut w, &payload).is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let mut worker = shared.db.register_worker();
+    let inbox = &shared.inboxes[index];
+    let mut batch = Vec::with_capacity(shared.config.batch_max);
+    loop {
+        {
+            let mut q = inbox.q.lock().unwrap_or_else(|e| e.into_inner());
+            if q.is_empty() {
+                // Mark this worker quiescent before parking: an idle worker
+                // whose local epoch stays pinned would stall the global
+                // epoch (the `E − e_w ≤ 1` invariant) and with it the
+                // durable watermark every pending ack waits on.
+                drop(q);
+                worker.quiesce();
+                q = inbox.q.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            while q.is_empty() && !shared.stop.load(Ordering::Acquire) {
+                q = inbox
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+            if q.is_empty() {
+                return; // stop requested and fully drained
+            }
+            let take = q.len().min(shared.config.batch_max);
+            batch.extend(q.drain(..take));
+        }
+        // One health probe per batch — the whole point of batching the
+        // check: thousands of pipelined requests cost one atomic load each
+        // iteration, not one per request.
+        let health = shared.db.durability_health();
+        let degraded = shared.config.shed_on_degraded
+            && !matches!(health, DurabilityHealth::Healthy)
+            && shared.logger.is_some();
+        for job in batch.drain(..) {
+            match job {
+                Job::Hangup(conn) => conn.close(),
+                Job::Reject(conn, code, detail) => {
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    conn.push(Outgoing {
+                        durable_epoch: 0,
+                        resp: Response::Error { code, detail },
+                    });
+                }
+                Job::Request(conn, req) => {
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let out = if degraded && req.is_write() {
+                        shared.stats.writes_shed_degraded.fetch_add(1, Ordering::Relaxed);
+                        Outgoing {
+                            durable_epoch: 0,
+                            resp: Response::Error {
+                                code: ErrorCode::DurabilityDegraded,
+                                detail: format!("shedding writes: durability {}", match health {
+                                    DurabilityHealth::Degraded { lag_epochs } => {
+                                        format!("lags by {lag_epochs} epochs")
+                                    }
+                                    DurabilityHealth::Failed => "failed permanently".to_string(),
+                                    DurabilityHealth::Healthy => "healthy".to_string(),
+                                }),
+                            },
+                        }
+                    } else {
+                        execute(shared, &mut worker, &req)
+                    };
+                    conn.push(out);
+                }
+            }
+        }
+    }
+}
+
+/// How many times single-operation requests are retried on an OCC abort
+/// before the abort is surfaced to the client. Multi-op `Txn` requests are
+/// never auto-retried: the client owns their semantics.
+const SINGLE_OP_RETRIES: usize = 3;
+
+fn execute(shared: &Shared, worker: &mut Worker, req: &Request) -> Outgoing {
+    let db = &shared.db;
+    // Catalog errors first, so transactions never see unknown table ids.
+    if let Some(table) = req_tables(req).find(|&t| db.try_table(t).is_none()) {
+        return reply_err(ErrorCode::NoSuchTable, format!("unknown table id {table}"));
+    }
+    match req {
+        Request::Health => {
+            let health = db.durability_health();
+            let global_epoch = db.epochs().global_epoch();
+            let durable_epoch = shared
+                .logger
+                .as_ref()
+                .map(|l| l.durable_epoch())
+                .unwrap_or(global_epoch);
+            Outgoing {
+                durable_epoch: 0,
+                resp: Response::Health {
+                    health: health.into(),
+                    lag_epochs: global_epoch.saturating_sub(durable_epoch),
+                    durable_epoch,
+                    global_epoch,
+                },
+            }
+        }
+        Request::OpenTable { name } => match db.table_id(name).or_else(|_| {
+            // Create-if-missing; a racing creator is fine, resolve again.
+            db.create_table(name).or_else(|_| db.table_id(name))
+        }) {
+            Ok(id) => Outgoing { durable_epoch: 0, resp: Response::TableId { id } },
+            Err(e) => reply_err(ErrorCode::NoSuchTable, e.to_string()),
+        },
+        Request::Get { table, key } => retry_single(shared, || {
+            let mut txn = worker.begin();
+            let value = txn.read(*table, key)?;
+            txn.commit()?;
+            shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+            Ok(Outgoing { durable_epoch: 0, resp: Response::Value { value } })
+        }),
+        Request::Scan { table, start, end, limit } => retry_single(shared, || {
+            let mut txn = worker.begin();
+            let entries = txn.scan(
+                *table,
+                start,
+                end.as_deref(),
+                if *limit == 0 { None } else { Some(*limit as usize) },
+            )?;
+            txn.commit()?;
+            shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+            Ok(Outgoing { durable_epoch: 0, resp: Response::Entries { entries } })
+        }),
+        Request::Put { table, key, value } => retry_single(shared, || {
+            let mut txn = worker.begin();
+            txn.write(*table, key, value)?;
+            let tid = txn.commit()?;
+            Ok(ack_write(shared, tid.epoch()))
+        }),
+        Request::Insert { table, key, value } => retry_single(shared, || {
+            let mut txn = worker.begin();
+            txn.insert(*table, key, value)?;
+            let tid = txn.commit()?;
+            Ok(ack_write(shared, tid.epoch()))
+        }),
+        Request::Delete { table, key } => retry_single(shared, || {
+            let mut txn = worker.begin();
+            txn.delete(*table, key)?;
+            let tid = txn.commit()?;
+            Ok(ack_write(shared, tid.epoch()))
+        }),
+        Request::Txn { ops } => {
+            // Multi-op transactions execute exactly once; the client decides
+            // whether an abort is worth retrying.
+            let mut txn = worker.begin();
+            let mut reads = Vec::new();
+            let result: Result<(), Abort> = (|| {
+                for op in ops {
+                    match op {
+                        TxnOp::Get { table, key } => reads.push(txn.read(*table, key)?),
+                        TxnOp::Put { table, key, value } => txn.write(*table, key, value)?,
+                        TxnOp::Insert { table, key, value } => txn.insert(*table, key, value)?,
+                        TxnOp::Delete { table, key } => {
+                            txn.delete(*table, key)?;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            match result.and_then(|()| txn.commit()) {
+                Ok(tid) => {
+                    shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+                    // Read results always come back; a transaction that also
+                    // wrote carries its commit epoch so the writer holds the
+                    // frame until the group is durable.
+                    let has_writes =
+                        ops.iter().any(TxnOp::is_write) && shared.logger.is_some();
+                    Outgoing {
+                        durable_epoch: if has_writes { tid.epoch() } else { 0 },
+                        resp: Response::TxnOk { reads },
+                    }
+                }
+                Err(abort) => {
+                    shared.stats.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    reply_err(ErrorCode::Aborted, abort.0.to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Every table id a request references, for catalog validation.
+fn req_tables(req: &Request) -> impl Iterator<Item = u32> + '_ {
+    let (single, ops): (Option<u32>, &[TxnOp]) = match req {
+        Request::Get { table, .. }
+        | Request::Put { table, .. }
+        | Request::Insert { table, .. }
+        | Request::Delete { table, .. }
+        | Request::Scan { table, .. } => (Some(*table), &[]),
+        Request::Txn { ops } => (None, ops.as_slice()),
+        Request::Health | Request::OpenTable { .. } => (None, &[]),
+    };
+    single.into_iter().chain(ops.iter().map(|op| match op {
+        TxnOp::Get { table, .. }
+        | TxnOp::Put { table, .. }
+        | TxnOp::Insert { table, .. }
+        | TxnOp::Delete { table, .. } => *table,
+    }))
+}
+
+fn reply_err(code: ErrorCode, detail: String) -> Outgoing {
+    Outgoing { durable_epoch: 0, resp: Response::Error { code, detail } }
+}
+
+fn ack_write(shared: &Shared, epoch: u64) -> Outgoing {
+    shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+    if shared.logger.is_some() {
+        Outgoing { durable_epoch: epoch, resp: Response::Ok }
+    } else {
+        Outgoing { durable_epoch: 0, resp: Response::Ok }
+    }
+}
+
+/// Runs a single-op request, retrying benign OCC aborts a few times. A
+/// `DuplicateKey` abort is surfaced immediately (it is a semantic outcome,
+/// not contention), as is `UserRequested`.
+fn retry_single(shared: &Shared, mut f: impl FnMut() -> Result<Outgoing, Abort>) -> Outgoing {
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(out) => return out,
+            Err(abort) => {
+                shared.stats.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                let retryable = !matches!(
+                    abort.0,
+                    AbortReason::DuplicateKey | AbortReason::UserRequested
+                );
+                if !retryable || attempt + 1 >= SINGLE_OP_RETRIES {
+                    return reply_err(ErrorCode::Aborted, abort.0.to_string());
+                }
+                attempt += 1;
+            }
+        }
+    }
+}

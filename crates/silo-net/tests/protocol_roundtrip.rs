@@ -1,0 +1,149 @@
+//! Property tests: every request/response variant survives an
+//! encode → frame → unframe → decode roundtrip byte-identically.
+
+use proptest::{proptest, ProptestConfig};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use silo_net::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, HealthStatus, Request, Response, TxnOp,
+};
+
+fn arb_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+fn arb_txn_op(rng: &mut SmallRng) -> TxnOp {
+    let table = rng.gen_range(0..8u32);
+    match rng.gen_range(0..4u8) {
+        0 => TxnOp::Get { table, key: arb_bytes(rng, 24) },
+        1 => TxnOp::Put { table, key: arb_bytes(rng, 24), value: arb_bytes(rng, 64) },
+        2 => TxnOp::Insert { table, key: arb_bytes(rng, 24), value: arb_bytes(rng, 64) },
+        _ => TxnOp::Delete { table, key: arb_bytes(rng, 24) },
+    }
+}
+
+/// Builds the request variant selected by `tag` (so the proptest is
+/// guaranteed to exercise all eight variants across its cases).
+fn arb_request(tag: u8, rng: &mut SmallRng) -> Request {
+    let table = rng.gen_range(0..8u32);
+    match tag {
+        0 => Request::Get { table, key: arb_bytes(rng, 24) },
+        1 => Request::Put { table, key: arb_bytes(rng, 24), value: arb_bytes(rng, 64) },
+        2 => Request::Insert { table, key: arb_bytes(rng, 24), value: arb_bytes(rng, 64) },
+        3 => Request::Delete { table, key: arb_bytes(rng, 24) },
+        4 => Request::Scan {
+            table,
+            start: arb_bytes(rng, 24),
+            end: if rng.gen::<bool>() { Some(arb_bytes(rng, 24)) } else { None },
+            limit: rng.gen_range(0..1000),
+        },
+        5 => {
+            let n = rng.gen_range(0..6usize);
+            Request::Txn { ops: (0..n).map(|_| arb_txn_op(rng)).collect() }
+        }
+        6 => Request::Health,
+        _ => Request::OpenTable {
+            name: String::from_utf8(
+                arb_bytes(rng, 12).iter().map(|b| b'a' + (b % 26)).collect(),
+            )
+            .unwrap(),
+        },
+    }
+}
+
+fn arb_response(tag: u8, rng: &mut SmallRng) -> Response {
+    match tag {
+        0 => Response::Error {
+            code: [
+                ErrorCode::Aborted,
+                ErrorCode::ServerBusy,
+                ErrorCode::DurabilityDegraded,
+                ErrorCode::BadRequest,
+                ErrorCode::NoSuchTable,
+                ErrorCode::Internal,
+            ][rng.gen_range(0..6usize)],
+            detail: String::from_utf8(
+                arb_bytes(rng, 20).iter().map(|b| b'a' + (b % 26)).collect(),
+            )
+            .unwrap(),
+        },
+        1 => Response::Value {
+            value: if rng.gen::<bool>() { Some(arb_bytes(rng, 64)) } else { None },
+        },
+        2 => Response::Ok,
+        3 => {
+            let n = rng.gen_range(0..6usize);
+            Response::Entries {
+                entries: (0..n).map(|_| (arb_bytes(rng, 24), arb_bytes(rng, 64))).collect(),
+            }
+        }
+        4 => {
+            let n = rng.gen_range(0..6usize);
+            Response::TxnOk {
+                reads: (0..n)
+                    .map(|_| if rng.gen::<bool>() { Some(arb_bytes(rng, 64)) } else { None })
+                    .collect(),
+            }
+        }
+        5 => Response::Health {
+            health: [HealthStatus::Healthy, HealthStatus::Degraded, HealthStatus::Failed]
+                [rng.gen_range(0..3usize)],
+            lag_epochs: rng.gen::<u64>() >> 16,
+            durable_epoch: rng.gen::<u64>() >> 16,
+            global_epoch: rng.gen::<u64>() >> 16,
+        },
+        _ => Response::TableId { id: rng.gen::<u32>() },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_request_roundtrip(tag in 0u8..8, seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = arb_request(tag, &mut rng);
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &req);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut reader = &framed[..];
+        let mut buf = Vec::new();
+        proptest::prop_assert!(read_frame(&mut reader, &mut buf, 1 << 20).unwrap());
+        proptest::prop_assert_eq!(buf, payload);
+        let decoded = decode_request(&buf).unwrap();
+        proptest::prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn prop_response_roundtrip(tag in 0u8..7, seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let resp = arb_response(tag, &mut rng);
+        let mut payload = Vec::new();
+        encode_response(&mut payload, &resp);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut reader = &framed[..];
+        let mut buf = Vec::new();
+        proptest::prop_assert!(read_frame(&mut reader, &mut buf, 1 << 20).unwrap());
+        let decoded = decode_response(&buf).unwrap();
+        proptest::prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn prop_truncated_payload_never_panics(tag in 0u8..8, seed in 0u64..u64::MAX, cut in 0usize..64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = arb_request(tag, &mut rng);
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &req);
+        // Any strict prefix must decode to an error, never panic or succeed
+        // as the original message.
+        if !payload.is_empty() {
+            let cut = cut % payload.len();
+            let truncated = &payload[..cut];
+            proptest::prop_assert!(decode_request(truncated).is_err() ||
+                truncated.len() == payload.len());
+        }
+    }
+}

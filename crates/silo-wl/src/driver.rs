@@ -40,9 +40,34 @@ pub trait Workload: Send + Sync {
     fn setup_thread(&self, _worker: &mut Worker, _thread_index: usize) {}
 }
 
-/// Driver configuration.
-#[derive(Debug, Clone)]
-pub struct DriverConfig {
+/// Options for one driver run: thread count, duration, seeding, latency
+/// sampling, and the durability attachments (logger, checkpointer) that the
+/// run should sample and report on.
+///
+/// This is the single entry point for both MemSilo-style and persistent
+/// runs — what used to be the `run_workload`/`run_workload_durable` pair is
+/// now one builder:
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use silo_wl::driver::RunOptions;
+/// # let db = silo_core::Database::open(silo_core::SiloConfig::for_testing());
+/// # struct W; impl silo_wl::driver::Workload for W {
+/// #   fn run_one(&self, _: &mut silo_core::Worker, _: &mut rand::rngs::SmallRng, _: usize) -> bool { true }
+/// # }
+/// let result = RunOptions::default()
+///     .with_threads(4)
+///     .with_duration(Duration::from_secs(10))
+///     .run(&db, std::sync::Arc::new(W));
+/// println!("{:.0} txn/s", result.throughput());
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`Default`] and
+/// refine with the `with_*` methods, so new knobs (as the server and future
+/// subsystems grow) are never a breaking change.
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct RunOptions {
     /// Number of worker threads.
     pub threads: usize,
     /// Measured run duration.
@@ -52,16 +77,84 @@ pub struct DriverConfig {
     /// Sample 1-in-N committed transactions for durable-latency measurement
     /// (0 disables sampling even when a logger is present).
     pub latency_sample_every: u64,
+    /// Durability subsystem to sample durable latency against and whose
+    /// counters the result should include (`None` = MemSilo-style run).
+    pub logger: Option<Arc<SiloLogger>>,
+    /// Periodic checkpointer (spawned by the caller against the same
+    /// database and logger) whose counters the result should include. The
+    /// checkpointer keeps running when the run returns — shutting it down
+    /// (and deciding whether a final checkpoint is taken) stays with the
+    /// caller, mirroring how the logger is handled.
+    pub checkpointer: Option<Arc<Checkpointer>>,
 }
 
-impl Default for DriverConfig {
+impl Default for RunOptions {
     fn default() -> Self {
-        DriverConfig {
+        RunOptions {
             threads: 1,
             duration: Duration::from_secs(1),
             seed: 0xC0FFEE,
             latency_sample_every: 64,
+            logger: None,
+            checkpointer: None,
         }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("threads", &self.threads)
+            .field("duration", &self.duration)
+            .field("seed", &self.seed)
+            .field("latency_sample_every", &self.latency_sample_every)
+            .field("logger", &self.logger.is_some())
+            .field("checkpointer", &self.checkpointer.is_some())
+            .finish()
+    }
+}
+
+impl RunOptions {
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the measured run duration.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the random seed base.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the 1-in-N durable-latency sampling rate (0 disables).
+    pub fn with_latency_sample_every(mut self, every: u64) -> Self {
+        self.latency_sample_every = every;
+        self
+    }
+
+    /// Attaches the durability subsystem (enables durable-latency sampling).
+    pub fn with_logger(mut self, logger: Arc<SiloLogger>) -> Self {
+        self.logger = Some(logger);
+        self
+    }
+
+    /// Attaches a running checkpointer whose counters the result includes.
+    pub fn with_checkpointer(mut self, checkpointer: Arc<Checkpointer>) -> Self {
+        self.checkpointer = Some(checkpointer);
+        self
+    }
+
+    /// Runs `workload` against `db` with these options
+    /// (method form of [`run_workload`]).
+    pub fn run(self, db: &Arc<Database>, workload: Arc<dyn Workload>) -> RunResult {
+        run_workload(db, workload, self)
     }
 }
 
@@ -142,35 +235,15 @@ impl RunResult {
     }
 }
 
-/// Runs `workload` against `db` with the given configuration.
-///
-/// `logger` enables durable-latency sampling (Figure 7); pass `None` for
-/// MemSilo-style runs.
+/// Runs `workload` against `db` with the given options (see [`RunOptions`];
+/// [`RunOptions::run`] is the method form).
 pub fn run_workload(
     db: &Arc<Database>,
     workload: Arc<dyn Workload>,
-    config: DriverConfig,
-    logger: Option<Arc<SiloLogger>>,
+    options: RunOptions,
 ) -> RunResult {
-    run_workload_durable(db, workload, config, logger, None)
-}
-
-/// Runs `workload` with the full durability pipeline: like [`run_workload`],
-/// but additionally snapshots the counters of a periodic [`Checkpointer`]
-/// (spawned by the caller against the same database and logger) into
-/// [`RunResult::checkpoint_stats`], so persistent benchmarks report
-/// checkpoint write rate and log-truncation volume alongside throughput.
-///
-/// The checkpointer keeps running when the function returns — shutting it
-/// down (and deciding whether a final checkpoint should be taken) stays with
-/// the caller, mirroring how the logger is handled.
-pub fn run_workload_durable(
-    db: &Arc<Database>,
-    workload: Arc<dyn Workload>,
-    config: DriverConfig,
-    logger: Option<Arc<SiloLogger>>,
-    checkpointer: Option<Arc<Checkpointer>>,
-) -> RunResult {
+    let RunOptions { logger, checkpointer, .. } = options.clone();
+    let config = options;
     let stop = Arc::new(AtomicBool::new(false));
     let start_barrier = Arc::new(std::sync::Barrier::new(config.threads + 1));
     let mut handles = Vec::new();
@@ -186,36 +259,25 @@ pub fn run_workload_durable(
                 .name("silo-latency-sampler".to_string())
                 .spawn(move || {
                     let mut latencies = Vec::new();
-                    // Lowest epoch a wait has already timed out on: the
-                    // durable epoch is monotone, so once it failed to reach
-                    // `f`, queued samples with epoch ≥ `f` cannot succeed —
-                    // poll those instead of burning the full timeout per
-                    // sample (a stalled run would otherwise hang for
-                    // queue-length × timeout after the workers stop).
-                    let mut failed_at: Option<u64> = None;
+                    // Batch group-commit waits: `wait_for_durable_epoch`
+                    // parks only for the *first* sample of each epoch group —
+                    // samples arrive in roughly epoch order and the durable
+                    // epoch is monotone, so every queued sample the advance
+                    // covered passes the fast path (one atomic load, no
+                    // condvar) instead of taking the durable mutex per
+                    // transaction.
+                    let mut failed = false;
                     while let Ok((begin, epoch)) = rx.recv() {
-                        let timeout = match failed_at {
-                            Some(f) if epoch >= f => Duration::ZERO,
-                            _ => Duration::from_secs(10),
-                        };
-                        // The durable epoch is monotone, so samples (arriving
-                        // in roughly epoch order) mostly return immediately
-                        // once the first wait in their epoch completes.
-                        match logger.wait_for_durable(epoch, timeout) {
+                        if failed {
+                            // A failed logger never becomes durable again;
+                            // drain the queue without recording.
+                            continue;
+                        }
+                        match logger.wait_for_durable_epoch(epoch) {
                             silo_log::DurableWait::Durable => {
                                 latencies.push(begin.elapsed().as_micros() as u64);
-                                // The durable epoch caught up: resume real
-                                // waits so a transient stall doesn't discard
-                                // the rest of the run's samples.
-                                failed_at = None;
                             }
-                            // A failed logger never becomes durable again:
-                            // poll every remaining sample instead of waiting.
-                            silo_log::DurableWait::Failed => failed_at = Some(0),
-                            silo_log::DurableWait::Timeout if timeout > Duration::ZERO => {
-                                failed_at = Some(failed_at.map_or(epoch, |f| f.min(epoch)));
-                            }
-                            silo_log::DurableWait::Timeout => {}
+                            _ => failed = true,
                         }
                     }
                     latencies
@@ -328,21 +390,12 @@ mod tests {
 
     #[test]
     fn driver_runs_and_counts_commits() {
-        let db = Database::open(SiloConfig {
-            spawn_epoch_advancer: true,
-            ..SiloConfig::for_testing()
-        });
+        let db = Database::open(SiloConfig::for_testing().with_spawn_epoch_advancer(true));
         let table = db.create_table("t").unwrap();
-        let result = run_workload(
-            &db,
-            Arc::new(TrivialWorkload { table }),
-            DriverConfig {
-                threads: 2,
-                duration: Duration::from_millis(100),
-                ..Default::default()
-            },
-            None,
-        );
+        let result = RunOptions::default()
+            .with_threads(2)
+            .with_duration(Duration::from_millis(100))
+            .run(&db, Arc::new(TrivialWorkload { table }));
         assert!(result.committed > 0);
         assert!(result.throughput() > 0.0);
         assert!(result.per_core_throughput() <= result.throughput());

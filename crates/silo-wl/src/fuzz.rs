@@ -146,17 +146,15 @@ impl std::error::Error for FuzzFailure {}
 /// history for serializability.
 pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzOutcome, Box<FuzzFailure>> {
     let db = Database::open(
-        SiloConfig {
-            epoch: EpochConfig {
+        SiloConfig::default()
+            .with_epoch(EpochConfig {
                 epoch_interval: Duration::from_millis(1),
                 ..EpochConfig::default()
-            },
-            spawn_epoch_advancer: true,
-            ..SiloConfig::default()
-        }
-        // GC would unhook deleted keys and falsify observed versions; see
-        // the module docs.
-        .without_gc(),
+            })
+            .with_spawn_epoch_advancer(true)
+            // GC would unhook deleted keys and falsify observed versions; see
+            // the module docs.
+            .without_gc(),
     );
     let table = db.create_table("fuzz").expect("fresh database");
     let outcome = run_fuzz_on(&db, table, config);

@@ -31,5 +31,5 @@ pub mod partitioned;
 pub mod tpcc;
 pub mod ycsb;
 
-pub use driver::{run_workload, DriverConfig, RunResult, Workload};
+pub use driver::{run_workload, RunOptions, RunResult, Workload};
 pub use fuzz::{run_fuzz, run_fuzz_on, FuzzConfig, FuzzFailure, FuzzOutcome};

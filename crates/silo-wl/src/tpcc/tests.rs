@@ -2,16 +2,13 @@
 //! the full mix under the driver.
 
 use super::*;
-use crate::driver::{run_workload, DriverConfig};
+use crate::driver::RunOptions;
 use rand::SeedableRng;
 use silo_core::{Database, SiloConfig};
 use std::time::Duration;
 
 fn tpcc_db() -> Arc<Database> {
-    Database::open(SiloConfig {
-        spawn_epoch_advancer: true,
-        ..SiloConfig::for_testing()
-    })
+    Database::open(SiloConfig::for_testing().with_spawn_epoch_advancer(true))
 }
 
 fn rng() -> SmallRng {
@@ -261,16 +258,10 @@ fn standard_mix_runs_under_the_driver() {
     let cfg = TpccConfig::tiny();
     let tables = load(&db, &cfg);
     let workload = Arc::new(TpccWorkload::new(cfg, tables));
-    let result = run_workload(
-        &db,
-        workload,
-        DriverConfig {
-            threads: 2,
-            duration: Duration::from_millis(200),
-            ..Default::default()
-        },
-        None,
-    );
+    let result = RunOptions::default()
+        .with_threads(2)
+        .with_duration(Duration::from_millis(200))
+        .run(&db, workload);
     assert!(result.committed > 0, "the mix should commit transactions");
     db.stop_epoch_advancer();
 }
@@ -284,16 +275,10 @@ fn consistency_invariants_hold_after_concurrent_mix() {
     let cfg = TpccConfig::tiny();
     let tables = load(&db, &cfg);
     let workload = Arc::new(TpccWorkload::new(cfg.clone(), tables.clone()));
-    let _ = run_workload(
-        &db,
-        workload,
-        DriverConfig {
-            threads: 2,
-            duration: Duration::from_millis(300),
-            ..Default::default()
-        },
-        None,
-    );
+    let _ = RunOptions::default()
+        .with_threads(2)
+        .with_duration(Duration::from_millis(300))
+        .run(&db, workload);
 
     let mut worker = db.register_worker();
     let mut txn = worker.begin();

@@ -219,7 +219,7 @@ impl Workload for YcsbRmwOnly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run_workload, DriverConfig};
+    use crate::driver::RunOptions;
     use silo_core::SiloConfig;
     use std::time::Duration;
 
@@ -241,23 +241,14 @@ mod tests {
 
     #[test]
     fn silo_workload_runs_against_loaded_table() {
-        let db = Database::open(SiloConfig {
-            spawn_epoch_advancer: true,
-            ..SiloConfig::for_testing()
-        });
+        let db = Database::open(SiloConfig::for_testing().with_spawn_epoch_advancer(true));
         let cfg = small_config();
         let table = load_silo(&db, &cfg);
         assert_eq!(db.table(table).approximate_len(), 1000);
-        let result = run_workload(
-            &db,
-            Arc::new(YcsbSilo::new(cfg, table)),
-            DriverConfig {
-                threads: 2,
-                duration: Duration::from_millis(100),
-                ..Default::default()
-            },
-            None,
-        );
+        let result = RunOptions::default()
+            .with_threads(2)
+            .with_duration(Duration::from_millis(100))
+            .run(&db, Arc::new(YcsbSilo::new(cfg, table)));
         assert!(result.committed > 0);
         db.stop_epoch_advancer();
     }
@@ -269,40 +260,24 @@ mod tests {
         let kv = KeyValueStore::shared();
         load_keyvalue(&kv, &cfg);
         assert_eq!(kv.len(), 1000);
-        let result = run_workload(
-            &db,
-            Arc::new(YcsbKeyValue::new(cfg, kv)),
-            DriverConfig {
-                threads: 2,
-                duration: Duration::from_millis(50),
-                ..Default::default()
-            },
-            None,
-        );
+        let result = RunOptions::default()
+            .with_threads(2)
+            .with_duration(Duration::from_millis(50))
+            .run(&db, Arc::new(YcsbKeyValue::new(cfg, kv)));
         assert!(result.committed > 0);
     }
 
     #[test]
     fn rmw_only_workload_updates_records() {
-        let db = Database::open(SiloConfig {
-            spawn_epoch_advancer: true,
-            ..SiloConfig::for_testing()
-        });
+        let db = Database::open(SiloConfig::for_testing().with_spawn_epoch_advancer(true));
         let cfg = YcsbConfig {
             keys: 100,
             ..Default::default()
         };
         let table = load_silo(&db, &cfg);
-        let result = run_workload(
-            &db,
-            Arc::new(YcsbRmwOnly::new(cfg, table)),
-            DriverConfig {
-                threads: 1,
-                duration: Duration::from_millis(50),
-                ..Default::default()
-            },
-            None,
-        );
+        let result = RunOptions::default()
+            .with_duration(Duration::from_millis(50))
+            .run(&db, Arc::new(YcsbRmwOnly::new(cfg, table)));
         assert!(result.committed > 0);
         db.stop_epoch_advancer();
     }

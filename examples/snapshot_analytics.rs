@@ -17,13 +17,10 @@ const PRODUCTS: u32 = 5_000;
 fn main() {
     // Faster epochs so snapshots are taken every few hundred milliseconds in
     // this short demo (the paper uses 40 ms epochs and a ~1 s snapshot period).
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(10),
-            snapshot_interval_epochs: 25,
-        },
-        ..SiloConfig::default()
-    });
+    let db = Database::open(SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(10),
+        snapshot_interval_epochs: 25,
+    }));
     let sales = db.create_table("sales").expect("create table");
 
     {

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use silo::{Database, SiloConfig};
-use silo_wl::driver::{run_workload, DriverConfig};
+use silo_wl::driver::RunOptions;
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
 fn main() {
@@ -34,16 +34,10 @@ fn main() {
 
     let workload = Arc::new(TpccWorkload::new(config, tables));
     println!("running the standard mix on {threads} workers for {seconds}s ...");
-    let result = run_workload(
-        &db,
-        workload,
-        DriverConfig {
-            threads,
-            duration: Duration::from_secs(seconds),
-            ..Default::default()
-        },
-        None,
-    );
+    let result = RunOptions::default()
+        .with_threads(threads)
+        .with_duration(Duration::from_secs(seconds))
+        .run(&db, workload);
 
     println!();
     println!("throughput        : {:>12.0} txn/s", result.throughput());

@@ -14,38 +14,95 @@
 //!   checker.
 //! * [`wl`] (`silo-wl`) — workloads (YCSB, TPC-C), baselines, the driver,
 //!   and the history-recording scenario fuzzer.
+//! * [`net`] (`silo-net`) — the network front-end: a thread-pool server
+//!   speaking a length-prefixed pipelined binary protocol, acking writes
+//!   only once their epoch is durable.
+//! * [`client`] (`silo-client`) — the blocking pipelined client for that
+//!   protocol.
 //!
 //! The most commonly used types are re-exported at the crate root.
+//!
+//! ## One session vocabulary, embedded or networked
+//!
+//! The same verbs — `open_table`, `get`/`put`/`insert`/`delete`/`scan`, and
+//! `transact` for multi-operation transactions — work in-process against a
+//! [`Database`] and over the wire through a [`client::Session`], so an
+//! application can start embedded and move behind a server without a
+//! rewrite.
+//!
+//! Embedded:
 //!
 //! ```
 //! use silo::{Database, SiloConfig};
 //!
 //! let db = Database::open(SiloConfig::for_testing());
-//! let table = db.create_table("kv").unwrap();
-//! let mut worker = db.register_worker();
-//! let mut txn = worker.begin();
-//! txn.write(table, b"hello", b"world").unwrap();
-//! txn.commit().unwrap();
+//! let mut session = db.session();
+//! let table = session.open_table("kv").unwrap();
+//! session.put(table, b"hello", b"world").unwrap();
+//! let (greeting, _tid) = session
+//!     .transact(|txn| {
+//!         let v = txn.read(table, b"hello")?;
+//!         txn.write(table, b"seen", b"1")?;
+//!         Ok(v)
+//!     })
+//!     .unwrap();
+//! assert_eq!(greeting.as_deref(), Some(&b"world"[..]));
+//! ```
+//!
+//! Networked — same verbs, now with pipelining and durable acks (writes are
+//! acknowledged only after their epoch passes the group-commit watermark):
+//!
+//! ```no_run
+//! use silo::client::Session;
+//!
+//! let mut session = Session::connect("127.0.0.1:6432").unwrap();
+//! let table = session.open_table("kv").unwrap();
+//! session.put(table, b"hello", b"world").unwrap();
+//! let value = session.get(table, b"hello").unwrap();
+//! assert_eq!(value.as_deref(), Some(&b"world"[..]));
+//! ```
+//!
+//! Serving that client is a [`net::Server`] wrapped around the embedded
+//! database:
+//!
+//! ```no_run
+//! use silo::net::{Server, ServerConfig};
+//! use silo::{Database, LogConfig, SiloConfig, SiloLogger};
+//!
+//! let db = Database::open(SiloConfig::default());
+//! let logger = SiloLogger::install(LogConfig::to_directory("/var/lib/silo", 4), &db).unwrap();
+//! let server = Server::start(
+//!     db,
+//!     Some(logger),
+//!     ServerConfig::default().with_listen("127.0.0.1:6432").with_workers(4),
+//! )
+//! .unwrap();
+//! println!("listening on {}", server.local_addr());
 //! ```
 
 #![warn(missing_docs)]
 
 pub use silo_check as check;
+pub use silo_client as client;
 pub use silo_core as core;
 pub use silo_epoch as epoch;
 pub use silo_index as index;
 pub use silo_log as log;
+pub use silo_net as net;
 pub use silo_tid as tid;
 pub use silo_wl as wl;
 
 pub use silo_core::{
     Abort, AbortReason, CommitHook, CommitWrite, CommitWrites, Database, DurabilityHealth,
-    EpochConfig, SiloConfig, SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker, WorkerStats,
+    EpochConfig, Session, SiloConfig, SnapshotTxn, Table, TableId, Tid, TidWord, Txn, Worker,
+    WorkerStats,
 };
 pub use silo_check::{
     check_serializability, CheckReport, HistoryRecorder, SessionHistory, Violation,
 };
+pub use silo_client::{ClientError, Connection, ServerError, TxnBuilder};
 pub use silo_log::{
     DurableWait, FaultKind, FaultPlan, FaultSite, LogConfig, LogDestination, LogMode,
     RecoveryError, SiloLogger, SinkError, SinkErrorKind,
 };
+pub use silo_net::{ErrorCode, HealthStatus, Request, Response, Server, ServerConfig, ServerStats};

@@ -67,15 +67,13 @@ fn history_stays_serializable_while_durability_degrades_and_recovers() {
     // Fast epochs so the durable-epoch lag builds up quickly once the
     // injected stalls freeze the logger's syncs.
     let db = Database::open(
-        SiloConfig {
-            epoch: EpochConfig {
+        SiloConfig::default()
+            .with_epoch(EpochConfig {
                 epoch_interval: Duration::from_millis(1),
                 ..EpochConfig::default()
-            },
-            spawn_epoch_advancer: true,
-            ..SiloConfig::default()
-        }
-        .without_gc(),
+            })
+            .with_spawn_epoch_advancer(true)
+            .without_gc(),
     );
     let table = db.create_table("fuzz").unwrap();
 
@@ -91,11 +89,9 @@ fn history_stays_serializable_while_durability_degrades_and_recovers() {
             .fail_at(FaultSite::Sync, 4, FaultKind::SyncStall { millis: 400 }),
     );
     let logger = SiloLogger::install(
-        LogConfig {
-            fault: Some(Arc::clone(&plan)),
-            max_durable_lag_epochs: 8,
-            ..LogConfig::in_memory(1)
-        },
+        LogConfig::in_memory(1)
+            .with_fault(Arc::clone(&plan))
+            .with_max_durable_lag_epochs(8),
         &db,
     )
     .expect("install logger");

@@ -9,13 +9,10 @@ use silo_log::recover_into;
 
 #[test]
 fn concurrent_commits_survive_crash_and_recovery() {
-    let config = SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::default()
-    };
+    let config = SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(2),
+        snapshot_interval_epochs: 5,
+    });
     let db = Database::open(config.clone());
     let logger = SiloLogger::install(LogConfig::in_memory(2), &db).expect("install logger");
     let t = db.create_table("ledger").unwrap();

@@ -8,13 +8,10 @@ use std::time::Duration;
 use silo::{Database, EpochConfig, SiloConfig};
 
 fn fast_config() -> SiloConfig {
-    SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::default()
-    }
+    SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(2),
+        snapshot_interval_epochs: 5,
+    })
 }
 
 /// Worker-thread count for concurrency tests: `SILO_TEST_THREADS` if set

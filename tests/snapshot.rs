@@ -9,13 +9,10 @@ use silo::{Database, EpochConfig, SiloConfig};
 
 #[test]
 fn snapshots_are_consistent_and_never_abort_under_churn() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::default()
-    });
+    let db = Database::open(SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(2),
+        snapshot_interval_epochs: 5,
+    }));
     let t = db.create_table("pairs").unwrap();
     let pairs = 50u32;
     {
@@ -105,13 +102,10 @@ fn snapshots_are_consistent_and_never_abort_under_churn() {
 
 #[test]
 fn snapshot_lags_but_eventually_sees_new_data() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::default()
-    });
+    let db = Database::open(SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(2),
+        snapshot_interval_epochs: 5,
+    }));
     let t = db.create_table("t").unwrap();
     let mut w = db.register_worker();
     let mut txn = w.begin();

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use silo::{Database, EpochConfig, SiloConfig};
-use silo_wl::driver::{run_workload, DriverConfig};
+use silo_wl::driver::RunOptions;
 use silo_wl::tpcc::check::check_consistency;
 use silo_wl::tpcc::{load, TpccConfig, TpccWorkload};
 
@@ -21,13 +21,10 @@ fn test_threads(default: usize) -> usize {
 
 #[test]
 fn tpcc_consistency_conditions_after_concurrent_mix() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(5),
-            snapshot_interval_epochs: 5,
-        },
-        ..SiloConfig::default()
-    });
+    let db = Database::open(SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(5),
+        snapshot_interval_epochs: 5,
+    }));
     let cfg = TpccConfig {
         warehouses: 2,
         districts_per_warehouse: 3,
@@ -37,19 +34,13 @@ fn tpcc_consistency_conditions_after_concurrent_mix() {
         ..TpccConfig::default()
     };
     let tables = load(&db, &cfg);
-    let result = run_workload(
-        &db,
-        Arc::new(TpccWorkload::new(cfg.clone(), tables.clone())),
-        DriverConfig {
-            // Overridable so the oversubscribed-stress sweep can pin 4
-            // workers onto 1 core: catches parking/spin pathologies that a
-            // thread-per-core run never exercises.
-            threads: test_threads(3),
-            duration: Duration::from_millis(500),
-            ..Default::default()
-        },
-        None,
-    );
+    let result = RunOptions::default()
+        // Overridable so the oversubscribed-stress sweep can pin 4 workers
+        // onto 1 core: catches parking/spin pathologies that a
+        // thread-per-core run never exercises.
+        .with_threads(test_threads(3))
+        .with_duration(Duration::from_millis(500))
+        .run(&db, Arc::new(TpccWorkload::new(cfg.clone(), tables.clone())));
     assert!(result.committed > 0);
 
     let summary = check_consistency(&db, &cfg, &tables).expect("consistency violated");

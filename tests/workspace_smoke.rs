@@ -12,13 +12,10 @@ use silo::{Database, EpochConfig, SiloConfig, WorkerStats};
 
 #[test]
 fn multi_worker_commit_loop_with_consistent_stats() {
-    let db = Database::open(SiloConfig {
-        epoch: EpochConfig {
-            epoch_interval: Duration::from_millis(2),
-            snapshot_interval_epochs: 4,
-        },
-        ..SiloConfig::default()
-    });
+    let db = Database::open(SiloConfig::default().with_epoch(EpochConfig {
+        epoch_interval: Duration::from_millis(2),
+        snapshot_interval_epochs: 4,
+    }));
     let table = db.create_table("smoke").unwrap();
 
     const THREADS: usize = 4;
