@@ -19,18 +19,29 @@
 //!   (default 50).
 //! * `SILO_BENCH_NET_KEYS` — key space per connection (default 10_000).
 //! * `SILO_BENCH_NET_VALUE_BYTES` — value payload size (default 100).
+//!
+//! Chaos knobs (both off in plain runs — the resilience counters in
+//! `BENCH_JSON` then report zero, which net-smoke CI asserts):
+//!
+//! * `SILO_NET_FAULT_SEED` — seeds wire fault injection on *both* sides of
+//!   every connection (resets, torn frames, stalls, dribbles, corrupted
+//!   headers).
+//! * `SILO_NET_RECONNECT` — `1` re-dials dead connections and re-issues
+//!   lost in-flight *reads*; lost in-flight (untokenized) writes are
+//!   counted as `net_ack_unknown`, never blindly re-sent. Defaults to on
+//!   when a fault seed is set.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use silo_bench::*;
-use silo_client::{ClientError, Connection};
+use silo_client::{ClientConfig, ClientError, Connection};
 use silo_core::Database;
 use silo_log::{LogConfig, SiloLogger};
-use silo_net::{ErrorCode, Request, Response, Server, ServerConfig};
+use silo_net::{ErrorCode, NetFaultPlan, Request, Response, Server, ServerConfig};
 
 /// Per-connection tally brought back to the main thread.
 #[derive(Default)]
@@ -41,6 +52,9 @@ struct ConnResult {
     aborted: u64,
     shed_busy: u64,
     shed_degraded: u64,
+    retries: u64,
+    reconnects: u64,
+    ack_unknown: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -59,6 +73,80 @@ struct DriveConfig {
     write_pct: u64,
     keys: u64,
     value: Vec<u8>,
+    /// Wire fault plan spliced into this connection (chaos runs only).
+    fault: Option<Arc<NetFaultPlan>>,
+    /// Re-dial dead connections instead of failing the thread.
+    reconnect: bool,
+}
+
+/// An in-flight request: send time, write flag, and (in chaos runs only)
+/// the request itself so lost *reads* can be re-issued after a reconnect.
+type InFlight = std::collections::VecDeque<(Instant, bool, Option<Request>)>;
+
+fn receive_one(
+    conn: &mut Connection,
+    in_flight: &mut InFlight,
+    out: &mut ConnResult,
+) -> Result<(), ClientError> {
+    let resp = conn.recv()?;
+    let (sent, is_write, _) = in_flight.pop_front().expect("response without request");
+    out.latencies_us.push(sent.elapsed().as_micros() as u64);
+    match resp {
+        Response::Error { code, .. } => match code {
+            ErrorCode::Aborted => out.aborted += 1,
+            ErrorCode::ServerBusy => out.shed_busy += 1,
+            ErrorCode::DurabilityDegraded => out.shed_degraded += 1,
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected error from server: {other}"
+                )))
+            }
+        },
+        _ => {
+            out.ok += 1;
+            if is_write {
+                out.writes_acked += 1;
+            } else {
+                out.reads += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Handles a dead connection in chaos mode: classifies every lost in-flight
+/// request (writes are untokenized on this raw pipelined path, so their
+/// outcome is unknowable — counted, never re-sent; reads are queued for
+/// re-issue), then re-dials.
+fn reconnect_after(
+    addr: std::net::SocketAddr,
+    client_config: &ClientConfig,
+    in_flight: &mut InFlight,
+    resend: &mut Vec<Request>,
+    out: &mut ConnResult,
+) -> Result<Connection, ClientError> {
+    for (_, is_write, req) in in_flight.drain(..) {
+        if is_write {
+            out.ack_unknown += 1;
+        } else if let Some(req) = req {
+            resend.push(req);
+            out.retries += 1;
+        }
+    }
+    let mut last = None;
+    for _ in 0..10 {
+        match Connection::connect_with(addr, client_config) {
+            Ok(conn) => {
+                out.reconnects += 1;
+                return Ok(conn);
+            }
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    Err(last.expect("at least one dial attempt"))
 }
 
 fn drive(
@@ -68,70 +156,69 @@ fn drive(
     seed: u64,
     config: &DriveConfig,
 ) -> Result<ConnResult, ClientError> {
-    let mut conn = Connection::connect(addr)?;
+    let mut client_config = ClientConfig::default();
+    if let Some(plan) = &config.fault {
+        client_config = client_config.with_fault(Arc::clone(plan));
+    }
+    let mut conn = Connection::connect_with(addr, &client_config)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = ConnResult::default();
-    // Send times of in-flight requests, oldest first; true marks a write.
-    let mut in_flight: std::collections::VecDeque<(Instant, bool)> =
-        std::collections::VecDeque::with_capacity(config.pipeline);
-
-    let receive_one = |conn: &mut Connection,
-                           in_flight: &mut std::collections::VecDeque<(Instant, bool)>,
-                           out: &mut ConnResult|
-     -> Result<(), ClientError> {
-        let resp = conn.recv()?;
-        let (sent, is_write) = in_flight.pop_front().expect("response without request");
-        out.latencies_us
-            .push(sent.elapsed().as_micros() as u64);
-        match resp {
-            Response::Error { code, .. } => match code {
-                ErrorCode::Aborted => out.aborted += 1,
-                ErrorCode::ServerBusy => out.shed_busy += 1,
-                ErrorCode::DurabilityDegraded => out.shed_degraded += 1,
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "unexpected error from server: {other}"
-                    )))
-                }
-            },
-            _ => {
-                out.ok += 1;
-                if is_write {
-                    out.writes_acked += 1;
-                } else {
-                    out.reads += 1;
-                }
-            }
-        }
-        Ok(())
-    };
+    let mut in_flight: InFlight = std::collections::VecDeque::with_capacity(config.pipeline);
+    let mut resend: Vec<Request> = Vec::new();
 
     while !stop.load(Ordering::Relaxed) {
-        while in_flight.len() < config.pipeline && !stop.load(Ordering::Relaxed) {
-            let key = format!("k{:08}", rng.gen_range(0..config.keys));
-            let is_write = rng.gen_range(0..100u64) < config.write_pct;
-            let req = if is_write {
-                Request::Put {
-                    table,
-                    key: key.into_bytes(),
-                    value: config.value.to_vec(),
-                }
-            } else {
-                Request::Get {
-                    table,
-                    key: key.into_bytes(),
-                }
-            };
-            conn.send(&req)?;
-            in_flight.push_back((Instant::now(), is_write));
+        let step = (|| -> Result<(), ClientError> {
+            for req in resend.drain(..) {
+                conn.send(&req)?;
+                in_flight.push_back((Instant::now(), false, Some(req)));
+            }
+            while in_flight.len() < config.pipeline && !stop.load(Ordering::Relaxed) {
+                let key = format!("k{:08}", rng.gen_range(0..config.keys));
+                let is_write = rng.gen_range(0..100u64) < config.write_pct;
+                let req = if is_write {
+                    Request::Put {
+                        table,
+                        key: key.into_bytes(),
+                        value: config.value.to_vec(),
+                    }
+                } else {
+                    Request::Get {
+                        table,
+                        key: key.into_bytes(),
+                    }
+                };
+                conn.send(&req)?;
+                // Only chaos runs pay for tracking the request body.
+                in_flight.push_back((Instant::now(), is_write, config.reconnect.then_some(req)));
+            }
+            conn.flush()?;
+            receive_one(&mut conn, &mut in_flight, &mut out)
+        })();
+        if let Err(e) = step {
+            if !config.reconnect {
+                return Err(e);
+            }
+            conn = reconnect_after(addr, &client_config, &mut in_flight, &mut resend, &mut out)?;
         }
-        conn.flush()?;
-        receive_one(&mut conn, &mut in_flight, &mut out)?;
     }
-    // Drain the tail so every sent request is accounted for.
-    conn.flush()?;
-    while !in_flight.is_empty() {
-        receive_one(&mut conn, &mut in_flight, &mut out)?;
+    // Drain the tail so every sent request is accounted for. In chaos mode
+    // a death here just abandons the tail (classified, not re-issued).
+    let drain = (|| -> Result<(), ClientError> {
+        conn.flush()?;
+        while !in_flight.is_empty() {
+            receive_one(&mut conn, &mut in_flight, &mut out)?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = drain {
+        if !config.reconnect {
+            return Err(e);
+        }
+        for (_, is_write, _) in in_flight.drain(..) {
+            if is_write {
+                out.ack_unknown += 1;
+            }
+        }
     }
     Ok(out)
 }
@@ -144,15 +231,24 @@ fn main() {
     let keys = env_u64("SILO_BENCH_NET_KEYS", 10_000);
     let value = vec![0xABu8; env_u64("SILO_BENCH_NET_VALUE_BYTES", 100) as usize];
     let seconds = bench_seconds();
+    let fault_seed: Option<u64> = std::env::var("SILO_NET_FAULT_SEED")
+        .ok()
+        .map(|s| s.parse().expect("SILO_NET_FAULT_SEED must be a u64"));
+    let reconnect = env_u64("SILO_NET_RECONNECT", u64::from(fault_seed.is_some())) != 0;
 
     let log_dir = std::env::temp_dir().join(format!("silo-fig-net-log-{}", std::process::id()));
     let db = open_memsilo();
     let logger =
         SiloLogger::install(LogConfig::to_directory(&log_dir, 2), &db).expect("install logger");
+    let mut server_config = ServerConfig::default().with_workers(workers);
+    let server_plan = fault_seed.map(|seed| Arc::new(NetFaultPlan::from_seed(seed)));
+    if let Some(plan) = &server_plan {
+        server_config = server_config.with_fault(Arc::clone(plan));
+    }
     let mut server = Server::start(
         Arc::clone(&db),
         Some(Arc::clone(&logger)),
-        ServerConfig::default().with_workers(workers),
+        server_config,
     )
     .expect("start server");
     let addr = server.local_addr();
@@ -163,6 +259,9 @@ fn main() {
          {write_pct}% writes over {keys} keys, {}s",
         seconds.as_secs_f64()
     );
+    if let Some(seed) = fault_seed {
+        println!("# chaos: wire fault seed {seed:#x}, reconnect {}", u64::from(reconnect));
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
@@ -171,11 +270,22 @@ fn main() {
         write_pct,
         keys: keys.max(1),
         value,
+        fault: None,
+        reconnect,
     };
+    let client_plans: Vec<Option<Arc<NetFaultPlan>>> = (0..conns)
+        .map(|i| {
+            fault_seed.map(|seed| {
+                Arc::new(NetFaultPlan::from_seed(
+                    seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ))
+            })
+        })
+        .collect();
     let handles: Vec<_> = (0..conns)
         .map(|i| {
             let stop = Arc::clone(&stop);
-            let config = config.clone();
+            let config = DriveConfig { fault: client_plans[i].clone(), ..config.clone() };
             std::thread::Builder::new()
                 .name(format!("fig-net-client-{i}"))
                 .spawn(move || drive(addr, table, &stop, 0xBADC0DE + i as u64, &config))
@@ -198,9 +308,14 @@ fn main() {
         total.aborted += r.aborted;
         total.shed_busy += r.shed_busy;
         total.shed_degraded += r.shed_degraded;
+        total.retries += r.retries;
+        total.reconnects += r.reconnects;
+        total.ack_unknown += r.ack_unknown;
         total.latencies_us.extend(r.latencies_us);
     }
     let elapsed = start.elapsed();
+    let faults_injected = server_plan.as_ref().map_or(0, |p| p.injected())
+        + client_plans.iter().flatten().map(|p| p.injected()).sum::<u64>();
 
     let log_stats = logger.stats();
     let srv_stats = server.stats();
@@ -236,9 +351,15 @@ fn main() {
         "# group commit: {} fsyncs for {} acked writes = {:.4} syncs/acked write; durability {health:?}",
         log_stats.sync_calls, total.writes_acked, syncs_per_acked_write
     );
+    if faults_injected + total.retries + total.reconnects + total.ack_unknown > 0 {
+        println!(
+            "# chaos: {} wire faults injected, {} reads re-issued, {} reconnects, {} write acks lost",
+            faults_injected, total.retries, total.reconnects, total.ack_unknown
+        );
+    }
 
     emit_bench_json_raw(format!(
-        "{{\"bench\":\"fig_net\",\"series\":\"loopback pipelined\",\"threads\":{conns},\"seconds\":{:.3},\"committed\":{},\"aborted\":{},\"throughput_txns_per_s\":{throughput:.1},\"pipeline\":{pipeline},\"server_workers\":{workers},\"reads\":{},\"writes_acked\":{},\"writes_shed_busy\":{},\"writes_shed_degraded\":{},\"latency_samples\":{},\"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_p999_us\":{},\"latency_max_us\":{},\"log_sync_calls\":{},\"syncs_per_acked_write\":{syncs_per_acked_write:.4},\"server_requests\":{},\"server_protocol_errors\":{}}}",
+        "{{\"bench\":\"fig_net\",\"series\":\"loopback pipelined\",\"threads\":{conns},\"seconds\":{:.3},\"committed\":{},\"aborted\":{},\"throughput_txns_per_s\":{throughput:.1},\"pipeline\":{pipeline},\"server_workers\":{workers},\"reads\":{},\"writes_acked\":{},\"writes_shed_busy\":{},\"writes_shed_degraded\":{},\"latency_samples\":{},\"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_p999_us\":{},\"latency_max_us\":{},\"log_sync_calls\":{},\"syncs_per_acked_write\":{syncs_per_acked_write:.4},\"server_requests\":{},\"server_protocol_errors\":{},\"net_fault_seed\":{},\"net_faults_injected\":{faults_injected},\"net_retries\":{},\"net_reconnects\":{},\"net_ack_unknown\":{}}}",
         elapsed.as_secs_f64(),
         total.ok,
         total.aborted,
@@ -254,6 +375,10 @@ fn main() {
         log_stats.sync_calls,
         srv_stats.requests,
         srv_stats.protocol_errors,
+        fault_seed.unwrap_or(0),
+        total.retries,
+        total.reconnects,
+        total.ack_unknown,
     ));
     write_bench_json("fig_net");
 }

@@ -1,14 +1,18 @@
 //! Client-against-server integration: the session vocabulary, explicit
-//! pipelining, and durable acknowledgements riding group commit.
+//! pipelining, durable acknowledgements riding group commit, and the
+//! resilience stack (retries, reconnection, token replay, `AckUnknown`).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use silo_client::{ClientError, Connection, ErrorCode, HealthStatus, Session, TxnBuilder};
+use silo_client::{
+    ClientConfig, ClientError, Connection, ErrorCode, HealthStatus, RetryPolicy, Session,
+    TxnBuilder,
+};
 use silo_core::{Database, EpochConfig, SiloConfig};
 use silo_log::{LogConfig, SiloLogger};
 use silo_net::protocol::{Request, Response};
-use silo_net::{Server, ServerConfig};
+use silo_net::{NetFaultKind, NetFaultPlan, NetFaultSite, Server, ServerConfig};
 
 fn start_durable_server() -> (Arc<Database>, Arc<SiloLogger>, Server) {
     let config = SiloConfig::default()
@@ -124,6 +128,144 @@ fn pipelined_burst_drains_in_order() {
         sync_calls_per_ack < 0.5,
         "expected amortized group commit, got {sync_calls_per_ack} syncs per acked write"
     );
+}
+
+/// A retry policy tuned for tests: fast, deterministic backoff.
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy::default()
+        .with_max_retries(max_retries)
+        .with_initial_backoff(Duration::from_millis(1))
+        .with_max_backoff(Duration::from_millis(5))
+        .with_jitter(false)
+}
+
+#[test]
+fn resilient_session_is_inert_on_a_healthy_server() {
+    let (_db, _logger, mut server) = start_durable_server();
+    let mut session =
+        Session::connect_with(server.local_addr(), ClientConfig::resilient()).unwrap();
+    assert!(session.tokens_negotiated());
+    let kv = session.open_table("kv").unwrap();
+    session.put(kv, b"k", b"v").unwrap();
+    session.insert(kv, b"k2", b"v2").unwrap();
+    assert_eq!(session.get(kv, b"k").unwrap(), Some(b"v".to_vec()));
+    let stats = session.stats();
+    assert_eq!((stats.retries, stats.reconnects, stats.ack_unknown), (0, 0, 0));
+    drop(session);
+    server.shutdown();
+    assert_eq!(server.stats().token_replays, 0);
+    assert_eq!(server.stats().connections_reset, 0);
+}
+
+#[test]
+fn deterministic_aborts_burn_the_retry_budget_then_surface() {
+    let (_db, _logger, server) = start_durable_server();
+    let config = ClientConfig::resilient().with_retry(fast_retry(2));
+    let mut session = Session::connect_with(server.local_addr(), config).unwrap();
+    let kv = session.open_table("kv").unwrap();
+    session.insert(kv, b"dup", b"1").unwrap();
+    // A duplicate insert aborts deterministically: the policy retries it
+    // (an OCC abort is normally transient) until the budget runs out, then
+    // surfaces the typed abort.
+    let err = session.insert(kv, b"dup", b"2").unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Aborted));
+    assert_eq!(session.stats().retries, 2);
+}
+
+#[test]
+fn lost_ack_is_replayed_from_the_token_window_exactly_once() {
+    let (_db, _logger, mut server) = start_durable_server();
+    // Reads per connection: 1 = HELLO response, 2 = open_table response,
+    // 3 = the insert's ack — which this plan replaces with a connection
+    // reset, so the client never sees the outcome of an executed write.
+    let fault = Arc::new(
+        NetFaultPlan::new().fail_at(NetFaultSite::Read, 3, NetFaultKind::Reset),
+    );
+    let config = ClientConfig::resilient()
+        .with_retry(fast_retry(4))
+        .with_fault(Arc::clone(&fault));
+    let mut session = Session::connect_with(server.local_addr(), config).unwrap();
+    let kv = session.open_table("kv").unwrap();
+    // The first attempt executes on the server; its ack dies on the wire.
+    // The reconnect replays the same token and must get the *stored* ack —
+    // not a duplicate-key abort from re-executing the insert.
+    session.insert(kv, b"once", b"v").unwrap();
+    assert_eq!(fault.injected(), 1, "the scheduled reset fired");
+    assert_eq!(session.stats().reconnects, 1);
+    assert_eq!(session.get(kv, b"once").unwrap(), Some(b"v".to_vec()));
+    drop(session);
+    server.shutdown();
+    assert_eq!(server.stats().token_replays, 1);
+}
+
+#[test]
+fn torn_request_is_resent_fresh_after_reconnecting() {
+    let (_db, _logger, mut server) = start_durable_server();
+    // Writes per connection: 1 = HELLO, 2 = open_table, 3 = the insert —
+    // torn mid-frame, so the server never sees a complete request.
+    let fault = Arc::new(
+        NetFaultPlan::new().fail_at(NetFaultSite::Write, 3, NetFaultKind::Torn),
+    );
+    let config = ClientConfig::resilient()
+        .with_retry(fast_retry(4))
+        .with_fault(Arc::clone(&fault));
+    let mut session = Session::connect_with(server.local_addr(), config).unwrap();
+    let kv = session.open_table("kv").unwrap();
+    session.insert(kv, b"torn", b"v").unwrap();
+    assert_eq!(fault.injected(), 1);
+    assert_eq!(session.stats().reconnects, 1);
+    assert_eq!(session.get(kv, b"torn").unwrap(), Some(b"v".to_vec()));
+    drop(session);
+    server.shutdown();
+    // The first attempt never reached the server whole: the resend executed
+    // fresh rather than replaying a stored ack.
+    assert_eq!(server.stats().token_replays, 0);
+}
+
+#[test]
+fn untokenized_in_flight_write_surfaces_ack_unknown() {
+    let (_db, _logger, server) = start_durable_server();
+    // Reads per connection (no handshake): 1 = open_table response, 2 = the
+    // put's ack, lost to a reset.
+    let fault = Arc::new(
+        NetFaultPlan::new().fail_at(NetFaultSite::Read, 2, NetFaultKind::Reset),
+    );
+    // Reconnection is on but the handshake (and with it, tokens) is off:
+    // retrying the lost-ack write blindly could double-apply it, so the
+    // session must refuse and surface the typed uncertainty instead.
+    let config = ClientConfig::resilient()
+        .with_retry(fast_retry(4))
+        .with_handshake(false)
+        .with_fault(Arc::clone(&fault));
+    let mut session = Session::connect_with(server.local_addr(), config).unwrap();
+    assert!(!session.tokens_negotiated());
+    let kv = session.open_table("kv").unwrap();
+    match session.put(kv, b"k", b"v") {
+        Err(ClientError::AckUnknown(_)) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(session.stats().ack_unknown, 1);
+    // The session stays usable: the next (read) request reconnects.
+    let _ = session.get(kv, b"k").unwrap();
+    assert_eq!(session.stats().reconnects, 1);
+}
+
+#[test]
+fn reads_ride_through_connection_resets_transparently() {
+    let (_db, _logger, server) = start_durable_server();
+    let fault = Arc::new(
+        NetFaultPlan::new().fail_at(NetFaultSite::Read, 3, NetFaultKind::Reset),
+    );
+    let config = ClientConfig::resilient()
+        .with_retry(fast_retry(4))
+        .with_fault(Arc::clone(&fault));
+    let mut session = Session::connect_with(server.local_addr(), config).unwrap();
+    let kv = session.open_table("kv").unwrap();
+    // The get's response (read #3) dies; reads are idempotent, so the
+    // session just reconnects and re-asks.
+    assert_eq!(session.get(kv, b"absent").unwrap(), None);
+    assert_eq!(session.stats().reconnects, 1);
+    assert_eq!(fault.injected(), 1);
 }
 
 #[test]

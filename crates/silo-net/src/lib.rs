@@ -22,11 +22,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod protocol;
 pub mod server;
 
+pub use fault::{FaultStream, NetFaultKind, NetFaultPlan, NetFaultSite};
 pub use protocol::{
     ErrorCode, FrameError, HealthStatus, ProtocolError, Request, Response, TxnOp,
-    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_MAX_FRAME_BYTES, FEATURE_REQUEST_TOKENS, MAX_TXN_OPS, PROTOCOL_VERSION,
+    SUPPORTED_FEATURES,
 };
 pub use server::{Server, ServerConfig, ServerStats};

@@ -32,6 +32,27 @@ use std::io::{Read, Write};
 /// prefix cannot make the receiver allocate unbounded memory.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// The protocol version this build speaks, carried by [`Request::Hello`].
+/// A server answers an unknown version with a typed
+/// [`ErrorCode::UnsupportedVersion`] error instead of desyncing on frames
+/// it cannot parse.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Feature bit: the client may wrap write requests in
+/// [`Request::Tokenized`] and the server keeps a bounded per-lineage token
+/// window for exactly-once replay after a reconnect.
+pub const FEATURE_REQUEST_TOKENS: u64 = 1 << 0;
+
+/// Every feature bit this build understands; a [`Request::Hello`] negotiates
+/// the intersection of both sides' masks.
+pub const SUPPORTED_FEATURES: u64 = FEATURE_REQUEST_TOKENS;
+
+/// Cap on operations in one [`Request::Txn`] batch. A decoded count beyond
+/// this is rejected ([`ProtocolError::TooLarge`]) before any operation is
+/// materialized, so a hostile frame cannot make the server execute an
+/// unbounded transaction.
+pub const MAX_TXN_OPS: usize = 4096;
+
 /// A client-to-server request.
 ///
 /// `Get`/`Put`/`Insert`/`Delete`/`Scan` execute as single-operation
@@ -100,6 +121,33 @@ pub enum Request {
         /// The table name.
         name: String,
     },
+    /// Protocol handshake: the first request a versioned client sends.
+    /// Negotiates the protocol version and feature bits; a server that does
+    /// not speak `version` answers [`ErrorCode::UnsupportedVersion`] instead
+    /// of misparsing later frames.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Feature bits the client requests (see [`FEATURE_REQUEST_TOKENS`]);
+        /// the server grants the intersection in [`Response::HelloOk`].
+        features: u64,
+        /// The client's connection *lineage*: a stable identity that
+        /// survives reconnects, keying the server's token-replay window.
+        /// `0` means the client does not use request tokens.
+        lineage: u64,
+    },
+    /// A write request carrying a client-assigned token. When the
+    /// connection's lineage negotiated [`FEATURE_REQUEST_TOKENS`], the
+    /// server remembers the outcome of the last `N` tokenized writes per
+    /// lineage; re-issuing a token after a reconnect returns the remembered
+    /// outcome instead of applying the write twice.
+    Tokenized {
+        /// The client-assigned token, unique per lineage.
+        token: u64,
+        /// The wrapped write request (nesting `Tokenized`/`Hello` is a
+        /// protocol error).
+        req: Box<Request>,
+    },
 }
 
 /// One operation inside a [`Request::Txn`] batch.
@@ -154,12 +202,14 @@ impl Request {
         match self {
             Request::Put { .. } | Request::Insert { .. } | Request::Delete { .. } => true,
             Request::Txn { ops } => ops.iter().any(TxnOp::is_write),
+            Request::Tokenized { req, .. } => req.is_write(),
             // OpenTable mutates the catalog but is not logged; it is acked
             // immediately and never shed.
             Request::Get { .. }
             | Request::Scan { .. }
             | Request::Health
-            | Request::OpenTable { .. } => false,
+            | Request::OpenTable { .. }
+            | Request::Hello { .. } => false,
         }
     }
 }
@@ -212,6 +262,14 @@ pub enum Response {
         /// The table's id, usable in subsequent requests.
         id: u32,
     },
+    /// Result of a successful [`Request::Hello`] handshake.
+    HelloOk {
+        /// The protocol version the server will speak (== the client's).
+        version: u32,
+        /// The granted feature bits (intersection of requested and
+        /// supported).
+        features: u64,
+    },
 }
 
 /// Wire form of [`silo_core::DurabilityHealth`].
@@ -256,6 +314,9 @@ pub enum ErrorCode {
     NoSuchTable,
     /// An internal server error.
     Internal,
+    /// The [`Request::Hello`] announced a protocol version this server does
+    /// not speak. Not retryable on this connection.
+    UnsupportedVersion,
 }
 
 impl ErrorCode {
@@ -267,6 +328,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 4,
             ErrorCode::NoSuchTable => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::UnsupportedVersion => 7,
         }
     }
 
@@ -278,6 +340,7 @@ impl ErrorCode {
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::NoSuchTable,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::UnsupportedVersion,
             t => return Err(ProtocolError::BadTag { what: "error code", tag: t }),
         })
     }
@@ -292,6 +355,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad request",
             ErrorCode::NoSuchTable => "no such table",
             ErrorCode::Internal => "internal error",
+            ErrorCode::UnsupportedVersion => "unsupported protocol version",
         };
         f.write_str(s)
     }
@@ -316,6 +380,16 @@ pub enum ProtocolError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A repeated field announced more elements than the receiver accepts
+    /// (e.g. a `Txn` batch beyond [`MAX_TXN_OPS`]).
+    TooLarge {
+        /// What kind of collection overflowed.
+        what: &'static str,
+        /// The announced element count.
+        len: usize,
+        /// The receiver's limit.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -325,6 +399,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
             ProtocolError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
             ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::TooLarge { what, len, max } => {
+                write!(f, "{what} of {len} elements exceeds the limit of {max}")
+            }
         }
     }
 }
@@ -349,6 +426,17 @@ pub enum FrameError {
         /// The receiver's limit.
         max: usize,
     },
+    /// A socket-level timeout fired while reading.
+    ///
+    /// `mid_frame: false` means the connection was *idle* — no byte of a new
+    /// frame had arrived — which the caller may tolerate up to its idle
+    /// budget. `mid_frame: true` means a frame started but did not complete
+    /// within the per-frame deadline (a stalled or slow-loris peer); the
+    /// stream is no longer frame-aligned and must be dropped.
+    TimedOut {
+        /// Whether the timeout interrupted a partially-read frame.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -359,6 +447,8 @@ impl std::fmt::Display for FrameError {
             FrameError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
+            FrameError::TimedOut { mid_frame: true } => write!(f, "frame read deadline exceeded"),
+            FrameError::TimedOut { mid_frame: false } => write!(f, "idle read timeout"),
         }
     }
 }
@@ -397,14 +487,64 @@ pub fn read_frame(
     buf: &mut Vec<u8>,
     max_bytes: usize,
 ) -> Result<bool, FrameError> {
+    read_frame_deadline(r, buf, max_bytes, None)
+}
+
+/// Whether an I/O error is a socket-timeout tick (`SO_RCVTIMEO` surfaces as
+/// `WouldBlock` on Unix and `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Like [`read_frame`], but with an explicit per-frame deadline — the
+/// slow-loris defense.
+///
+/// Requires a read timeout on the underlying socket to act as the clock: a
+/// timeout tick *before* the first header byte is reported as
+/// [`FrameError::TimedOut`]`{ mid_frame: false }` (the caller keeps its own
+/// idle budget and may simply call again). Once the first byte of a frame
+/// has arrived, the frame must complete within `frame_timeout`: the deadline
+/// is checked both on timeout ticks *and* after every partial read, so a
+/// peer dribbling one byte per tick (which never lets the socket timeout
+/// fire) still trips [`FrameError::TimedOut`]`{ mid_frame: true }`.
+/// `frame_timeout: None` makes any mid-frame timeout tick fatal immediately.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    buf: &mut Vec<u8>,
+    max_bytes: usize,
+    frame_timeout: Option<std::time::Duration>,
+) -> Result<bool, FrameError> {
     let mut header = [0u8; 4];
     let mut filled = 0;
+    let mut deadline: Option<std::time::Instant> = None;
+    let expired = |deadline: &Option<std::time::Instant>| {
+        deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    };
     while filled < header.len() {
         match r.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(false),
             Ok(0) => return Err(FrameError::Torn),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                if filled == 0 {
+                    deadline = frame_timeout.map(|t| std::time::Instant::now() + t);
+                }
+                filled += n;
+                if filled < header.len() && expired(&deadline) {
+                    return Err(FrameError::TimedOut { mid_frame: true });
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 {
+                    return Err(FrameError::TimedOut { mid_frame: false });
+                }
+                if frame_timeout.is_none() || expired(&deadline) {
+                    return Err(FrameError::TimedOut { mid_frame: true });
+                }
+            }
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -414,11 +554,26 @@ pub fn read_frame(
     }
     buf.clear();
     buf.resize(len, 0);
-    match r.read_exact(buf) {
-        Ok(()) => Ok(true),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(FrameError::Torn),
-        Err(e) => Err(FrameError::Io(e)),
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Err(FrameError::Torn),
+            Ok(n) => {
+                got += n;
+                if got < len && expired(&deadline) {
+                    return Err(FrameError::TimedOut { mid_frame: true });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if frame_timeout.is_none() || expired(&deadline) {
+                    return Err(FrameError::TimedOut { mid_frame: true });
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
     }
+    Ok(true)
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +672,8 @@ const REQ_SCAN: u8 = 5;
 const REQ_TXN: u8 = 6;
 const REQ_HEALTH: u8 = 7;
 const REQ_OPEN_TABLE: u8 = 8;
+const REQ_HELLO: u8 = 9;
+const REQ_TOKENIZED: u8 = 10;
 
 const OP_GET: u8 = 1;
 const OP_PUT: u8 = 2;
@@ -591,12 +748,31 @@ pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
             buf.push(REQ_OPEN_TABLE);
             put_bytes(buf, name.as_bytes());
         }
+        Request::Hello { version, features, lineage } => {
+            buf.push(REQ_HELLO);
+            put_u32(buf, *version);
+            put_u64(buf, *features);
+            put_u64(buf, *lineage);
+        }
+        Request::Tokenized { token, req } => {
+            buf.push(REQ_TOKENIZED);
+            put_u64(buf, *token);
+            encode_request(buf, req);
+        }
     }
 }
 
 /// Decodes one request payload.
 pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
     let mut c = Cursor::new(bytes);
+    let req = decode_request_inner(&mut c, false)?;
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes one request from the cursor; `nested` forbids `Hello`/`Tokenized`
+/// so a `Tokenized` wrapper cannot recurse.
+fn decode_request_inner(c: &mut Cursor<'_>, nested: bool) -> Result<Request, ProtocolError> {
     let req = match c.u8()? {
         REQ_GET => Request::Get { table: c.u32()?, key: c.bytes()? },
         REQ_PUT => Request::Put { table: c.u32()?, key: c.bytes()?, value: c.bytes()? },
@@ -610,6 +786,9 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
         },
         REQ_TXN => {
             let n = c.u32()? as usize;
+            if n > MAX_TXN_OPS {
+                return Err(ProtocolError::TooLarge { what: "txn batch", len: n, max: MAX_TXN_OPS });
+            }
             let mut ops = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 let op = match c.u8()? {
@@ -627,9 +806,16 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
         }
         REQ_HEALTH => Request::Health,
         REQ_OPEN_TABLE => Request::OpenTable { name: c.string()? },
+        REQ_HELLO if !nested => {
+            Request::Hello { version: c.u32()?, features: c.u64()?, lineage: c.u64()? }
+        }
+        REQ_TOKENIZED if !nested => {
+            let token = c.u64()?;
+            let req = decode_request_inner(c, true)?;
+            Request::Tokenized { token, req: Box::new(req) }
+        }
         t => return Err(ProtocolError::BadTag { what: "request", tag: t }),
     };
-    c.finish()?;
     Ok(req)
 }
 
@@ -644,6 +830,7 @@ const RESP_ENTRIES: u8 = 3;
 const RESP_TXN_OK: u8 = 4;
 const RESP_HEALTH: u8 = 5;
 const RESP_TABLE_ID: u8 = 6;
+const RESP_HELLO_OK: u8 = 7;
 
 /// Appends the payload encoding of `resp` to `buf`.
 pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
@@ -688,6 +875,11 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             buf.push(RESP_TABLE_ID);
             put_u32(buf, *id);
         }
+        Response::HelloOk { version, features } => {
+            buf.push(RESP_HELLO_OK);
+            put_u32(buf, *version);
+            put_u64(buf, *features);
+        }
     }
 }
 
@@ -731,6 +923,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, ProtocolError> {
             }
         }
         RESP_TABLE_ID => Response::TableId { id: c.u32()? },
+        RESP_HELLO_OK => Response::HelloOk { version: c.u32()?, features: c.u64()? },
         t => return Err(ProtocolError::BadTag { what: "response", tag: t }),
     };
     c.finish()?;
@@ -821,5 +1014,130 @@ mod tests {
         encode_request(&mut buf, &Request::Get { table: 3, key: b"abcdef".to_vec() });
         buf.truncate(buf.len() - 2);
         assert_eq!(decode_request(&buf), Err(ProtocolError::Truncated));
+    }
+
+    #[test]
+    fn hello_and_tokenized_roundtrip() {
+        for req in [
+            Request::Hello { version: PROTOCOL_VERSION, features: SUPPORTED_FEATURES, lineage: 77 },
+            Request::Tokenized {
+                token: 42,
+                req: Box::new(Request::Put { table: 1, key: b"k".to_vec(), value: b"v".to_vec() }),
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &req);
+            assert_eq!(decode_request(&buf).unwrap(), req);
+        }
+        let resp = Response::HelloOk { version: PROTOCOL_VERSION, features: FEATURE_REQUEST_TOKENS };
+        let mut buf = Vec::new();
+        encode_response(&mut buf, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn nested_tokenized_and_hello_are_rejected() {
+        for inner in [
+            Request::Hello { version: 1, features: 0, lineage: 0 },
+            Request::Tokenized { token: 2, req: Box::new(Request::Health) },
+        ] {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &Request::Tokenized { token: 1, req: Box::new(inner) });
+            assert!(matches!(
+                decode_request(&buf),
+                Err(ProtocolError::BadTag { what: "request", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_txn_batch_is_rejected_before_materializing_ops() {
+        let mut buf = Vec::new();
+        buf.push(6); // REQ_TXN
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_request(&buf),
+            Err(ProtocolError::TooLarge {
+                what: "txn batch",
+                len: u32::MAX as usize,
+                max: MAX_TXN_OPS
+            })
+        );
+    }
+
+    #[test]
+    fn tokenized_write_classification_delegates() {
+        let write = Request::Tokenized {
+            token: 1,
+            req: Box::new(Request::Delete { table: 0, key: b"k".to_vec() }),
+        };
+        assert!(write.is_write());
+        let read = Request::Tokenized {
+            token: 2,
+            req: Box::new(Request::Get { table: 0, key: b"k".to_vec() }),
+        };
+        assert!(!read.is_write());
+        assert!(!Request::Hello { version: 1, features: 0, lineage: 0 }.is_write());
+    }
+
+    /// A reader that dribbles one byte per call, then reports a socket
+    /// timeout forever.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() && !buf.is_empty() {
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                Ok(1)
+            } else {
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"))
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeout_is_distinguished_from_mid_frame_timeout() {
+        let mut idle = Dribble { data: vec![], pos: 0 };
+        let mut buf = Vec::new();
+        match read_frame_deadline(&mut idle, &mut buf, 1024, Some(std::time::Duration::from_secs(5)))
+        {
+            Err(FrameError::TimedOut { mid_frame: false }) => {}
+            other => panic!("expected idle timeout, got {other:?}"),
+        }
+
+        let mut partial = Dribble { data: vec![9, 0], pos: 0 };
+        match read_frame_deadline(
+            &mut partial,
+            &mut buf,
+            1024,
+            Some(std::time::Duration::from_millis(1)),
+        ) {
+            Err(FrameError::TimedOut { mid_frame: true }) => {}
+            other => panic!("expected mid-frame timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_loris_trips_the_deadline_even_without_socket_timeouts_firing() {
+        // 2ms per byte with a 1ms frame budget: the dribbler always delivers
+        // a byte (no socket timeout ever fires), so only the per-partial-read
+        // deadline check can catch it.
+        let frame = frame(b"0123456789abcdef");
+        let mut loris = Dribble { data: frame, pos: 0 };
+        let mut buf = Vec::new();
+        match read_frame_deadline(
+            &mut loris,
+            &mut buf,
+            1024,
+            Some(std::time::Duration::from_millis(1)),
+        ) {
+            Err(FrameError::TimedOut { mid_frame: true }) => {}
+            other => panic!("expected mid-frame timeout, got {other:?}"),
+        }
     }
 }

@@ -44,18 +44,20 @@
 //!   are answered with [`ErrorCode::DurabilityDegraded`] instead of being
 //!   executed. Reads keep flowing: the in-memory state is still consistent.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use silo_core::{Abort, AbortReason, Database, DurabilityHealth, Worker};
 use silo_log::{DurableWait, SiloLogger};
 
+use crate::fault::{FaultStream, NetFaultPlan};
 use crate::protocol::{
     self, ErrorCode, FrameError, Request, Response, TxnOp, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION, SUPPORTED_FEATURES,
 };
 
 /// Configuration for [`Server::start`].
@@ -94,6 +96,24 @@ pub struct ServerConfig {
     /// Whether to shed writes with `DurabilityDegraded` while
     /// [`Database::durability_health`] is not `Healthy`.
     pub shed_on_degraded: bool,
+    /// Per-frame read deadline: once a frame's first byte arrives, the rest
+    /// must follow within this budget or the connection is dropped
+    /// (slow-loris defense). `Duration::ZERO` disables it.
+    pub read_timeout: Duration,
+    /// Idle timeout: a connection with no frame activity for this long is
+    /// closed. `Duration::ZERO` disables it.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for response frames, bounding the shutdown
+    /// drain even against a half-open peer that never reads.
+    /// `Duration::ZERO` disables it.
+    pub write_timeout: Duration,
+    /// How many tokenized write outcomes the server remembers per
+    /// connection lineage for exactly-once replay (see
+    /// [`crate::protocol::FEATURE_REQUEST_TOKENS`]).
+    pub token_window: usize,
+    /// Wire fault-injection plan installed on every accepted connection
+    /// (`None` in production: the I/O path then costs one branch per call).
+    pub fault: Option<Arc<NetFaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +126,11 @@ impl Default for ServerConfig {
             batch_max: 64,
             inbox_limit: 4096,
             shed_on_degraded: true,
+            read_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(30),
+            token_window: 128,
+            fault: None,
         }
     }
 }
@@ -152,6 +177,36 @@ impl ServerConfig {
         self.shed_on_degraded = shed;
         self
     }
+
+    /// Sets the per-frame read deadline (`Duration::ZERO` disables).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the idle-connection timeout (`Duration::ZERO` disables).
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the socket write timeout (`Duration::ZERO` disables).
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-lineage token-replay window size.
+    pub fn with_token_window(mut self, window: usize) -> Self {
+        self.token_window = window.max(1);
+        self
+    }
+
+    /// Installs a wire fault-injection plan on every accepted connection.
+    pub fn with_fault(mut self, plan: Arc<NetFaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
 }
 
 /// A snapshot of the server's counters (see [`Server::stats`]).
@@ -177,6 +232,19 @@ pub struct ServerStats {
     /// Writes shed with `DurabilityDegraded` (health-based, including acks
     /// rewritten after a failed durable wait).
     pub writes_shed_degraded: u64,
+    /// Connections that ended on a transport error (reset, broken pipe,
+    /// torn stream — a peer that died rather than hung up cleanly).
+    pub connections_reset: u64,
+    /// Connections that ended with a clean end-of-stream.
+    pub disconnects: u64,
+    /// Connections dropped because a frame missed its read deadline
+    /// (slow-loris / stalled peer).
+    pub read_timeouts: u64,
+    /// Connections closed for exceeding the idle timeout.
+    pub idle_closed: u64,
+    /// Tokenized writes answered from the replay window instead of being
+    /// re-applied.
+    pub token_replays: u64,
 }
 
 #[derive(Default)]
@@ -190,6 +258,11 @@ struct StatsInner {
     writes_acked: AtomicU64,
     writes_shed_busy: AtomicU64,
     writes_shed_degraded: AtomicU64,
+    connections_reset: AtomicU64,
+    disconnects: AtomicU64,
+    read_timeouts: AtomicU64,
+    idle_closed: AtomicU64,
+    token_replays: AtomicU64,
 }
 
 impl StatsInner {
@@ -204,6 +277,11 @@ impl StatsInner {
             writes_acked: self.writes_acked.load(Ordering::Relaxed),
             writes_shed_busy: self.writes_shed_busy.load(Ordering::Relaxed),
             writes_shed_degraded: self.writes_shed_degraded.load(Ordering::Relaxed),
+            connections_reset: self.connections_reset.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            token_replays: self.token_replays.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +303,9 @@ struct Conn {
     /// `Hangup` marker has drained through the worker); the writer exits
     /// after emptying the outbox.
     closed: AtomicBool,
+    /// The connection's lineage from its `Hello` handshake (0 until a
+    /// handshake negotiates request tokens). Keys the token-replay window.
+    lineage: AtomicU64,
 }
 
 impl Conn {
@@ -239,8 +320,86 @@ impl Conn {
     }
 
     fn close(&self) {
+        // Setting the flag while holding the outbox lock pairs with the
+        // writer's check-then-wait under the same lock, so a plain (untimed)
+        // condvar wait cannot miss the close.
+        let q = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
         self.closed.store(true, Ordering::Release);
+        drop(q);
         self.cv.notify_all();
+    }
+}
+
+/// The remembered outcome of one tokenized write.
+struct StoredAck {
+    durable_epoch: u64,
+    resp: Response,
+}
+
+/// A bounded FIFO of tokenized-write outcomes for one connection lineage.
+/// Replaying a remembered token returns the stored outcome instead of
+/// re-applying the write — the exactly-once half of reconnect safety.
+struct TokenWindow {
+    cap: usize,
+    order: VecDeque<u64>,
+    acks: HashMap<u64, StoredAck>,
+}
+
+impl TokenWindow {
+    fn new(cap: usize) -> TokenWindow {
+        TokenWindow { cap, order: VecDeque::new(), acks: HashMap::new() }
+    }
+
+    fn lookup(&self, token: u64) -> Option<Outgoing> {
+        self.acks.get(&token).map(|a| Outgoing {
+            durable_epoch: a.durable_epoch,
+            resp: a.resp.clone(),
+        })
+    }
+
+    fn record(&mut self, token: u64, durable_epoch: u64, resp: Response) {
+        if self.acks.contains_key(&token) {
+            return;
+        }
+        if self.order.len() >= self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.acks.remove(&evicted);
+            }
+        }
+        self.order.push_back(token);
+        self.acks.insert(token, StoredAck { durable_epoch, resp });
+    }
+}
+
+/// Cap on remembered lineages; beyond it the oldest-registered lineage is
+/// evicted (a reconnect after eviction simply loses replay protection and
+/// surfaces retried tokens as fresh writes — bounded memory wins).
+const MAX_LINEAGES: usize = 1024;
+
+#[derive(Default)]
+struct LineageTable {
+    map: HashMap<u64, Arc<Mutex<TokenWindow>>>,
+    order: VecDeque<u64>,
+}
+
+impl LineageTable {
+    fn acquire(&mut self, lineage: u64, cap: usize) -> Arc<Mutex<TokenWindow>> {
+        if let Some(w) = self.map.get(&lineage) {
+            return Arc::clone(w);
+        }
+        if self.map.len() >= MAX_LINEAGES {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+        let w = Arc::new(Mutex::new(TokenWindow::new(cap)));
+        self.map.insert(lineage, Arc::clone(&w));
+        self.order.push_back(lineage);
+        w
+    }
+
+    fn get(&self, lineage: u64) -> Option<Arc<Mutex<TokenWindow>>> {
+        self.map.get(&lineage).map(Arc::clone)
     }
 }
 
@@ -283,6 +442,7 @@ struct Shared {
     stop: AtomicBool,
     inboxes: Vec<Inbox>,
     conns: Mutex<Vec<Arc<Conn>>>,
+    lineages: Mutex<LineageTable>,
     active_conns: AtomicUsize,
     /// Reader/writer thread handles, appended by the acceptor.
     io_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -326,6 +486,7 @@ impl Server {
             stop: AtomicBool::new(false),
             inboxes,
             conns: Mutex::new(Vec::new()),
+            lineages: Mutex::new(LineageTable::default()),
             active_conns: AtomicUsize::new(0),
             io_threads: Mutex::new(Vec::new()),
         });
@@ -377,9 +538,15 @@ impl Server {
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
         // Workers drain what the readers enqueued (including the Hangups,
-        // which close the outboxes), then exit on the stop flag.
+        // which close the outboxes), then exit on the stop flag. The stop
+        // flag was set above, *before* taking each inbox lock: a worker is
+        // either inside cv.wait (this notify wakes it) or will re-check the
+        // flag under the lock — either way the wakeup cannot be lost, so the
+        // workers' untimed waits stay sound.
         for inbox in &self.shared.inboxes {
+            let q = inbox.q.lock().unwrap_or_else(|e| e.into_inner());
             inbox.cv.notify_all();
+            drop(q);
         }
         let mut io_threads: Vec<_> =
             std::mem::take(&mut *self.shared.io_threads.lock().unwrap_or_else(|e| e.into_inner()));
@@ -414,7 +581,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
             Ok((stream, _peer)) => {
                 if shared.active_conns.load(Ordering::Acquire) >= shared.config.max_connections {
                     shared.stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                    drop(stream);
+                    reject_connection(stream);
                     continue;
                 }
                 let id = next_conn_id;
@@ -434,16 +601,45 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Answers an over-limit connection with one typed `ServerBusy` frame
+/// (best effort, bounded by a short write timeout) before dropping it, so
+/// the client can back off instead of guessing why it was reset.
+fn reject_connection(stream: TcpStream) {
+    // An accepted socket may inherit the listener's nonblocking mode on
+    // some platforms; be explicit so the write timeout governs.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut payload = Vec::new();
+    protocol::encode_response(
+        &mut payload,
+        &Response::Error {
+            code: ErrorCode::ServerBusy,
+            detail: "connection limit reached".to_string(),
+        },
+    );
+    let mut w = &stream;
+    let _ = protocol::write_frame(&mut w, &payload);
+    let _ = w.flush();
+    drop(stream);
+}
+
 fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
+    // Accepted sockets may inherit the listener's nonblocking mode on some
+    // platforms; the I/O loops below rely on blocking reads with timeouts.
+    stream.set_nonblocking(false)?;
     let read_half = stream.try_clone()?;
     let write_half = stream.try_clone()?;
+    if !shared.config.write_timeout.is_zero() {
+        write_half.set_write_timeout(Some(shared.config.write_timeout)).ok();
+    }
     let conn = Arc::new(Conn {
         id,
         stream,
         outbox: Mutex::new(VecDeque::new()),
         cv: Condvar::new(),
         closed: AtomicBool::new(false),
+        lineage: AtomicU64::new(0),
     });
     shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
     shared.active_conns.fetch_add(1, Ordering::AcqRel);
@@ -468,17 +664,73 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> std::io
     Ok(())
 }
 
+/// The socket-timeout tick used as the clock for the frame deadline and the
+/// idle budget: fine enough that short test timeouts resolve promptly,
+/// coarse enough that an idle connection costs a handful of wakeups per
+/// second. Under load, reads return data and the tick never fires.
+fn read_tick(config: &ServerConfig) -> Option<Duration> {
+    let budgets = [config.read_timeout, config.idle_timeout]
+        .into_iter()
+        .filter(|d| !d.is_zero())
+        .min()?;
+    Some((budgets / 4).clamp(Duration::from_millis(5), Duration::from_millis(250)))
+}
+
 fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
     let inbox = &shared.inboxes[(conn.id as usize) % shared.inboxes.len()];
-    let mut r = BufReader::new(stream);
+    let socket = stream.try_clone().ok();
+    if let Some(tick) = read_tick(&shared.config) {
+        stream.set_read_timeout(Some(tick)).ok();
+    }
+    let mut r = BufReader::new({
+        let mut fs = FaultStream::new(stream, shared.config.fault.clone());
+        if let Some(socket) = socket {
+            fs = fs.with_socket(socket);
+        }
+        fs
+    });
+    let frame_timeout =
+        (!shared.config.read_timeout.is_zero()).then_some(shared.config.read_timeout);
+    let idle_timeout = shared.config.idle_timeout;
+    let mut last_activity = Instant::now();
     let mut buf = Vec::new();
     loop {
-        match protocol::read_frame(&mut r, &mut buf, shared.config.max_frame_bytes) {
-            Ok(true) => {}
-            Ok(false) => break, // clean EOF between frames
+        match protocol::read_frame_deadline(&mut r, &mut buf, shared.config.max_frame_bytes, frame_timeout)
+        {
+            Ok(true) => {
+                last_activity = Instant::now();
+            }
+            Ok(false) => {
+                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                break; // clean EOF between frames
+            }
+            Err(FrameError::TimedOut { mid_frame: false }) => {
+                // The connection is idle; tolerate it up to the idle budget
+                // (and re-check the stop flag so shutdown stays prompt).
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if !idle_timeout.is_zero() && last_activity.elapsed() >= idle_timeout {
+                    shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::TimedOut { mid_frame: true }) => {
+                // A frame started but stalled past its deadline: the stream
+                // is no longer frame-aligned. Answer once and hang up.
+                shared.stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                inbox.push(Job::Reject(
+                    Arc::clone(conn),
+                    ErrorCode::BadRequest,
+                    "frame read deadline exceeded".to_string(),
+                ));
+                break;
+            }
             Err(FrameError::Torn) => {
                 // A crashed peer: nothing sensible to answer.
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.connections_reset.fetch_add(1, Ordering::Relaxed);
                 break;
             }
             Err(FrameError::Oversized { len, max }) => {
@@ -492,7 +744,10 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
                 ));
                 break;
             }
-            Err(FrameError::Io(_)) => break,
+            Err(FrameError::Io(_)) => {
+                shared.stats.connections_reset.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
         match protocol::decode_request(&buf) {
             Ok(req) => {
@@ -525,7 +780,14 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
 }
 
 fn writer_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
-    let mut w = BufWriter::new(stream);
+    let socket = stream.try_clone().ok();
+    let mut w = BufWriter::new({
+        let mut fs = FaultStream::new(stream, shared.config.fault.clone());
+        if let Some(socket) = socket {
+            fs = fs.with_socket(socket);
+        }
+        fs
+    });
     let mut payload = Vec::new();
     'outer: loop {
         let next = {
@@ -545,11 +807,11 @@ fn writer_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
                 }
                 q = conn.outbox.lock().unwrap_or_else(|e| e.into_inner());
                 if q.is_empty() && !conn.closed.load(Ordering::Acquire) {
-                    q = conn
-                        .cv
-                        .wait_timeout(q, Duration::from_millis(100))
-                        .unwrap_or_else(|e| e.into_inner())
-                        .0;
+                    // An untimed wait is safe: push() enqueues under this
+                    // lock before notifying, and close() flips the flag
+                    // under this lock, so whichever happens after our
+                    // re-check necessarily reaches the condvar.
+                    q = conn.cv.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             }
         };
@@ -607,11 +869,10 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 q = inbox.q.lock().unwrap_or_else(|e| e.into_inner());
             }
             while q.is_empty() && !shared.stop.load(Ordering::Acquire) {
-                q = inbox
-                    .cv
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .unwrap_or_else(|e| e.into_inner())
-                    .0;
+                // Untimed: push() notifies after enqueuing under this lock,
+                // and shutdown() sets the stop flag before notifying under
+                // this lock, so neither wakeup can be lost.
+                q = inbox.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
             if q.is_empty() {
                 return; // stop requested and fully drained
@@ -638,29 +899,116 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 }
                 Job::Request(conn, req) => {
                     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    let out = if degraded && req.is_write() {
-                        shared.stats.writes_shed_degraded.fetch_add(1, Ordering::Relaxed);
-                        Outgoing {
-                            durable_epoch: 0,
-                            resp: Response::Error {
-                                code: ErrorCode::DurabilityDegraded,
-                                detail: format!("shedding writes: durability {}", match health {
-                                    DurabilityHealth::Degraded { lag_epochs } => {
-                                        format!("lags by {lag_epochs} epochs")
-                                    }
-                                    DurabilityHealth::Failed => "failed permanently".to_string(),
-                                    DurabilityHealth::Healthy => "healthy".to_string(),
-                                }),
-                            },
-                        }
-                    } else {
-                        execute(shared, &mut worker, &req)
-                    };
+                    let out = handle_request(shared, &mut worker, &conn, req, degraded, health);
                     conn.push(out);
                 }
             }
         }
     }
+}
+
+/// Dispatches one decoded request: protocol-level requests (`Hello`,
+/// `Tokenized`) are resolved here — including the token-replay window and
+/// the degraded-writes shed — and everything else goes to [`execute`].
+fn handle_request(
+    shared: &Shared,
+    worker: &mut Worker,
+    conn: &Arc<Conn>,
+    req: Request,
+    degraded: bool,
+    health: DurabilityHealth,
+) -> Outgoing {
+    match req {
+        Request::Hello { version, features, lineage } => {
+            if version != PROTOCOL_VERSION {
+                return reply_err(
+                    ErrorCode::UnsupportedVersion,
+                    format!("server speaks protocol version {PROTOCOL_VERSION}, client sent {version}"),
+                );
+            }
+            let granted = features & SUPPORTED_FEATURES;
+            if granted & protocol::FEATURE_REQUEST_TOKENS != 0 && lineage != 0 {
+                conn.lineage.store(lineage, Ordering::Release);
+                // Materialize the lineage's window now so a replayed token
+                // finds it even if the original ack raced the reconnect.
+                shared
+                    .lineages
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .acquire(lineage, shared.config.token_window);
+            }
+            Outgoing {
+                durable_epoch: 0,
+                resp: Response::HelloOk { version: PROTOCOL_VERSION, features: granted },
+            }
+        }
+        Request::Tokenized { token, req } => {
+            let lineage = conn.lineage.load(Ordering::Acquire);
+            if lineage == 0 {
+                return reply_err(
+                    ErrorCode::BadRequest,
+                    "tokenized request without a token-negotiating handshake".to_string(),
+                );
+            }
+            let window = shared
+                .lineages
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(lineage);
+            let Some(window) = window else {
+                // Evicted under lineage pressure: execute as a fresh write
+                // (replay protection is bounded, not infinite).
+                return shed_or_execute(shared, worker, &req, degraded, health);
+            };
+            // Replay check *before* the degraded shed: a write that was
+            // already applied and remembered must return its recorded
+            // outcome, not a fresh rejection — the stored durable epoch
+            // still gates the ack on actual durability.
+            if let Some(stored) = window.lock().unwrap_or_else(|e| e.into_inner()).lookup(token) {
+                shared.stats.token_replays.fetch_add(1, Ordering::Relaxed);
+                return stored;
+            }
+            let out = shed_or_execute(shared, worker, &req, degraded, health);
+            // Remember only successful outcomes: a shed or abort is safe to
+            // re-execute, and recording it would pin a transient failure as
+            // the token's permanent answer.
+            if !matches!(out.resp, Response::Error { .. }) {
+                window
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(token, out.durable_epoch, out.resp.clone());
+            }
+            out
+        }
+        req => shed_or_execute(shared, worker, &req, degraded, health),
+    }
+}
+
+/// The degraded-durability write shed, applied on the way into [`execute`].
+fn shed_or_execute(
+    shared: &Shared,
+    worker: &mut Worker,
+    req: &Request,
+    degraded: bool,
+    health: DurabilityHealth,
+) -> Outgoing {
+    if degraded && req.is_write() {
+        shared.stats.writes_shed_degraded.fetch_add(1, Ordering::Relaxed);
+        return Outgoing {
+            durable_epoch: 0,
+            resp: Response::Error {
+                code: ErrorCode::DurabilityDegraded,
+                detail: format!("shedding writes: durability {}", match health {
+                    DurabilityHealth::Degraded { lag_epochs } => {
+                        format!("lags by {lag_epochs} epochs")
+                    }
+                    DurabilityHealth::Failed => "failed permanently".to_string(),
+                    DurabilityHealth::Healthy => "healthy".to_string(),
+                }),
+            },
+        };
+    }
+    execute(shared, worker, req)
 }
 
 /// How many times single-operation requests are retried on an OCC abort
@@ -774,6 +1122,11 @@ fn execute(shared: &Shared, worker: &mut Worker, req: &Request) -> Outgoing {
                 }
             }
         }
+        // Resolved by `handle_request` before execution ever sees them.
+        Request::Hello { .. } | Request::Tokenized { .. } => reply_err(
+            ErrorCode::Internal,
+            "protocol-level request reached the executor".to_string(),
+        ),
     }
 }
 
@@ -786,7 +1139,11 @@ fn req_tables(req: &Request) -> impl Iterator<Item = u32> + '_ {
         | Request::Delete { table, .. }
         | Request::Scan { table, .. } => (Some(*table), &[]),
         Request::Txn { ops } => (None, ops.as_slice()),
-        Request::Health | Request::OpenTable { .. } => (None, &[]),
+        // `Tokenized` is unwrapped by `handle_request` before validation.
+        Request::Health
+        | Request::OpenTable { .. }
+        | Request::Hello { .. }
+        | Request::Tokenized { .. } => (None, &[]),
     };
     single.into_iter().chain(ops.iter().map(|op| match op {
         TxnOp::Get { table, .. }

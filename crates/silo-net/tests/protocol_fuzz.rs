@@ -1,0 +1,125 @@
+//! Decoder hardening: adversarial bytes must surface as typed errors —
+//! never a panic, and never an allocation sized by attacker-controlled
+//! length fields.
+
+use proptest::{proptest, ProptestConfig};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use silo_net::protocol::{
+    decode_request, decode_response, encode_request, read_frame, write_frame, FrameError,
+    ProtocolError, Request, TxnOp,
+};
+
+fn arb_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// A small but representative request to mutate and truncate.
+fn sample_request(rng: &mut SmallRng) -> Request {
+    match rng.gen_range(0..4u8) {
+        0 => Request::Put { table: 1, key: arb_bytes(rng, 24), value: arb_bytes(rng, 48) },
+        1 => Request::Scan {
+            table: 2,
+            start: arb_bytes(rng, 16),
+            end: Some(arb_bytes(rng, 16)),
+            limit: rng.gen_range(0..100),
+        },
+        2 => Request::Txn {
+            ops: (0..rng.gen_range(1..4usize))
+                .map(|_| TxnOp::Get { table: 0, key: arb_bytes(rng, 16) })
+                .collect(),
+        },
+        _ => Request::Tokenized {
+            token: rng.gen(),
+            req: Box::new(Request::Insert {
+                table: 3,
+                key: arb_bytes(rng, 16),
+                value: arb_bytes(rng, 16),
+            }),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup decodes to a typed error or (rarely) a valid
+    /// message — it never panics on either decode path.
+    #[test]
+    fn prop_garbage_payloads_decode_to_typed_errors(seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let payload = arb_bytes(&mut rng, 96);
+        let _ = decode_request(&payload);
+        let _ = decode_response(&payload);
+    }
+
+    /// A length prefix beyond the frame cap is rejected as `Oversized`
+    /// before any payload-sized allocation happens.
+    #[test]
+    fn prop_oversized_length_prefix_never_allocates(announced in 1025u32..u32::MAX) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&announced.to_le_bytes());
+        // Some payload bytes so a buggy reader that ignored the cap would
+        // start pulling data.
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut reader = &wire[..];
+        let mut buf = Vec::new();
+        match read_frame(&mut reader, &mut buf, 1024) {
+            Err(FrameError::Oversized { len, max }) => {
+                proptest::prop_assert_eq!(len, announced as usize);
+                proptest::prop_assert_eq!(max, 1024);
+            }
+            other => return Err(proptest::TestCaseError::fail(format!("expected Oversized, got {other:?}"))),
+        }
+        // The rejection happened on the header alone: nothing sized by the
+        // attacker's length field was reserved.
+        proptest::prop_assert!(buf.capacity() <= 1024, "capacity {}", buf.capacity());
+    }
+
+    /// Any strict prefix of a valid frame is a torn read (or clean EOF at
+    /// zero bytes), never a panic or a bogus decoded message.
+    #[test]
+    fn prop_truncated_frames_are_torn(seed in 0u64..u64::MAX, cut in 0usize..256) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = sample_request(&mut rng);
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+
+        let cut = cut % wire.len(); // strict prefix
+        let mut reader = &wire[..cut];
+        let mut buf = Vec::new();
+        match read_frame(&mut reader, &mut buf, 1 << 20) {
+            Ok(false) => proptest::prop_assert_eq!(cut, 0, "clean EOF only at zero bytes"),
+            Err(FrameError::Torn) => proptest::prop_assert!(cut > 0),
+            other => return Err(proptest::TestCaseError::fail(format!("cut {cut}: unexpected {other:?}"))),
+        }
+    }
+
+    /// Flipping bytes in a valid encoded request yields a typed decode
+    /// error or a different-but-valid message — never a panic, and any
+    /// announced inner length that overruns the payload is `Truncated`,
+    /// `BadTag`, `Trailing`, `BadUtf8`, or `TooLarge`.
+    #[test]
+    fn prop_bit_flipped_requests_never_panic(seed in 0u64..u64::MAX, flips in 1usize..8) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = sample_request(&mut rng);
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &req);
+        for _ in 0..flips {
+            let at = rng.gen_range(0..payload.len());
+            payload[at] ^= 1 << rng.gen_range(0..8u8);
+        }
+        if let Err(e) = decode_request(&payload) {
+            proptest::prop_assert!(matches!(
+                e,
+                ProtocolError::Truncated
+                    | ProtocolError::BadTag { .. }
+                    | ProtocolError::Trailing { .. }
+                    | ProtocolError::BadUtf8
+                    | ProtocolError::TooLarge { .. }
+            ), "unexpected error {e:?}");
+        }
+    }
+}

@@ -1,12 +1,15 @@
 //! Server behavior against raw sockets: request execution, torn-stream and
-//! oversized-frame handling, and clean shutdown.
+//! oversized-frame handling, deadlines, admission control, the protocol
+//! handshake, and clean shutdown.
 
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::time::Duration;
 
 use silo_core::{Database, SiloConfig};
 use silo_net::protocol::{
     decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response, TxnOp,
+    PROTOCOL_VERSION,
 };
 use silo_net::{Server, ServerConfig};
 
@@ -156,6 +159,116 @@ fn bad_payload_gets_error_but_connection_survives() {
         other => panic!("unexpected {other:?}"),
     }
     // Framing stayed aligned: the next request still works.
+    match call(&mut c, &Request::Health) {
+        Response::Health { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_idle_budget() {
+    let db = Database::open(SiloConfig::for_testing());
+    let server = Server::start(
+        db,
+        None,
+        ServerConfig::default()
+            .with_read_timeout(Duration::from_millis(40))
+            .with_idle_timeout(Duration::from_millis(80)),
+    )
+    .unwrap();
+    let mut c = TcpStream::connect(server.local_addr()).unwrap();
+    match call(&mut c, &Request::Health) {
+        Response::Health { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    // Go silent: the server hangs up within the idle budget (clean close —
+    // the stream is still frame-aligned, so EOF is `Ok(false)`).
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    assert!(!read_frame(&mut c, &mut buf, 1 << 20).unwrap());
+    assert_eq!(server.stats().idle_closed, 1);
+}
+
+#[test]
+fn stalled_mid_frame_writer_hits_the_read_deadline() {
+    let db = Database::open(SiloConfig::for_testing());
+    let server = Server::start(
+        db,
+        None,
+        ServerConfig::default()
+            .with_read_timeout(Duration::from_millis(40))
+            .with_idle_timeout(Duration::from_secs(60)),
+    )
+    .unwrap();
+    let mut c = TcpStream::connect(server.local_addr()).unwrap();
+    // Announce a 16-byte frame, deliver 2 bytes, then stall. An idle
+    // connection would be tolerated for the (long) idle budget; a stalled
+    // *partial* frame must trip the per-frame deadline instead.
+    c.write_all(&16u32.to_le_bytes()).unwrap();
+    c.write_all(&[1, 2]).unwrap();
+    c.flush().unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    assert!(read_frame(&mut c, &mut buf, 1 << 20).unwrap());
+    match decode_response(&buf).unwrap() {
+        Response::Error { code: ErrorCode::BadRequest, detail } => {
+            assert!(detail.contains("deadline"), "detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The stream is no longer frame-aligned: the server closes it.
+    assert!(!read_frame(&mut c, &mut buf, 1 << 20).unwrap());
+    assert!(server.stats().read_timeouts >= 1);
+}
+
+#[test]
+fn admission_bound_rejects_with_typed_server_busy() {
+    let db = Database::open(SiloConfig::for_testing());
+    let server =
+        Server::start(db, None, ServerConfig::default().with_max_connections(1)).unwrap();
+    let mut c1 = TcpStream::connect(server.local_addr()).unwrap();
+    // A round-trip guarantees c1 is registered before c2 arrives.
+    match call(&mut c1, &Request::Health) {
+        Response::Health { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let mut c2 = TcpStream::connect(server.local_addr()).unwrap();
+    c2.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    assert!(read_frame(&mut c2, &mut buf, 1 << 20).unwrap());
+    match decode_response(&buf).unwrap() {
+        Response::Error { code: ErrorCode::ServerBusy, detail } => {
+            assert!(detail.contains("connection"), "detail: {detail}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(!read_frame(&mut c2, &mut buf, 1 << 20).unwrap());
+    assert_eq!(server.stats().connections_rejected, 1);
+    // The admitted connection is unaffected.
+    match call(&mut c1, &Request::Health) {
+        Response::Health { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn hello_negotiates_version_and_rejects_unknown_ones() {
+    let server = start_server();
+    let mut c = TcpStream::connect(server.local_addr()).unwrap();
+    match call(&mut c, &Request::Hello { version: PROTOCOL_VERSION, features: u64::MAX, lineage: 7 }) {
+        Response::HelloOk { version, features } => {
+            assert_eq!(version, PROTOCOL_VERSION);
+            // The server only grants features it supports.
+            assert_eq!(features & !silo_net::SUPPORTED_FEATURES, 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match call(&mut c, &Request::Hello { version: PROTOCOL_VERSION + 1, features: 0, lineage: 0 }) {
+        Response::Error { code: ErrorCode::UnsupportedVersion, .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    // The connection survives a failed negotiation (the client may retry
+    // with a version the server named).
     match call(&mut c, &Request::Health) {
         Response::Health { .. } => {}
         other => panic!("unexpected {other:?}"),

@@ -100,9 +100,14 @@ pub use silo_core::{
 pub use silo_check::{
     check_serializability, CheckReport, HistoryRecorder, SessionHistory, Violation,
 };
-pub use silo_client::{ClientError, Connection, ServerError, TxnBuilder};
+pub use silo_client::{
+    ClientConfig, ClientError, ClientStats, Connection, RetryPolicy, ServerError, TxnBuilder,
+};
 pub use silo_log::{
     DurableWait, FaultKind, FaultPlan, FaultSite, LogConfig, LogDestination, LogMode,
     RecoveryError, SiloLogger, SinkError, SinkErrorKind,
 };
-pub use silo_net::{ErrorCode, HealthStatus, Request, Response, Server, ServerConfig, ServerStats};
+pub use silo_net::{
+    ErrorCode, HealthStatus, NetFaultKind, NetFaultPlan, NetFaultSite, Request, Response, Server,
+    ServerConfig, ServerStats, FEATURE_REQUEST_TOKENS, PROTOCOL_VERSION, SUPPORTED_FEATURES,
+};
